@@ -1,0 +1,63 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper by calling the
+corresponding function in :mod:`repro.bench.experiments`, records its
+wall-clock cost with pytest-benchmark (single round — the experiments are
+themselves timed sweeps), prints the resulting table and writes it to
+``benchmarks/results/<experiment>.txt`` so the numbers can be compared with
+the paper (see EXPERIMENTS.md).
+
+The dataset scale can be adjusted with the ``REPRO_BENCH_SCALE`` environment
+variable (default 1.0: the full synthetic presets, a few minutes of
+pure-Python time for the whole suite; use e.g. 0.1 for a quick smoke run).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+
+#: Default fraction of each preset's size used by the benchmarks.
+DEFAULT_SCALE = 1.0
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Dataset scale factor for all benchmarks (env: REPRO_BENCH_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def report() -> "ReportWriter":
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return ReportWriter(RESULTS_DIR)
+
+
+class ReportWriter:
+    """Prints an experiment result and persists it under benchmarks/results/."""
+
+    def __init__(self, directory: Path):
+        self.directory = directory
+
+    def __call__(self, result: ExperimentResult) -> ExperimentResult:
+        text = result.to_text()
+        print()
+        print(text)
+        output = self.directory / f"{result.experiment_id}.txt"
+        output.write_text(text + "\n")
+        return result
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments already sweep whole datasets, so multiple benchmark
+    rounds would only multiply runtime without adding information.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,27 @@
+"""Ablation bench: shrink criteria for budget-based provenance.
+
+DESIGN.md calls out the Section 5.3.2 design choice of which entries to keep
+when a vertex's provenance budget is exceeded: keep-largest versus a
+priority order over origins.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import ablation_budget_policies
+
+
+def test_ablation_budget_shrink_criteria(benchmark, bench_scale, report):
+    result = run_once(
+        benchmark, ablation_budget_policies, "prosper", capacity=50, scale=bench_scale
+    )
+    report(result)
+
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert row["runtime_s"] > 0
+        assert 0.0 <= row["avg_known_fraction"] <= 1.0 + 1e-9
+        assert row["shrinks"] >= 0
+    by_criterion = {row["criterion"]: row for row in result.rows}
+    assert set(by_criterion) == {"keep-largest", "keep-by-degree-priority"}

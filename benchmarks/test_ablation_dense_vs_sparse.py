@@ -1,0 +1,28 @@
+"""Ablation bench: dense vs. sparse proportional provenance vectors.
+
+DESIGN.md calls out the representation choice of Section 4.3: dense numpy
+vectors win on networks with few vertices (Flights, Taxis) while sparse
+lists are the only viable representation for large vertex sets.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import ablation_dense_vs_sparse
+
+
+def test_ablation_dense_vs_sparse(benchmark, bench_scale, report):
+    result = run_once(
+        benchmark, ablation_dense_vs_sparse, ("flights", "taxis"), scale=bench_scale
+    )
+    report(result)
+
+    for row in result.rows:
+        assert row["dense_runtime_s"] > 0
+        assert row["sparse_runtime_s"] > 0
+        assert row["dense_memory_mb"] > 0
+        assert row["sparse_memory_mb"] > 0
+        # On these small-vertex networks the dense representation is
+        # competitive: within an order of magnitude of sparse on both axes.
+        assert row["dense_runtime_s"] <= row["sparse_runtime_s"] * 10

@@ -1,0 +1,34 @@
+"""Ablation bench: proactive versus lazy (replay-based) provenance.
+
+The paper's future work (Section 8) proposes lazy provenance in the spirit
+of Ariadne's replay-lazy operator instrumentation.  This benchmark measures
+the trade-off implemented by :class:`repro.lazy.ReplayProvenance`: streaming
+is cheaper (no annotation maintenance) but each provenance query pays a
+replay of the log.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import ablation_lazy_vs_proactive
+
+
+def test_ablation_lazy_vs_proactive(benchmark, bench_scale, report):
+    result = run_once(
+        benchmark,
+        ablation_lazy_vs_proactive,
+        "prosper",
+        query_counts=(0, 1, 10, 50),
+        scale=bench_scale,
+    )
+    report(result)
+
+    rows = sorted(result.rows, key=lambda row: row["queries"])
+    # With no queries the lazy variant never replays and only stores the log.
+    assert rows[0]["lazy_replays"] == 0
+    # Query results are cached, so replay count never exceeds one per batch.
+    assert all(row["lazy_replays"] <= 1 for row in rows)
+    # Lazy total cost never decreases as more queries are issued.
+    lazy_costs = [row["lazy_total_s"] for row in rows]
+    assert lazy_costs[0] <= lazy_costs[-1] * 1.5

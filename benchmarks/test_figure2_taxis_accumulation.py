@@ -1,0 +1,22 @@
+"""Benchmark target for Figure 2: accumulation / provenance mix at one vertex."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import figure2_accumulation
+
+
+def test_figure2_taxis_accumulation(benchmark, bench_scale, report):
+    """Regenerate the Figure 2 series for the busiest vertex of the taxi preset."""
+    result = run_once(benchmark, figure2_accumulation, scale=bench_scale, max_points=25)
+    report(result)
+
+    assert len(result.rows) >= 1
+    summary = result.series["summary"][0]
+    assert summary["deliveries"] >= len(result.rows)
+    assert summary["distinct_origins_overall"] >= 1
+    for row in result.rows:
+        assert row["buffered_quantity"] >= 0
+        assert 0.0 <= row["top_origin_share"] <= 1.0 + 1e-9
+        assert row["distinct_origins"] >= 0

@@ -1,0 +1,30 @@
+"""Benchmark target for Figure 5: selective and grouped provenance vs. k."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import figure5_selective_grouped
+
+
+def test_figure5_selective_and_grouped_provenance(benchmark, bench_scale, report):
+    """Regenerate Figure 5's runtime/memory curves for k on the large presets."""
+    k_values = (5, 20, 50, 100, 150, 200)
+    result = run_once(
+        benchmark, figure5_selective_grouped, k_values=k_values, scale=bench_scale
+    )
+    report(result)
+
+    # Memory grows (roughly linearly) with k for both variants, as in the paper.
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for dataset, rows in by_dataset.items():
+        rows.sort(key=lambda row: row["k"])
+        assert rows[-1]["selective_memory_mb"] >= rows[0]["selective_memory_mb"], dataset
+        assert rows[-1]["grouped_memory_mb"] >= rows[0]["grouped_memory_mb"], dataset
+        # Selective and grouped have the same asymptotics; their costs for the
+        # same k stay within an order of magnitude of each other.
+        for row in rows:
+            ratio = row["selective_memory_mb"] / max(row["grouped_memory_mb"], 1e-9)
+            assert 0.1 <= ratio <= 10.0, (dataset, row["k"])

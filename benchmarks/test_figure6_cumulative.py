@@ -1,0 +1,27 @@
+"""Benchmark target for Figure 6: cumulative cost of full sparse proportional."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import figure6_cumulative
+
+
+def test_figure6_cumulative_cost(benchmark, bench_scale, report):
+    """Regenerate the cumulative runtime / provenance-size curves of Figure 6."""
+    result = run_once(benchmark, figure6_cumulative, num_checkpoints=5, scale=bench_scale)
+    report(result)
+
+    for name, series in result.series.items():
+        if not series:
+            continue
+        seconds = [row["cumulative_s"] for row in series]
+        entries = [row["provenance_entries"] for row in series]
+        # Cumulative time and stored provenance both grow monotonically with
+        # the number of processed interactions (the paper's superlinear
+        # growth argument relies on this).
+        assert seconds == sorted(seconds), name
+        assert entries == sorted(entries), name
+        # The provenance lists keep growing: the last checkpoint stores more
+        # entries than the first.
+        assert entries[-1] >= entries[0], name

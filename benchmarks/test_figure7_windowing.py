@@ -1,0 +1,34 @@
+"""Benchmark target for Figure 7: the windowing approach."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import figure7_windowing
+from repro.bench.harness import load_network_cached
+
+
+def test_figure7_windowing(benchmark, bench_scale, report):
+    """Regenerate Figure 7's runtime/memory curves versus the window size W.
+
+    Window sizes are chosen relative to the (scaled) stream length so every
+    preset experiences several window resets, as in the paper.
+    """
+    stream_length = load_network_cached("prosper", scale=bench_scale).num_interactions
+    window_sizes = tuple(
+        max(50, stream_length // divisor) for divisor in (16, 8, 4, 2)
+    )
+    result = run_once(
+        benchmark, figure7_windowing, window_sizes=window_sizes, scale=bench_scale
+    )
+    report(result)
+
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for dataset, rows in by_dataset.items():
+        rows.sort(key=lambda row: row["window"])
+        # Larger windows mean fewer resets ...
+        assert rows[0]["resets"] >= rows[-1]["resets"], dataset
+        # ... and at least as much retained provenance (memory), as in Figure 7.
+        assert rows[-1]["memory_mb"] >= rows[0]["memory_mb"] * 0.5, dataset

@@ -1,0 +1,26 @@
+"""Benchmark target for Figure 8: budget-based provenance."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import figure8_budget
+
+
+def test_figure8_budget(benchmark, bench_scale, report):
+    """Regenerate Figure 8's runtime/memory curves versus the budget C."""
+    budgets = (10, 50, 100, 200, 500, 1000)
+    result = run_once(benchmark, figure8_budget, budgets=budgets, scale=bench_scale)
+    report(result)
+
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for dataset, rows in by_dataset.items():
+        rows.sort(key=lambda row: row["budget"])
+        # Memory grows with the budget C (the paper observes linear growth).
+        assert rows[-1]["memory_mb"] >= rows[0]["memory_mb"], dataset
+        # Runtime does not explode with C: the largest budget costs at most a
+        # small multiple of the smallest one (paper: "the increase in the
+        # runtime cost is not very high").
+        assert rows[-1]["runtime_s"] <= rows[0]["runtime_s"] * 10, dataset

@@ -1,0 +1,25 @@
+"""Benchmark target for Figure 9: provenance alerts (smurfing use case)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import figure9_alerts
+
+
+def test_figure9_provenance_alerts(benchmark, bench_scale, report):
+    """Regenerate the alerting use case on the Bitcoin-like preset."""
+    result = run_once(benchmark, figure9_alerts, scale=bench_scale)
+    report(result)
+
+    summary = result.series["summary"][0]
+    assert summary["quantity_threshold"] > 0
+    assert summary["alerts"] >= 0
+    assert (
+        summary["alerts"]
+        == summary["few_contributor_alerts"] + summary["many_contributor_alerts"]
+    )
+    # Every reported alert must satisfy the rule: quantity above threshold.
+    for row in result.rows:
+        assert row["buffered_quantity"] > summary["quantity_threshold"]
+        assert row["contributing_vertices"] >= 1

@@ -1,0 +1,28 @@
+"""Benchmark target for Table 10: the overhead of tracking provenance paths."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import table10_paths
+
+
+def test_table10_path_tracking_overhead(benchmark, bench_scale, report):
+    """Regenerate Table 10 (LIFO + path tracking on every dataset)."""
+    result = run_once(benchmark, table10_paths, scale=bench_scale)
+    report(result)
+
+    by_dataset = {row["dataset"]: row for row in result.rows}
+    assert set(by_dataset) == {"bitcoin", "ctu", "prosper", "flights", "taxis"}
+    for dataset, row in by_dataset.items():
+        # Path tracking costs extra memory but the total stays finite and the
+        # runtime is within a small multiple of plain LIFO (paper Section 7.5).
+        assert row["total_mem_mb"] >= row["mem_entries_mb"]
+        assert row["mem_paths_mb"] >= 0
+        assert row["runtime_s"] <= max(row["baseline_runtime_s"] * 20, 1.0), dataset
+        assert row["avg_path_length"] >= 0
+
+    # The Flights network has very few vertices relative to interactions, so
+    # quantities travel much longer paths there than on Bitcoin-like networks
+    # (the dominant qualitative observation of Table 10).
+    assert by_dataset["flights"]["avg_path_length"] >= by_dataset["ctu"]["avg_path_length"]

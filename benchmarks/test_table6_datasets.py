@@ -1,0 +1,20 @@
+"""Benchmark target for Table 6: dataset characteristics."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import table6_datasets
+
+
+def test_table6_dataset_characteristics(benchmark, bench_scale, report):
+    """Regenerate Table 6 for the synthetic presets at the bench scale."""
+    result = run_once(benchmark, table6_datasets, scale=bench_scale)
+    report(result)
+    assert len(result.rows) == 5
+    # Structural signature: Bitcoin has the most vertices, Flights the fewest,
+    # and Flights/Taxis have far higher interaction density than Bitcoin/CTU.
+    by_name = {row["dataset"]: row for row in result.rows}
+    assert by_name["bitcoin"]["nodes"] > by_name["ctu"]["nodes"] > by_name["prosper"]["nodes"]
+    assert by_name["flights"]["nodes"] < by_name["taxis"]["nodes"]
+    assert by_name["flights"]["density"] > by_name["bitcoin"]["density"]

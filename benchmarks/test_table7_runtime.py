@@ -1,0 +1,35 @@
+"""Benchmark target for Table 7: runtime of every selection policy."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import policy_comparison, table7_runtime, table8_memory
+
+
+def test_table7_policy_runtimes(benchmark, bench_scale, report):
+    """Regenerate Table 7 (and cache the runs reused by the Table 8 bench)."""
+    results = run_once(benchmark, policy_comparison, scale=bench_scale)
+    table7 = table7_runtime(results=results)
+    report(table7)
+
+    by_dataset = {row["dataset"]: row for row in table7.rows}
+    for dataset, row in by_dataset.items():
+        noprov = row["no-provenance"]
+        # NoProv is the cheapest policy on every dataset (paper Table 7).
+        for policy, runtime in row.items():
+            if policy in ("dataset", "no-provenance") or runtime is None:
+                continue
+            assert noprov <= runtime * 1.2, (dataset, policy)
+        # Receipt-order and generation-time policies stay within a small
+        # factor of each other.  (The paper finds receipt-order strictly
+        # faster; on the synthetic presets the ordering is dominated by how
+        # strongly each selection order fragments the buffers, so we only
+        # assert that neither family is wildly slower — see EXPERIMENTS.md.)
+        if row["lifo"] is not None and row["least-recently-born"] is not None:
+            assert row["lifo"] <= row["least-recently-born"] * 5
+            assert row["least-recently-born"] <= row["lifo"] * 5
+
+    # Also persist the memory table from the same runs so the two tables are
+    # consistent with each other, exactly like the paper's shared experiment.
+    report(table8_memory(results=results))

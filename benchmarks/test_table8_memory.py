@@ -1,0 +1,34 @@
+"""Benchmark target for Table 8: peak memory of every selection policy."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import policy_comparison, table8_memory
+
+
+def test_table8_policy_memory(benchmark, bench_scale, report):
+    """Regenerate Table 8 at the bench scale."""
+    results = run_once(benchmark, policy_comparison, scale=bench_scale)
+    table8 = table8_memory(results=results)
+    report(table8)
+
+    by_dataset = {row["dataset"]: row for row in table8.rows}
+    for dataset, row in by_dataset.items():
+        noprov = row["no-provenance"]
+        # Provenance tracking always costs more memory than NoProv.
+        for policy, memory in row.items():
+            if policy in ("dataset", "no-provenance") or memory is None:
+                continue
+            assert memory >= noprov, (dataset, policy)
+        # Receipt-order provenance stores (origin, quantity) pairs and is not
+        # more expensive than generation-time provenance, which also stores
+        # birth times (paper Table 8).
+        if row["lifo"] is not None and row["least-recently-born"] is not None:
+            assert row["lifo"] <= row["least-recently-born"] * 1.15
+
+    # Dense proportional vectors are the dominant memory cost on the
+    # large-vertex datasets: dense uses (far) more memory than sparse there.
+    bitcoin = by_dataset["bitcoin"]
+    if bitcoin["proportional-dense"] is not None and bitcoin["proportional-sparse"] is not None:
+        assert bitcoin["proportional-dense"] >= bitcoin["proportional-sparse"]

@@ -1,0 +1,26 @@
+"""Benchmark target for Table 9: shrinking statistics of budget-based provenance."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import table9_shrinking
+
+
+def test_table9_shrinking_statistics(benchmark, bench_scale, report):
+    """Regenerate Table 9 (average shrinks and % of vertices shrunk vs. C)."""
+    budgets = (10, 50, 100, 200, 500, 1000)
+    result = run_once(benchmark, table9_shrinking, budgets=budgets, scale=bench_scale)
+    report(result)
+
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for dataset, rows in by_dataset.items():
+        rows.sort(key=lambda row: row["budget"])
+        # Larger budgets shrink less often and touch fewer vertices (Table 9's
+        # monotone columns).
+        assert rows[0]["avg_shrinks"] >= rows[-1]["avg_shrinks"], dataset
+        assert rows[0]["pct_vertices_shrunk"] >= rows[-1]["pct_vertices_shrunk"], dataset
+        for row in rows:
+            assert 0.0 <= row["pct_vertices_shrunk"] <= 100.0

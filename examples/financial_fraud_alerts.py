@@ -1,0 +1,67 @@
+"""Financial use case: smurfing alerts on a Bitcoin-like exchange network.
+
+Reproduces the scenario of Section 7.6 / Figure 9 of the paper: a data
+analyst wants to be alerted whenever an account accumulates a significant
+amount whose origins are *not* the account's direct neighbours — the
+neighbours merely relay funds generated elsewhere, a pattern associated with
+money-mule ("smurfing") layering.
+
+The example runs the proportional selection policy (financial balances mix)
+over a synthetic Bitcoin-like network, registers the alert rule as an engine
+observer, and reports every alert with its provenance decomposition.
+
+Run with::
+
+    python examples/financial_fraud_alerts.py
+"""
+
+from __future__ import annotations
+
+from repro import ProportionalSparsePolicy, ProvenanceEngine, datasets
+from repro.analysis.alerts import NeighbourOriginAlertRule
+
+
+def main() -> None:
+    network = datasets.load_preset("bitcoin", scale=1.0)
+    print(f"network: {network}")
+
+    # Alert when a vertex buffers more than the average transfer quantity and
+    # none of it originates from a direct neighbour.  (The paper uses an
+    # absolute threshold of 10K BTC; the synthetic network accumulates far
+    # smaller balances, so the threshold is expressed relative to the average
+    # interaction quantity instead.)
+    threshold = network.average_quantity()
+    rule = NeighbourOriginAlertRule(quantity_threshold=threshold)
+
+    engine = ProvenanceEngine(ProportionalSparsePolicy(), observers=[rule])
+    stats = engine.run(network)
+    print(
+        f"processed {stats.interactions} transactions in {stats.elapsed_seconds:.2f}s; "
+        f"alert threshold = {threshold:.1f} units"
+    )
+
+    summary = rule.summary()
+    print(
+        f"\n{summary['alerts']} alerts raised "
+        f"({summary['few_contributor_alerts']} from fewer than 5 contributors, "
+        f"{summary['many_contributor_alerts']} from many contributors)"
+    )
+
+    for alert in rule.alerts[:10]:
+        top_origins = ", ".join(
+            f"account {origin} ({quantity:.1f})"
+            for origin, quantity in alert.origins.top(3)
+        )
+        kind = "FEW sources" if alert.is_few_contributors() else "many sources"
+        print(
+            f"  interaction #{alert.interaction_index:6d}: account {alert.vertex} "
+            f"accumulated {alert.buffered_quantity:9.1f} units from "
+            f"{alert.contributing_vertices} accounts [{kind}]  top: {top_origins}"
+        )
+
+    if not rule.alerts:
+        print("  (no alerts at this threshold; lower it to see the mechanism)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e . --no-use-pep517`` works in offline environments where the
+``wheel`` package (required for PEP 660 editable installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

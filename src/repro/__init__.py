@@ -1,0 +1,100 @@
+"""repro: provenance tracking in temporal interaction networks.
+
+A faithful, pure-Python reproduction of *Provenance in Temporal Interaction
+Networks* (Kosyfaki & Mamoulis, ICDE 2022).  The library tracks the origins
+(and optionally the transfer paths) of quantities that flow between the
+vertices of a temporal interaction network, under all the selection policies
+studied by the paper, together with the scalable restrictions of the
+proportional policy and the full experimental harness.
+
+Quick start::
+
+    from repro import ProvenanceEngine, FifoPolicy, datasets
+
+    network = datasets.load_preset("taxis")
+    engine = ProvenanceEngine(FifoPolicy())
+    engine.run(network)
+    vertex = max(engine.buffer_totals(), key=engine.buffer_total)
+    print(engine.origins(vertex).top(5))
+"""
+
+from repro import analysis, datasets, lazy, metrics, paths
+from repro.core.engine import ProvenanceEngine, RunStatistics
+from repro.lazy.replay import ReplayProvenance
+from repro.core.interaction import Interaction, Vertex
+from repro.core.network import TemporalInteractionNetwork
+from repro.core.provenance import UNKNOWN_ORIGIN, OriginSet, ProvenanceSnapshot
+from repro.exceptions import (
+    DatasetError,
+    InvalidInteractionError,
+    MemoryBudgetExceededError,
+    PolicyConfigurationError,
+    PolicyNotRegisteredError,
+    ReproError,
+    UnknownVertexError,
+)
+from repro.paths.tracker import PathProvenance, PathRecord, PathStatistics
+from repro.policies.base import SelectionPolicy
+from repro.policies.generation_time import LeastRecentlyBornPolicy, MostRecentlyBornPolicy
+from repro.policies.no_provenance import NoProvenancePolicy
+from repro.policies.proportional import ProportionalDensePolicy, ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy, LifoPolicy
+from repro.policies.registry import available_policies, make_policy
+from repro.scalable.budget import BudgetProportionalPolicy
+from repro.scalable.grouped import GroupedProportionalPolicy
+from repro.scalable.selective import SelectiveProportionalPolicy
+from repro.scalable.time_window import TimeWindowedProportionalPolicy
+from repro.scalable.windowing import WindowedProportionalPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # substrate
+    "Interaction",
+    "Vertex",
+    "TemporalInteractionNetwork",
+    "ProvenanceEngine",
+    "RunStatistics",
+    "OriginSet",
+    "ProvenanceSnapshot",
+    "UNKNOWN_ORIGIN",
+    # policies (Section 4)
+    "SelectionPolicy",
+    "NoProvenancePolicy",
+    "LeastRecentlyBornPolicy",
+    "MostRecentlyBornPolicy",
+    "FifoPolicy",
+    "LifoPolicy",
+    "ProportionalDensePolicy",
+    "ProportionalSparsePolicy",
+    # scalable proportional (Section 5)
+    "SelectiveProportionalPolicy",
+    "GroupedProportionalPolicy",
+    "WindowedProportionalPolicy",
+    "TimeWindowedProportionalPolicy",
+    "BudgetProportionalPolicy",
+    # how-provenance (Section 6)
+    "PathProvenance",
+    "PathRecord",
+    "PathStatistics",
+    # lazy provenance (future work, Section 8)
+    "ReplayProvenance",
+    # registry
+    "available_policies",
+    "make_policy",
+    # subpackages
+    "analysis",
+    "datasets",
+    "lazy",
+    "metrics",
+    "paths",
+    # exceptions
+    "ReproError",
+    "InvalidInteractionError",
+    "UnknownVertexError",
+    "PolicyConfigurationError",
+    "PolicyNotRegisteredError",
+    "DatasetError",
+    "MemoryBudgetExceededError",
+]

@@ -1,0 +1,33 @@
+"""Provenance analyses: distributions, alerts, grouping, contributor selection."""
+
+from repro.analysis.alerts import NeighbourOriginAlertRule, ProvenanceAlert
+from repro.analysis.contributors import top_contributors, top_degree, top_receivers
+from repro.analysis.distribution import AccumulationPoint, AccumulationSeries, AccumulationTracker
+from repro.analysis.flow import contribution, contribution_matrix, direct_flow, top_financiers
+from repro.analysis.grouping import (
+    attribute_groups,
+    community_groups,
+    degree_groups,
+    hash_groups,
+    round_robin_groups,
+)
+
+__all__ = [
+    "NeighbourOriginAlertRule",
+    "ProvenanceAlert",
+    "contribution",
+    "contribution_matrix",
+    "direct_flow",
+    "top_financiers",
+    "top_contributors",
+    "top_degree",
+    "top_receivers",
+    "AccumulationPoint",
+    "AccumulationSeries",
+    "AccumulationTracker",
+    "attribute_groups",
+    "community_groups",
+    "degree_groups",
+    "hash_groups",
+    "round_robin_groups",
+]

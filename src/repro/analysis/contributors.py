@@ -1,0 +1,64 @@
+"""Selection of vertices of interest for selective provenance tracking.
+
+Section 7.3 of the paper selects, as tracked vertices, the top-k vertices
+that *generate* the largest total quantity: a NoProv pre-pass (Algorithm 1)
+measures per-vertex generated quantities and the k largest generators become
+the tracked set.  This module implements that selection plus a couple of
+alternative criteria useful in practice (top receivers, highest degree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.interaction import Vertex
+from repro.core.network import TemporalInteractionNetwork
+
+__all__ = ["top_contributors", "top_receivers", "top_degree"]
+
+
+def top_contributors(network: TemporalInteractionNetwork, k: int) -> List[Vertex]:
+    """The ``k`` vertices generating the largest total quantity.
+
+    Ties are broken by vertex representation so the result is deterministic.
+    If fewer than ``k`` vertices ever generate quantity, the remaining slots
+    are filled with the highest-degree non-generating vertices so the result
+    always has ``min(k, |V|)`` entries.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k!r}")
+    generated = network.generated_quantity_by_vertex()
+    ranked = sorted(generated.items(), key=lambda item: (-item[1], repr(item[0])))
+    selected = [vertex for vertex, _quantity in ranked[:k]]
+    if len(selected) < k:
+        chosen = set(selected)
+        fallback = sorted(
+            (vertex for vertex in network.vertices if vertex not in chosen),
+            key=lambda vertex: (-network.degree(vertex), repr(vertex)),
+        )
+        selected.extend(fallback[: k - len(selected)])
+    return selected
+
+
+def top_receivers(network: TemporalInteractionNetwork, k: int) -> List[Vertex]:
+    """The ``k`` vertices receiving the largest total quantity."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k!r}")
+    received: Dict[Vertex, float] = {}
+    for interaction in network.interactions:
+        received[interaction.destination] = (
+            received.get(interaction.destination, 0.0) + interaction.quantity
+        )
+    ranked = sorted(received.items(), key=lambda item: (-item[1], repr(item[0])))
+    return [vertex for vertex, _quantity in ranked[:k]]
+
+
+def top_degree(network: TemporalInteractionNetwork, k: int) -> List[Vertex]:
+    """The ``k`` vertices with the most distinct neighbours."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k!r}")
+    ranked = sorted(
+        network.vertices,
+        key=lambda vertex: (-network.degree(vertex), repr(vertex)),
+    )
+    return list(ranked[:k])

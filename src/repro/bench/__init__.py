@@ -1,0 +1,21 @@
+"""Benchmark harness and per-table/figure experiment implementations."""
+
+from repro.bench.harness import (
+    DEFAULT_DATASETS,
+    LARGE_DATASETS,
+    ExperimentResult,
+    PolicyRunResult,
+    clear_network_cache,
+    load_network_cached,
+    run_policy,
+)
+
+__all__ = [
+    "DEFAULT_DATASETS",
+    "LARGE_DATASETS",
+    "ExperimentResult",
+    "PolicyRunResult",
+    "clear_network_cache",
+    "load_network_cached",
+    "run_policy",
+]

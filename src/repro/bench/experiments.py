@@ -1,0 +1,704 @@
+"""Experiment implementations for every table and figure of the paper.
+
+Each public function regenerates one table or figure of the paper's
+evaluation (Section 7) and returns an
+:class:`~repro.bench.harness.ExperimentResult` whose rows mirror the paper's
+layout.  The ``benchmarks/`` directory contains one pytest-benchmark target
+per experiment that calls these functions and prints the resulting tables.
+
+Absolute numbers differ from the paper (pure Python on synthetic, scaled
+datasets versus C on the real data); the comparisons of interest — which
+policy is faster, how costs scale with k / W / C / stream length — are
+preserved.  See EXPERIMENTS.md for the paper-versus-measured discussion.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.alerts import NeighbourOriginAlertRule
+from repro.analysis.contributors import top_receivers
+from repro.analysis.distribution import AccumulationTracker
+from repro.bench.harness import (
+    DEFAULT_DATASETS,
+    LARGE_DATASETS,
+    ExperimentResult,
+    PolicyRunResult,
+    load_network_cached,
+    run_policy,
+)
+from repro.core.engine import ProvenanceEngine
+from repro.core.network import TemporalInteractionNetwork
+from repro.datasets.catalog import get_spec
+from repro.lazy.replay import ReplayProvenance
+from repro.metrics.memory import policy_memory_bytes
+from repro.paths.tracker import PathProvenance
+from repro.policies.generation_time import LeastRecentlyBornPolicy, MostRecentlyBornPolicy
+from repro.policies.no_provenance import NoProvenancePolicy
+from repro.policies.proportional import ProportionalDensePolicy, ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy, LifoPolicy
+from repro.scalable.budget import BudgetProportionalPolicy, keep_by_priority, keep_largest
+from repro.scalable.grouped import GroupedProportionalPolicy
+from repro.scalable.selective import SelectiveProportionalPolicy
+from repro.scalable.windowing import WindowedProportionalPolicy
+
+__all__ = [
+    "table6_datasets",
+    "table7_runtime",
+    "table8_memory",
+    "policy_comparison",
+    "figure5_selective_grouped",
+    "figure6_cumulative",
+    "figure7_windowing",
+    "figure8_budget",
+    "table9_shrinking",
+    "table10_paths",
+    "figure2_accumulation",
+    "figure9_alerts",
+    "ablation_buffer_structures",
+    "ablation_dense_vs_sparse",
+    "ablation_budget_policies",
+    "ablation_lazy_vs_proactive",
+]
+
+#: Default memory ceiling (bytes) used to classify a policy/dataset pair as
+#: infeasible, standing in for the paper machine's 32 GB of RAM.
+DEFAULT_MEMORY_CEILING = 256 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Table 6 — dataset characteristics
+# ----------------------------------------------------------------------
+def table6_datasets(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    *,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Characteristics of the (synthetic) datasets, next to the paper's."""
+    rows: List[Dict[str, object]] = []
+    for name in datasets:
+        spec = get_spec(name, scale=scale)
+        network = load_network_cached(name, scale=scale)
+        paper_vertices, paper_interactions, paper_avg_quantity = (
+            spec.paper_statistics or (None, None, None)
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "nodes": network.num_vertices,
+                "interactions": network.num_interactions,
+                "avg_quantity": network.average_quantity(),
+                "density": network.num_interactions / network.num_vertices,
+                "paper_nodes": paper_vertices,
+                "paper_interactions": paper_interactions,
+                "paper_avg_quantity": paper_avg_quantity,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table6",
+        title="Characteristics of datasets (synthetic presets vs. paper)",
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 7 and 8 — runtime and memory of every selection policy
+# ----------------------------------------------------------------------
+def _policy_suite(network: TemporalInteractionNetwork):
+    """The seven policies compared in Tables 7 and 8, as (label, policy) pairs."""
+    return [
+        ("no-provenance", NoProvenancePolicy()),
+        ("least-recently-born", LeastRecentlyBornPolicy()),
+        ("most-recently-born", MostRecentlyBornPolicy()),
+        ("lifo", LifoPolicy()),
+        ("fifo", FifoPolicy()),
+        ("proportional-dense", ProportionalDensePolicy(network.vertices)),
+        ("proportional-sparse", ProportionalSparsePolicy()),
+    ]
+
+
+def policy_comparison(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    *,
+    scale: float = 1.0,
+    memory_ceiling_bytes: Optional[int] = DEFAULT_MEMORY_CEILING,
+) -> List[PolicyRunResult]:
+    """Run every selection policy on every dataset (shared by Tables 7 and 8)."""
+    results: List[PolicyRunResult] = []
+    for name in datasets:
+        network = load_network_cached(name, scale=scale)
+        for label, policy in _policy_suite(network):
+            result = run_policy(
+                network,
+                policy,
+                memory_ceiling_bytes=memory_ceiling_bytes,
+            )
+            result.policy = label
+            results.append(result)
+    return results
+
+
+def _pivot_by_policy(
+    results: Iterable[PolicyRunResult], value_of
+) -> List[Dict[str, object]]:
+    """Pivot run results into one row per dataset with one column per policy."""
+    rows: Dict[str, Dict[str, object]] = {}
+    order: List[str] = []
+    for result in results:
+        row = rows.get(result.dataset)
+        if row is None:
+            row = {"dataset": result.dataset}
+            rows[result.dataset] = row
+            order.append(result.dataset)
+        row[result.policy] = value_of(result) if result.feasible else None
+    return [rows[name] for name in order]
+
+
+def table7_runtime(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    *,
+    scale: float = 1.0,
+    memory_ceiling_bytes: Optional[int] = DEFAULT_MEMORY_CEILING,
+    results: Optional[List[PolicyRunResult]] = None,
+) -> ExperimentResult:
+    """Table 7: runtime (seconds) for each selection policy and dataset."""
+    if results is None:
+        results = policy_comparison(
+            datasets, scale=scale, memory_ceiling_bytes=memory_ceiling_bytes
+        )
+    rows = _pivot_by_policy(results, lambda result: result.runtime_seconds)
+    return ExperimentResult(
+        experiment_id="table7",
+        title="Runtime (sec) for each selection policy",
+        rows=rows,
+    )
+
+
+def table8_memory(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    *,
+    scale: float = 1.0,
+    memory_ceiling_bytes: Optional[int] = DEFAULT_MEMORY_CEILING,
+    results: Optional[List[PolicyRunResult]] = None,
+) -> ExperimentResult:
+    """Table 8: peak provenance memory (MB) for each policy and dataset."""
+    if results is None:
+        results = policy_comparison(
+            datasets, scale=scale, memory_ceiling_bytes=memory_ceiling_bytes
+        )
+    rows = _pivot_by_policy(
+        results,
+        lambda result: (result.memory_bytes or 0) / (1024 * 1024),
+    )
+    return ExperimentResult(
+        experiment_id="table8",
+        title="Peak memory (MB) used by each selection policy",
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — selective and grouped proportional provenance vs. k
+# ----------------------------------------------------------------------
+def figure5_selective_grouped(
+    datasets: Sequence[str] = LARGE_DATASETS,
+    *,
+    k_values: Sequence[int] = (5, 20, 50, 100, 150, 200),
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Figure 5: runtime and memory of selective/grouped provenance vs. k."""
+    rows: List[Dict[str, object]] = []
+    for name in datasets:
+        network = load_network_cached(name, scale=scale)
+        for k in k_values:
+            selective = SelectiveProportionalPolicy.for_top_contributors(network, k)
+            selective_result = run_policy(network, selective)
+            grouped = GroupedProportionalPolicy.round_robin(network.vertices, k)
+            grouped_result = run_policy(network, grouped)
+            rows.append(
+                {
+                    "dataset": name,
+                    "k": k,
+                    "selective_runtime_s": selective_result.runtime_seconds,
+                    "grouped_runtime_s": grouped_result.runtime_seconds,
+                    "selective_memory_mb": (selective_result.memory_bytes or 0)
+                    / (1024 * 1024),
+                    "grouped_memory_mb": (grouped_result.memory_bytes or 0)
+                    / (1024 * 1024),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="figure5",
+        title="Selective and grouped proportional provenance vs. k",
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — cumulative cost of sparse proportional provenance
+# ----------------------------------------------------------------------
+def figure6_cumulative(
+    datasets: Sequence[str] = LARGE_DATASETS,
+    *,
+    num_checkpoints: int = 5,
+    limit: Optional[int] = None,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Figure 6: cumulative runtime and provenance size vs. processed interactions."""
+    result = ExperimentResult(
+        experiment_id="figure6",
+        title="Cumulative cost of full sparse proportional provenance",
+    )
+    for name in datasets:
+        network = load_network_cached(name, scale=scale)
+        total = limit if limit is not None else network.num_interactions
+        sample_every = max(1, total // num_checkpoints)
+        policy = ProportionalSparsePolicy()
+        run = run_policy(network, policy, sample_every=sample_every, limit=limit)
+        series_rows: List[Dict[str, object]] = []
+        statistics = run.statistics
+        if statistics is not None:
+            for position, entries, seconds in zip(
+                statistics.samples,
+                statistics.sampled_entry_counts,
+                statistics.sampled_elapsed_seconds,
+            ):
+                series_rows.append(
+                    {
+                        "interactions": position,
+                        "cumulative_s": seconds,
+                        "provenance_entries": entries,
+                    }
+                )
+        result.series[f"{name} (cumulative)"] = series_rows
+        result.rows.append(
+            {
+                "dataset": name,
+                "interactions": run.interactions,
+                "total_runtime_s": run.runtime_seconds,
+                "final_memory_mb": (run.memory_bytes or 0) / (1024 * 1024),
+                "avg_list_length": policy.average_list_length(),
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — windowing approach
+# ----------------------------------------------------------------------
+def figure7_windowing(
+    datasets: Sequence[str] = LARGE_DATASETS,
+    *,
+    window_sizes: Sequence[int] = (2_000, 4_000, 8_000, 16_000),
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Figure 7: runtime and memory of windowed proportional provenance vs. W."""
+    rows: List[Dict[str, object]] = []
+    for name in datasets:
+        network = load_network_cached(name, scale=scale)
+        for window in window_sizes:
+            policy = WindowedProportionalPolicy(window=window)
+            run = run_policy(network, policy)
+            rows.append(
+                {
+                    "dataset": name,
+                    "window": window,
+                    "runtime_s": run.runtime_seconds,
+                    "memory_mb": (run.memory_bytes or 0) / (1024 * 1024),
+                    "resets": policy.resets_performed,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="figure7",
+        title="Windowing approach: cost vs. window size W",
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 / Table 9 — budget-based approach
+# ----------------------------------------------------------------------
+def figure8_budget(
+    datasets: Sequence[str] = LARGE_DATASETS,
+    *,
+    budgets: Sequence[int] = (10, 50, 100, 200, 500, 1000),
+    keep_fraction: float = 0.7,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Figure 8: runtime and memory of budget-based provenance vs. budget C."""
+    rows: List[Dict[str, object]] = []
+    for name in datasets:
+        network = load_network_cached(name, scale=scale)
+        for capacity in budgets:
+            policy = BudgetProportionalPolicy(capacity, keep_fraction=keep_fraction)
+            run = run_policy(network, policy)
+            rows.append(
+                {
+                    "dataset": name,
+                    "budget": capacity,
+                    "runtime_s": run.runtime_seconds,
+                    "memory_mb": (run.memory_bytes or 0) / (1024 * 1024),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="figure8",
+        title="Budget-based provenance: cost vs. per-vertex budget C",
+        rows=rows,
+    )
+
+
+def table9_shrinking(
+    datasets: Sequence[str] = LARGE_DATASETS,
+    *,
+    budgets: Sequence[int] = (10, 50, 100, 200, 500, 1000),
+    keep_fraction: float = 0.7,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Table 9: shrink frequency statistics of budget-based provenance."""
+    rows: List[Dict[str, object]] = []
+    for name in datasets:
+        network = load_network_cached(name, scale=scale)
+        for capacity in budgets:
+            policy = BudgetProportionalPolicy(capacity, keep_fraction=keep_fraction)
+            run_policy(network, policy)
+            non_empty = policy.non_empty_vertex_count()
+            statistics = policy.shrink_statistics
+            rows.append(
+                {
+                    "dataset": name,
+                    "budget": capacity,
+                    "avg_shrinks": statistics.average_shrinks(over_vertices=non_empty),
+                    "pct_vertices_shrunk": (
+                        100.0 * statistics.vertices_shrunk() / non_empty
+                        if non_empty
+                        else 0.0
+                    ),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="table9",
+        title="Shrinking statistics in budget-based provenance",
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 10 — path tracking
+# ----------------------------------------------------------------------
+def _path_memory_bytes(policy: LifoPolicy) -> int:
+    """Bytes used by the path tuples stored across all buffers (counted once)."""
+    seen: set = set()
+    total = 0
+    for vertex in policy.tracked_vertices():
+        for path, _quantity in policy.paths(vertex):
+            if id(path) in seen:
+                continue
+            seen.add(id(path))
+            total += sys.getsizeof(path)
+            total += sum(sys.getsizeof(step) for step in path)
+    return total
+
+
+def table10_paths(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    *,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Table 10: overhead of tracking provenance paths (LIFO policy)."""
+    rows: List[Dict[str, object]] = []
+    for name in datasets:
+        network = load_network_cached(name, scale=scale)
+
+        baseline = LifoPolicy()
+        baseline_run = run_policy(network, baseline)
+
+        with_paths = LifoPolicy(track_paths=True)
+        tracked_run = run_policy(network, with_paths)
+        path_bytes = _path_memory_bytes(with_paths)
+        entry_bytes = max((tracked_run.memory_bytes or 0) - path_bytes, 0)
+        statistics = PathProvenance(with_paths).statistics()
+
+        rows.append(
+            {
+                "dataset": name,
+                "runtime_s": tracked_run.runtime_seconds,
+                "baseline_runtime_s": baseline_run.runtime_seconds,
+                "mem_entries_mb": entry_bytes / (1024 * 1024),
+                "mem_paths_mb": path_bytes / (1024 * 1024),
+                "total_mem_mb": (tracked_run.memory_bytes or 0) / (1024 * 1024),
+                "avg_path_length": statistics.average_path_length,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table10",
+        title="Tracking provenance paths in LIFO",
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — accumulation and provenance distribution at one vertex
+# ----------------------------------------------------------------------
+def figure2_accumulation(
+    dataset: str = "taxis",
+    *,
+    vertex=None,
+    scale: float = 1.0,
+    max_points: int = 25,
+) -> ExperimentResult:
+    """Figure 2: accumulated quantity and provenance mix at a watched vertex.
+
+    When ``vertex`` is omitted, the vertex receiving the largest total
+    quantity is watched — the synthetic stand-in for East Village (#79).
+    """
+    network = load_network_cached(dataset, scale=scale)
+    if vertex is None:
+        vertex = top_receivers(network, 1)[0]
+
+    tracker = AccumulationTracker(watched=[vertex])
+    engine = ProvenanceEngine(FifoPolicy(), observers=[tracker])
+    engine.run(network)
+    series = tracker.series(vertex)
+
+    rows: List[Dict[str, object]] = []
+    points = series.points
+    stride = max(1, len(points) // max_points)
+    for point in points[::stride]:
+        top = point.origins.top(1)
+        top_origin, top_quantity = top[0] if top else (None, 0.0)
+        rows.append(
+            {
+                "interaction": point.interaction_index,
+                "time": point.time,
+                "buffered_quantity": point.buffered_quantity,
+                "distinct_origins": len(point.origins),
+                "top_origin": top_origin,
+                "top_origin_share": (
+                    top_quantity / point.buffered_quantity
+                    if point.buffered_quantity
+                    else 0.0
+                ),
+            }
+        )
+    result = ExperimentResult(
+        experiment_id="figure2",
+        title=f"Buffered quantity and provenance mix at vertex {vertex!r} ({dataset})",
+        rows=rows,
+    )
+    result.series["summary"] = [
+        {
+            "watched_vertex": vertex,
+            "deliveries": len(points),
+            "peak_quantity": series.peak().buffered_quantity if points else 0.0,
+            "distinct_origins_overall": series.distinct_origins(),
+        }
+    ]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — provenance alerts use case
+# ----------------------------------------------------------------------
+def figure9_alerts(
+    dataset: str = "bitcoin",
+    *,
+    quantity_threshold: Optional[float] = None,
+    threshold_multiplier: float = 1.0,
+    max_neighbour_fraction: float = 0.0,
+    limit: Optional[int] = None,
+    scale: float = 1.0,
+    few_contributor_threshold: int = 5,
+) -> ExperimentResult:
+    """Figure 9: smurfing alerts on the Bitcoin network.
+
+    The paper alerts when a vertex buffers more than 10K BTC with none of it
+    originating from direct neighbours.  The synthetic preset accumulates far
+    smaller balances (it has ~1/1000 of the interactions), so the default
+    threshold is ``threshold_multiplier`` times the average interaction
+    quantity, which yields a comparable alert density; the neighbour rule
+    itself is the paper's exact rule unless ``max_neighbour_fraction`` is
+    relaxed.
+    """
+    network = load_network_cached(dataset, scale=scale)
+    if quantity_threshold is None:
+        quantity_threshold = threshold_multiplier * network.average_quantity()
+
+    rule = NeighbourOriginAlertRule(
+        quantity_threshold, max_neighbour_fraction=max_neighbour_fraction
+    )
+    engine = ProvenanceEngine(ProportionalSparsePolicy(), observers=[rule])
+    engine.run(network, limit=limit)
+
+    rows: List[Dict[str, object]] = []
+    for alert in rule.alerts[:20]:
+        top = alert.origins.top(1)
+        top_origin, top_quantity = top[0] if top else (None, 0.0)
+        rows.append(
+            {
+                "interaction": alert.interaction_index,
+                "vertex": alert.vertex,
+                "buffered_quantity": alert.buffered_quantity,
+                "contributing_vertices": alert.contributing_vertices,
+                "few_contributors": alert.is_few_contributors(few_contributor_threshold),
+                "top_origin": top_origin,
+                "top_origin_quantity": top_quantity,
+            }
+        )
+    result = ExperimentResult(
+        experiment_id="figure9",
+        title=f"Provenance alerts on {dataset} (threshold {quantity_threshold:g})",
+        rows=rows,
+    )
+    summary = rule.summary()
+    summary["quantity_threshold"] = quantity_threshold
+    result.series["summary"] = [summary]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Ablations (design decisions called out in DESIGN.md)
+# ----------------------------------------------------------------------
+def ablation_buffer_structures(
+    dataset: str = "prosper",
+    *,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Heap vs. FIFO vs. LIFO buffers: the cost of ordering by birth time."""
+    network = load_network_cached(dataset, scale=scale)
+    rows: List[Dict[str, object]] = []
+    for label, policy in (
+        ("heap (least-recently-born)", LeastRecentlyBornPolicy()),
+        ("heap (most-recently-born)", MostRecentlyBornPolicy()),
+        ("fifo queue", FifoPolicy()),
+        ("lifo stack", LifoPolicy()),
+    ):
+        run = run_policy(network, policy)
+        rows.append(
+            {
+                "buffer": label,
+                "runtime_s": run.runtime_seconds,
+                "memory_mb": (run.memory_bytes or 0) / (1024 * 1024),
+                "entries": run.entry_count,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation-buffers",
+        title=f"Buffer data structure ablation on {dataset}",
+        rows=rows,
+    )
+
+
+def ablation_dense_vs_sparse(
+    datasets: Sequence[str] = ("flights", "taxis"),
+    *,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Dense vs. sparse proportional vectors on the small-vertex networks."""
+    rows: List[Dict[str, object]] = []
+    for name in datasets:
+        network = load_network_cached(name, scale=scale)
+        dense_run = run_policy(network, ProportionalDensePolicy(network.vertices))
+        sparse_run = run_policy(network, ProportionalSparsePolicy())
+        rows.append(
+            {
+                "dataset": name,
+                "dense_runtime_s": dense_run.runtime_seconds,
+                "sparse_runtime_s": sparse_run.runtime_seconds,
+                "dense_memory_mb": (dense_run.memory_bytes or 0) / (1024 * 1024),
+                "sparse_memory_mb": (sparse_run.memory_bytes or 0) / (1024 * 1024),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation-dense-sparse",
+        title="Dense vs. sparse proportional provenance vectors",
+        rows=rows,
+    )
+
+
+def ablation_lazy_vs_proactive(
+    dataset: str = "prosper",
+    *,
+    query_counts: Sequence[int] = (0, 1, 10, 100),
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Proactive (FIFO) vs. lazy replay provenance for varying query loads.
+
+    The paper's future work (Section 8) suggests lazy, replay-based
+    provenance.  This ablation measures the total cost (streaming + queries)
+    of the proactive FIFO policy versus :class:`ReplayProvenance` for an
+    increasing number of provenance queries issued after the stream: lazy
+    wins when queries are rare, proactive wins when they are frequent.
+    """
+    import time as _time
+
+    network = load_network_cached(dataset, scale=scale)
+    queried = top_receivers(network, 1)[0]
+    rows: List[Dict[str, object]] = []
+    for queries in query_counts:
+        proactive = FifoPolicy()
+        proactive_engine = ProvenanceEngine(proactive)
+        start = _time.perf_counter()
+        proactive_engine.run(network)
+        for _ in range(queries):
+            proactive_engine.origins(queried)
+        proactive_seconds = _time.perf_counter() - start
+
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy_engine = ProvenanceEngine(lazy)
+        start = _time.perf_counter()
+        lazy_engine.run(network)
+        for _ in range(queries):
+            lazy_engine.origins(queried)
+        lazy_seconds = _time.perf_counter() - start
+
+        rows.append(
+            {
+                "queries": queries,
+                "proactive_total_s": proactive_seconds,
+                "lazy_total_s": lazy_seconds,
+                "lazy_replays": lazy.replay_count,
+                "proactive_memory_mb": policy_memory_bytes(proactive) / (1024 * 1024),
+                "lazy_memory_mb": policy_memory_bytes(lazy) / (1024 * 1024),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation-lazy",
+        title=f"Proactive vs. lazy (replay) provenance on {dataset}",
+        rows=rows,
+    )
+
+
+def ablation_budget_policies(
+    dataset: str = "prosper",
+    *,
+    capacity: int = 50,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Budget shrink criteria: keep-largest vs. keep-by-priority (degree)."""
+    network = load_network_cached(dataset, scale=scale)
+    priority = {vertex: float(network.degree(vertex)) for vertex in network.vertices}
+    rows: List[Dict[str, object]] = []
+    for label, criterion in (
+        ("keep-largest", keep_largest),
+        ("keep-by-degree-priority", keep_by_priority(priority)),
+    ):
+        policy = BudgetProportionalPolicy(capacity, criterion=criterion)
+        run = run_policy(network, policy)
+        known = [
+            policy.known_fraction(vertex) for vertex in policy.tracked_vertices()
+        ]
+        rows.append(
+            {
+                "criterion": label,
+                "runtime_s": run.runtime_seconds,
+                "memory_mb": (run.memory_bytes or 0) / (1024 * 1024),
+                "avg_known_fraction": sum(known) / len(known) if known else 1.0,
+                "shrinks": policy.shrink_statistics.total_shrinks,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation-budget",
+        title=f"Budget shrink criterion ablation on {dataset} (C={capacity})",
+        rows=rows,
+    )

@@ -1,0 +1,175 @@
+"""Shared experiment harness used by the benchmark suite.
+
+The functions here wrap the library's engine with the instrumentation needed
+to regenerate the paper's tables and figures: wall-clock timing, deep memory
+accounting, an optional memory ceiling that classifies configurations as
+infeasible (the ``--`` entries of Tables 7 and 8), and caching of generated
+networks so one benchmark session does not regenerate the same synthetic
+dataset for every policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import ProvenanceEngine, RunStatistics
+from repro.core.network import TemporalInteractionNetwork
+from repro.datasets.catalog import load_preset
+from repro.exceptions import MemoryBudgetExceededError
+from repro.metrics.memory import MemoryCeiling, policy_memory_bytes
+from repro.metrics.tables import format_table
+from repro.policies.base import SelectionPolicy
+
+__all__ = [
+    "PolicyRunResult",
+    "ExperimentResult",
+    "run_policy",
+    "load_network_cached",
+    "clear_network_cache",
+    "DEFAULT_DATASETS",
+    "LARGE_DATASETS",
+]
+
+#: Datasets used by experiments that sweep every preset (Tables 7, 8, 10).
+DEFAULT_DATASETS: Tuple[str, ...] = ("bitcoin", "ctu", "prosper", "flights", "taxis")
+
+#: The three largest networks (by vertex count), used by the scalable
+#: proportional experiments (Figures 5-8, Table 9), as in the paper.
+LARGE_DATASETS: Tuple[str, ...] = ("bitcoin", "ctu", "prosper")
+
+_NETWORK_CACHE: Dict[Tuple[str, float, Optional[int]], TemporalInteractionNetwork] = {}
+
+
+def load_network_cached(
+    name: str, *, scale: float = 1.0, seed: Optional[int] = None
+) -> TemporalInteractionNetwork:
+    """Load a preset network, memoising the result for the process lifetime.
+
+    Synthetic generation is deterministic, so caching only trades memory for
+    the (non-trivial) regeneration time when several benchmarks sweep the
+    same datasets.
+    """
+    key = (name, scale, seed)
+    network = _NETWORK_CACHE.get(key)
+    if network is None:
+        network = load_preset(name, scale=scale, seed=seed)
+        _NETWORK_CACHE[key] = network
+    return network
+
+
+def clear_network_cache() -> None:
+    """Drop all cached networks (used by tests)."""
+    _NETWORK_CACHE.clear()
+
+
+@dataclass
+class PolicyRunResult:
+    """Outcome of running one policy over one dataset."""
+
+    dataset: str
+    policy: str
+    feasible: bool
+    runtime_seconds: Optional[float] = None
+    memory_bytes: Optional[int] = None
+    interactions: int = 0
+    entry_count: int = 0
+    statistics: Optional[RunStatistics] = None
+    note: str = ""
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten the result into a report row (None marks infeasible)."""
+        return {
+            "dataset": self.dataset,
+            "policy": self.policy,
+            "runtime_s": self.runtime_seconds if self.feasible else None,
+            "memory_bytes": self.memory_bytes if self.feasible else None,
+            "interactions": self.interactions,
+            "entries": self.entry_count if self.feasible else None,
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Rows (and optional per-series data) produced by one experiment."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    series: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+
+    def to_text(self, *, float_digits: int = 4) -> str:
+        """Render the experiment in the paper's table layout as plain text."""
+        parts = [format_table(self.rows, title=f"{self.experiment_id}: {self.title}",
+                              float_digits=float_digits)]
+        for series_name, series_rows in self.series.items():
+            parts.append("")
+            parts.append(format_table(series_rows, title=series_name,
+                                      float_digits=float_digits))
+        return "\n".join(parts)
+
+
+def run_policy(
+    network: TemporalInteractionNetwork,
+    policy: SelectionPolicy,
+    *,
+    memory_ceiling_bytes: Optional[int] = None,
+    memory_check_every: Optional[int] = None,
+    sample_every: int = 0,
+    limit: Optional[int] = None,
+) -> PolicyRunResult:
+    """Run ``policy`` over ``network`` with timing and memory accounting.
+
+    When a memory ceiling is given and exceeded, the run is reported as
+    infeasible instead of raising, mirroring how the paper reports
+    configurations that exceeded the machine's RAM.  By default the ceiling
+    is checked only once, after the run, so the memory accounting does not
+    distort the measured runtime; pass ``memory_check_every`` to also check
+    periodically and abort early (useful when even materialising the state
+    once would be too expensive).
+    """
+    engine = ProvenanceEngine(policy)
+    ceiling: Optional[MemoryCeiling] = None
+    if memory_ceiling_bytes is not None and memory_check_every is not None:
+        ceiling = MemoryCeiling(memory_ceiling_bytes, check_every=memory_check_every)
+        engine.add_observer(ceiling)
+
+    try:
+        statistics = engine.run(network, sample_every=sample_every, limit=limit)
+    except MemoryBudgetExceededError as error:
+        return PolicyRunResult(
+            dataset=network.name,
+            policy=policy.describe(),
+            feasible=False,
+            memory_bytes=error.used_bytes,
+            interactions=engine.interactions_processed,
+            note=str(error),
+        )
+
+    memory_bytes = policy_memory_bytes(policy)
+    if ceiling is not None:
+        memory_bytes = max(memory_bytes, ceiling.peak_bytes)
+    if memory_ceiling_bytes is not None and memory_bytes > memory_ceiling_bytes:
+        # The provenance state exceeds the configured ceiling: report the
+        # configuration as infeasible, exactly like an aborted run.
+        return PolicyRunResult(
+            dataset=network.name,
+            policy=policy.describe(),
+            feasible=False,
+            memory_bytes=memory_bytes,
+            interactions=statistics.interactions,
+            note=(
+                f"final provenance state uses {memory_bytes} bytes which "
+                f"exceeds the ceiling of {memory_ceiling_bytes} bytes"
+            ),
+        )
+    return PolicyRunResult(
+        dataset=network.name,
+        policy=policy.describe(),
+        feasible=True,
+        runtime_seconds=statistics.elapsed_seconds,
+        memory_bytes=memory_bytes,
+        interactions=statistics.interactions,
+        entry_count=statistics.final_entry_count,
+        statistics=statistics,
+    )

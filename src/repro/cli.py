@@ -1,0 +1,209 @@
+"""Command-line interface: ``tin-provenance`` / ``python -m repro``.
+
+Subcommands
+-----------
+``run``
+    Run a selection policy over a dataset preset or a CSV file and print the
+    provenance of the largest buffers.
+``experiment``
+    Regenerate one of the paper's tables or figures and print it.
+``datasets``
+    List the built-in dataset presets.
+``policies``
+    List the registered selection policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench import experiments as _experiments
+from repro.core.engine import ProvenanceEngine
+from repro.core.network import TemporalInteractionNetwork
+from repro.datasets.catalog import available_presets, load_preset
+from repro.datasets.io import read_network_csv
+from repro.exceptions import ReproError
+from repro.metrics.tables import format_table
+from repro.policies.proportional import ProportionalDensePolicy
+from repro.policies.registry import available_policies, make_policy
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment subcommand name -> callable producing an ExperimentResult.
+EXPERIMENTS = {
+    "table6": _experiments.table6_datasets,
+    "table7": _experiments.table7_runtime,
+    "table8": _experiments.table8_memory,
+    "table9": _experiments.table9_shrinking,
+    "table10": _experiments.table10_paths,
+    "figure2": _experiments.figure2_accumulation,
+    "figure5": _experiments.figure5_selective_grouped,
+    "figure6": _experiments.figure6_cumulative,
+    "figure7": _experiments.figure7_windowing,
+    "figure8": _experiments.figure8_budget,
+    "figure9": _experiments.figure9_alerts,
+    "ablation-buffers": _experiments.ablation_buffer_structures,
+    "ablation-dense-sparse": _experiments.ablation_dense_vs_sparse,
+    "ablation-budget": _experiments.ablation_budget_policies,
+    "ablation-lazy": _experiments.ablation_lazy_vs_proactive,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="tin-provenance",
+        description="Provenance tracking in temporal interaction networks "
+        "(reproduction of Kosyfaki & Mamoulis, ICDE 2022).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run a selection policy over a dataset and report provenance"
+    )
+    run_parser.add_argument(
+        "--dataset",
+        default="taxis",
+        help="dataset preset name or path to a CSV file of interactions",
+    )
+    run_parser.add_argument(
+        "--policy",
+        default="fifo",
+        choices=available_policies(),
+        help="selection policy to run",
+    )
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0, help="scale factor for preset datasets"
+    )
+    run_parser.add_argument(
+        "--limit", type=int, default=None, help="process at most this many interactions"
+    )
+    run_parser.add_argument(
+        "--top", type=int, default=5, help="number of largest buffers to report"
+    )
+    run_parser.add_argument(
+        "--budget", type=int, default=100,
+        help="per-vertex budget (proportional-budget policy only)",
+    )
+    run_parser.add_argument(
+        "--window", type=int, default=1000,
+        help="window size in interactions (proportional-windowed policy only)",
+    )
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables or figures"
+    )
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment_parser.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale factor"
+    )
+
+    subparsers.add_parser("datasets", help="list the built-in dataset presets")
+    subparsers.add_parser("policies", help="list the registered selection policies")
+    return parser
+
+
+def _load_dataset(name: str, *, scale: float) -> TemporalInteractionNetwork:
+    if name in available_presets():
+        return load_preset(name, scale=scale)
+    return read_network_csv(name)
+
+
+def _make_policy(args: argparse.Namespace, network: TemporalInteractionNetwork):
+    name = args.policy
+    if name == ProportionalDensePolicy.name:
+        return make_policy(name, vertices=network.vertices)
+    if name == "proportional-budget":
+        return make_policy(name, capacity=args.budget)
+    if name == "proportional-windowed":
+        return make_policy(name, window=args.window)
+    if name == "proportional-selective":
+        from repro.scalable.selective import SelectiveProportionalPolicy
+
+        return SelectiveProportionalPolicy.for_top_contributors(network, k=args.top)
+    if name == "proportional-grouped":
+        from repro.scalable.grouped import GroupedProportionalPolicy
+
+        return GroupedProportionalPolicy.round_robin(network.vertices, num_groups=args.top)
+    return make_policy(name)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    network = _load_dataset(args.dataset, scale=args.scale)
+    policy = _make_policy(args, network)
+    engine = ProvenanceEngine(policy)
+    statistics = engine.run(network, limit=args.limit)
+
+    print(
+        f"processed {statistics.interactions} interactions of {network.name!r} "
+        f"with policy {policy.describe()!r} in {statistics.elapsed_seconds:.3f}s"
+    )
+    totals = engine.buffer_totals()
+    largest = sorted(totals.items(), key=lambda item: -item[1])[: args.top]
+    rows = []
+    for vertex, total in largest:
+        origins = engine.origins(vertex)
+        top_origins = ", ".join(
+            f"{origin!r}:{quantity:.3g}" for origin, quantity in origins.top(3)
+        )
+        rows.append(
+            {
+                "vertex": vertex,
+                "buffered_quantity": total,
+                "distinct_origins": len(origins),
+                "top_origins": top_origins or "(no provenance tracked)",
+            }
+        )
+    print(format_table(rows, title=f"top {args.top} buffers"))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    factory = EXPERIMENTS[args.name]
+    result = factory(scale=args.scale)
+    print(result.to_text())
+    return 0
+
+
+def _command_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_presets():
+        network_spec = load_preset(name, scale=0.02)  # tiny sample just for a sanity row
+        rows.append(
+            {
+                "preset": name,
+                "sample_vertices": network_spec.num_vertices,
+                "sample_interactions": network_spec.num_interactions,
+            }
+        )
+    print(format_table(rows, title="built-in dataset presets (tiny samples)"))
+    return 0
+
+
+def _command_policies(_args: argparse.Namespace) -> int:
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "experiment": _command_experiment,
+        "datasets": _command_datasets,
+        "policies": _command_policies,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

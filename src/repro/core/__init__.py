@@ -1,0 +1,50 @@
+"""Core TIN substrate: interactions, networks, buffers, engine, provenance."""
+
+from repro.core.buffer import BufferEntry, FifoBuffer, HeapBuffer, LifoBuffer, QuantityBuffer
+from repro.core.engine import ProvenanceEngine, RunStatistics
+from repro.core.interaction import Interaction, Vertex, sort_interactions, validate_interactions
+from repro.core.network import EdgeHistory, TemporalInteractionNetwork
+from repro.core.checkpoint import load_engine, load_policy, save_engine, save_policy
+from repro.core.provenance import UNKNOWN_ORIGIN, OriginSet, ProvenanceSnapshot
+from repro.core.serialization import (
+    origin_set_from_dict,
+    origin_set_to_dict,
+    read_snapshot_json,
+    snapshot_from_dict,
+    snapshot_to_dict,
+    write_snapshot_json,
+)
+from repro.core.stream import InteractionStream, merge_streams, take_prefix, time_window
+
+__all__ = [
+    "load_engine",
+    "load_policy",
+    "save_engine",
+    "save_policy",
+    "origin_set_from_dict",
+    "origin_set_to_dict",
+    "read_snapshot_json",
+    "snapshot_from_dict",
+    "snapshot_to_dict",
+    "write_snapshot_json",
+    "BufferEntry",
+    "FifoBuffer",
+    "HeapBuffer",
+    "LifoBuffer",
+    "QuantityBuffer",
+    "ProvenanceEngine",
+    "RunStatistics",
+    "Interaction",
+    "Vertex",
+    "sort_interactions",
+    "validate_interactions",
+    "EdgeHistory",
+    "TemporalInteractionNetwork",
+    "UNKNOWN_ORIGIN",
+    "OriginSet",
+    "ProvenanceSnapshot",
+    "InteractionStream",
+    "merge_streams",
+    "take_prefix",
+    "time_window",
+]

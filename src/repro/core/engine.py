@@ -1,0 +1,195 @@
+"""The provenance engine: drives a selection policy over an interaction stream.
+
+:class:`ProvenanceEngine` is the main entry point of the library.  It feeds
+interactions (from a :class:`~repro.core.network.TemporalInteractionNetwork`
+or any time-ordered iterable) to a selection policy, keeps simple run
+statistics, lets observers hook into the stream (alerts, sampling, memory
+ceilings) and exposes provenance queries uniformly across policies.
+
+Typical use::
+
+    from repro import ProvenanceEngine, FifoPolicy, datasets
+
+    network = datasets.load_preset("taxis")
+    engine = ProvenanceEngine(FifoPolicy())
+    stats = engine.run(network)
+    print(engine.origins(some_vertex).top(5))
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.interaction import Interaction, Vertex
+from repro.core.network import TemporalInteractionNetwork
+from repro.core.provenance import OriginSet, ProvenanceSnapshot
+from repro.policies.base import SelectionPolicy
+
+__all__ = ["ProvenanceEngine", "RunStatistics", "InteractionObserver"]
+
+#: Observers are called after every processed interaction with the engine,
+#: the interaction, and its zero-based position in the stream.
+InteractionObserver = Callable[["ProvenanceEngine", Interaction, int], None]
+
+
+@dataclass
+class RunStatistics:
+    """Statistics collected by :meth:`ProvenanceEngine.run`."""
+
+    #: Number of interactions processed by the run.
+    interactions: int = 0
+    #: Wall-clock duration of the run in seconds.
+    elapsed_seconds: float = 0.0
+    #: Number of provenance entries stored by the policy at the end of the run.
+    final_entry_count: int = 0
+    #: Largest observed entry count (sampled every ``sample_every`` interactions).
+    peak_entry_count: int = 0
+    #: Interaction positions at which entry counts were sampled.
+    samples: List[int] = field(default_factory=list)
+    #: Entry counts at the sampled positions.
+    sampled_entry_counts: List[int] = field(default_factory=list)
+    #: Cumulative elapsed seconds at the sampled positions.
+    sampled_elapsed_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def interactions_per_second(self) -> float:
+        """Throughput of the run (0.0 when the run took no measurable time)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.interactions / self.elapsed_seconds
+
+
+class ProvenanceEngine:
+    """Runs a :class:`~repro.policies.base.SelectionPolicy` over interactions."""
+
+    def __init__(
+        self,
+        policy: SelectionPolicy,
+        *,
+        observers: Optional[Sequence[InteractionObserver]] = None,
+    ) -> None:
+        self.policy = policy
+        self._observers: List[InteractionObserver] = list(observers or [])
+        self._interactions_processed = 0
+        self._last_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: InteractionObserver) -> None:
+        """Register a callback invoked after every processed interaction."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: InteractionObserver) -> None:
+        """Unregister a previously added observer (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        source: Union[TemporalInteractionNetwork, Iterable[Interaction]],
+        *,
+        reset: bool = True,
+        limit: Optional[int] = None,
+        sample_every: int = 0,
+    ) -> RunStatistics:
+        """Process a whole interaction stream and return run statistics.
+
+        Parameters
+        ----------
+        source:
+            A :class:`TemporalInteractionNetwork` (its time-ordered
+            interactions are used and its vertex universe is passed to the
+            policy) or any time-ordered iterable of interactions.
+        reset:
+            Reset the policy before running (default).  Set to False to
+            continue a previous run with more interactions.
+        limit:
+            Process at most this many interactions (None for all).
+        sample_every:
+            When positive, sample the policy's entry count and the elapsed
+            time every ``sample_every`` interactions — the data behind the
+            cumulative-cost curves of Figure 6.
+        """
+        if isinstance(source, TemporalInteractionNetwork):
+            vertices: Sequence[Vertex] = source.vertices
+            interactions: Iterable[Interaction] = source.interactions
+        else:
+            vertices = ()
+            interactions = source
+
+        if reset:
+            self.policy.reset(vertices)
+            self._interactions_processed = 0
+            self._last_time = None
+
+        stats = RunStatistics()
+        start = _time.perf_counter()
+        for index, interaction in enumerate(interactions):
+            if limit is not None and index >= limit:
+                break
+            self.step(interaction)
+            stats.interactions += 1
+            if sample_every and (index + 1) % sample_every == 0:
+                entry_count = self.policy.entry_count()
+                stats.samples.append(index + 1)
+                stats.sampled_entry_counts.append(entry_count)
+                stats.sampled_elapsed_seconds.append(_time.perf_counter() - start)
+                stats.peak_entry_count = max(stats.peak_entry_count, entry_count)
+        stats.elapsed_seconds = _time.perf_counter() - start
+        stats.final_entry_count = self.policy.entry_count()
+        stats.peak_entry_count = max(stats.peak_entry_count, stats.final_entry_count)
+        return stats
+
+    def step(self, interaction: Interaction) -> None:
+        """Process a single interaction and notify observers."""
+        self.policy.process(interaction)
+        self._interactions_processed += 1
+        self._last_time = interaction.time
+        position = self._interactions_processed - 1
+        for observer in self._observers:
+            observer(self, interaction, position)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def interactions_processed(self) -> int:
+        """Number of interactions processed since the last reset."""
+        return self._interactions_processed
+
+    @property
+    def current_time(self) -> Optional[float]:
+        """Timestamp of the last processed interaction (None before any)."""
+        return self._last_time
+
+    def buffer_total(self, vertex: Vertex) -> float:
+        """The buffered quantity ``|B_v|`` of ``vertex``."""
+        return self.policy.buffer_total(vertex)
+
+    def origins(self, vertex: Vertex) -> OriginSet:
+        """The origin decomposition ``O(t, B_v)`` of ``vertex``."""
+        return self.policy.origins(vertex)
+
+    def snapshot(self) -> ProvenanceSnapshot:
+        """Provenance of every vertex with a non-empty buffer, right now."""
+        origins: Dict[Vertex, OriginSet] = {}
+        for vertex in self.policy.tracked_vertices():
+            origins[vertex] = self.policy.origins(vertex)
+        return ProvenanceSnapshot(
+            time=self._last_time if self._last_time is not None else 0.0,
+            interactions_processed=self._interactions_processed,
+            origins=origins,
+        )
+
+    def buffer_totals(self) -> Dict[Vertex, float]:
+        """Mapping of every non-empty vertex to its buffered quantity."""
+        return {
+            vertex: self.policy.buffer_total(vertex)
+            for vertex in self.policy.tracked_vertices()
+        }

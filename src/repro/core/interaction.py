@@ -1,0 +1,154 @@
+"""Interaction records: the atomic events of a temporal interaction network.
+
+An interaction ``r`` is the quadruple ``(r.s, r.d, r.t, r.q)`` of Definition 1
+in the paper: source vertex, destination vertex, timestamp and transferred
+quantity.  Vertices are arbitrary hashable identifiers (ints, strings, ...);
+timestamps and quantities are non-negative real numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import InvalidInteractionError
+
+__all__ = ["Vertex", "Interaction", "sort_interactions", "validate_interactions"]
+
+#: Type alias for vertex identifiers.  Any hashable value is accepted.
+Vertex = Hashable
+
+
+@dataclass(frozen=True, order=False)
+class Interaction:
+    """A single quantity transfer ``source -> destination`` at time ``time``.
+
+    Attributes
+    ----------
+    source:
+        The vertex sending the quantity (``r.s`` in the paper).
+    destination:
+        The vertex receiving the quantity (``r.d``).
+    time:
+        The timestamp of the transfer (``r.t``), a non-negative finite float.
+    quantity:
+        The transferred quantity (``r.q``), a non-negative finite float.
+    """
+
+    source: Vertex
+    destination: Vertex
+    time: float
+    quantity: float
+
+    def __post_init__(self) -> None:
+        if not _is_finite_number(self.time):
+            raise InvalidInteractionError(
+                f"interaction time must be a finite real number, got {self.time!r}"
+            )
+        if not _is_finite_number(self.quantity):
+            raise InvalidInteractionError(
+                f"interaction quantity must be a finite real number, got {self.quantity!r}"
+            )
+        if self.time < 0:
+            raise InvalidInteractionError(
+                f"interaction time must be non-negative, got {self.time!r}"
+            )
+        if self.quantity < 0:
+            raise InvalidInteractionError(
+                f"interaction quantity must be non-negative, got {self.quantity!r}"
+            )
+
+    @property
+    def is_self_loop(self) -> bool:
+        """True when source and destination are the same vertex."""
+        return self.source == self.destination
+
+    def as_tuple(self) -> Tuple[Vertex, Vertex, float, float]:
+        """Return the ``(source, destination, time, quantity)`` quadruple."""
+        return (self.source, self.destination, self.time, self.quantity)
+
+    @classmethod
+    def from_tuple(cls, record: Sequence) -> "Interaction":
+        """Build an interaction from any 4-element sequence.
+
+        Raises
+        ------
+        InvalidInteractionError
+            If the sequence does not have exactly four elements or the time
+            or quantity cannot be interpreted as floats.
+        """
+        if len(record) != 4:
+            raise InvalidInteractionError(
+                f"expected a 4-element (source, destination, time, quantity) "
+                f"record, got {len(record)} elements"
+            )
+        source, destination, time, quantity = record
+        try:
+            return cls(source, destination, float(time), float(quantity))
+        except (TypeError, ValueError) as exc:
+            raise InvalidInteractionError(
+                f"cannot interpret record {record!r} as an interaction: {exc}"
+            ) from exc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{self.source} -> {self.destination} @t={self.time:g} "
+            f"q={self.quantity:g}>"
+        )
+
+
+def _is_finite_number(value: object) -> bool:
+    """Return True for int/float values that are finite (not NaN/inf)."""
+    if isinstance(value, bool):
+        return False
+    if not isinstance(value, (int, float)):
+        return False
+    return math.isfinite(value)
+
+
+def sort_interactions(interactions: Iterable[Interaction]) -> List[Interaction]:
+    """Return interactions sorted by time (stable for equal timestamps).
+
+    The propagation algorithms of the paper process interactions strictly in
+    order of time; ties keep their original relative order so that repeated
+    runs over the same input are deterministic.
+    """
+    return sorted(interactions, key=lambda r: r.time)
+
+
+def validate_interactions(
+    interactions: Iterable[Interaction],
+    *,
+    require_sorted: bool = False,
+    allow_self_loops: bool = True,
+) -> Iterator[Interaction]:
+    """Yield interactions while checking model constraints.
+
+    Parameters
+    ----------
+    interactions:
+        The interaction stream to validate.
+    require_sorted:
+        When True, raise :class:`InvalidInteractionError` if a timestamp is
+        smaller than its predecessor's.
+    allow_self_loops:
+        When False, raise on interactions whose source equals their
+        destination.
+    """
+    previous_time: float = -math.inf
+    for index, interaction in enumerate(interactions):
+        if not isinstance(interaction, Interaction):
+            interaction = Interaction.from_tuple(interaction)
+        if require_sorted and interaction.time < previous_time:
+            raise InvalidInteractionError(
+                f"interaction #{index} at time {interaction.time} is earlier "
+                f"than its predecessor at time {previous_time}"
+            )
+        if not allow_self_loops and interaction.is_self_loop:
+            raise InvalidInteractionError(
+                f"interaction #{index} is a self-loop on vertex "
+                f"{interaction.source!r}, which is disallowed"
+            )
+        previous_time = interaction.time
+        yield interaction

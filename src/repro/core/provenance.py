@@ -1,0 +1,225 @@
+"""Provenance result types: origin decompositions of buffered quantities.
+
+The provenance problem (Definition 2 of the paper) asks, for a vertex ``v``
+at time ``t``, for the set ``O(t, B_v)`` of ``(origin, quantity)`` pairs whose
+quantities sum to the buffered total ``|B_v|``.  :class:`OriginSet` is the
+canonical representation of such a decomposition; it is returned by every
+policy in the library (regardless of the internal buffer organisation) so
+analysis code can stay policy-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.interaction import Vertex
+
+__all__ = ["UNKNOWN_ORIGIN", "OriginSet", "ProvenanceSnapshot"]
+
+
+class _UnknownOrigin:
+    """Sentinel for the artificial vertex ``alpha`` of Section 5.3.
+
+    The windowing and budget-based approaches merge provenance that is no
+    longer individually tracked into a single artificial origin representing
+    "any vertex".  A dedicated singleton (rather than ``None`` or a magic
+    string) keeps it from colliding with real vertex identifiers.
+    """
+
+    _instance: Optional["_UnknownOrigin"] = None
+
+    def __new__(cls) -> "_UnknownOrigin":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNKNOWN_ORIGIN"
+
+    def __reduce__(self):
+        return (_UnknownOrigin, ())
+
+
+#: The artificial origin ``alpha`` used when provenance has been forgotten.
+UNKNOWN_ORIGIN = _UnknownOrigin()
+
+
+class OriginSet:
+    """A mapping ``origin vertex -> quantity`` describing ``O(t, B_v)``.
+
+    The class behaves like a read-mostly mapping with convenience helpers
+    for the analyses used throughout the paper: totals, fractions, top
+    contributors and merging.
+    """
+
+    __slots__ = ("_quantities",)
+
+    def __init__(self, quantities: Optional[Mapping[Vertex, float]] = None):
+        self._quantities: Dict[Vertex, float] = {}
+        if quantities:
+            for origin, quantity in quantities.items():
+                self.add(origin, quantity)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, origin: Vertex, quantity: float) -> None:
+        """Add ``quantity`` units originating from ``origin``.
+
+        Quantities of (numerically) zero are ignored so the set only keeps
+        genuine contributors.
+        """
+        if quantity < 0:
+            raise ValueError(f"origin quantities must be non-negative, got {quantity!r}")
+        if quantity == 0:
+            return
+        self._quantities[origin] = self._quantities.get(origin, 0.0) + quantity
+
+    def merge(self, other: "OriginSet") -> "OriginSet":
+        """Return a new set holding the element-wise sum of both sets."""
+        merged = OriginSet(self._quantities)
+        for origin, quantity in other.items():
+            merged.add(origin, quantity)
+        return merged
+
+    # ------------------------------------------------------------------
+    # mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, origin: Vertex) -> float:
+        return self._quantities[origin]
+
+    def get(self, origin: Vertex, default: float = 0.0) -> float:
+        """Quantity originating from ``origin`` (``default`` if absent)."""
+        return self._quantities.get(origin, default)
+
+    def __contains__(self, origin: Vertex) -> bool:
+        return origin in self._quantities
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._quantities)
+
+    def __len__(self) -> int:
+        return len(self._quantities)
+
+    def items(self) -> Iterable[Tuple[Vertex, float]]:
+        return self._quantities.items()
+
+    def origins(self) -> Iterable[Vertex]:
+        """The contributing origin vertices."""
+        return self._quantities.keys()
+
+    def as_dict(self) -> Dict[Vertex, float]:
+        """A plain ``dict`` copy of the decomposition."""
+        return dict(self._quantities)
+
+    # ------------------------------------------------------------------
+    # analyses
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """The total quantity, i.e. ``|B_v|``."""
+        return sum(self._quantities.values())
+
+    @property
+    def known_total(self) -> float:
+        """Total quantity excluding the artificial :data:`UNKNOWN_ORIGIN`."""
+        return sum(
+            quantity
+            for origin, quantity in self._quantities.items()
+            if origin is not UNKNOWN_ORIGIN
+        )
+
+    @property
+    def unknown_quantity(self) -> float:
+        """Quantity attributed to the artificial :data:`UNKNOWN_ORIGIN`."""
+        return self._quantities.get(UNKNOWN_ORIGIN, 0.0)
+
+    def fractions(self) -> Dict[Vertex, float]:
+        """Per-origin fractions of the total (empty dict for an empty set)."""
+        total = self.total
+        if total <= 0:
+            return {}
+        return {origin: quantity / total for origin, quantity in self._quantities.items()}
+
+    def top(self, n: int) -> List[Tuple[Vertex, float]]:
+        """The ``n`` largest contributors, ordered by decreasing quantity."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        ranked = sorted(self._quantities.items(), key=lambda item: (-item[1], repr(item[0])))
+        return ranked[:n]
+
+    def restricted_to(self, origins: Iterable[Vertex]) -> "OriginSet":
+        """A new set keeping only the given origins."""
+        keep = set(origins)
+        return OriginSet(
+            {origin: q for origin, q in self._quantities.items() if origin in keep}
+        )
+
+    def approx_equal(self, other: "OriginSet", *, rel_tol: float = 1e-9,
+                     abs_tol: float = 1e-9) -> bool:
+        """True when both sets describe the same decomposition up to tolerance."""
+        origins = set(self._quantities) | set(other._quantities)
+        return all(
+            math.isclose(self.get(origin), other.get(origin), rel_tol=rel_tol, abs_tol=abs_tol)
+            for origin in origins
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OriginSet):
+            return NotImplemented
+        return self._quantities == other._quantities
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{origin!r}: {quantity:g}" for origin, quantity in self.items())
+        return f"OriginSet({{{parts}}})"
+
+
+class ProvenanceSnapshot:
+    """The provenance state of every (non-empty) vertex at one moment in time.
+
+    Produced by :meth:`repro.core.engine.ProvenanceEngine.snapshot`; maps each
+    vertex with a non-empty buffer to its :class:`OriginSet`.
+    """
+
+    __slots__ = ("time", "interactions_processed", "_origins")
+
+    def __init__(
+        self,
+        time: float,
+        interactions_processed: int,
+        origins: Mapping[Vertex, OriginSet],
+    ):
+        self.time = time
+        self.interactions_processed = interactions_processed
+        self._origins: Dict[Vertex, OriginSet] = dict(origins)
+
+    def __getitem__(self, vertex: Vertex) -> OriginSet:
+        return self._origins[vertex]
+
+    def get(self, vertex: Vertex) -> OriginSet:
+        """Origin set of ``vertex`` (empty set for untouched vertices)."""
+        return self._origins.get(vertex, OriginSet())
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._origins
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._origins)
+
+    def __len__(self) -> int:
+        return len(self._origins)
+
+    def items(self) -> Iterable[Tuple[Vertex, OriginSet]]:
+        return self._origins.items()
+
+    def total_quantity(self) -> float:
+        """Sum of buffered quantities over all vertices in the snapshot."""
+        return sum(origin_set.total for origin_set in self._origins.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProvenanceSnapshot(time={self.time:g}, "
+            f"interactions={self.interactions_processed}, "
+            f"vertices={len(self._origins)})"
+        )

@@ -1,0 +1,114 @@
+"""JSON serialization of provenance results.
+
+Downstream tools (dashboards, notebooks, the alerting pipeline of Section
+7.6) usually want provenance results in a plain, language-neutral format.
+This module converts :class:`~repro.core.provenance.OriginSet` and
+:class:`~repro.core.provenance.ProvenanceSnapshot` objects to and from
+JSON-compatible dictionaries, handling the artificial
+:data:`~repro.core.provenance.UNKNOWN_ORIGIN` sentinel explicitly.
+
+Vertex identifiers are serialized with ``repr``-free, JSON-native types when
+possible (ints and strings pass through unchanged); other hashable vertex
+types are converted to strings, which is lossy but explicit (a warning field
+records it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.interaction import Vertex
+from repro.core.provenance import UNKNOWN_ORIGIN, OriginSet, ProvenanceSnapshot
+
+__all__ = [
+    "origin_set_to_dict",
+    "origin_set_from_dict",
+    "snapshot_to_dict",
+    "snapshot_from_dict",
+    "write_snapshot_json",
+    "read_snapshot_json",
+]
+
+#: JSON representation of the artificial unknown-origin vertex.
+_UNKNOWN_KEY = "__unknown_origin__"
+
+
+def _encode_vertex(vertex: Vertex) -> Union[str, int]:
+    if vertex is UNKNOWN_ORIGIN:
+        return _UNKNOWN_KEY
+    if isinstance(vertex, (str, int)):
+        return vertex
+    return str(vertex)
+
+
+def _decode_vertex(encoded: Union[str, int]) -> Vertex:
+    if encoded == _UNKNOWN_KEY:
+        return UNKNOWN_ORIGIN
+    return encoded
+
+
+def origin_set_to_dict(origins: OriginSet) -> Dict[str, Any]:
+    """Convert an origin set to a JSON-compatible dict."""
+    return {
+        "total": origins.total,
+        "origins": [
+            {"origin": _encode_vertex(origin), "quantity": quantity}
+            for origin, quantity in sorted(
+                origins.items(), key=lambda item: (-item[1], str(item[0]))
+            )
+        ],
+    }
+
+
+def origin_set_from_dict(payload: Dict[str, Any]) -> OriginSet:
+    """Rebuild an origin set from :func:`origin_set_to_dict` output."""
+    origins = OriginSet()
+    for entry in payload.get("origins", []):
+        origins.add(_decode_vertex(entry["origin"]), float(entry["quantity"]))
+    return origins
+
+
+def snapshot_to_dict(snapshot: ProvenanceSnapshot) -> Dict[str, Any]:
+    """Convert a provenance snapshot to a JSON-compatible dict."""
+    return {
+        "time": snapshot.time,
+        "interactions_processed": snapshot.interactions_processed,
+        "vertices": [
+            {
+                "vertex": _encode_vertex(vertex),
+                **origin_set_to_dict(origin_set),
+            }
+            for vertex, origin_set in sorted(
+                snapshot.items(), key=lambda item: str(item[0])
+            )
+        ],
+    }
+
+
+def snapshot_from_dict(payload: Dict[str, Any]) -> ProvenanceSnapshot:
+    """Rebuild a provenance snapshot from :func:`snapshot_to_dict` output."""
+    origins = {
+        _decode_vertex(entry["vertex"]): origin_set_from_dict(entry)
+        for entry in payload.get("vertices", [])
+    }
+    return ProvenanceSnapshot(
+        time=float(payload.get("time", 0.0)),
+        interactions_processed=int(payload.get("interactions_processed", 0)),
+        origins=origins,
+    )
+
+
+def write_snapshot_json(snapshot: ProvenanceSnapshot, path: Union[str, Path]) -> None:
+    """Write a snapshot to a JSON file."""
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(snapshot_to_dict(snapshot), handle, indent=2)
+
+
+def read_snapshot_json(path: Union[str, Path]) -> ProvenanceSnapshot:
+    """Read a snapshot previously written by :func:`write_snapshot_json`."""
+    path = Path(path)
+    with path.open("r") as handle:
+        return snapshot_from_dict(json.load(handle))

@@ -1,0 +1,20 @@
+"""Dataset generation, presets, and CSV import/export."""
+
+from repro.datasets.catalog import PRESETS, available_presets, get_spec, load_preset
+from repro.datasets.io import read_interactions_csv, read_network_csv, write_interactions_csv
+from repro.datasets.schema import DatasetSpec, QuantityModel
+from repro.datasets.synthetic import generate_interactions, generate_network
+
+__all__ = [
+    "PRESETS",
+    "available_presets",
+    "get_spec",
+    "load_preset",
+    "read_interactions_csv",
+    "read_network_csv",
+    "write_interactions_csv",
+    "DatasetSpec",
+    "QuantityModel",
+    "generate_interactions",
+    "generate_network",
+]

@@ -1,0 +1,112 @@
+"""CSV import/export of interaction data.
+
+Real TIN datasets (e.g. the preprocessed Bitcoin data or NYC taxi trips)
+typically arrive as CSV files with one interaction per row.  This module
+reads and writes the simple ``source,destination,time,quantity`` format so
+the library can be used on the paper's original data when available, and so
+synthetic datasets can be persisted for external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.core.interaction import Interaction
+from repro.core.network import TemporalInteractionNetwork
+from repro.exceptions import DatasetError
+
+__all__ = ["write_interactions_csv", "read_interactions_csv", "read_network_csv"]
+
+_HEADER = ("source", "destination", "time", "quantity")
+
+
+def write_interactions_csv(
+    interactions: Iterable[Interaction],
+    path: Union[str, Path],
+    *,
+    include_header: bool = True,
+) -> int:
+    """Write interactions to ``path``; returns the number of rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if include_header:
+            writer.writerow(_HEADER)
+        for interaction in interactions:
+            writer.writerow(
+                [
+                    interaction.source,
+                    interaction.destination,
+                    repr(interaction.time),
+                    repr(interaction.quantity),
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_interactions_csv(
+    path: Union[str, Path],
+    *,
+    vertex_type: type = str,
+) -> Iterator[Interaction]:
+    """Yield interactions from a CSV file.
+
+    The file must have columns ``source, destination, time, quantity``
+    (header optional).  ``vertex_type`` converts the vertex columns (use
+    ``int`` when vertex identifiers are integers).
+
+    Raises
+    ------
+    DatasetError
+        If a row cannot be parsed.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"interaction file {path} does not exist")
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        for line_number, row in enumerate(reader, start=1):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if line_number == 1 and _is_header(row):
+                continue
+            if len(row) < 4:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected 4 columns "
+                    f"(source, destination, time, quantity), got {len(row)}"
+                )
+            try:
+                yield Interaction(
+                    source=vertex_type(row[0].strip()),
+                    destination=vertex_type(row[1].strip()),
+                    time=float(row[2]),
+                    quantity=float(row[3]),
+                )
+            except (TypeError, ValueError) as exc:
+                raise DatasetError(f"{path}:{line_number}: cannot parse row {row!r}: {exc}") from exc
+
+
+def _is_header(row: Sequence[str]) -> bool:
+    """True when a CSV row looks like the canonical header."""
+    normalised = tuple(cell.strip().lower() for cell in row[:4])
+    return normalised == _HEADER
+
+
+def read_network_csv(
+    path: Union[str, Path],
+    *,
+    name: Optional[str] = None,
+    vertex_type: type = str,
+) -> TemporalInteractionNetwork:
+    """Read a CSV file into a :class:`TemporalInteractionNetwork`."""
+    path = Path(path)
+    interactions: List[Interaction] = list(
+        read_interactions_csv(path, vertex_type=vertex_type)
+    )
+    return TemporalInteractionNetwork.from_interactions(
+        interactions, name=name or path.stem
+    )

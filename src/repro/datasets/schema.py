@@ -1,0 +1,118 @@
+"""Dataset specifications for the synthetic TIN generators.
+
+Each of the paper's five real datasets (Table 6) is described here by a
+:class:`DatasetSpec` capturing its *structural signature*: the number of
+vertices, the number of interactions, the quantity distribution and the
+skew of vertex participation.  The synthetic generator
+(:mod:`repro.datasets.synthetic`) turns a spec into a concrete
+:class:`~repro.core.network.TemporalInteractionNetwork`; the spec also
+records the original (paper-scale) statistics so reports can show both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.exceptions import DatasetError
+
+__all__ = ["QuantityModel", "DatasetSpec"]
+
+
+@dataclass(frozen=True)
+class QuantityModel:
+    """How interaction quantities are drawn.
+
+    ``kind`` is one of:
+
+    * ``"lognormal"`` — heavy-tailed positive quantities with the given
+      ``mean`` (e.g. financial transfers); ``sigma`` controls the tail.
+    * ``"uniform_int"`` — integers drawn uniformly from ``[low, high]``
+      (e.g. passengers per flight).
+    * ``"pareto"`` — Pareto-tailed quantities with shape ``alpha`` scaled to
+      the given ``mean`` (e.g. bytes per network flow).
+    """
+
+    kind: str = "lognormal"
+    mean: float = 1.0
+    sigma: float = 1.0
+    low: int = 1
+    high: int = 10
+    alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"lognormal", "uniform_int", "pareto"}:
+            raise DatasetError(f"unknown quantity model kind {self.kind!r}")
+        if self.kind == "uniform_int" and self.low > self.high:
+            raise DatasetError(
+                f"uniform_int quantity model needs low <= high, got [{self.low}, {self.high}]"
+            )
+        if self.mean <= 0:
+            raise DatasetError(f"quantity model mean must be positive, got {self.mean!r}")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A reproducible recipe for a synthetic temporal interaction network."""
+
+    #: Short preset name ("bitcoin", "taxis", ...).
+    name: str
+    #: Number of vertices in the synthetic network.
+    num_vertices: int
+    #: Number of interactions to generate.
+    num_interactions: int
+    #: Distribution of interaction quantities.
+    quantity_model: QuantityModel = field(default_factory=QuantityModel)
+    #: Zipf-like skew of vertex participation (0 = uniform; larger = heavier hubs).
+    participation_skew: float = 1.0
+    #: Probability that an interaction reuses an existing edge rather than
+    #: sampling fresh endpoints (controls edge-set density / repeated edges).
+    edge_reuse_probability: float = 0.3
+    #: Random seed for full determinism.
+    seed: int = 7
+    #: Free-text description shown in reports.
+    description: str = ""
+    #: Statistics of the real dataset the preset mimics (for documentation
+    #: and the Table 6 bench): (vertices, interactions, average quantity).
+    paper_statistics: Optional[Tuple[int, int, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_vertices < 2:
+            raise DatasetError(
+                f"a TIN needs at least 2 vertices, got {self.num_vertices!r}"
+            )
+        if self.num_interactions < 1:
+            raise DatasetError(
+                f"a TIN needs at least 1 interaction, got {self.num_interactions!r}"
+            )
+        if self.participation_skew < 0:
+            raise DatasetError(
+                f"participation_skew must be non-negative, got {self.participation_skew!r}"
+            )
+        if not 0.0 <= self.edge_reuse_probability <= 1.0:
+            raise DatasetError(
+                "edge_reuse_probability must be within [0, 1], got "
+                f"{self.edge_reuse_probability!r}"
+            )
+
+    @property
+    def density(self) -> float:
+        """Interactions per vertex, the key scale parameter of the paper."""
+        return self.num_interactions / self.num_vertices
+
+    def scaled(self, factor: float, *, min_vertices: int = 10,
+               min_interactions: int = 100) -> "DatasetSpec":
+        """A copy of the spec with vertices and interactions scaled by ``factor``.
+
+        Scaling preserves the interactions-per-vertex density that drives the
+        experimental behaviour; lower bounds keep tiny factors usable.
+        """
+        if factor <= 0:
+            raise DatasetError(f"scale factor must be positive, got {factor!r}")
+        return replace(
+            self,
+            num_vertices=max(min_vertices, int(round(self.num_vertices * factor))),
+            num_interactions=max(
+                min_interactions, int(round(self.num_interactions * factor))
+            ),
+        )

@@ -1,0 +1,112 @@
+"""Deterministic synthetic TIN generation.
+
+The generator turns a :class:`~repro.datasets.schema.DatasetSpec` into a
+:class:`~repro.core.network.TemporalInteractionNetwork` whose structure
+mirrors the real dataset the spec describes:
+
+* vertex participation follows a Zipf-like distribution so a few hubs send
+  and receive most of the traffic (financial exchanges, popular airports);
+* a fraction of interactions reuses an already existing edge, reproducing
+  the repeated-edge histories of Figure 3;
+* quantities are drawn from the spec's quantity model (heavy-tailed for
+  Bitcoin/CTU, small integers for Taxis/Flights);
+* timestamps are strictly increasing, so interaction order equals time
+  order, exactly as the propagation algorithms require.
+
+Generation is fully deterministic given the spec's seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.interaction import Interaction
+from repro.core.network import TemporalInteractionNetwork
+from repro.datasets.schema import DatasetSpec, QuantityModel
+
+__all__ = ["generate_interactions", "generate_network"]
+
+
+def _zipf_weights(count: int, skew: float) -> np.ndarray:
+    """Normalised Zipf-like weights for ``count`` items with exponent ``skew``."""
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** (-skew) if skew > 0 else np.ones(count, dtype=np.float64)
+    return weights / weights.sum()
+
+
+def _draw_quantities(
+    model: QuantityModel, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``count`` interaction quantities from the spec's quantity model."""
+    if model.kind == "uniform_int":
+        return rng.integers(model.low, model.high + 1, size=count).astype(np.float64)
+    if model.kind == "pareto":
+        # A Pareto(alpha) variable has mean alpha/(alpha-1) for alpha > 1;
+        # rescale so the sample mean matches the requested mean.
+        raw = 1.0 + rng.pareto(model.alpha, size=count)
+        scale = model.mean / (model.alpha / (model.alpha - 1.0)) if model.alpha > 1 else model.mean
+        return raw * scale
+    # lognormal: choose mu so that the distribution mean equals model.mean.
+    sigma = model.sigma
+    mu = np.log(model.mean) - 0.5 * sigma * sigma
+    return rng.lognormal(mean=mu, sigma=sigma, size=count)
+
+
+def generate_interactions(spec: DatasetSpec) -> List[Interaction]:
+    """Generate the time-ordered interaction list described by ``spec``."""
+    rng = np.random.default_rng(spec.seed)
+    vertex_count = spec.num_vertices
+    interaction_count = spec.num_interactions
+
+    source_weights = _zipf_weights(vertex_count, spec.participation_skew)
+    # Shuffle destination popularity independently so hubs for sending and
+    # receiving are not the same vertices (as in real exchange networks).
+    destination_weights = source_weights[rng.permutation(vertex_count)]
+
+    sources = rng.choice(vertex_count, size=interaction_count, p=source_weights)
+    destinations = rng.choice(vertex_count, size=interaction_count, p=destination_weights)
+    quantities = _draw_quantities(spec.quantity_model, interaction_count, rng)
+    # Strictly increasing timestamps with exponential gaps.
+    gaps = rng.exponential(scale=1.0, size=interaction_count)
+    times = np.cumsum(gaps)
+
+    reuse_draws = rng.random(interaction_count)
+    reuse_edges: List[Tuple[int, int]] = []
+
+    interactions: List[Interaction] = []
+    for index in range(interaction_count):
+        source = int(sources[index])
+        destination = int(destinations[index])
+        if reuse_edges and reuse_draws[index] < spec.edge_reuse_probability:
+            source, destination = reuse_edges[
+                int(rng.integers(0, len(reuse_edges)))
+            ]
+        if source == destination:
+            destination = (destination + 1) % vertex_count
+        reuse_edges.append((source, destination))
+        interactions.append(
+            Interaction(
+                source=source,
+                destination=destination,
+                time=float(times[index]),
+                quantity=float(max(quantities[index], 1e-9)),
+            )
+        )
+    return interactions
+
+
+def generate_network(spec: DatasetSpec) -> TemporalInteractionNetwork:
+    """Generate the full network (vertices 0..n-1 plus interactions).
+
+    All ``spec.num_vertices`` vertices are registered even if some never
+    appear in an interaction, so dense provenance vectors have the intended
+    dimensionality.
+    """
+    network = TemporalInteractionNetwork.from_interactions(
+        generate_interactions(spec),
+        name=spec.name,
+        vertices=range(spec.num_vertices),
+    )
+    return network

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidInteractionError",
+    "UnknownVertexError",
+    "PolicyConfigurationError",
+    "PolicyNotRegisteredError",
+    "DatasetError",
+    "MemoryBudgetExceededError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidInteractionError(ReproError, ValueError):
+    """An interaction record violates the TIN model.
+
+    Raised when a quantity is negative, a timestamp is not a finite real
+    number, or a source vertex equals its destination when self-loops are
+    disallowed.
+    """
+
+
+class UnknownVertexError(ReproError, KeyError):
+    """A vertex referenced in a query or interaction is not part of the TIN."""
+
+
+class PolicyConfigurationError(ReproError, ValueError):
+    """A selection policy was constructed with invalid parameters."""
+
+
+class PolicyNotRegisteredError(ReproError, KeyError):
+    """A policy name passed to the registry does not match any known policy."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset file or generator specification could not be interpreted."""
+
+
+class MemoryBudgetExceededError(ReproError, MemoryError):
+    """The memory ceiling configured for an experiment run was exceeded.
+
+    The benchmark harness uses this to reproduce the "infeasible" (``--``)
+    entries of Tables 7 and 8 of the paper without exhausting physical RAM.
+    """
+
+    def __init__(self, used_bytes: int, ceiling_bytes: int, context: str = ""):
+        self.used_bytes = used_bytes
+        self.ceiling_bytes = ceiling_bytes
+        self.context = context
+        message = (
+            f"provenance state uses {used_bytes} bytes which exceeds the "
+            f"configured ceiling of {ceiling_bytes} bytes"
+        )
+        if context:
+            message = f"{message} ({context})"
+        super().__init__(message)

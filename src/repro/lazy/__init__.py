@@ -1,0 +1,5 @@
+"""Lazy (replay-based) provenance, the paper's future-work direction."""
+
+from repro.lazy.replay import ReplayProvenance
+
+__all__ = ["ReplayProvenance"]

@@ -1,0 +1,140 @@
+"""Lazy (replay-based) provenance — the paper's future-work direction.
+
+All policies in :mod:`repro.policies` are *proactive*: they maintain
+provenance annotations while interactions stream in, so a query is answered
+instantly but every interaction pays an annotation cost.  Section 8 of the
+paper proposes investigating *lazy* approaches in the spirit of Ariadne's
+"replay lazy" operator instrumentation [Glavic et al., DEBS 2013]: store only
+the raw interaction log and, when provenance is actually needed, replay the
+log through an instrumented policy.
+
+:class:`ReplayProvenance` implements that trade-off:
+
+* processing an interaction only appends it to a log (``O(1)``, no
+  annotation state);
+* a provenance query replays the logged prefix through a freshly created
+  proactive policy and caches the result until new interactions arrive.
+
+This is exactly the "decouple data processing from provenance computation"
+idea of the paper's related work, and the ablation benchmark
+``benchmarks/test_ablation_lazy_vs_proactive.py`` quantifies when it pays
+off (few queries → lazy wins; frequent queries → proactive wins).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.core.interaction import Interaction, Vertex
+from repro.core.provenance import OriginSet
+from repro.policies.base import SelectionPolicy
+from repro.policies.receipt_order import FifoPolicy
+
+__all__ = ["ReplayProvenance"]
+
+
+class ReplayProvenance(SelectionPolicy):
+    """Store interactions; compute provenance on demand by replaying them.
+
+    Parameters
+    ----------
+    policy_factory:
+        Zero-argument callable building the proactive policy used for
+        replays (default: :class:`~repro.policies.receipt_order.FifoPolicy`).
+        Any entry-based or proportional policy works.
+    """
+
+    name = "lazy-replay"
+    tracks_provenance = True
+    supports_paths = False
+
+    def __init__(
+        self, policy_factory: Callable[[], SelectionPolicy] = FifoPolicy
+    ) -> None:
+        self.policy_factory = policy_factory
+        self._log: List[Interaction] = []
+        self._vertices: List[Vertex] = []
+        self._replayed: Optional[SelectionPolicy] = None
+        self._replayed_length = -1
+        self._replay_count = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._log = []
+        self._vertices = list(vertices)
+        self._replayed = None
+        self._replayed_length = -1
+        self._replay_count = 0
+
+    def process(self, interaction: Interaction) -> None:
+        # Processing is O(1): just remember the interaction.
+        self._log.append(interaction)
+
+    # ------------------------------------------------------------------
+    # replay machinery
+    # ------------------------------------------------------------------
+    @property
+    def log_length(self) -> int:
+        """Number of interactions stored in the log."""
+        return len(self._log)
+
+    @property
+    def replay_count(self) -> int:
+        """How many times the log has been replayed to answer queries."""
+        return self._replay_count
+
+    def _replay(self) -> SelectionPolicy:
+        """Replay the log through a fresh proactive policy (cached)."""
+        if self._replayed is not None and self._replayed_length == len(self._log):
+            return self._replayed
+        policy = self.policy_factory()
+        policy.reset(self._vertices)
+        for interaction in self._log:
+            policy.process(interaction)
+        self._replayed = policy
+        self._replayed_length = len(self._log)
+        self._replay_count += 1
+        return policy
+
+    def replay_at(self, position: int) -> SelectionPolicy:
+        """Replay only the first ``position`` interactions (time travel).
+
+        Returns a proactive policy whose state reflects the network after the
+        ``position``-th interaction — answering "what was the provenance of
+        ``B_v`` back then?" without having stored historical annotations.
+        """
+        if position < 0 or position > len(self._log):
+            raise IndexError(
+                f"position {position} outside the log of {len(self._log)} interactions"
+            )
+        policy = self.policy_factory()
+        policy.reset(self._vertices)
+        for interaction in self._log[:position]:
+            policy.process(interaction)
+        self._replay_count += 1
+        return policy
+
+    # ------------------------------------------------------------------
+    # queries (delegate to the replayed policy)
+    # ------------------------------------------------------------------
+    def buffer_total(self, vertex: Vertex) -> float:
+        return self._replay().buffer_total(vertex)
+
+    def origins(self, vertex: Vertex) -> OriginSet:
+        return self._replay().origins(vertex)
+
+    def tracked_vertices(self):
+        return self._replay().tracked_vertices()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Entries stored while streaming: one log record per interaction.
+
+        The replayed policy's annotation state is transient and therefore not
+        counted — that is the whole point of the lazy approach.
+        """
+        return len(self._log)

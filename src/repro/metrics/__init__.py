@@ -1,0 +1,16 @@
+"""Instrumentation: memory accounting, timing, and table rendering."""
+
+from repro.metrics.memory import MemoryCeiling, deep_sizeof, format_bytes, policy_memory_bytes
+from repro.metrics.tables import format_table, format_value
+from repro.metrics.timing import StageTimings, Timer
+
+__all__ = [
+    "MemoryCeiling",
+    "deep_sizeof",
+    "format_bytes",
+    "policy_memory_bytes",
+    "format_table",
+    "format_value",
+    "StageTimings",
+    "Timer",
+]

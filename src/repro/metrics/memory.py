@@ -1,0 +1,136 @@
+"""Deep memory estimation of provenance state.
+
+The paper's Tables 8 and the memory curves of Figures 5-8 report the peak
+memory consumed by the provenance annotations.  The authors' C
+implementation measures process RSS; in Python, process-level numbers are
+dominated by the interpreter, so this module instead *accounts* for the
+objects actually reachable from a policy (buffers, heaps, dicts, numpy
+arrays) with :func:`deep_sizeof`, and offers a :class:`MemoryCeiling`
+observer that reproduces the "infeasible / out of memory" entries of the
+paper without exhausting physical RAM.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+from typing import Any, Callable, Iterable, Optional, Set
+
+import numpy as np
+
+from repro.exceptions import MemoryBudgetExceededError
+
+__all__ = ["deep_sizeof", "policy_memory_bytes", "MemoryCeiling", "format_bytes"]
+
+
+def deep_sizeof(obj: Any, *, _seen: Optional[Set[int]] = None) -> int:
+    """Recursively estimate the memory footprint of ``obj`` in bytes.
+
+    Handles the container types used by the library (dict, list, tuple, set,
+    deque, dataclass-like objects with ``__dict__`` or ``__slots__``) and
+    numpy arrays (counted by ``nbytes`` plus object overhead).  Shared
+    objects are counted once.
+    """
+    if _seen is None:
+        _seen = set()
+    object_id = id(obj)
+    if object_id in _seen:
+        return 0
+    _seen.add(object_id)
+
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + sys.getsizeof(obj, 0)
+
+    size = sys.getsizeof(obj, 0)
+
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += deep_sizeof(key, _seen=_seen)
+            size += deep_sizeof(value, _seen=_seen)
+        return size
+
+    if isinstance(obj, (list, tuple, set, frozenset, deque)):
+        for item in obj:
+            size += deep_sizeof(item, _seen=_seen)
+        return size
+
+    if isinstance(obj, (str, bytes, bytearray, int, float, complex, bool)) or obj is None:
+        return size
+
+    # Generic objects: follow __dict__ and __slots__ attributes.
+    obj_dict = getattr(obj, "__dict__", None)
+    if obj_dict is not None:
+        size += deep_sizeof(obj_dict, _seen=_seen)
+    slots = _all_slots(type(obj))
+    for slot in slots:
+        if hasattr(obj, slot):
+            size += deep_sizeof(getattr(obj, slot), _seen=_seen)
+    return size
+
+
+def _all_slots(cls: type) -> Iterable[str]:
+    """All ``__slots__`` names declared along the MRO of ``cls``."""
+    names = []
+    for klass in cls.__mro__:
+        slots = getattr(klass, "__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(slots)
+    return names
+
+
+def policy_memory_bytes(policy: Any) -> int:
+    """Estimated bytes consumed by a policy's provenance state."""
+    return deep_sizeof(policy)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary unit suffix (KB, MB, GB)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f}{unit}"
+            return f"{value:.2f}{unit}"
+        value /= 1024.0
+    return f"{value:.2f}TB"  # pragma: no cover - unreachable
+
+
+class MemoryCeiling:
+    """An engine observer that aborts a run when memory grows past a ceiling.
+
+    Checking the deep size of a policy is itself expensive, so the check
+    runs every ``check_every`` interactions.  When the ceiling is exceeded a
+    :class:`~repro.exceptions.MemoryBudgetExceededError` is raised; the
+    benchmark harness catches it and reports the configuration as
+    infeasible, mirroring the "--" entries of Tables 7 and 8.
+    """
+
+    def __init__(
+        self,
+        ceiling_bytes: int,
+        *,
+        check_every: int = 1000,
+        measure: Callable[[Any], int] = policy_memory_bytes,
+    ) -> None:
+        if ceiling_bytes <= 0:
+            raise ValueError(f"ceiling_bytes must be positive, got {ceiling_bytes!r}")
+        if check_every <= 0:
+            raise ValueError(f"check_every must be positive, got {check_every!r}")
+        self.ceiling_bytes = ceiling_bytes
+        self.check_every = check_every
+        self.measure = measure
+        self.peak_bytes = 0
+
+    def __call__(self, engine, interaction, position: int) -> None:
+        if (position + 1) % self.check_every:
+            return
+        used = self.measure(engine.policy)
+        self.peak_bytes = max(self.peak_bytes, used)
+        if used > self.ceiling_bytes:
+            raise MemoryBudgetExceededError(
+                used_bytes=used,
+                ceiling_bytes=self.ceiling_bytes,
+                context=f"after {position + 1} interactions with policy "
+                f"{engine.policy.describe()}",
+            )

@@ -1,0 +1,81 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints results in the same row/column layout as the
+paper's tables.  This module renders lists of dict rows as aligned
+fixed-width text tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any, *, float_digits: int = 4) -> str:
+    """Render a single cell: floats get fixed precision, None becomes ``--``.
+
+    ``--`` is the marker the paper uses for infeasible configurations.
+    """
+    if value is None:
+        return "--"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 10 ** (-float_digits):
+            return f"{value:.3g}"
+        return f"{value:.{float_digits}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_digits: int = 4,
+) -> str:
+    """Render ``rows`` (a list of dicts) as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        The data rows.  Missing keys render as ``--``.
+    columns:
+        Column order; defaults to the keys of the first row (then any extra
+        keys found in later rows, in first-seen order).
+    title:
+        Optional title line printed above the table.
+    float_digits:
+        Significant digits used for float cells.
+    """
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    columns = list(columns)
+
+    rendered_rows: List[List[str]] = [
+        [format_value(row.get(column), float_digits=float_digits) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered[index]) for rendered in rendered_rows))
+        if rendered_rows
+        else len(str(column))
+        for index, column in enumerate(columns)
+    ]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(rendered, widths)))
+    return "\n".join(lines)

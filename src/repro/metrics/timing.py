@@ -1,0 +1,74 @@
+"""Lightweight wall-clock instrumentation used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Timer", "StageTimings"]
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    >>> with Timer() as timer:
+    ...     sum(range(1000))
+    500 ...
+    >>> timer.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class StageTimings:
+    """Named stage durations collected during an experiment run."""
+
+    stages: Dict[str, float] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Store (or accumulate) the duration of a named stage."""
+        if name not in self.stages:
+            self.order.append(name)
+            self.stages[name] = 0.0
+        self.stages[name] += seconds
+
+    def time(self, name: str) -> "_StageContext":
+        """Context manager measuring a stage and recording it under ``name``."""
+        return _StageContext(self, name)
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows of ``{"stage": name, "seconds": duration}`` in record order."""
+        return [{"stage": name, "seconds": self.stages[name]} for name in self.order]
+
+
+class _StageContext:
+    def __init__(self, timings: StageTimings, name: str) -> None:
+        self._timings = timings
+        self._name = name
+        self._timer = Timer()
+
+    def __enter__(self) -> "_StageContext":
+        self._timer.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.__exit__(exc_type, exc, tb)
+        self._timings.record(self._name, self._timer.elapsed)

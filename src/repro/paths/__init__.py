@@ -1,0 +1,5 @@
+"""How-provenance: transfer-path tracking and queries (Section 6)."""
+
+from repro.paths.tracker import PathProvenance, PathRecord, PathStatistics
+
+__all__ = ["PathProvenance", "PathRecord", "PathStatistics"]

@@ -1,0 +1,24 @@
+"""Selection policies for quantity propagation and provenance tracking."""
+
+from repro.policies.base import SelectionPolicy
+from repro.policies.entry_based import EntryBufferPolicy
+from repro.policies.generation_time import LeastRecentlyBornPolicy, MostRecentlyBornPolicy
+from repro.policies.no_provenance import NoProvenancePolicy
+from repro.policies.proportional import ProportionalDensePolicy, ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy, LifoPolicy
+from repro.policies.registry import POLICY_FACTORIES, available_policies, make_policy
+
+__all__ = [
+    "SelectionPolicy",
+    "EntryBufferPolicy",
+    "LeastRecentlyBornPolicy",
+    "MostRecentlyBornPolicy",
+    "NoProvenancePolicy",
+    "ProportionalDensePolicy",
+    "ProportionalSparsePolicy",
+    "FifoPolicy",
+    "LifoPolicy",
+    "POLICY_FACTORIES",
+    "available_policies",
+    "make_policy",
+]

@@ -1,0 +1,113 @@
+"""Abstract interface shared by every selection policy.
+
+A *selection policy* decides which buffered quantity elements an interaction
+relays out of the source buffer (Section 4 of the paper) and maintains
+whatever annotation state is needed to answer provenance queries.  Policies
+are driven by :class:`repro.core.engine.ProvenanceEngine`, which feeds them
+interactions in time order and exposes their provenance state uniformly.
+
+The minimal contract is:
+
+* :meth:`SelectionPolicy.reset` — prepare empty buffers for a run.  Policies
+  that need to know the full vertex universe up front (the dense
+  proportional policy) receive it here.
+* :meth:`SelectionPolicy.process` — apply one interaction.
+* :meth:`SelectionPolicy.buffer_total` — the scalar ``|B_v|``.
+* :meth:`SelectionPolicy.origins` — the decomposition ``O(t, B_v)``.
+* :meth:`SelectionPolicy.tracked_vertices` — vertices with non-empty buffers.
+* :meth:`SelectionPolicy.entry_count` — number of stored provenance entries,
+  used by the memory accounting of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Iterable, Iterator, Sequence
+
+from repro.core.interaction import Interaction, Vertex
+from repro.core.provenance import OriginSet
+
+__all__ = ["SelectionPolicy"]
+
+
+class SelectionPolicy(abc.ABC):
+    """Base class of all quantity-selection / provenance-propagation policies."""
+
+    #: Registry name of the policy (e.g. ``"fifo"``); set by subclasses.
+    name: ClassVar[str] = ""
+
+    #: Whether the policy maintains provenance annotations at all.  Only the
+    #: NoProv baseline (Algorithm 1) sets this to False.
+    tracks_provenance: ClassVar[bool] = True
+
+    #: Whether the policy can also record transfer paths (how-provenance).
+    supports_paths: ClassVar[bool] = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        """Clear all buffers and prepare for a fresh run.
+
+        Parameters
+        ----------
+        vertices:
+            The vertex universe of the network, when known.  Policies with
+            per-vertex dense state require it; entry-based policies ignore it
+            and discover vertices lazily.
+        """
+
+    @abc.abstractmethod
+    def process(self, interaction: Interaction) -> None:
+        """Apply a single interaction to the policy state."""
+
+    def process_all(self, interactions: Iterable[Interaction]) -> int:
+        """Apply every interaction of an iterable; returns the count processed.
+
+        Convenience wrapper used by tests and small scripts; the benchmark
+        harness drives policies through :class:`repro.core.engine.ProvenanceEngine`
+        instead, which adds instrumentation.
+        """
+        count = 0
+        for interaction in interactions:
+            self.process(interaction)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def buffer_total(self, vertex: Vertex) -> float:
+        """The buffered quantity ``|B_v|`` of ``vertex`` (0.0 if untouched)."""
+
+    @abc.abstractmethod
+    def origins(self, vertex: Vertex) -> OriginSet:
+        """The origin decomposition ``O(t, B_v)`` of ``vertex``'s buffer.
+
+        Policies that do not track provenance return an empty set.
+        """
+
+    @abc.abstractmethod
+    def tracked_vertices(self) -> Iterator[Vertex]:
+        """Vertices whose buffers currently hold a positive quantity."""
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def entry_count(self) -> int:
+        """Total number of provenance entries currently stored.
+
+        For entry-based policies this is the number of buffered triples or
+        pairs; for vector-based policies the number of non-zero vector
+        positions (or ``|V|``-times-vertices for dense vectors).
+        """
+
+    def describe(self) -> str:
+        """A short human-readable description used in reports."""
+        return self.name or type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,155 @@
+"""Shared machinery for entry-based selection policies.
+
+The generation-time policies (Section 4.1) and the receipt-order policies
+(Section 4.2) run exactly the same propagation loop (Algorithm 2): drain the
+source buffer in the policy's selection order until the interaction quantity
+is satisfied, then generate a newborn entry for any residue.  They differ
+only in the buffer data structure (heap vs. FIFO queue vs. LIFO stack).
+:class:`EntryBufferPolicy` captures the shared loop; concrete policies just
+provide a buffer factory.
+
+Both families optionally track transfer paths (how-provenance, Section 6):
+with ``track_paths=True`` every buffer entry carries the sequence of vertices
+it has travelled through, starting at its origin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.buffer import BufferEntry, QuantityBuffer
+from repro.core.interaction import Interaction, Vertex
+from repro.core.provenance import OriginSet
+from repro.policies.base import SelectionPolicy
+
+__all__ = ["EntryBufferPolicy"]
+
+
+class EntryBufferPolicy(SelectionPolicy):
+    """Algorithm 2 parameterised by the buffer organisation.
+
+    Subclasses provide :meth:`make_buffer`, returning an empty
+    :class:`~repro.core.buffer.QuantityBuffer` in the desired selection
+    order.  Everything else — the residue loop, entry splitting, newborn
+    generation and optional path extension — lives here.
+    """
+
+    supports_paths = True
+
+    def __init__(self, *, track_paths: bool = False) -> None:
+        self.track_paths = track_paths
+        self._buffers: Dict[Vertex, QuantityBuffer] = {}
+
+    # ------------------------------------------------------------------
+    # to implement
+    # ------------------------------------------------------------------
+    def make_buffer(self) -> QuantityBuffer:
+        """Return an empty buffer in this policy's selection order."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._buffers = {}
+        for vertex in vertices:
+            self._buffers[vertex] = self.make_buffer()
+
+    def _buffer(self, vertex: Vertex) -> QuantityBuffer:
+        buffer = self._buffers.get(vertex)
+        if buffer is None:
+            buffer = self.make_buffer()
+            self._buffers[vertex] = buffer
+        return buffer
+
+    def process(self, interaction: Interaction) -> None:
+        source_buffer = self._buffer(interaction.source)
+        destination_buffer = self._buffer(interaction.destination)
+
+        # Drain the source buffer in selection order (Algorithm 2, lines 6-17).
+        transferred = source_buffer.drain(interaction.quantity)
+        relayed_quantity = sum(entry.quantity for entry in transferred)
+        for entry in transferred:
+            if self.track_paths:
+                entry.path = self._extend_path(entry.path, interaction.source)
+            destination_buffer.push(entry)
+
+        # Generate a newborn entry for the residue (lines 18-21).
+        residue = interaction.quantity - relayed_quantity
+        if residue > 1e-12:
+            newborn = BufferEntry(
+                origin=interaction.source,
+                quantity=residue,
+                birth_time=interaction.time,
+                path=(interaction.source,) if self.track_paths else None,
+            )
+            destination_buffer.push(newborn)
+
+    @staticmethod
+    def _extend_path(path: Tuple[Vertex, ...], transmitter: Vertex) -> Tuple[Vertex, ...]:
+        """Append the transmitting vertex to an entry's path."""
+        if path is None:
+            # Entries created before path tracking was enabled: start a path
+            # at the transmitter so downstream statistics stay consistent.
+            return (transmitter,)
+        return path + (transmitter,)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def buffer_total(self, vertex: Vertex) -> float:
+        buffer = self._buffers.get(vertex)
+        return buffer.total if buffer is not None else 0.0
+
+    def origins(self, vertex: Vertex) -> OriginSet:
+        buffer = self._buffers.get(vertex)
+        return buffer.origins() if buffer is not None else OriginSet()
+
+    def entries(self, vertex: Vertex) -> List[BufferEntry]:
+        """The raw buffer entries of ``vertex`` (copy; order unspecified)."""
+        buffer = self._buffers.get(vertex)
+        if buffer is None:
+            return []
+        return [entry.copy() for entry in buffer.entries()]
+
+    def paths(self, vertex: Vertex) -> List[Tuple[Tuple[Vertex, ...], float]]:
+        """``(path, quantity)`` pairs for every entry buffered at ``vertex``.
+
+        Only meaningful when the policy was created with ``track_paths=True``;
+        otherwise every path is ``None``-free but trivially short.
+        """
+        buffer = self._buffers.get(vertex)
+        if buffer is None:
+            return []
+        result = []
+        for entry in buffer.entries():
+            path = entry.path if entry.path is not None else (entry.origin,)
+            result.append((path, entry.quantity))
+        return result
+
+    def tracked_vertices(self) -> Iterator[Vertex]:
+        return (
+            vertex for vertex, buffer in self._buffers.items() if buffer.total > 0
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        return sum(len(buffer) for buffer in self._buffers.values())
+
+    def path_length_total(self) -> Tuple[int, int]:
+        """``(total hops, entry count)`` over all buffered entries.
+
+        A path's hop count is ``len(path) - 1``: the number of relays the
+        entry experienced after being generated.  Used for the average path
+        length column of Table 10.
+        """
+        hops = 0
+        entries = 0
+        for buffer in self._buffers.values():
+            for entry in buffer.entries():
+                entries += 1
+                if entry.path is not None:
+                    hops += max(len(entry.path) - 1, 0)
+        return hops, entries

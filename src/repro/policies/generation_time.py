@@ -1,0 +1,37 @@
+"""Selection based on generation time (Section 4.1, Algorithm 2).
+
+Buffers are organised as heaps of ``(origin, birth_time, quantity)`` triples
+keyed by birth time.  The *least recently born* policy selects the oldest
+quantities first (min-heap); the *most recently born* policy selects the
+newest first (max-heap).
+
+Applications (from the paper): least-recently-born fits scenarios where
+quantities lose value or expire over time, so vertices prefer to keep the
+most recently generated data; most-recently-born fits scenarios where
+quantities gain antiquity value.
+"""
+
+from __future__ import annotations
+
+from repro.core.buffer import HeapBuffer, QuantityBuffer
+from repro.policies.entry_based import EntryBufferPolicy
+
+__all__ = ["LeastRecentlyBornPolicy", "MostRecentlyBornPolicy"]
+
+
+class LeastRecentlyBornPolicy(EntryBufferPolicy):
+    """Relay the oldest-born quantities first (min-heap buffers)."""
+
+    name = "lrb"
+
+    def make_buffer(self) -> QuantityBuffer:
+        return HeapBuffer(oldest_first=True)
+
+
+class MostRecentlyBornPolicy(EntryBufferPolicy):
+    """Relay the most recently born quantities first (max-heap buffers)."""
+
+    name = "mrb"
+
+    def make_buffer(self) -> QuantityBuffer:
+        return HeapBuffer(oldest_first=False)

@@ -1,0 +1,82 @@
+"""The NoProv baseline: quantity propagation without provenance (Algorithm 1).
+
+This policy only maintains the scalar buffer totals ``|B_v|``.  It is the
+reference point of Tables 7 and 8 in the paper (column "No Provenance") and
+is also reused internally to compute per-vertex generated quantities (for
+top-k selection) and as the ground truth for the quantity-conservation
+invariant checked by the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Sequence
+
+from repro.core.interaction import Interaction, Vertex
+from repro.core.provenance import OriginSet
+from repro.policies.base import SelectionPolicy
+
+__all__ = ["NoProvenancePolicy"]
+
+
+class NoProvenancePolicy(SelectionPolicy):
+    """Algorithm 1: relay quantities and track only buffer totals."""
+
+    name = "noprov"
+    tracks_provenance = False
+    supports_paths = False
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Vertex, float] = defaultdict(float)
+        self._generated: Dict[Vertex, float] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._buffers = defaultdict(float)
+        self._generated = defaultdict(float)
+        for vertex in vertices:
+            self._buffers[vertex] = 0.0
+
+    def process(self, interaction: Interaction) -> None:
+        source = interaction.source
+        destination = interaction.destination
+        available = self._buffers[source]
+        relayed = min(interaction.quantity, available)
+        newborn = interaction.quantity - relayed
+        self._buffers[source] = available - relayed
+        self._buffers[destination] += interaction.quantity
+        if newborn > 0:
+            self._generated[source] += newborn
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def buffer_total(self, vertex: Vertex) -> float:
+        return self._buffers.get(vertex, 0.0)
+
+    def origins(self, vertex: Vertex) -> OriginSet:
+        """NoProv stores no provenance; always returns an empty set."""
+        return OriginSet()
+
+    def tracked_vertices(self) -> Iterator[Vertex]:
+        return (vertex for vertex, total in self._buffers.items() if total > 0)
+
+    def generated_quantity(self, vertex: Vertex) -> float:
+        """Total newborn quantity generated at ``vertex`` so far."""
+        return self._generated.get(vertex, 0.0)
+
+    def generated_quantities(self) -> Dict[Vertex, float]:
+        """Mapping of every generating vertex to its total newborn quantity."""
+        return dict(self._generated)
+
+    def total_generated(self) -> float:
+        """Total newborn quantity injected into the network so far."""
+        return sum(self._generated.values())
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        return len(self._buffers)

@@ -1,0 +1,251 @@
+"""Proportional selection (Section 4.3, Algorithm 3).
+
+When an interaction relays less than the source's buffered quantity, the
+relayed quantity is drawn *proportionally* from every origin that has
+contributed to the source buffer.  Each vertex ``v`` therefore carries a
+provenance vector ``p_v`` whose ``i``-th component is the quantity in
+``B_v`` originating from vertex ``i``; the vector sums to ``|B_v|``.
+
+Two representations are provided, mirroring the paper:
+
+* :class:`ProportionalDensePolicy` stores one dense numpy vector of length
+  ``|V|`` per touched vertex.  Vector-wise numpy operations play the role of
+  the SIMD instructions used by the authors' C implementation.  Space is
+  ``O(|V|^2)`` so this is practical only for networks with few vertices
+  (Flights, Taxis).
+* :class:`ProportionalSparsePolicy` stores each ``p_v`` as a dict of
+  ``origin -> quantity`` holding only non-zero components — the ordered-list
+  representation of the paper, with the merge performed by dictionary
+  arithmetic.  Space is ``O(|V| * l)`` where ``l`` is the average number of
+  contributing origins per vertex, which the paper (and our Figure 6 bench)
+  shows can still grow too large on big networks.
+
+Applications (from the paper): buffers whose contents are naturally mixed —
+liquids in tanks, indistinguishable financial units in account balances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.interaction import Interaction, Vertex
+from repro.core.provenance import OriginSet
+from repro.exceptions import PolicyConfigurationError, UnknownVertexError
+from repro.policies.base import SelectionPolicy
+
+__all__ = ["ProportionalDensePolicy", "ProportionalSparsePolicy"]
+
+# Quantities below this threshold are treated as zero when pruning sparse
+# vectors; proportional splits otherwise accumulate microscopic residues
+# that bloat the provenance lists without carrying information.
+_PRUNE_EPSILON = 1e-12
+
+
+class ProportionalDensePolicy(SelectionPolicy):
+    """Algorithm 3 with dense numpy provenance vectors.
+
+    The vertex universe must be known before processing starts; pass it via
+    :meth:`reset` (the engine does this automatically when it is given a
+    :class:`~repro.core.network.TemporalInteractionNetwork`).
+    """
+
+    name = "proportional-dense"
+    tracks_provenance = True
+    supports_paths = False
+
+    def __init__(self, vertices: Optional[Sequence[Vertex]] = None) -> None:
+        self._index: Dict[Vertex, int] = {}
+        self._order: list = []
+        self._vectors: Dict[Vertex, np.ndarray] = {}
+        self._totals: Dict[Vertex, float] = {}
+        if vertices is not None:
+            self.reset(vertices)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._index = {vertex: position for position, vertex in enumerate(vertices)}
+        self._order = list(vertices)
+        self._vectors = {}
+        self._totals = {}
+        if not self._index:
+            raise PolicyConfigurationError(
+                "ProportionalDensePolicy needs the full vertex universe; "
+                "construct it with vertices or run it on a "
+                "TemporalInteractionNetwork rather than a bare interaction stream"
+            )
+
+    def _vector(self, vertex: Vertex) -> np.ndarray:
+        vector = self._vectors.get(vertex)
+        if vector is None:
+            vector = np.zeros(len(self._index), dtype=np.float64)
+            self._vectors[vertex] = vector
+        return vector
+
+    def _position(self, vertex: Vertex) -> int:
+        try:
+            return self._index[vertex]
+        except KeyError:
+            raise UnknownVertexError(
+                f"vertex {vertex!r} was not part of the universe given to reset()"
+            ) from None
+
+    def process(self, interaction: Interaction) -> None:
+        source = interaction.source
+        destination = interaction.destination
+        quantity = interaction.quantity
+        # Both endpoints must belong to the universe fixed at reset time.
+        self._position(source)
+        self._position(destination)
+        source_total = self._totals.get(source, 0.0)
+
+        source_vector = self._vector(source)
+        destination_vector = self._vector(destination)
+
+        if quantity >= source_total:
+            # Relay the whole source buffer, then generate the residue at the
+            # source (Algorithm 3, lines 5-7).
+            destination_vector += source_vector
+            newborn = quantity - source_total
+            if newborn > 0:
+                destination_vector[self._position(source)] += newborn
+            source_vector[:] = 0.0
+            self._totals[source] = 0.0
+            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+        else:
+            # Proportional split (lines 9-10).
+            fraction = quantity / source_total
+            moved = source_vector * fraction
+            destination_vector += moved
+            source_vector -= moved
+            self._totals[source] = source_total - quantity
+            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def buffer_total(self, vertex: Vertex) -> float:
+        return self._totals.get(vertex, 0.0)
+
+    def origins(self, vertex: Vertex) -> OriginSet:
+        vector = self._vectors.get(vertex)
+        origin_set = OriginSet()
+        if vector is None:
+            return origin_set
+        for position in np.nonzero(vector > _PRUNE_EPSILON)[0]:
+            origin_set.add(self._order[position], float(vector[position]))
+        return origin_set
+
+    def tracked_vertices(self) -> Iterator[Vertex]:
+        return (vertex for vertex, total in self._totals.items() if total > 0)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Allocated vector cells (each touched vertex costs ``|V|`` cells)."""
+        return len(self._vectors) * len(self._index)
+
+    def nonzero_entry_count(self) -> int:
+        """Number of non-zero vector components over all vertices."""
+        return int(
+            sum(int(np.count_nonzero(vector > _PRUNE_EPSILON)) for vector in self._vectors.values())
+        )
+
+
+class ProportionalSparsePolicy(SelectionPolicy):
+    """Algorithm 3 with sparse (dict-based) provenance vectors."""
+
+    name = "proportional-sparse"
+    tracks_provenance = True
+    supports_paths = False
+
+    def __init__(self) -> None:
+        self._vectors: Dict[Vertex, Dict[Vertex, float]] = {}
+        self._totals: Dict[Vertex, float] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._vectors = {}
+        self._totals = {}
+
+    def _vector(self, vertex: Vertex) -> Dict[Vertex, float]:
+        vector = self._vectors.get(vertex)
+        if vector is None:
+            vector = {}
+            self._vectors[vertex] = vector
+        return vector
+
+    def process(self, interaction: Interaction) -> None:
+        source = interaction.source
+        destination = interaction.destination
+        quantity = interaction.quantity
+        source_total = self._totals.get(source, 0.0)
+
+        source_vector = self._vector(source)
+        destination_vector = self._vector(destination)
+
+        if quantity >= source_total:
+            # Relay everything from the source, then the newborn residue.
+            for origin, amount in source_vector.items():
+                destination_vector[origin] = destination_vector.get(origin, 0.0) + amount
+            newborn = quantity - source_total
+            if newborn > 0:
+                destination_vector[source] = destination_vector.get(source, 0.0) + newborn
+            source_vector.clear()
+            self._totals[source] = 0.0
+            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+        else:
+            fraction = quantity / source_total
+            keep = 1.0 - fraction
+            for origin in list(source_vector):
+                amount = source_vector[origin]
+                moved = amount * fraction
+                destination_vector[origin] = destination_vector.get(origin, 0.0) + moved
+                remaining = amount * keep
+                if remaining > _PRUNE_EPSILON:
+                    source_vector[origin] = remaining
+                else:
+                    del source_vector[origin]
+            self._totals[source] = source_total - quantity
+            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def buffer_total(self, vertex: Vertex) -> float:
+        return self._totals.get(vertex, 0.0)
+
+    def origins(self, vertex: Vertex) -> OriginSet:
+        vector = self._vectors.get(vertex)
+        if not vector:
+            return OriginSet()
+        return OriginSet(vector)
+
+    def provenance_vector(self, vertex: Vertex) -> Dict[Vertex, float]:
+        """The raw sparse vector of ``vertex`` (a copy)."""
+        return dict(self._vectors.get(vertex, {}))
+
+    def tracked_vertices(self) -> Iterator[Vertex]:
+        return (vertex for vertex, total in self._totals.items() if total > 0)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        return sum(len(vector) for vector in self._vectors.values())
+
+    def average_list_length(self) -> float:
+        """Average number of contributing origins per (touched) vertex.
+
+        This is the quantity ``l`` of the paper's sparse-representation
+        complexity analysis; Figure 6 tracks its growth over the stream.
+        """
+        if not self._vectors:
+            return 0.0
+        return self.entry_count() / len(self._vectors)

@@ -1,0 +1,37 @@
+"""Selection based on order of receipt (Section 4.2).
+
+Buffers are organised by insertion order: FIFO queues relay the least
+recently added quantities first, LIFO stacks the most recently added ones.
+Compared to the generation-time policies, these avoid heap maintenance and
+do not need to store birth timestamps, which the paper shows to be both
+faster and more space-economic (Tables 7 and 8).
+
+Applications (from the paper): FIFO fits pipelines and traffic networks
+whose buffers naturally are queues; LIFO fits stack-like accumulation such
+as cash registers and wallets.
+"""
+
+from __future__ import annotations
+
+from repro.core.buffer import FifoBuffer, LifoBuffer, QuantityBuffer
+from repro.policies.entry_based import EntryBufferPolicy
+
+__all__ = ["FifoPolicy", "LifoPolicy"]
+
+
+class FifoPolicy(EntryBufferPolicy):
+    """Relay the least recently received quantities first (FIFO queues)."""
+
+    name = "fifo"
+
+    def make_buffer(self) -> QuantityBuffer:
+        return FifoBuffer()
+
+
+class LifoPolicy(EntryBufferPolicy):
+    """Relay the most recently received quantities first (LIFO stacks)."""
+
+    name = "lifo"
+
+    def make_buffer(self) -> QuantityBuffer:
+        return LifoBuffer()

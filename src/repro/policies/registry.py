@@ -1,0 +1,72 @@
+"""Name-based construction of selection policies.
+
+The CLI, the benchmark harness and configuration files refer to policies by
+short names (``"fifo"``, ``"lrb"``, ``"proportional-sparse"`` ...).  The
+registry maps those names to factories and documents per-policy parameters.
+Policies with mandatory structural parameters (selective, grouped, windowed,
+budget) expose factories that accept keyword arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import PolicyNotRegisteredError
+from repro.lazy.replay import ReplayProvenance
+from repro.policies.base import SelectionPolicy
+from repro.policies.generation_time import LeastRecentlyBornPolicy, MostRecentlyBornPolicy
+from repro.policies.no_provenance import NoProvenancePolicy
+from repro.policies.proportional import ProportionalDensePolicy, ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy, LifoPolicy
+from repro.scalable.budget import BudgetProportionalPolicy
+from repro.scalable.grouped import GroupedProportionalPolicy
+from repro.scalable.selective import SelectiveProportionalPolicy
+from repro.scalable.time_window import TimeWindowedProportionalPolicy
+from repro.scalable.windowing import WindowedProportionalPolicy
+
+__all__ = ["POLICY_FACTORIES", "available_policies", "make_policy"]
+
+#: Factories keyed by policy name.  Each factory accepts the keyword
+#: arguments documented by the corresponding policy class.
+POLICY_FACTORIES: Dict[str, Callable[..., SelectionPolicy]] = {
+    NoProvenancePolicy.name: NoProvenancePolicy,
+    LeastRecentlyBornPolicy.name: LeastRecentlyBornPolicy,
+    MostRecentlyBornPolicy.name: MostRecentlyBornPolicy,
+    FifoPolicy.name: FifoPolicy,
+    LifoPolicy.name: LifoPolicy,
+    ProportionalDensePolicy.name: ProportionalDensePolicy,
+    ProportionalSparsePolicy.name: ProportionalSparsePolicy,
+    SelectiveProportionalPolicy.name: SelectiveProportionalPolicy,
+    GroupedProportionalPolicy.name: GroupedProportionalPolicy,
+    WindowedProportionalPolicy.name: WindowedProportionalPolicy,
+    TimeWindowedProportionalPolicy.name: TimeWindowedProportionalPolicy,
+    BudgetProportionalPolicy.name: BudgetProportionalPolicy,
+    ReplayProvenance.name: ReplayProvenance,
+}
+
+
+def available_policies() -> List[str]:
+    """Names of all registered policies, alphabetically sorted."""
+    return sorted(POLICY_FACTORIES)
+
+
+def make_policy(name: str, **kwargs) -> SelectionPolicy:
+    """Instantiate the policy registered under ``name``.
+
+    Keyword arguments are forwarded to the policy constructor, e.g.
+    ``make_policy("proportional-budget", capacity=100)`` or
+    ``make_policy("fifo", track_paths=True)``.
+
+    Raises
+    ------
+    PolicyNotRegisteredError
+        If ``name`` does not match any registered policy.
+    """
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_policies())
+        raise PolicyNotRegisteredError(
+            f"unknown policy {name!r}; available policies: {known}"
+        ) from None
+    return factory(**kwargs)

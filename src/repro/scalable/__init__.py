@@ -1,0 +1,27 @@
+"""Scalable variants of proportional provenance tracking (Section 5)."""
+
+from repro.scalable.budget import (
+    BudgetProportionalPolicy,
+    ShrinkStatistics,
+    keep_by_priority,
+    keep_largest,
+)
+from repro.scalable.grouped import GroupedProportionalPolicy
+from repro.scalable.reduced import ReducedVectorPolicy
+from repro.scalable.selective import SelectiveProportionalPolicy
+from repro.scalable.time_window import TimeWindowedProportionalPolicy
+from repro.scalable.vector_store import SparseVectorStore
+from repro.scalable.windowing import WindowedProportionalPolicy
+
+__all__ = [
+    "TimeWindowedProportionalPolicy",
+    "BudgetProportionalPolicy",
+    "ShrinkStatistics",
+    "keep_by_priority",
+    "keep_largest",
+    "GroupedProportionalPolicy",
+    "ReducedVectorPolicy",
+    "SelectiveProportionalPolicy",
+    "SparseVectorStore",
+    "WindowedProportionalPolicy",
+]

@@ -1,0 +1,208 @@
+"""Budget-based proportional provenance (Section 5.3.2).
+
+Every vertex is allotted a maximum capacity ``C`` for its sparse provenance
+vector.  Whenever an update would leave a vector with more than ``C``
+entries, the vector is *shrunk*: a fraction ``f`` of ``C`` entries is kept
+(by default the ones with the largest quantities) and the total quantity of
+the removed entries is merged into the artificial
+:data:`~repro.core.provenance.UNKNOWN_ORIGIN` entry.  Space becomes
+``O(|V| * C)`` while the information loss stays limited because shrinks are
+infrequent in practice (Table 9 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.interaction import Interaction, Vertex
+from repro.core.provenance import OriginSet, UNKNOWN_ORIGIN
+from repro.exceptions import PolicyConfigurationError
+from repro.policies.base import SelectionPolicy
+from repro.scalable.vector_store import SparseVectorStore
+
+__all__ = ["BudgetProportionalPolicy", "ShrinkStatistics", "keep_largest", "keep_by_priority"]
+
+#: A shrink criterion: given ``(origin, quantity)`` items and the number of
+#: entries to keep, return the entries to *keep*.
+ShrinkCriterion = Callable[[List[Tuple[Vertex, float]], int], List[Tuple[Vertex, float]]]
+
+
+def keep_largest(items: List[Tuple[Vertex, float]], keep: int) -> List[Tuple[Vertex, float]]:
+    """Keep the ``keep`` entries with the largest quantities.
+
+    This is the default criterion suggested by the paper; note (as the paper
+    does) that it can bias provenance towards origins that generate
+    quantities early.
+    """
+    ranked = sorted(items, key=lambda item: (-item[1], repr(item[0])))
+    return ranked[:keep]
+
+
+def keep_by_priority(priority: Dict[Vertex, float]) -> ShrinkCriterion:
+    """Build a criterion keeping the entries whose origins have top priority.
+
+    ``priority`` maps origins to importance scores (higher is more
+    important); origins without a score rank lowest.
+    """
+
+    def criterion(items: List[Tuple[Vertex, float]], keep: int) -> List[Tuple[Vertex, float]]:
+        ranked = sorted(
+            items,
+            key=lambda item: (-priority.get(item[0], float("-inf")), -item[1], repr(item[0])),
+        )
+        return ranked[:keep]
+
+    return criterion
+
+
+class ShrinkStatistics:
+    """Bookkeeping of how often and where budget shrinks happened (Table 9)."""
+
+    __slots__ = ("shrinks_by_vertex", "total_shrinks")
+
+    def __init__(self) -> None:
+        self.shrinks_by_vertex: Dict[Vertex, int] = {}
+        self.total_shrinks = 0
+
+    def record(self, vertex: Vertex) -> None:
+        self.shrinks_by_vertex[vertex] = self.shrinks_by_vertex.get(vertex, 0) + 1
+        self.total_shrinks += 1
+
+    def vertices_shrunk(self) -> int:
+        """Number of distinct vertices whose vector was shrunk at least once."""
+        return len(self.shrinks_by_vertex)
+
+    def average_shrinks(self, over_vertices: Optional[int] = None) -> float:
+        """Average number of shrinks per vertex.
+
+        When ``over_vertices`` is given, the average is computed over that
+        many vertices (the paper averages over vertices with non-empty
+        buffers); otherwise over the vertices that were shrunk at least once.
+        """
+        denominator = over_vertices if over_vertices else len(self.shrinks_by_vertex)
+        if not denominator:
+            return 0.0
+        return self.total_shrinks / denominator
+
+
+class BudgetProportionalPolicy(SelectionPolicy):
+    """Proportional provenance with a per-vertex entry budget ``C``."""
+
+    name = "proportional-budget"
+    tracks_provenance = True
+    supports_paths = False
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        keep_fraction: float = 0.7,
+        criterion: ShrinkCriterion = keep_largest,
+    ) -> None:
+        """Create a budget-based policy.
+
+        Parameters
+        ----------
+        capacity:
+            Maximum number of *named* origins a vertex vector may hold
+            (the artificial unknown-origin entry does not count).
+        keep_fraction:
+            Fraction ``f`` of ``capacity`` kept at a shrink.  The paper
+            suggests a value between 0.6 and 0.8.
+        criterion:
+            How to choose which entries survive a shrink; defaults to
+            keeping the largest quantities.
+        """
+        if capacity <= 0:
+            raise PolicyConfigurationError(
+                f"budget capacity must be positive, got {capacity!r}"
+            )
+        if not 0.0 < keep_fraction <= 1.0:
+            raise PolicyConfigurationError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction!r}"
+            )
+        self.capacity = capacity
+        self.keep_fraction = keep_fraction
+        self.criterion = criterion
+        self._store = SparseVectorStore()
+        self._totals: Dict[Vertex, float] = {}
+        self.shrink_statistics = ShrinkStatistics()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._store = SparseVectorStore()
+        self._totals = {}
+        self.shrink_statistics = ShrinkStatistics()
+
+    def process(self, interaction: Interaction) -> None:
+        source = interaction.source
+        destination = interaction.destination
+        quantity = interaction.quantity
+        source_total = self._totals.get(source, 0.0)
+
+        self._store.apply_interaction(source, destination, quantity, source_total)
+
+        if quantity >= source_total:
+            self._totals[source] = 0.0
+        else:
+            self._totals[source] = source_total - quantity
+        self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+
+        self._enforce_budget(destination)
+
+    def _enforce_budget(self, vertex: Vertex) -> None:
+        """Shrink the vector of ``vertex`` if it exceeds the capacity."""
+        vector = self._store.vector(vertex)
+        named = [
+            (origin, amount)
+            for origin, amount in vector.items()
+            if origin is not UNKNOWN_ORIGIN
+        ]
+        if len(named) <= self.capacity:
+            return
+
+        keep_count = max(1, int(self.capacity * self.keep_fraction))
+        kept = self.criterion(list(named), keep_count)
+        kept_origins = {origin for origin, _ in kept}
+        removed_quantity = sum(
+            amount for origin, amount in named if origin not in kept_origins
+        )
+
+        new_vector: Dict[Vertex, float] = {origin: amount for origin, amount in kept}
+        unknown = vector.get(UNKNOWN_ORIGIN, 0.0) + removed_quantity
+        if unknown > 0:
+            new_vector[UNKNOWN_ORIGIN] = unknown
+        self._store.replace(vertex, new_vector)
+        self.shrink_statistics.record(vertex)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def buffer_total(self, vertex: Vertex) -> float:
+        return self._totals.get(vertex, 0.0)
+
+    def origins(self, vertex: Vertex) -> OriginSet:
+        return self._store.origins(vertex)
+
+    def known_fraction(self, vertex: Vertex) -> float:
+        """Fraction of the buffered quantity whose origin is still tracked."""
+        origin_set = self.origins(vertex)
+        total = origin_set.total
+        if total <= 0:
+            return 1.0
+        return origin_set.known_total / total
+
+    def tracked_vertices(self) -> Iterator[Vertex]:
+        return (vertex for vertex, total in self._totals.items() if total > 0)
+
+    def non_empty_vertex_count(self) -> int:
+        """Number of vertices currently holding a positive quantity."""
+        return sum(1 for total in self._totals.values() if total > 0)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        return self._store.entry_count()

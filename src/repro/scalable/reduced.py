@@ -1,0 +1,137 @@
+"""Reduced-dimension proportional provenance (Sections 5.1 and 5.2).
+
+Selective and grouped provenance tracking replace the ``|V|``-length
+provenance vectors of the full proportional policy with short vectors of
+length ``k + 1`` (k tracked vertices plus an "everything else" slot) or
+``m`` (m vertex groups).  Both share the same propagation arithmetic —
+Algorithm 3 over dense numpy vectors — and differ only in how an origin
+vertex is mapped to a vector slot.  :class:`ReducedVectorPolicy` implements
+the shared machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.interaction import Interaction, Vertex
+from repro.core.provenance import OriginSet
+from repro.exceptions import PolicyConfigurationError
+from repro.policies.base import SelectionPolicy
+
+__all__ = ["ReducedVectorPolicy"]
+
+_PRUNE_EPSILON = 1e-12
+
+
+class ReducedVectorPolicy(SelectionPolicy):
+    """Proportional provenance over a reduced set of origin slots.
+
+    Subclasses define the slot universe (via ``slot_labels``) and the
+    mapping from an origin vertex to a slot index (:meth:`slot_of`).  The
+    propagation is identical to the dense proportional policy, except the
+    per-vertex vectors have ``len(slot_labels)`` components instead of
+    ``|V|`` — giving the ``O(k * |V|)`` space and ``O(k)`` per-interaction
+    time bounds of the paper.
+    """
+
+    tracks_provenance = True
+    supports_paths = False
+
+    def __init__(self, slot_labels: Sequence[Hashable]) -> None:
+        if not slot_labels:
+            raise PolicyConfigurationError("at least one provenance slot is required")
+        self._slot_labels: List[Hashable] = list(slot_labels)
+        self._vectors: Dict[Vertex, np.ndarray] = {}
+        self._totals: Dict[Vertex, float] = {}
+
+    # ------------------------------------------------------------------
+    # to implement
+    # ------------------------------------------------------------------
+    def slot_of(self, origin: Vertex) -> int:
+        """Map an origin vertex to the index of its provenance slot."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def slot_labels(self) -> List[Hashable]:
+        """Labels of the provenance slots, in vector order."""
+        return list(self._slot_labels)
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._slot_labels)
+
+    def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._vectors = {}
+        self._totals = {}
+
+    def _vector(self, vertex: Vertex) -> np.ndarray:
+        vector = self._vectors.get(vertex)
+        if vector is None:
+            vector = np.zeros(self.num_slots, dtype=np.float64)
+            self._vectors[vertex] = vector
+        return vector
+
+    def process(self, interaction: Interaction) -> None:
+        source = interaction.source
+        destination = interaction.destination
+        quantity = interaction.quantity
+        source_total = self._totals.get(source, 0.0)
+
+        source_vector = self._vector(source)
+        destination_vector = self._vector(destination)
+
+        if quantity >= source_total:
+            destination_vector += source_vector
+            newborn = quantity - source_total
+            if newborn > 0:
+                destination_vector[self.slot_of(source)] += newborn
+            source_vector[:] = 0.0
+            self._totals[source] = 0.0
+            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+        else:
+            fraction = quantity / source_total
+            moved = source_vector * fraction
+            destination_vector += moved
+            source_vector -= moved
+            self._totals[source] = source_total - quantity
+            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def buffer_total(self, vertex: Vertex) -> float:
+        return self._totals.get(vertex, 0.0)
+
+    def origins(self, vertex: Vertex) -> OriginSet:
+        """Origin decomposition labelled by slot label (vertex, group, ...)."""
+        vector = self._vectors.get(vertex)
+        origin_set = OriginSet()
+        if vector is None:
+            return origin_set
+        for position in np.nonzero(vector > _PRUNE_EPSILON)[0]:
+            origin_set.add(self._slot_labels[position], float(vector[position]))
+        return origin_set
+
+    def slot_quantities(self, vertex: Vertex) -> Dict[Hashable, float]:
+        """All slot quantities of ``vertex`` including zero slots."""
+        vector = self._vectors.get(vertex)
+        if vector is None:
+            return {label: 0.0 for label in self._slot_labels}
+        return {
+            label: float(vector[position])
+            for position, label in enumerate(self._slot_labels)
+        }
+
+    def tracked_vertices(self) -> Iterator[Vertex]:
+        return (vertex for vertex, total in self._totals.items() if total > 0)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        return len(self._vectors) * self.num_slots

@@ -1,0 +1,128 @@
+"""Sparse provenance-vector store shared by the scope-limiting policies.
+
+The windowing and budget-based approaches of Section 5.3 both maintain
+sparse provenance vectors (dict of ``origin -> quantity`` per vertex) and
+apply the same proportional transfer arithmetic as Algorithm 3; they differ
+only in when and how vectors are truncated.  :class:`SparseVectorStore`
+centralises the transfer arithmetic so the policies only implement their
+truncation rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.core.interaction import Vertex
+from repro.core.provenance import OriginSet
+
+__all__ = ["SparseVectorStore"]
+
+_PRUNE_EPSILON = 1e-12
+
+
+class SparseVectorStore:
+    """Per-vertex sparse provenance vectors with proportional transfer ops."""
+
+    __slots__ = ("_vectors",)
+
+    def __init__(self) -> None:
+        self._vectors: Dict[Vertex, Dict[Vertex, float]] = {}
+
+    # ------------------------------------------------------------------
+    # basic access
+    # ------------------------------------------------------------------
+    def vector(self, vertex: Vertex) -> Dict[Vertex, float]:
+        """The (mutable) sparse vector of ``vertex``, created on demand."""
+        vector = self._vectors.get(vertex)
+        if vector is None:
+            vector = {}
+            self._vectors[vertex] = vector
+        return vector
+
+    def peek(self, vertex: Vertex) -> Dict[Vertex, float]:
+        """A copy of the sparse vector of ``vertex`` (empty if untouched)."""
+        return dict(self._vectors.get(vertex, {}))
+
+    def origins(self, vertex: Vertex) -> OriginSet:
+        """The vector of ``vertex`` as an :class:`OriginSet`."""
+        return OriginSet(self._vectors.get(vertex, {}))
+
+    def replace(self, vertex: Vertex, vector: Dict[Vertex, float]) -> None:
+        """Overwrite the vector of ``vertex`` (used by window resets)."""
+        self._vectors[vertex] = dict(vector)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Vertices with an allocated (possibly empty) vector."""
+        return iter(self._vectors)
+
+    def clear(self) -> None:
+        self._vectors = {}
+
+    # ------------------------------------------------------------------
+    # proportional arithmetic
+    # ------------------------------------------------------------------
+    def transfer_all(self, source: Vertex, destination: Vertex) -> None:
+        """Move the whole source vector into the destination vector."""
+        source_vector = self.vector(source)
+        destination_vector = self.vector(destination)
+        for origin, amount in source_vector.items():
+            destination_vector[origin] = destination_vector.get(origin, 0.0) + amount
+        source_vector.clear()
+
+    def transfer_fraction(
+        self, source: Vertex, destination: Vertex, fraction: float
+    ) -> None:
+        """Move ``fraction`` of every component from source to destination."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be within [0, 1], got {fraction!r}")
+        source_vector = self.vector(source)
+        destination_vector = self.vector(destination)
+        keep = 1.0 - fraction
+        for origin in list(source_vector):
+            amount = source_vector[origin]
+            moved = amount * fraction
+            destination_vector[origin] = destination_vector.get(origin, 0.0) + moved
+            remaining = amount * keep
+            if remaining > _PRUNE_EPSILON:
+                source_vector[origin] = remaining
+            else:
+                del source_vector[origin]
+
+    def add(self, vertex: Vertex, origin: Vertex, amount: float) -> None:
+        """Add ``amount`` of quantity originating at ``origin`` to ``vertex``."""
+        if amount <= 0:
+            return
+        vector = self.vector(vertex)
+        vector[origin] = vector.get(origin, 0.0) + amount
+
+    def apply_interaction(
+        self,
+        source: Vertex,
+        destination: Vertex,
+        quantity: float,
+        source_total: float,
+    ) -> None:
+        """Apply Algorithm 3's vector updates for one interaction.
+
+        ``source_total`` is the buffered quantity ``|B_source|`` *before* the
+        interaction; the caller maintains scalar totals separately (the
+        windowing approach shares one set of totals between two stores).
+        """
+        if quantity >= source_total:
+            self.transfer_all(source, destination)
+            newborn = quantity - source_total
+            if newborn > 0:
+                self.add(destination, source, newborn)
+        else:
+            self.transfer_fraction(source, destination, quantity / source_total)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Total number of non-zero components over all vectors."""
+        return sum(len(vector) for vector in self._vectors.values())
+
+    def list_lengths(self) -> Iterator[Tuple[Vertex, int]]:
+        """``(vertex, number of components)`` pairs for every vector."""
+        return ((vertex, len(vector)) for vertex, vector in self._vectors.items())

@@ -1,0 +1,137 @@
+"""The windowing approach to scope-limited proportional provenance (5.3.1).
+
+Exact proportional provenance over the full interaction history is
+infeasible on large networks, so the windowing approach guarantees exact
+provenance only for quantities generated during the last ``W`` to ``2W``
+interactions.  Every vertex keeps *two* sparse provenance vectors,
+``p_odd`` and ``p_even``; both are updated at every interaction, but at every
+``W``-th interaction one of them (alternating odd/even multiples of ``W``)
+is reset to ``[(UNKNOWN_ORIGIN, |B_v|)]``.  Queries always use the vector
+that was reset *least* recently, which therefore covers at least the last
+``W`` interactions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Sequence
+
+from repro.core.interaction import Interaction, Vertex
+from repro.core.provenance import OriginSet, UNKNOWN_ORIGIN
+from repro.exceptions import PolicyConfigurationError
+from repro.policies.base import SelectionPolicy
+from repro.scalable.vector_store import SparseVectorStore
+
+__all__ = ["WindowedProportionalPolicy"]
+
+
+class WindowedProportionalPolicy(SelectionPolicy):
+    """Proportional provenance with an interaction-count window guarantee."""
+
+    name = "proportional-windowed"
+    tracks_provenance = True
+    supports_paths = False
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise PolicyConfigurationError(
+                f"window size must be a positive number of interactions, got {window!r}"
+            )
+        self.window = window
+        self._totals: Dict[Vertex, float] = {}
+        self._odd = SparseVectorStore()
+        self._even = SparseVectorStore()
+        self._interactions_processed = 0
+        # Number of window boundaries hit so far; parity decides which store
+        # is reset next and which one queries should use.
+        self._resets = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._totals = {}
+        self._odd = SparseVectorStore()
+        self._even = SparseVectorStore()
+        self._interactions_processed = 0
+        self._resets = 0
+
+    def process(self, interaction: Interaction) -> None:
+        source = interaction.source
+        destination = interaction.destination
+        quantity = interaction.quantity
+        source_total = self._totals.get(source, 0.0)
+
+        # Both stores receive every update (Figure 4 of the paper).
+        self._odd.apply_interaction(source, destination, quantity, source_total)
+        self._even.apply_interaction(source, destination, quantity, source_total)
+
+        if quantity >= source_total:
+            self._totals[source] = 0.0
+        else:
+            self._totals[source] = source_total - quantity
+        self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+
+        self._interactions_processed += 1
+        if self._interactions_processed % self.window == 0:
+            self._reset_one_store()
+
+    def _reset_one_store(self) -> None:
+        """Reset the odd or the even store at a window boundary.
+
+        Odd multiples of ``W`` reset ``p_odd``; even multiples reset
+        ``p_even``.  A reset replaces every vertex's vector with a single
+        entry attributing its whole buffered quantity to the artificial
+        :data:`UNKNOWN_ORIGIN` vertex.
+        """
+        boundary_index = self._interactions_processed // self.window
+        store = self._odd if boundary_index % 2 == 1 else self._even
+        for vertex, total in self._totals.items():
+            if total > 0:
+                store.replace(vertex, {UNKNOWN_ORIGIN: total})
+            else:
+                store.replace(vertex, {})
+        self._resets += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _query_store(self) -> SparseVectorStore:
+        """The store that was reset least recently (or either, before any reset)."""
+        if self._resets == 0:
+            return self._even
+        # The store reset at the most recent boundary is the "younger" one;
+        # queries must use the other one to cover at least W interactions.
+        last_reset_was_odd = (self._interactions_processed // self.window) % 2 == 1
+        return self._even if last_reset_was_odd else self._odd
+
+    def buffer_total(self, vertex: Vertex) -> float:
+        return self._totals.get(vertex, 0.0)
+
+    def origins(self, vertex: Vertex) -> OriginSet:
+        return self._query_store().origins(vertex)
+
+    def known_fraction(self, vertex: Vertex) -> float:
+        """Fraction of the buffered quantity whose origin is still tracked."""
+        origin_set = self.origins(vertex)
+        total = origin_set.total
+        if total <= 0:
+            return 1.0
+        return origin_set.known_total / total
+
+    def tracked_vertices(self) -> Iterator[Vertex]:
+        return (vertex for vertex, total in self._totals.items() if total > 0)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def interactions_processed(self) -> int:
+        return self._interactions_processed
+
+    @property
+    def resets_performed(self) -> int:
+        """Number of window boundaries at which a store was reset."""
+        return self._resets
+
+    def entry_count(self) -> int:
+        return self._odd.entry_count() + self._even.entry_count()

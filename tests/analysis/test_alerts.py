@@ -1,0 +1,122 @@
+"""Unit tests for provenance-based alerting (Section 7.6 / Figure 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.alerts import NeighbourOriginAlertRule, ProvenanceAlert
+from repro.core.engine import ProvenanceEngine
+from repro.core.interaction import Interaction
+from repro.core.provenance import OriginSet
+from repro.policies.proportional import ProportionalSparsePolicy
+
+
+def run_with_rule(interactions, threshold, **kwargs):
+    rule = NeighbourOriginAlertRule(threshold, **kwargs)
+    engine = ProvenanceEngine(ProportionalSparsePolicy(), observers=[rule])
+    engine.run(interactions)
+    return rule
+
+
+class TestRuleConfiguration:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NeighbourOriginAlertRule(0.0)
+
+
+class TestAlertFiring:
+    def test_alert_when_quantity_relayed_from_far_origin(self):
+        # origin generates 100 units, mule relays them to target: the target's
+        # quantity originates from "origin", which is NOT a direct neighbour.
+        interactions = [
+            Interaction("origin", "mule", 1.0, 100.0),
+            Interaction("mule", "target", 2.0, 100.0),
+        ]
+        rule = run_with_rule(interactions, threshold=50.0)
+        assert rule.alert_count() == 1
+        alert = rule.alerts[0]
+        assert alert.vertex == "target"
+        assert alert.buffered_quantity == pytest.approx(100.0)
+        assert alert.contributing_vertices == 1
+        assert alert.is_few_contributors()
+
+    def test_no_alert_when_origin_is_direct_neighbour(self):
+        # neighbour itself generates the quantity it sends, so the buffered
+        # quantity at target DOES originate from a direct neighbour.
+        interactions = [Interaction("neighbour", "target", 1.0, 100.0)]
+        rule = run_with_rule(interactions, threshold=50.0)
+        assert rule.alert_count() == 0
+
+    def test_no_alert_below_threshold(self):
+        interactions = [
+            Interaction("origin", "mule", 1.0, 10.0),
+            Interaction("mule", "target", 2.0, 10.0),
+        ]
+        rule = run_with_rule(interactions, threshold=50.0)
+        assert rule.alert_count() == 0
+
+    def test_smurfing_pattern_many_contributors(self):
+        # Many distinct origins send small amounts through mules to one target.
+        interactions = []
+        time = 1.0
+        for index in range(20):
+            origin = f"origin-{index}"
+            mule = f"mule-{index}"
+            interactions.append(Interaction(origin, mule, time, 10.0))
+            time += 1.0
+            interactions.append(Interaction(mule, "collector", time, 10.0))
+            time += 1.0
+        rule = run_with_rule(interactions, threshold=100.0)
+        assert rule.alert_count() >= 1
+        last = rule.alerts[-1]
+        assert last.contributing_vertices > 5
+        assert not last.is_few_contributors()
+
+    def test_max_alerts_bound(self):
+        interactions = []
+        time = 1.0
+        for index in range(10):
+            interactions.append(Interaction("origin", f"mule{index}", time, 100.0))
+            time += 1.0
+            interactions.append(Interaction(f"mule{index}", "target", time, 100.0))
+            time += 1.0
+        limited = run_with_rule(interactions, threshold=10.0, max_alerts=3)
+        assert limited.alert_count() == 3
+
+    def test_summary_counts(self):
+        interactions = [
+            Interaction("origin", "mule", 1.0, 100.0),
+            Interaction("mule", "target", 2.0, 100.0),
+        ]
+        rule = run_with_rule(interactions, threshold=50.0)
+        summary = rule.summary()
+        assert summary["alerts"] == 1
+        assert summary["few_contributor_alerts"] == 1
+        assert summary["many_contributor_alerts"] == 0
+
+
+class TestProvenanceAlert:
+    def test_contributing_vertices_and_classification(self):
+        alert = ProvenanceAlert(
+            interaction_index=3,
+            time=1.0,
+            vertex="v",
+            buffered_quantity=100.0,
+            origins=OriginSet({"a": 60.0, "b": 40.0}),
+        )
+        assert alert.contributing_vertices == 2
+        assert alert.is_few_contributors(threshold=5)
+        assert not alert.is_few_contributors(threshold=2)
+
+    def test_alerts_on_preset_network_run(self):
+        """Smoke test on a synthetic bitcoin-like network."""
+        from repro.datasets.catalog import load_preset
+
+        network = load_preset("bitcoin", scale=0.02)
+        threshold = 50.0 * network.average_quantity()
+        rule = NeighbourOriginAlertRule(threshold)
+        engine = ProvenanceEngine(ProportionalSparsePolicy(), observers=[rule])
+        engine.run(network)
+        # The rule must never alert on a vertex whose buffer is below threshold.
+        for alert in rule.alerts:
+            assert alert.buffered_quantity > threshold

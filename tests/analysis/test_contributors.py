@@ -1,0 +1,75 @@
+"""Unit tests for contributor/receiver/degree vertex selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.contributors import top_contributors, top_degree, top_receivers
+from repro.core.interaction import Interaction
+from repro.core.network import TemporalInteractionNetwork
+
+
+@pytest.fixture
+def star_network():
+    """hub generates a lot; leaves generate little."""
+    interactions = [
+        Interaction("hub", "a", 1.0, 100.0),
+        Interaction("hub", "b", 2.0, 50.0),
+        Interaction("a", "hub", 3.0, 10.0),    # relays part of what it got + generates 0
+        Interaction("c", "hub", 4.0, 5.0),     # c generates 5
+    ]
+    return TemporalInteractionNetwork.from_interactions(interactions)
+
+
+class TestTopContributors:
+    def test_largest_generator_first(self, star_network):
+        assert top_contributors(star_network, 1) == ["hub"]
+
+    def test_second_contributor(self, star_network):
+        assert top_contributors(star_network, 2) == ["hub", "c"]
+
+    def test_fills_with_high_degree_vertices_when_needed(self, star_network):
+        selected = top_contributors(star_network, 4)
+        assert len(selected) == 4
+        assert selected[0] == "hub"
+        assert len(set(selected)) == 4
+
+    def test_rejects_non_positive_k(self, star_network):
+        with pytest.raises(ValueError):
+            top_contributors(star_network, 0)
+
+    def test_matches_paper_example(self, paper_network):
+        # v1 generates 7 units, v2 generates 2 (Table 2).
+        assert top_contributors(paper_network, 2) == ["v1", "v2"]
+
+    def test_deterministic_under_ties(self):
+        interactions = [
+            Interaction("a", "x", 1.0, 5.0),
+            Interaction("b", "y", 2.0, 5.0),
+        ]
+        network = TemporalInteractionNetwork.from_interactions(interactions)
+        assert top_contributors(network, 2) == top_contributors(network, 2)
+
+
+class TestTopReceivers:
+    def test_largest_receiver_first(self, star_network):
+        assert top_receivers(star_network, 1) == ["a"]
+
+    def test_rejects_non_positive_k(self, star_network):
+        with pytest.raises(ValueError):
+            top_receivers(star_network, -1)
+
+    def test_receivers_differ_from_contributors(self, star_network):
+        assert top_receivers(star_network, 1) != top_contributors(star_network, 1)
+
+
+class TestTopDegree:
+    def test_hub_has_highest_degree(self, star_network):
+        assert top_degree(star_network, 1) == ["hub"]
+
+    def test_rejects_non_positive_k(self, star_network):
+        with pytest.raises(ValueError):
+            top_degree(star_network, 0)
+
+    def test_returns_at_most_num_vertices(self, star_network):
+        assert len(top_degree(star_network, 100)) == star_network.num_vertices

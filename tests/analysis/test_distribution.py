@@ -1,0 +1,95 @@
+"""Unit tests for the accumulation/provenance-distribution tracker (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distribution import AccumulationTracker
+from repro.core.engine import ProvenanceEngine
+from repro.core.interaction import Interaction
+from repro.policies.receipt_order import FifoPolicy
+
+
+class TestAccumulationTracker:
+    def test_records_only_deliveries_by_default(self, paper_network):
+        tracker = AccumulationTracker(watched=["v0"])
+        engine = ProvenanceEngine(FifoPolicy(), observers=[tracker])
+        engine.run(paper_network)
+        series = tracker.series("v0")
+        # v0 receives quantity at interactions 2 (index 1) and 6 (index 5).
+        assert [point.interaction_index for point in series.points] == [1, 5]
+
+    def test_records_outgoing_when_requested(self, paper_network):
+        tracker = AccumulationTracker(watched=["v0"], record_outgoing=True)
+        engine = ProvenanceEngine(FifoPolicy(), observers=[tracker])
+        engine.run(paper_network)
+        indices = [point.interaction_index for point in tracker.series("v0").points]
+        assert indices == [1, 2, 5]  # also the outgoing interaction at index 2
+
+    def test_points_carry_provenance_distribution(self, paper_network):
+        tracker = AccumulationTracker(watched=["v0"])
+        engine = ProvenanceEngine(FifoPolicy(), observers=[tracker])
+        engine.run(paper_network)
+        final = tracker.series("v0").points[-1]
+        assert final.buffered_quantity == pytest.approx(3.0)
+        assert sum(final.distribution().values()) == pytest.approx(1.0)
+
+    def test_unwatched_vertex_raises(self, paper_network):
+        tracker = AccumulationTracker(watched=["v0"])
+        with pytest.raises(KeyError):
+            tracker.series("v1")
+
+    def test_watched_vertices_listing(self):
+        tracker = AccumulationTracker(watched=["b", "a"])
+        assert set(tracker.watched_vertices()) == {"a", "b"}
+
+
+class TestAccumulationSeries:
+    def make_series(self, paper_network, vertex="v2"):
+        tracker = AccumulationTracker(watched=[vertex])
+        engine = ProvenanceEngine(FifoPolicy(), observers=[tracker])
+        engine.run(paper_network)
+        return tracker.series(vertex)
+
+    def test_quantities_and_times_aligned(self, paper_network):
+        series = self.make_series(paper_network)
+        assert len(series.quantities()) == len(series.times()) == len(series.points)
+
+    def test_peak(self, paper_network):
+        series = self.make_series(paper_network)
+        assert series.peak().buffered_quantity == max(series.quantities())
+
+    def test_peak_empty_series(self):
+        tracker = AccumulationTracker(watched=["never-touched"])
+        assert tracker.series("never-touched").peak() is None
+
+    def test_final_distribution_empty_series(self):
+        tracker = AccumulationTracker(watched=["never-touched"])
+        assert tracker.series("never-touched").final_distribution() == {}
+
+    def test_distinct_origins(self, paper_network):
+        series = self.make_series(paper_network, vertex="v2")
+        assert series.distinct_origins() >= 1
+
+    def test_series_snapshot_is_isolated(self, paper_network):
+        tracker = AccumulationTracker(watched=["v2"])
+        engine = ProvenanceEngine(FifoPolicy(), observers=[tracker])
+        engine.run(paper_network)
+        series = tracker.series("v2")
+        series.points.clear()
+        assert len(tracker.series("v2").points) > 0
+
+    def test_taxis_style_accumulation(self, tiny_taxis_network):
+        """End-to-end: watch the busiest receiver of the taxi network."""
+        from repro.analysis.contributors import top_receivers
+
+        busiest = top_receivers(tiny_taxis_network, 1)[0]
+        tracker = AccumulationTracker(watched=[busiest])
+        engine = ProvenanceEngine(FifoPolicy(), observers=[tracker])
+        engine.run(tiny_taxis_network)
+        series = tracker.series(busiest)
+        assert len(series.points) > 0
+        # Provenance fractions always form a probability distribution.
+        for point in series.points:
+            if point.buffered_quantity > 0:
+                assert sum(point.distribution().values()) == pytest.approx(1.0)

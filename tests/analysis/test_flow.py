@@ -1,0 +1,102 @@
+"""Unit tests for pairwise flow / contribution analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.flow import contribution, contribution_matrix, direct_flow, top_financiers
+from repro.core.engine import ProvenanceEngine
+from repro.core.interaction import Interaction
+from repro.core.network import TemporalInteractionNetwork
+from repro.policies.proportional import ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy
+
+
+@pytest.fixture
+def relay_network():
+    """origin generates 10 units that reach sink via a relay; sink also gets 2 direct."""
+    interactions = [
+        Interaction("origin", "relay", 1.0, 10.0),
+        Interaction("relay", "sink", 2.0, 10.0),
+        Interaction("direct", "sink", 3.0, 2.0),
+    ]
+    return TemporalInteractionNetwork.from_interactions(interactions)
+
+
+@pytest.fixture
+def relay_engine(relay_network):
+    engine = ProvenanceEngine(FifoPolicy())
+    engine.run(relay_network)
+    return engine
+
+
+class TestContribution:
+    def test_indirect_contribution_found(self, relay_engine):
+        assert contribution(relay_engine, "origin", "sink") == pytest.approx(10.0)
+
+    def test_relay_contributes_nothing(self, relay_engine):
+        # The relay only forwarded quantity; it generated none of it.
+        assert contribution(relay_engine, "relay", "sink") == 0.0
+
+    def test_direct_contribution(self, relay_engine):
+        assert contribution(relay_engine, "direct", "sink") == pytest.approx(2.0)
+
+    def test_accepts_bare_policy(self, relay_network):
+        policy = ProportionalSparsePolicy()
+        policy.reset()
+        policy.process_all(relay_network.interactions)
+        assert contribution(policy, "origin", "sink") == pytest.approx(10.0)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            contribution("not a policy", "a", "b")
+
+
+class TestContributionMatrix:
+    def test_matrix_shape_and_values(self, relay_engine):
+        matrix = contribution_matrix(
+            relay_engine, origins=["origin", "direct", "relay"], destinations=["sink"]
+        )
+        assert matrix["sink"]["origin"] == pytest.approx(10.0)
+        assert matrix["sink"]["direct"] == pytest.approx(2.0)
+        assert matrix["sink"]["relay"] == 0.0
+
+    def test_zero_filled_for_untouched_destination(self, relay_engine):
+        matrix = contribution_matrix(relay_engine, origins=["origin"], destinations=["origin"])
+        assert matrix["origin"]["origin"] == 0.0
+
+
+class TestDirectFlow:
+    def test_existing_edge(self, relay_network):
+        assert direct_flow(relay_network, "origin", "relay") == pytest.approx(10.0)
+
+    def test_missing_edge_is_zero(self, relay_network):
+        assert direct_flow(relay_network, "origin", "sink") == 0.0
+
+    def test_unknown_vertex_is_zero(self, relay_network):
+        assert direct_flow(relay_network, "ghost", "sink") == 0.0
+
+    def test_direct_vs_provenance_contribution_differ(self, relay_network, relay_engine):
+        # No direct edge origin->sink, yet provenance shows origin financed it.
+        assert direct_flow(relay_network, "origin", "sink") == 0.0
+        assert contribution(relay_engine, "origin", "sink") == pytest.approx(10.0)
+
+
+class TestTopFinanciers:
+    def test_ordering(self, relay_engine):
+        ranked = top_financiers(relay_engine, "sink", 2)
+        assert ranked[0] == ("origin", pytest.approx(10.0))
+        assert ranked[1] == ("direct", pytest.approx(2.0))
+
+    def test_rejects_non_positive_k(self, relay_engine):
+        with pytest.raises(ValueError):
+            top_financiers(relay_engine, "sink", 0)
+
+    def test_on_synthetic_network(self, small_network):
+        engine = ProvenanceEngine(ProportionalSparsePolicy())
+        engine.run(small_network)
+        busiest = max(engine.buffer_totals(), key=engine.buffer_total)
+        financiers = top_financiers(engine, busiest, 3)
+        assert len(financiers) >= 1
+        quantities = [quantity for _, quantity in financiers]
+        assert quantities == sorted(quantities, reverse=True)

@@ -1,0 +1,102 @@
+"""Unit tests for vertex grouping strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.grouping import (
+    attribute_groups,
+    community_groups,
+    degree_groups,
+    hash_groups,
+    round_robin_groups,
+)
+from repro.core.interaction import Interaction
+from repro.core.network import TemporalInteractionNetwork
+
+
+class TestRoundRobin:
+    def test_cycles_through_groups(self):
+        groups = round_robin_groups(["a", "b", "c", "d", "e"], 2)
+        assert groups == {"a": 0, "b": 1, "c": 0, "d": 1, "e": 0}
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            round_robin_groups(["a"], 0)
+
+    def test_single_group(self):
+        assert set(round_robin_groups(["a", "b"], 1).values()) == {0}
+
+
+class TestHashGroups:
+    def test_all_groups_in_range(self):
+        groups = hash_groups([f"v{i}" for i in range(100)], 7)
+        assert set(groups.values()) <= set(range(7))
+
+    def test_deterministic(self):
+        vertices = [f"v{i}" for i in range(20)]
+        assert hash_groups(vertices, 3) == hash_groups(vertices, 3)
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            hash_groups(["a"], 0)
+
+
+class TestAttributeGroups:
+    def test_uses_attribute_values(self):
+        groups = attribute_groups({"a": "US", "b": "GR", "c": "US"})
+        assert groups == {"a": "US", "b": "GR", "c": "US"}
+
+    def test_missing_vertices_not_included(self):
+        groups = attribute_groups({"a": "US"})
+        assert "b" not in groups
+
+
+class TestDegreeGroups:
+    def test_highest_degree_in_group_zero(self, paper_network):
+        groups = degree_groups(paper_network, 2)
+        # v2 has the highest degree in the running example.
+        assert groups["v2"] == 0
+
+    def test_group_count_respected(self, small_network):
+        groups = degree_groups(small_network, 5)
+        assert set(groups.values()) <= set(range(5))
+        assert len(groups) == small_network.num_vertices
+
+    def test_rejects_zero_groups(self, paper_network):
+        with pytest.raises(ValueError):
+            degree_groups(paper_network, 0)
+
+
+class TestCommunityGroups:
+    def test_two_cliques_fall_in_different_groups(self):
+        interactions = []
+        time = 1.0
+        # Two internally well-connected groups with a single bridge.
+        for group, members in enumerate((["a1", "a2", "a3"], ["b1", "b2", "b3"])):
+            for source in members:
+                for destination in members:
+                    if source != destination:
+                        interactions.append(Interaction(source, destination, time, 1.0))
+                        time += 1.0
+        interactions.append(Interaction("a1", "b1", time, 1.0))
+        network = TemporalInteractionNetwork.from_interactions(interactions)
+
+        groups = community_groups(network)
+        assert groups["a1"] == groups["a2"] == groups["a3"]
+        assert groups["b1"] == groups["b2"] == groups["b3"]
+        assert groups["a1"] != groups["b1"]
+
+    def test_num_groups_cap(self, small_network):
+        groups = community_groups(small_network, num_groups=3)
+        assert set(groups.values()) <= set(range(3))
+
+    def test_groups_feed_grouped_policy(self, paper_network):
+        from repro.scalable.grouped import GroupedProportionalPolicy
+
+        assignment = community_groups(paper_network)
+        policy = GroupedProportionalPolicy(
+            groups=sorted(set(assignment.values())), assignment=assignment
+        )
+        policy.process_all(paper_network.interactions)
+        assert sum(policy.origins("v0").as_dict().values()) == pytest.approx(3.0)

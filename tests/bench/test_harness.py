@@ -1,0 +1,99 @@
+"""Unit tests for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    PolicyRunResult,
+    clear_network_cache,
+    load_network_cached,
+    run_policy,
+)
+from repro.policies.proportional import ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy
+
+
+class TestNetworkCache:
+    def test_cache_returns_same_object(self):
+        clear_network_cache()
+        first = load_network_cached("taxis", scale=0.02)
+        second = load_network_cached("taxis", scale=0.02)
+        assert first is second
+
+    def test_cache_distinguishes_scales(self):
+        clear_network_cache()
+        small = load_network_cached("taxis", scale=0.02)
+        larger = load_network_cached("taxis", scale=0.04)
+        assert small is not larger
+        assert larger.num_interactions > small.num_interactions
+
+    def test_clear_cache(self):
+        first = load_network_cached("taxis", scale=0.02)
+        clear_network_cache()
+        second = load_network_cached("taxis", scale=0.02)
+        assert first is not second
+
+
+class TestRunPolicy:
+    def test_feasible_run_collects_metrics(self, small_network):
+        result = run_policy(small_network, FifoPolicy())
+        assert result.feasible
+        assert result.runtime_seconds is not None and result.runtime_seconds >= 0
+        assert result.memory_bytes > 0
+        assert result.interactions == small_network.num_interactions
+        assert result.entry_count > 0
+
+    def test_memory_ceiling_marks_infeasible(self, small_network):
+        result = run_policy(
+            small_network,
+            ProportionalSparsePolicy(),
+            memory_ceiling_bytes=1,
+            memory_check_every=10,
+        )
+        assert not result.feasible
+        assert result.runtime_seconds is None
+        assert "exceeds" in result.note
+
+    def test_as_row_marks_infeasible_with_none(self, small_network):
+        result = run_policy(
+            small_network, FifoPolicy(), memory_ceiling_bytes=1, memory_check_every=10
+        )
+        row = result.as_row()
+        assert row["runtime_s"] is None
+        assert row["memory_bytes"] is None
+
+    def test_as_row_feasible(self, small_network):
+        row = run_policy(small_network, FifoPolicy()).as_row()
+        assert row["dataset"] == "small"
+        assert row["runtime_s"] is not None
+
+    def test_limit_restricts_interactions(self, small_network):
+        result = run_policy(small_network, FifoPolicy(), limit=50)
+        assert result.interactions == 50
+
+    def test_sampling_collects_series(self, small_network):
+        result = run_policy(small_network, FifoPolicy(), sample_every=100)
+        assert result.statistics is not None
+        assert len(result.statistics.samples) >= 1
+
+
+class TestExperimentResult:
+    def test_to_text_renders_rows_and_series(self):
+        result = ExperimentResult(
+            experiment_id="tableX",
+            title="Example",
+            rows=[{"dataset": "taxis", "runtime_s": 0.5}],
+            series={"extra": [{"k": 1, "value": 2.0}]},
+        )
+        text = result.to_text()
+        assert "tableX: Example" in text
+        assert "taxis" in text
+        assert "extra" in text
+        assert "value" in text
+
+    def test_policy_run_result_defaults(self):
+        result = PolicyRunResult(dataset="d", policy="p", feasible=True)
+        assert result.interactions == 0
+        assert result.note == ""

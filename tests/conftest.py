@@ -1,0 +1,116 @@
+"""Shared fixtures for the test suite.
+
+The most important fixture is ``paper_interactions``: the six-interaction
+running example of the paper (Figure 3 / Tables 2-5), used as a golden
+reference throughout the policy tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.core.network import TemporalInteractionNetwork
+from repro.datasets.catalog import load_preset
+from repro.datasets.schema import DatasetSpec, QuantityModel
+from repro.datasets.synthetic import generate_network
+from repro.policies.generation_time import LeastRecentlyBornPolicy, MostRecentlyBornPolicy
+from repro.policies.no_provenance import NoProvenancePolicy
+from repro.policies.proportional import ProportionalDensePolicy, ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy, LifoPolicy
+
+
+@pytest.fixture
+def paper_interactions() -> List[Interaction]:
+    """The interaction sequence of the paper's running example (Figure 3a)."""
+    return [
+        Interaction("v1", "v2", 1, 3),
+        Interaction("v2", "v0", 3, 5),
+        Interaction("v0", "v1", 4, 3),
+        Interaction("v1", "v2", 5, 7),
+        Interaction("v2", "v1", 7, 2),
+        Interaction("v2", "v0", 8, 1),
+    ]
+
+
+@pytest.fixture
+def paper_network(paper_interactions) -> TemporalInteractionNetwork:
+    """The running example as a TemporalInteractionNetwork."""
+    return TemporalInteractionNetwork.from_interactions(
+        paper_interactions, name="paper-example"
+    )
+
+
+@pytest.fixture
+def small_network() -> TemporalInteractionNetwork:
+    """A small deterministic synthetic network (fast enough for any test)."""
+    spec = DatasetSpec(
+        name="small",
+        num_vertices=40,
+        num_interactions=600,
+        quantity_model=QuantityModel(kind="lognormal", mean=10.0, sigma=1.0),
+        participation_skew=1.0,
+        seed=42,
+    )
+    return generate_network(spec)
+
+
+@pytest.fixture
+def medium_network() -> TemporalInteractionNetwork:
+    """A slightly larger synthetic network for scalability-flavoured tests."""
+    spec = DatasetSpec(
+        name="medium",
+        num_vertices=150,
+        num_interactions=3000,
+        quantity_model=QuantityModel(kind="lognormal", mean=25.0, sigma=1.5),
+        participation_skew=1.1,
+        seed=43,
+    )
+    return generate_network(spec)
+
+
+@pytest.fixture
+def tiny_taxis_network() -> TemporalInteractionNetwork:
+    """A down-scaled taxis preset (used by analysis and experiment tests)."""
+    return load_preset("taxis", scale=0.05)
+
+
+def _entry_policy_factories():
+    return {
+        "lrb": LeastRecentlyBornPolicy,
+        "mrb": MostRecentlyBornPolicy,
+        "fifo": FifoPolicy,
+        "lifo": LifoPolicy,
+    }
+
+
+@pytest.fixture(params=sorted(_entry_policy_factories()))
+def entry_policy_factory(request) -> Callable:
+    """Factory for each entry-based (heap/queue/stack) policy."""
+    return _entry_policy_factories()[request.param]
+
+
+def _provenance_policy_factories(network: TemporalInteractionNetwork):
+    return {
+        "lrb": LeastRecentlyBornPolicy,
+        "mrb": MostRecentlyBornPolicy,
+        "fifo": FifoPolicy,
+        "lifo": LifoPolicy,
+        "proportional-sparse": ProportionalSparsePolicy,
+        "proportional-dense": lambda: ProportionalDensePolicy(network.vertices),
+    }
+
+
+@pytest.fixture(
+    params=["lrb", "mrb", "fifo", "lifo", "proportional-sparse", "proportional-dense"]
+)
+def any_provenance_policy(request, small_network):
+    """Every full-provenance policy, instantiated for ``small_network``."""
+    return _provenance_policy_factories(small_network)[request.param]()
+
+
+@pytest.fixture
+def noprov_policy() -> NoProvenancePolicy:
+    return NoProvenancePolicy()

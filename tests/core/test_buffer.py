@@ -1,0 +1,167 @@
+"""Unit and property-based tests for the buffer data structures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.buffer import BufferEntry, FifoBuffer, HeapBuffer, LifoBuffer
+
+
+def entry(origin="o", quantity=1.0, birth_time=0.0, path=None):
+    return BufferEntry(origin=origin, quantity=quantity, birth_time=birth_time, path=path)
+
+
+class TestBufferEntry:
+    def test_split_returns_piece_with_same_origin(self):
+        original = entry(quantity=5.0, birth_time=2.0, path=("o",))
+        piece = original.split(2.0)
+        assert piece.quantity == 2.0
+        assert original.quantity == 3.0
+        assert piece.origin == original.origin
+        assert piece.birth_time == original.birth_time
+        assert piece.path == original.path
+
+    def test_split_whole_amount_not_allowed_above_quantity(self):
+        with pytest.raises(ValueError):
+            entry(quantity=1.0).split(2.0)
+
+    def test_split_zero_rejected(self):
+        with pytest.raises(ValueError):
+            entry(quantity=1.0).split(0.0)
+
+    def test_copy_is_independent(self):
+        original = entry(quantity=4.0)
+        clone = original.copy()
+        clone.quantity = 1.0
+        assert original.quantity == 4.0
+
+
+class TestHeapBuffer:
+    def test_oldest_first_selection(self):
+        buffer = HeapBuffer(oldest_first=True)
+        buffer.push(entry("a", 1.0, birth_time=5.0))
+        buffer.push(entry("b", 1.0, birth_time=1.0))
+        buffer.push(entry("c", 1.0, birth_time=3.0))
+        drained = buffer.drain(3.0)
+        assert [e.origin for e in drained] == ["b", "c", "a"]
+
+    def test_newest_first_selection(self):
+        buffer = HeapBuffer(oldest_first=False)
+        buffer.push(entry("a", 1.0, birth_time=5.0))
+        buffer.push(entry("b", 1.0, birth_time=1.0))
+        drained = buffer.drain(2.0)
+        assert [e.origin for e in drained] == ["a", "b"]
+
+    def test_tie_break_is_insertion_order(self):
+        buffer = HeapBuffer(oldest_first=True)
+        buffer.push(entry("first", 1.0, birth_time=1.0))
+        buffer.push(entry("second", 1.0, birth_time=1.0))
+        drained = buffer.drain(2.0)
+        assert [e.origin for e in drained] == ["first", "second"]
+
+    def test_total_tracks_pushes_and_drains(self):
+        buffer = HeapBuffer()
+        buffer.push(entry("a", 4.0))
+        buffer.push(entry("b", 3.0))
+        assert buffer.total == 7.0
+        buffer.drain(5.0)
+        assert buffer.total == pytest.approx(2.0)
+
+    def test_partial_drain_splits_entry(self):
+        buffer = HeapBuffer()
+        buffer.push(entry("a", 4.0, birth_time=1.0))
+        drained = buffer.drain(1.5)
+        assert len(drained) == 1
+        assert drained[0].quantity == pytest.approx(1.5)
+        assert buffer.total == pytest.approx(2.5)
+        assert len(buffer) == 1
+
+    def test_drain_more_than_available_returns_everything(self):
+        buffer = HeapBuffer()
+        buffer.push(entry("a", 2.0))
+        drained = buffer.drain(10.0)
+        assert sum(e.quantity for e in drained) == pytest.approx(2.0)
+        assert buffer.is_empty()
+
+    def test_drain_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HeapBuffer().drain(-1.0)
+
+    def test_origins_aggregation(self):
+        buffer = HeapBuffer()
+        buffer.push(entry("a", 2.0))
+        buffer.push(entry("a", 3.0))
+        buffer.push(entry("b", 1.0))
+        origins = buffer.origins()
+        assert origins.as_dict() == {"a": 5.0, "b": 1.0}
+
+
+class TestFifoLifoBuffers:
+    def test_fifo_order(self):
+        buffer = FifoBuffer()
+        for name in "abc":
+            buffer.push(entry(name, 1.0))
+        assert [e.origin for e in buffer.drain(3.0)] == ["a", "b", "c"]
+
+    def test_lifo_order(self):
+        buffer = LifoBuffer()
+        for name in "abc":
+            buffer.push(entry(name, 1.0))
+        assert [e.origin for e in buffer.drain(3.0)] == ["c", "b", "a"]
+
+    def test_fifo_partial_split_keeps_head(self):
+        buffer = FifoBuffer()
+        buffer.push(entry("a", 5.0))
+        buffer.push(entry("b", 5.0))
+        drained = buffer.drain(7.0)
+        assert [(e.origin, e.quantity) for e in drained] == [("a", 5.0), ("b", 2.0)]
+        assert buffer.total == pytest.approx(3.0)
+
+    def test_lifo_len_and_empty(self):
+        buffer = LifoBuffer()
+        assert buffer.is_empty()
+        buffer.push(entry("a", 1.0))
+        assert len(buffer) == 1
+        buffer.drain(1.0)
+        assert buffer.is_empty()
+
+
+@pytest.mark.parametrize("buffer_cls", [HeapBuffer, FifoBuffer, LifoBuffer])
+class TestBufferSharedBehaviour:
+    def test_drain_conserves_quantity(self, buffer_cls):
+        buffer = buffer_cls()
+        for index in range(10):
+            buffer.push(entry(f"o{index}", float(index + 1), birth_time=float(index)))
+        before = buffer.total
+        drained = buffer.drain(17.5)
+        assert sum(e.quantity for e in drained) == pytest.approx(17.5)
+        assert buffer.total == pytest.approx(before - 17.5)
+
+    def test_drain_zero_returns_nothing(self, buffer_cls):
+        buffer = buffer_cls()
+        buffer.push(entry("a", 1.0))
+        assert buffer.drain(0.0) == []
+        assert buffer.total == 1.0
+
+
+@given(
+    quantities=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+@pytest.mark.parametrize("buffer_cls", [HeapBuffer, FifoBuffer, LifoBuffer])
+def test_property_drain_conservation(buffer_cls, quantities, fraction):
+    """Draining any amount conserves total quantity across buffer + drained."""
+    buffer = buffer_cls()
+    for index, quantity in enumerate(quantities):
+        buffer.push(entry(f"o{index % 3}", quantity, birth_time=float(index)))
+    total_before = buffer.total
+    amount = total_before * fraction
+    drained = buffer.drain(amount)
+    drained_total = sum(e.quantity for e in drained)
+    assert drained_total == pytest.approx(min(amount, total_before), rel=1e-9, abs=1e-9)
+    assert buffer.total + drained_total == pytest.approx(total_before, rel=1e-9, abs=1e-9)

@@ -1,0 +1,123 @@
+"""Unit tests for policy/engine checkpointing."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.checkpoint import load_engine, load_policy, save_engine, save_policy
+from repro.core.engine import ProvenanceEngine
+from repro.core.interaction import Interaction
+from repro.core.provenance import UNKNOWN_ORIGIN
+from repro.policies.generation_time import LeastRecentlyBornPolicy
+from repro.policies.proportional import ProportionalDensePolicy, ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy
+from repro.scalable.budget import BudgetProportionalPolicy
+from repro.scalable.windowing import WindowedProportionalPolicy
+
+
+def run_half(policy, interactions, vertices=()):
+    policy.reset(vertices)
+    half = len(interactions) // 2
+    policy.process_all(interactions[:half])
+    return interactions[half:]
+
+
+class TestPolicyCheckpoint:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            FifoPolicy,
+            LeastRecentlyBornPolicy,
+            ProportionalSparsePolicy,
+            lambda: BudgetProportionalPolicy(capacity=5),
+            lambda: WindowedProportionalPolicy(window=100),
+        ],
+    )
+    def test_save_load_resume_equals_uninterrupted(self, factory, small_network, tmp_path):
+        interactions = small_network.interactions
+        # Uninterrupted reference run.
+        reference = factory()
+        reference.reset()
+        reference.process_all(interactions)
+
+        # Run half, checkpoint, restore, run the rest.
+        interrupted = factory()
+        remaining = run_half(interrupted, interactions)
+        path = tmp_path / "checkpoint.pkl"
+        save_policy(interrupted, path)
+        restored = load_policy(path)
+        restored.process_all(remaining)
+
+        for vertex in reference.tracked_vertices():
+            assert restored.buffer_total(vertex) == pytest.approx(
+                reference.buffer_total(vertex), rel=1e-9, abs=1e-9
+            )
+            assert restored.origins(vertex).approx_equal(
+                reference.origins(vertex), rel_tol=1e-9, abs_tol=1e-9
+            )
+
+    def test_dense_policy_checkpoint(self, small_network, tmp_path):
+        interactions = small_network.interactions
+        reference = ProportionalDensePolicy(small_network.vertices)
+        reference.process_all(interactions)
+
+        interrupted = ProportionalDensePolicy(small_network.vertices)
+        half = len(interactions) // 2
+        interrupted.process_all(interactions[:half])
+        path = tmp_path / "dense.pkl"
+        save_policy(interrupted, path)
+        restored = load_policy(path)
+        restored.process_all(interactions[half:])
+        for vertex in reference.tracked_vertices():
+            assert restored.origins(vertex).approx_equal(reference.origins(vertex))
+
+    def test_unknown_origin_identity_survives_pickle(self, tmp_path):
+        policy = BudgetProportionalPolicy(capacity=1)
+        policy.process(Interaction("a", "v", 1.0, 1.0))
+        policy.process(Interaction("b", "v", 2.0, 1.0))
+        policy.process(Interaction("c", "v", 3.0, 1.0))
+        path = tmp_path / "budget.pkl"
+        save_policy(policy, path)
+        restored = load_policy(path)
+        origins = restored.origins("v")
+        # The unknown-origin entry must still be recognised as the sentinel.
+        assert origins.unknown_quantity > 0
+        assert UNKNOWN_ORIGIN in origins
+
+    def test_load_rejects_non_policy(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with path.open("wb") as handle:
+            pickle.dump({"not": "a policy"}, handle)
+        with pytest.raises(TypeError):
+            load_policy(path)
+
+
+class TestEngineCheckpoint:
+    def test_engine_round_trip(self, paper_network, tmp_path):
+        engine = ProvenanceEngine(FifoPolicy())
+        engine.run(paper_network)
+        path = tmp_path / "engine.pkl"
+        save_engine(engine, path)
+        restored = load_engine(path)
+        assert restored.interactions_processed == 6
+        assert restored.current_time == 8
+        assert restored.origins("v0").approx_equal(engine.origins("v0"))
+
+    def test_restored_engine_keeps_processing(self, paper_network, tmp_path):
+        engine = ProvenanceEngine(FifoPolicy())
+        engine.run(paper_network)
+        path = tmp_path / "engine.pkl"
+        save_engine(engine, path)
+        restored = load_engine(path)
+        restored.step(Interaction("v0", "v2", 9.0, 1.0))
+        assert restored.interactions_processed == 7
+        assert restored.buffer_total("v0") == pytest.approx(2.0)
+
+    def test_load_rejects_non_engine_payload(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with path.open("wb") as handle:
+            pickle.dump([1, 2, 3], handle)
+        with pytest.raises(TypeError):
+            load_engine(path)

@@ -1,0 +1,150 @@
+"""Unit tests for interaction records and their validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.interaction import Interaction, sort_interactions, validate_interactions
+from repro.exceptions import InvalidInteractionError
+
+
+class TestInteractionConstruction:
+    def test_basic_fields(self):
+        interaction = Interaction("a", "b", 1.5, 10.0)
+        assert interaction.source == "a"
+        assert interaction.destination == "b"
+        assert interaction.time == 1.5
+        assert interaction.quantity == 10.0
+
+    def test_is_frozen(self):
+        interaction = Interaction("a", "b", 1.0, 1.0)
+        with pytest.raises(AttributeError):
+            interaction.quantity = 5.0
+
+    def test_integer_vertices_allowed(self):
+        interaction = Interaction(1, 2, 0.0, 3.0)
+        assert interaction.source == 1
+        assert interaction.destination == 2
+
+    def test_self_loop_detection(self):
+        assert Interaction("a", "a", 1.0, 1.0).is_self_loop
+        assert not Interaction("a", "b", 1.0, 1.0).is_self_loop
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction("a", "b", -1.0, 1.0)
+
+    def test_negative_quantity_rejected(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction("a", "b", 1.0, -1.0)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction("a", "b", math.nan, 1.0)
+
+    def test_infinite_quantity_rejected(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction("a", "b", 1.0, math.inf)
+
+    def test_non_numeric_time_rejected(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction("a", "b", "noon", 1.0)
+
+    def test_boolean_quantity_rejected(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction("a", "b", 1.0, True)
+
+    def test_zero_quantity_allowed(self):
+        assert Interaction("a", "b", 1.0, 0.0).quantity == 0.0
+
+
+class TestInteractionTupleRoundTrip:
+    def test_as_tuple(self):
+        interaction = Interaction("a", "b", 2.0, 3.0)
+        assert interaction.as_tuple() == ("a", "b", 2.0, 3.0)
+
+    def test_from_tuple(self):
+        interaction = Interaction.from_tuple(("a", "b", "2.5", "7"))
+        assert interaction.time == 2.5
+        assert interaction.quantity == 7.0
+
+    def test_from_tuple_wrong_length(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction.from_tuple(("a", "b", 1.0))
+
+    def test_from_tuple_bad_values(self):
+        with pytest.raises(InvalidInteractionError):
+            Interaction.from_tuple(("a", "b", "later", "much"))
+
+    def test_round_trip(self):
+        interaction = Interaction("x", "y", 5.0, 2.5)
+        assert Interaction.from_tuple(interaction.as_tuple()) == interaction
+
+
+class TestSortAndValidate:
+    def test_sort_orders_by_time(self):
+        interactions = [
+            Interaction("a", "b", 3.0, 1.0),
+            Interaction("a", "b", 1.0, 1.0),
+            Interaction("a", "b", 2.0, 1.0),
+        ]
+        ordered = sort_interactions(interactions)
+        assert [r.time for r in ordered] == [1.0, 2.0, 3.0]
+
+    def test_sort_is_stable_for_ties(self):
+        first = Interaction("a", "b", 1.0, 1.0)
+        second = Interaction("c", "d", 1.0, 2.0)
+        assert sort_interactions([first, second]) == [first, second]
+
+    def test_validate_passes_sorted_stream(self):
+        interactions = [Interaction("a", "b", t, 1.0) for t in (1, 2, 3)]
+        assert list(validate_interactions(interactions, require_sorted=True)) == interactions
+
+    def test_validate_rejects_unsorted_when_required(self):
+        interactions = [Interaction("a", "b", 2.0, 1.0), Interaction("a", "b", 1.0, 1.0)]
+        with pytest.raises(InvalidInteractionError):
+            list(validate_interactions(interactions, require_sorted=True))
+
+    def test_validate_accepts_unsorted_when_not_required(self):
+        interactions = [Interaction("a", "b", 2.0, 1.0), Interaction("a", "b", 1.0, 1.0)]
+        assert len(list(validate_interactions(interactions))) == 2
+
+    def test_validate_rejects_self_loops_when_disallowed(self):
+        with pytest.raises(InvalidInteractionError):
+            list(
+                validate_interactions(
+                    [Interaction("a", "a", 1.0, 1.0)], allow_self_loops=False
+                )
+            )
+
+    def test_validate_converts_raw_tuples(self):
+        result = list(validate_interactions([("a", "b", 1.0, 2.0)]))
+        assert result == [Interaction("a", "b", 1.0, 2.0)]
+
+
+@given(
+    time=st.floats(min_value=0, max_value=1e12, allow_nan=False, allow_infinity=False),
+    quantity=st.floats(min_value=0, max_value=1e12, allow_nan=False, allow_infinity=False),
+)
+def test_property_valid_interactions_accept_all_finite_nonnegative(time, quantity):
+    interaction = Interaction("s", "d", time, quantity)
+    assert interaction.time == time
+    assert interaction.quantity == quantity
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_property_sort_interactions_is_monotone(times):
+    interactions = [Interaction("a", "b", t, 1.0) for t in times]
+    ordered = sort_interactions(interactions)
+    assert all(
+        ordered[i].time <= ordered[i + 1].time for i in range(len(ordered) - 1)
+    )

@@ -1,0 +1,124 @@
+"""Unit tests for the TemporalInteractionNetwork container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.core.network import TemporalInteractionNetwork
+from repro.exceptions import UnknownVertexError
+
+
+class TestConstruction:
+    def test_from_interactions_registers_vertices(self, paper_interactions):
+        network = TemporalInteractionNetwork.from_interactions(paper_interactions)
+        assert set(network.vertices) == {"v0", "v1", "v2"}
+        assert network.num_vertices == 3
+        assert network.num_interactions == 6
+
+    def test_from_interactions_accepts_tuples(self):
+        network = TemporalInteractionNetwork.from_interactions(
+            [("a", "b", 1.0, 2.0), ("b", "c", 2.0, 3.0)]
+        )
+        assert network.num_interactions == 2
+        assert "c" in network
+
+    def test_explicit_isolated_vertices(self, paper_interactions):
+        network = TemporalInteractionNetwork.from_interactions(
+            paper_interactions, vertices=["isolated"]
+        )
+        assert "isolated" in network
+        assert network.num_vertices == 4
+
+    def test_add_vertex_idempotent(self):
+        network = TemporalInteractionNetwork()
+        network.add_vertex("a")
+        network.add_vertex("a")
+        assert network.num_vertices == 1
+
+    def test_vertex_index_is_stable(self, paper_network):
+        index = paper_network.vertex_index
+        assert sorted(index.values()) == [0, 1, 2]
+        assert index["v1"] == 0  # first vertex seen (source of first interaction)
+
+    def test_len_and_iter(self, paper_network, paper_interactions):
+        assert len(paper_network) == len(paper_interactions)
+        assert list(paper_network) == sorted(paper_interactions, key=lambda r: r.time)
+
+
+class TestEdges:
+    def test_edge_history(self, paper_network):
+        edge = paper_network.edge("v1", "v2")
+        assert edge.events == ((1, 3), (5, 7))
+        assert edge.total_quantity == 10
+        assert len(edge) == 2
+
+    def test_edge_missing_raises(self, paper_network):
+        with pytest.raises(UnknownVertexError):
+            paper_network.edge("v0", "v2")
+
+    def test_edge_unknown_vertex_raises(self, paper_network):
+        with pytest.raises(UnknownVertexError):
+            paper_network.edge("v0", "missing")
+
+    def test_num_edges(self, paper_network):
+        # Edges of the running example: v1->v2, v2->v0, v0->v1, v2->v1.
+        assert paper_network.num_edges == 4
+
+    def test_edges_iteration(self, paper_network):
+        pairs = {(edge.source, edge.destination) for edge in paper_network.edges()}
+        assert pairs == {("v1", "v2"), ("v2", "v0"), ("v0", "v1"), ("v2", "v1")}
+
+    def test_neighbors(self, paper_network):
+        assert paper_network.out_neighbors("v2") == {"v0", "v1"}
+        assert paper_network.in_neighbors("v0") == {"v2"}
+        assert paper_network.degree("v2") == 3  # out: v0, v1; in: v1
+
+    def test_neighbors_unknown_vertex(self, paper_network):
+        with pytest.raises(UnknownVertexError):
+            paper_network.out_neighbors("missing")
+
+
+class TestOrderingAndStatistics:
+    def test_interactions_sorted_lazily(self):
+        network = TemporalInteractionNetwork()
+        network.add_interaction(Interaction("a", "b", 5.0, 1.0))
+        network.add_interaction(Interaction("b", "c", 1.0, 1.0))
+        assert [r.time for r in network.interactions] == [1.0, 5.0]
+
+    def test_total_and_average_quantity(self, paper_network):
+        assert paper_network.total_quantity() == 21
+        assert paper_network.average_quantity() == pytest.approx(21 / 6)
+
+    def test_average_quantity_empty_network(self):
+        assert TemporalInteractionNetwork().average_quantity() == 0.0
+
+    def test_time_span(self, paper_network):
+        assert paper_network.time_span() == (1, 8)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            TemporalInteractionNetwork().time_span()
+
+    def test_summary_shape(self, paper_network):
+        summary = paper_network.summary()
+        assert summary["num_vertices"] == 3
+        assert summary["num_interactions"] == 6
+        assert summary["name"] == "paper-example"
+
+    def test_generated_quantity_by_vertex(self, paper_network):
+        # From Table 2: v1 generates 3 + 4 = 7 units, v2 generates 2 units.
+        generated = paper_network.generated_quantity_by_vertex()
+        assert generated == {"v1": 7, "v2": 2}
+
+    def test_generated_quantity_total_matches_buffers(self, small_network):
+        generated = small_network.generated_quantity_by_vertex()
+        # All quantity in the network was generated somewhere; the final
+        # buffered total over all vertices must equal the generated total.
+        from repro.core.engine import ProvenanceEngine
+        from repro.policies.no_provenance import NoProvenancePolicy
+
+        engine = ProvenanceEngine(NoProvenancePolicy())
+        engine.run(small_network)
+        buffered = sum(engine.buffer_totals().values())
+        assert buffered == pytest.approx(sum(generated.values()))

@@ -1,0 +1,168 @@
+"""Unit tests for OriginSet and ProvenanceSnapshot."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.provenance import UNKNOWN_ORIGIN, OriginSet, ProvenanceSnapshot
+
+
+class TestOriginSetBasics:
+    def test_empty_set(self):
+        origins = OriginSet()
+        assert len(origins) == 0
+        assert origins.total == 0.0
+        assert origins.fractions() == {}
+        assert origins.as_dict() == {}
+
+    def test_add_and_get(self):
+        origins = OriginSet()
+        origins.add("a", 2.0)
+        origins.add("a", 3.0)
+        origins.add("b", 1.0)
+        assert origins["a"] == 5.0
+        assert origins.get("b") == 1.0
+        assert origins.get("missing") == 0.0
+        assert origins.total == 6.0
+
+    def test_add_zero_is_ignored(self):
+        origins = OriginSet()
+        origins.add("a", 0.0)
+        assert "a" not in origins
+        assert len(origins) == 0
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OriginSet().add("a", -1.0)
+
+    def test_constructor_from_mapping(self):
+        origins = OriginSet({"a": 1.0, "b": 2.0})
+        assert origins.total == 3.0
+
+    def test_contains_and_iter(self):
+        origins = OriginSet({"a": 1.0, "b": 2.0})
+        assert "a" in origins
+        assert set(origins) == {"a", "b"}
+        assert set(origins.origins()) == {"a", "b"}
+
+    def test_equality(self):
+        assert OriginSet({"a": 1.0}) == OriginSet({"a": 1.0})
+        assert OriginSet({"a": 1.0}) != OriginSet({"a": 2.0})
+        assert OriginSet({"a": 1.0}) != "not an origin set"
+
+
+class TestOriginSetAnalyses:
+    def test_fractions_sum_to_one(self):
+        origins = OriginSet({"a": 1.0, "b": 3.0})
+        fractions = origins.fractions()
+        assert fractions["a"] == pytest.approx(0.25)
+        assert fractions["b"] == pytest.approx(0.75)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_top_orders_by_quantity(self):
+        origins = OriginSet({"a": 1.0, "b": 5.0, "c": 3.0})
+        assert origins.top(2) == [("b", 5.0), ("c", 3.0)]
+
+    def test_top_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OriginSet().top(-1)
+
+    def test_top_more_than_available(self):
+        origins = OriginSet({"a": 1.0})
+        assert origins.top(10) == [("a", 1.0)]
+
+    def test_merge(self):
+        merged = OriginSet({"a": 1.0}).merge(OriginSet({"a": 2.0, "b": 1.0}))
+        assert merged.as_dict() == {"a": 3.0, "b": 1.0}
+
+    def test_merge_does_not_mutate_inputs(self):
+        left = OriginSet({"a": 1.0})
+        right = OriginSet({"b": 1.0})
+        left.merge(right)
+        assert left.as_dict() == {"a": 1.0}
+        assert right.as_dict() == {"b": 1.0}
+
+    def test_restricted_to(self):
+        origins = OriginSet({"a": 1.0, "b": 2.0, "c": 3.0})
+        assert origins.restricted_to(["a", "c"]).as_dict() == {"a": 1.0, "c": 3.0}
+
+    def test_known_and_unknown_totals(self):
+        origins = OriginSet({"a": 1.0, UNKNOWN_ORIGIN: 4.0})
+        assert origins.known_total == 1.0
+        assert origins.unknown_quantity == 4.0
+        assert origins.total == 5.0
+
+    def test_approx_equal(self):
+        left = OriginSet({"a": 1.0, "b": 2.0})
+        right = OriginSet({"a": 1.0 + 1e-12, "b": 2.0})
+        assert left.approx_equal(right)
+        assert not left.approx_equal(OriginSet({"a": 1.5, "b": 2.0}))
+
+
+class TestUnknownOriginSentinel:
+    def test_singleton(self):
+        from repro.core.provenance import _UnknownOrigin
+
+        assert _UnknownOrigin() is UNKNOWN_ORIGIN
+
+    def test_pickle_round_trip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(UNKNOWN_ORIGIN)) is UNKNOWN_ORIGIN
+
+    def test_repr(self):
+        assert repr(UNKNOWN_ORIGIN) == "UNKNOWN_ORIGIN"
+
+
+class TestProvenanceSnapshot:
+    def test_basic_access(self):
+        snapshot = ProvenanceSnapshot(
+            time=5.0,
+            interactions_processed=10,
+            origins={"v": OriginSet({"a": 1.0}), "w": OriginSet({"b": 2.0})},
+        )
+        assert snapshot.time == 5.0
+        assert snapshot.interactions_processed == 10
+        assert len(snapshot) == 2
+        assert "v" in snapshot
+        assert snapshot["v"].as_dict() == {"a": 1.0}
+        assert snapshot.get("missing").total == 0.0
+        assert set(snapshot) == {"v", "w"}
+
+    def test_total_quantity(self):
+        snapshot = ProvenanceSnapshot(
+            time=0.0,
+            interactions_processed=0,
+            origins={"v": OriginSet({"a": 1.0}), "w": OriginSet({"b": 2.5})},
+        )
+        assert snapshot.total_quantity() == pytest.approx(3.5)
+
+    def test_items(self):
+        snapshot = ProvenanceSnapshot(0.0, 0, {"v": OriginSet({"a": 1.0})})
+        assert dict(snapshot.items())["v"].total == 1.0
+
+
+@given(
+    quantities=st.dictionaries(
+        st.integers(min_value=0, max_value=20),
+        st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+        max_size=20,
+    )
+)
+def test_property_total_equals_sum_of_values(quantities):
+    origins = OriginSet(quantities)
+    assert origins.total == pytest.approx(sum(quantities.values()))
+
+
+@given(
+    quantities=st.dictionaries(
+        st.integers(min_value=0, max_value=20),
+        st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_fractions_sum_to_one(quantities):
+    fractions = OriginSet(quantities).fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)

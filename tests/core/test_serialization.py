@@ -1,0 +1,89 @@
+"""Unit tests for JSON serialization of provenance results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.engine import ProvenanceEngine
+from repro.core.provenance import UNKNOWN_ORIGIN, OriginSet, ProvenanceSnapshot
+from repro.core.serialization import (
+    origin_set_from_dict,
+    origin_set_to_dict,
+    read_snapshot_json,
+    snapshot_from_dict,
+    snapshot_to_dict,
+    write_snapshot_json,
+)
+from repro.policies.receipt_order import FifoPolicy
+
+
+class TestOriginSetSerialization:
+    def test_round_trip(self):
+        origins = OriginSet({"a": 2.0, "b": 1.0, 3: 0.5})
+        rebuilt = origin_set_from_dict(origin_set_to_dict(origins))
+        assert rebuilt.approx_equal(origins)
+
+    def test_total_included(self):
+        payload = origin_set_to_dict(OriginSet({"a": 2.0, "b": 1.0}))
+        assert payload["total"] == pytest.approx(3.0)
+
+    def test_origins_sorted_by_quantity(self):
+        payload = origin_set_to_dict(OriginSet({"small": 1.0, "big": 5.0}))
+        assert payload["origins"][0]["origin"] == "big"
+
+    def test_unknown_origin_round_trip(self):
+        origins = OriginSet({"a": 2.0, UNKNOWN_ORIGIN: 1.5})
+        rebuilt = origin_set_from_dict(origin_set_to_dict(origins))
+        assert rebuilt.unknown_quantity == pytest.approx(1.5)
+        assert UNKNOWN_ORIGIN in rebuilt
+
+    def test_payload_is_json_serialisable(self):
+        origins = OriginSet({"a": 2.0, UNKNOWN_ORIGIN: 1.5, 7: 0.25})
+        json.dumps(origin_set_to_dict(origins))  # must not raise
+
+    def test_non_primitive_vertices_become_strings(self):
+        origins = OriginSet({("compound", 1): 2.0})
+        payload = origin_set_to_dict(origins)
+        assert isinstance(payload["origins"][0]["origin"], str)
+
+    def test_empty_set(self):
+        rebuilt = origin_set_from_dict(origin_set_to_dict(OriginSet()))
+        assert len(rebuilt) == 0
+
+
+class TestSnapshotSerialization:
+    def make_snapshot(self, paper_network):
+        engine = ProvenanceEngine(FifoPolicy())
+        engine.run(paper_network)
+        return engine.snapshot()
+
+    def test_round_trip(self, paper_network):
+        snapshot = self.make_snapshot(paper_network)
+        rebuilt = snapshot_from_dict(snapshot_to_dict(snapshot))
+        assert rebuilt.time == snapshot.time
+        assert rebuilt.interactions_processed == snapshot.interactions_processed
+        assert set(rebuilt) == set(snapshot)
+        for vertex in snapshot:
+            assert rebuilt[vertex].approx_equal(snapshot[vertex])
+
+    def test_json_file_round_trip(self, paper_network, tmp_path):
+        snapshot = self.make_snapshot(paper_network)
+        path = tmp_path / "snapshot.json"
+        write_snapshot_json(snapshot, path)
+        rebuilt = read_snapshot_json(path)
+        assert rebuilt.total_quantity() == pytest.approx(snapshot.total_quantity())
+
+    def test_file_is_valid_json(self, paper_network, tmp_path):
+        snapshot = self.make_snapshot(paper_network)
+        path = tmp_path / "snapshot.json"
+        write_snapshot_json(snapshot, path)
+        payload = json.loads(path.read_text())
+        assert "vertices" in payload
+        assert payload["interactions_processed"] == 6
+
+    def test_empty_snapshot(self):
+        snapshot = ProvenanceSnapshot(time=0.0, interactions_processed=0, origins={})
+        rebuilt = snapshot_from_dict(snapshot_to_dict(snapshot))
+        assert len(rebuilt) == 0

@@ -1,0 +1,102 @@
+"""Unit tests for interaction stream utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.core.stream import InteractionStream, merge_streams, take_prefix, time_window
+from repro.exceptions import InvalidInteractionError
+
+
+def make(times, source="a", destination="b"):
+    return [Interaction(source, destination, t, 1.0) for t in times]
+
+
+class TestInteractionStream:
+    def test_sorts_unsorted_input(self):
+        stream = InteractionStream(make([3, 1, 2]))
+        assert [r.time for r in stream] == [1, 2, 3]
+
+    def test_assume_sorted_passes_through_lazily(self):
+        stream = InteractionStream(make([1, 2, 3]), assume_sorted=True)
+        assert [r.time for r in stream] == [1, 2, 3]
+
+    def test_assume_sorted_rejects_violation(self):
+        stream = InteractionStream(make([2, 1]), assume_sorted=True)
+        with pytest.raises(InvalidInteractionError):
+            list(stream)
+
+    def test_rejects_self_loops_when_disallowed(self):
+        stream = InteractionStream(
+            [Interaction("a", "a", 1.0, 1.0)], allow_self_loops=False
+        )
+        with pytest.raises(InvalidInteractionError):
+            list(stream)
+
+    def test_accepts_raw_tuples(self):
+        stream = InteractionStream([("a", "b", 2.0, 1.0), ("a", "b", 1.0, 1.0)])
+        assert [r.time for r in stream] == [1.0, 2.0]
+
+    def test_can_be_iterated_twice(self):
+        stream = InteractionStream(make([2, 1]))
+        assert [r.time for r in stream] == [1, 2]
+        assert [r.time for r in stream] == [1, 2]
+
+
+class TestMergeStreams:
+    def test_merges_two_sorted_streams(self):
+        merged = list(merge_streams(make([1, 4, 6]), make([2, 3, 5], source="x")))
+        assert [r.time for r in merged] == [1, 2, 3, 4, 5, 6]
+
+    def test_merge_empty_streams(self):
+        assert list(merge_streams([], [])) == []
+
+    def test_merge_single_stream(self):
+        merged = list(merge_streams(make([1, 2])))
+        assert [r.time for r in merged] == [1, 2]
+
+    def test_merge_rejects_unsorted_stream(self):
+        with pytest.raises(InvalidInteractionError):
+            list(merge_streams(make([2, 1])))
+
+    def test_merge_three_streams_preserves_all(self):
+        merged = list(merge_streams(make([1, 5]), make([2, 4]), make([3])))
+        assert [r.time for r in merged] == [1, 2, 3, 4, 5]
+
+
+class TestPrefixAndWindow:
+    def test_take_prefix(self):
+        assert [r.time for r in take_prefix(make([1, 2, 3, 4]), 2)] == [1, 2]
+
+    def test_take_prefix_zero(self):
+        assert list(take_prefix(make([1, 2]), 0)) == []
+
+    def test_take_prefix_more_than_available(self):
+        assert len(list(take_prefix(make([1, 2]), 10))) == 2
+
+    def test_take_prefix_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(take_prefix(make([1]), -1))
+
+    def test_time_window_both_bounds(self):
+        windowed = list(time_window(make([1, 2, 3, 4, 5]), start=2, end=4))
+        assert [r.time for r in windowed] == [2, 3, 4]
+
+    def test_time_window_unbounded_start(self):
+        assert [r.time for r in time_window(make([1, 2, 3]), end=2)] == [1, 2]
+
+    def test_time_window_unbounded_end(self):
+        assert [r.time for r in time_window(make([1, 2, 3]), start=2)] == [2, 3]
+
+    def test_time_window_stops_early_on_sorted_input(self):
+        # The generator must stop consuming once past `end`.
+        consumed = []
+
+        def generator():
+            for interaction in make([1, 2, 3, 4, 5]):
+                consumed.append(interaction.time)
+                yield interaction
+
+        list(time_window(generator(), end=2))
+        assert consumed == [1, 2, 3]  # stops right after passing the end bound

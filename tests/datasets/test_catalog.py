@@ -1,0 +1,77 @@
+"""Unit tests for the dataset preset catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.catalog import PRESETS, available_presets, get_spec, load_preset
+from repro.exceptions import DatasetError
+
+
+class TestCatalog:
+    def test_five_paper_datasets_present(self):
+        assert set(available_presets()) == {"bitcoin", "ctu", "prosper", "flights", "taxis"}
+
+    def test_available_presets_sorted(self):
+        assert available_presets() == sorted(available_presets())
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            get_spec("does-not-exist")
+
+    def test_get_spec_scaling(self):
+        base = get_spec("taxis")
+        scaled = get_spec("taxis", scale=0.1)
+        assert scaled.num_interactions < base.num_interactions
+        assert scaled.density == pytest.approx(base.density, rel=0.2)
+
+    def test_get_spec_reseeding(self):
+        assert get_spec("taxis", seed=999).seed == 999
+        assert get_spec("taxis").seed == PRESETS["taxis"].seed
+
+    def test_all_presets_have_paper_statistics(self):
+        for spec in PRESETS.values():
+            assert spec.paper_statistics is not None
+            assert len(spec.paper_statistics) == 3
+
+    def test_density_ordering_matches_paper(self):
+        """Flights/Taxis are dense (few vertices); Bitcoin/CTU are sparse."""
+        densities = {name: get_spec(name).density for name in available_presets()}
+        assert densities["flights"] > densities["taxis"] > densities["prosper"]
+        assert densities["prosper"] > densities["ctu"]
+        assert densities["prosper"] > densities["bitcoin"]
+        assert densities["bitcoin"] < 10
+        assert densities["flights"] > 100
+
+    def test_vertex_count_ordering_matches_paper(self):
+        vertices = {name: get_spec(name).num_vertices for name in available_presets()}
+        assert (
+            vertices["bitcoin"]
+            > vertices["ctu"]
+            > vertices["prosper"]
+            > vertices["taxis"]
+            > vertices["flights"]
+        )
+
+
+class TestLoadPreset:
+    def test_load_small_scale(self):
+        network = load_preset("taxis", scale=0.05)
+        assert network.name == "taxis"
+        assert network.num_interactions > 0
+        assert network.num_vertices >= 10
+
+    def test_load_is_deterministic(self):
+        first = load_preset("flights", scale=0.02)
+        second = load_preset("flights", scale=0.02)
+        assert first.interactions == second.interactions
+
+    def test_seed_override_changes_data(self):
+        first = load_preset("flights", scale=0.02, seed=1)
+        second = load_preset("flights", scale=0.02, seed=2)
+        assert first.interactions != second.interactions
+
+    def test_quantity_scale_roughly_matches_spec(self):
+        network = load_preset("flights", scale=0.05)
+        # Flights preset draws 50-200 passengers per interaction.
+        assert 50 <= network.average_quantity() <= 200

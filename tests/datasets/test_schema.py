@@ -1,0 +1,80 @@
+"""Unit tests for dataset specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.schema import DatasetSpec, QuantityModel
+from repro.exceptions import DatasetError
+
+
+class TestQuantityModel:
+    def test_valid_kinds(self):
+        for kind in ("lognormal", "uniform_int", "pareto"):
+            assert QuantityModel(kind=kind, mean=10.0).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DatasetError):
+            QuantityModel(kind="gaussian")
+
+    def test_uniform_bounds_checked(self):
+        with pytest.raises(DatasetError):
+            QuantityModel(kind="uniform_int", low=10, high=1)
+
+    def test_mean_must_be_positive(self):
+        with pytest.raises(DatasetError):
+            QuantityModel(mean=0.0)
+
+
+class TestDatasetSpec:
+    def base(self, **overrides):
+        defaults = dict(name="test", num_vertices=100, num_interactions=1000)
+        defaults.update(overrides)
+        return DatasetSpec(**defaults)
+
+    def test_density(self):
+        assert self.base().density == 10.0
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(DatasetError):
+            self.base(num_vertices=1)
+
+    def test_too_few_interactions_rejected(self):
+        with pytest.raises(DatasetError):
+            self.base(num_interactions=0)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(DatasetError):
+            self.base(participation_skew=-0.5)
+
+    def test_edge_reuse_probability_bounds(self):
+        with pytest.raises(DatasetError):
+            self.base(edge_reuse_probability=1.5)
+
+    def test_scaled_preserves_density_roughly(self):
+        spec = self.base()
+        scaled = spec.scaled(0.5)
+        assert scaled.num_vertices == 50
+        assert scaled.num_interactions == 500
+        assert scaled.density == pytest.approx(spec.density)
+
+    def test_scaled_lower_bounds(self):
+        scaled = self.base().scaled(0.001)
+        assert scaled.num_vertices >= 10
+        assert scaled.num_interactions >= 100
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(DatasetError):
+            self.base().scaled(0.0)
+
+    def test_scaled_keeps_other_fields(self):
+        spec = self.base(seed=99, description="hello")
+        scaled = spec.scaled(2.0)
+        assert scaled.seed == 99
+        assert scaled.description == "hello"
+        assert scaled.num_interactions == 2000
+
+    def test_spec_is_frozen(self):
+        spec = self.base()
+        with pytest.raises(AttributeError):
+            spec.num_vertices = 5

@@ -1,0 +1,112 @@
+"""Unit and property tests for the synthetic TIN generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.schema import DatasetSpec, QuantityModel
+from repro.datasets.synthetic import generate_interactions, generate_network
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        name="synthetic-test",
+        num_vertices=50,
+        num_interactions=500,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return DatasetSpec(**defaults)
+
+
+class TestGeneration:
+    def test_interaction_count(self):
+        interactions = generate_interactions(make_spec())
+        assert len(interactions) == 500
+
+    def test_deterministic_given_seed(self):
+        first = generate_interactions(make_spec(seed=11))
+        second = generate_interactions(make_spec(seed=11))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = generate_interactions(make_spec(seed=1))
+        second = generate_interactions(make_spec(seed=2))
+        assert first != second
+
+    def test_timestamps_strictly_increasing(self):
+        interactions = generate_interactions(make_spec())
+        times = [r.time for r in interactions]
+        assert all(earlier < later for earlier, later in zip(times, times[1:]))
+
+    def test_no_self_loops(self):
+        interactions = generate_interactions(make_spec())
+        assert all(not r.is_self_loop for r in interactions)
+
+    def test_vertices_within_universe(self):
+        spec = make_spec(num_vertices=20)
+        interactions = generate_interactions(spec)
+        for interaction in interactions:
+            assert 0 <= interaction.source < 20
+            assert 0 <= interaction.destination < 20
+
+    def test_quantities_positive(self):
+        interactions = generate_interactions(make_spec())
+        assert all(r.quantity > 0 for r in interactions)
+
+    def test_uniform_int_quantities_in_range(self):
+        spec = make_spec(
+            quantity_model=QuantityModel(kind="uniform_int", low=50, high=200, mean=125)
+        )
+        interactions = generate_interactions(spec)
+        assert all(50 <= r.quantity <= 200 for r in interactions)
+
+    def test_lognormal_mean_roughly_matches(self):
+        spec = make_spec(
+            num_interactions=5000,
+            quantity_model=QuantityModel(kind="lognormal", mean=20.0, sigma=1.0),
+        )
+        interactions = generate_interactions(spec)
+        average = sum(r.quantity for r in interactions) / len(interactions)
+        assert average == pytest.approx(20.0, rel=0.3)
+
+    def test_pareto_quantities_heavy_tailed(self):
+        spec = make_spec(
+            num_interactions=3000,
+            quantity_model=QuantityModel(kind="pareto", mean=100.0, alpha=1.5),
+        )
+        quantities = sorted(r.quantity for r in generate_interactions(spec))
+        # Heavy tail: the max greatly exceeds the median.
+        assert quantities[-1] > 10 * quantities[len(quantities) // 2]
+
+    def test_participation_skew_creates_hubs(self):
+        skewed = generate_interactions(make_spec(participation_skew=1.5, num_interactions=2000))
+        flat = generate_interactions(make_spec(participation_skew=0.0, num_interactions=2000))
+
+        def max_source_share(interactions):
+            counts = {}
+            for r in interactions:
+                counts[r.source] = counts.get(r.source, 0) + 1
+            return max(counts.values()) / len(interactions)
+
+        assert max_source_share(skewed) > max_source_share(flat)
+
+
+class TestGenerateNetwork:
+    def test_network_registers_all_vertices(self):
+        spec = make_spec(num_vertices=30)
+        network = generate_network(spec)
+        assert network.num_vertices == 30
+        assert network.num_interactions == spec.num_interactions
+        assert network.name == spec.name
+
+    def test_network_interactions_sorted(self):
+        network = generate_network(make_spec())
+        times = [r.time for r in network.interactions]
+        assert times == sorted(times)
+
+    def test_edge_reuse_creates_repeated_edges(self):
+        spec = make_spec(edge_reuse_probability=0.9, num_interactions=1000)
+        network = generate_network(spec)
+        # With heavy reuse, far fewer distinct edges than interactions.
+        assert network.num_edges < network.num_interactions / 2

@@ -1,0 +1,116 @@
+"""Unit tests for lazy (replay-based) provenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ProvenanceEngine
+from repro.core.interaction import Interaction
+from repro.lazy.replay import ReplayProvenance
+from repro.policies.generation_time import LeastRecentlyBornPolicy
+from repro.policies.receipt_order import FifoPolicy, LifoPolicy
+
+
+class TestLazySemantics:
+    def test_matches_proactive_fifo(self, paper_interactions):
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy.reset()
+        lazy.process_all(paper_interactions)
+
+        proactive = FifoPolicy()
+        proactive.reset()
+        proactive.process_all(paper_interactions)
+
+        for vertex in ("v0", "v1", "v2"):
+            assert lazy.buffer_total(vertex) == pytest.approx(proactive.buffer_total(vertex))
+            assert lazy.origins(vertex).approx_equal(proactive.origins(vertex))
+
+    def test_matches_proactive_other_policies(self, paper_interactions):
+        for factory in (LifoPolicy, LeastRecentlyBornPolicy):
+            lazy = ReplayProvenance(factory)
+            lazy.reset()
+            lazy.process_all(paper_interactions)
+            proactive = factory()
+            proactive.reset()
+            proactive.process_all(paper_interactions)
+            assert lazy.origins("v0").approx_equal(proactive.origins("v0"))
+
+    def test_works_with_engine(self, paper_network):
+        engine = ProvenanceEngine(ReplayProvenance(FifoPolicy))
+        engine.run(paper_network)
+        assert engine.buffer_total("v0") == pytest.approx(3.0)
+
+    def test_tracked_vertices_delegate(self, paper_interactions):
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy.reset()
+        lazy.process_all(paper_interactions)
+        assert set(lazy.tracked_vertices()) == {"v0", "v1", "v2"}
+
+
+class TestReplayCaching:
+    def test_queries_without_new_interactions_replay_once(self, paper_interactions):
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy.reset()
+        lazy.process_all(paper_interactions)
+        lazy.origins("v0")
+        lazy.origins("v1")
+        lazy.buffer_total("v2")
+        assert lazy.replay_count == 1
+
+    def test_new_interaction_invalidates_cache(self, paper_interactions):
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy.reset()
+        lazy.process_all(paper_interactions)
+        lazy.origins("v0")
+        lazy.process(Interaction("v0", "v1", 10.0, 1.0))
+        lazy.origins("v0")
+        assert lazy.replay_count == 2
+
+    def test_log_length_and_entry_count(self, paper_interactions):
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy.reset()
+        lazy.process_all(paper_interactions)
+        assert lazy.log_length == 6
+        assert lazy.entry_count() == 6
+
+    def test_reset_clears_log_and_cache(self, paper_interactions):
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy.reset()
+        lazy.process_all(paper_interactions)
+        lazy.origins("v0")
+        lazy.reset()
+        assert lazy.log_length == 0
+        assert lazy.replay_count == 0
+        assert lazy.buffer_total("v0") == 0.0
+
+
+class TestTimeTravel:
+    def test_replay_at_prefix(self, paper_interactions):
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy.reset()
+        lazy.process_all(paper_interactions)
+        # State after the first two interactions (Table 2, row 2).
+        past = lazy.replay_at(2)
+        assert past.buffer_total("v0") == pytest.approx(5.0)
+        assert past.buffer_total("v2") == pytest.approx(0.0)
+
+    def test_replay_at_zero_is_empty(self, paper_interactions):
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy.reset()
+        lazy.process_all(paper_interactions)
+        assert list(lazy.replay_at(0).tracked_vertices()) == []
+
+    def test_replay_at_out_of_range(self, paper_interactions):
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy.reset()
+        lazy.process_all(paper_interactions)
+        with pytest.raises(IndexError):
+            lazy.replay_at(100)
+
+    def test_streaming_cost_is_flat(self, small_network):
+        """Processing with the lazy policy stores nothing but the log."""
+        lazy = ReplayProvenance(FifoPolicy)
+        lazy.reset()
+        lazy.process_all(small_network.interactions)
+        assert lazy.entry_count() == small_network.num_interactions
+        assert lazy.replay_count == 0  # no query issued yet

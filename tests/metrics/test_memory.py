@@ -1,0 +1,97 @@
+"""Unit tests for memory accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ProvenanceEngine
+from repro.core.interaction import Interaction
+from repro.exceptions import MemoryBudgetExceededError
+from repro.metrics.memory import MemoryCeiling, deep_sizeof, format_bytes, policy_memory_bytes
+from repro.policies.receipt_order import FifoPolicy
+
+
+class TestDeepSizeof:
+    def test_primitives(self):
+        assert deep_sizeof(42) > 0
+        assert deep_sizeof("hello") > 0
+        assert deep_sizeof(None) > 0
+
+    def test_containers_grow_with_content(self):
+        small = deep_sizeof([1, 2, 3])
+        large = deep_sizeof(list(range(1000)))
+        assert large > small
+
+    def test_dict_counts_keys_and_values(self):
+        empty = deep_sizeof({})
+        filled = deep_sizeof({f"key{i}": i for i in range(100)})
+        assert filled > empty
+
+    def test_numpy_array_counts_nbytes(self):
+        array = np.zeros(10_000, dtype=np.float64)
+        assert deep_sizeof(array) >= array.nbytes
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000))
+        combined = deep_sizeof([shared, shared])
+        single = deep_sizeof([shared])
+        assert combined < 2 * single
+
+    def test_objects_with_slots(self):
+        from repro.core.buffer import FifoBuffer, BufferEntry
+
+        buffer = FifoBuffer()
+        empty_size = deep_sizeof(buffer)
+        for index in range(100):
+            buffer.push(BufferEntry(origin=index, quantity=1.0))
+        assert deep_sizeof(buffer) > empty_size
+
+    def test_policy_memory_grows_with_state(self, small_network):
+        policy = FifoPolicy()
+        policy.reset()
+        before = policy_memory_bytes(policy)
+        policy.process_all(small_network.interactions)
+        assert policy_memory_bytes(policy) > before
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512B"
+
+    def test_kilobytes(self):
+        assert format_bytes(2048) == "2.00KB"
+
+    def test_megabytes(self):
+        assert format_bytes(5 * 1024 * 1024) == "5.00MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(3 * 1024**3) == "3.00GB"
+
+
+class TestMemoryCeiling:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MemoryCeiling(0)
+        with pytest.raises(ValueError):
+            MemoryCeiling(100, check_every=0)
+
+    def test_raises_when_exceeded(self, small_network):
+        ceiling = MemoryCeiling(1, check_every=10)  # 1 byte: always exceeded
+        engine = ProvenanceEngine(FifoPolicy(), observers=[ceiling])
+        with pytest.raises(MemoryBudgetExceededError) as info:
+            engine.run(small_network)
+        assert info.value.used_bytes > info.value.ceiling_bytes
+
+    def test_does_not_raise_under_generous_ceiling(self, small_network):
+        ceiling = MemoryCeiling(10**9, check_every=50)
+        engine = ProvenanceEngine(FifoPolicy(), observers=[ceiling])
+        engine.run(small_network)
+        assert ceiling.peak_bytes > 0
+
+    def test_checks_only_every_n_interactions(self):
+        calls = []
+        ceiling = MemoryCeiling(10**9, check_every=3, measure=lambda p: calls.append(1) or 1)
+        engine = ProvenanceEngine(FifoPolicy(), observers=[ceiling])
+        engine.run([Interaction("a", "b", float(t), 1.0) for t in range(1, 10)])
+        assert len(calls) == 3  # interactions 3, 6, 9

@@ -1,0 +1,66 @@
+"""Unit tests for plain-text table rendering."""
+
+from __future__ import annotations
+
+from repro.metrics.tables import format_table, format_value
+
+
+class TestFormatValue:
+    def test_none_renders_as_dashes(self):
+        assert format_value(None) == "--"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_precision(self):
+        assert format_value(3.14159, float_digits=3) == "3.14"
+
+    def test_zero_float(self):
+        assert format_value(0.0) == "0"
+
+    def test_large_float_compact(self):
+        assert "e" in format_value(1.23456e9) or len(format_value(1.23456e9)) <= 12
+
+    def test_string_passthrough(self):
+        assert format_value("bitcoin") == "bitcoin"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        rows = [{"dataset": "taxis", "runtime": 0.5}, {"dataset": "ctu", "runtime": 1.25}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert "dataset" in lines[0] and "runtime" in lines[0]
+        assert "taxis" in text and "ctu" in text
+
+    def test_title_line(self):
+        text = format_table([{"a": 1}], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_missing_cells_render_dashes(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "--" in text
+        assert "b" in text.splitlines()[0]
+
+    def test_explicit_column_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_empty_rows(self):
+        text = format_table([], columns=["a", "b"])
+        assert "a" in text
+
+    def test_columns_aligned(self):
+        rows = [{"name": "a", "value": 1}, {"name": "longer-name", "value": 22}]
+        lines = format_table(rows).splitlines()
+        # All data lines have the same column start for "value".
+        header = lines[0]
+        value_position = header.index("value")
+        for line in lines[2:]:
+            cell = line[value_position:].strip()
+            assert cell in {"1", "22"}

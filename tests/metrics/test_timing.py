@@ -1,0 +1,54 @@
+"""Unit tests for the timing helpers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.metrics.timing import StageTimings, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_survives_exceptions(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            with timer:
+                raise RuntimeError("boom")
+        assert timer.elapsed >= 0.0
+
+
+class TestStageTimings:
+    def test_record_and_total(self):
+        timings = StageTimings()
+        timings.record("load", 1.0)
+        timings.record("run", 2.0)
+        timings.record("load", 0.5)
+        assert timings.total == pytest.approx(3.5)
+        assert timings.stages["load"] == pytest.approx(1.5)
+
+    def test_order_preserved(self):
+        timings = StageTimings()
+        timings.record("b", 1.0)
+        timings.record("a", 1.0)
+        assert [row["stage"] for row in timings.as_rows()] == ["b", "a"]
+
+    def test_time_context_manager(self):
+        timings = StageTimings()
+        with timings.time("sleep"):
+            time.sleep(0.01)
+        assert timings.stages["sleep"] >= 0.005
+
+    def test_as_rows_shape(self):
+        timings = StageTimings()
+        timings.record("x", 0.25)
+        rows = timings.as_rows()
+        assert rows == [{"stage": "x", "seconds": 0.25}]

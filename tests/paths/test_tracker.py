@@ -1,0 +1,159 @@
+"""Unit tests for how-provenance (path tracking, Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.exceptions import PolicyConfigurationError
+from repro.paths.tracker import PathProvenance, PathRecord
+from repro.policies.proportional import ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy, LifoPolicy
+
+
+def relay_chain():
+    """a generates 5 units which travel a -> b -> c -> d."""
+    return [
+        Interaction("a", "b", 1.0, 5.0),
+        Interaction("b", "c", 2.0, 5.0),
+        Interaction("c", "d", 3.0, 5.0),
+    ]
+
+
+class TestConfiguration:
+    def test_requires_entry_based_policy(self):
+        with pytest.raises(PolicyConfigurationError):
+            PathProvenance(ProportionalSparsePolicy())
+
+    def test_requires_track_paths_enabled(self):
+        with pytest.raises(PolicyConfigurationError):
+            PathProvenance(FifoPolicy(track_paths=False))
+
+
+class TestPathRecording:
+    def test_path_of_relayed_quantity(self):
+        policy = FifoPolicy(track_paths=True)
+        policy.reset()
+        policy.process_all(relay_chain())
+        records = PathProvenance(policy).paths_at("d")
+        assert len(records) == 1
+        record = records[0]
+        assert record.origin == "a"
+        assert record.quantity == pytest.approx(5.0)
+        assert record.path == ("a", "b", "c")
+        assert record.hops == 2
+
+    def test_newborn_path_is_just_origin(self):
+        policy = LifoPolicy(track_paths=True)
+        policy.reset()
+        policy.process(Interaction("a", "b", 1.0, 2.0))
+        records = PathProvenance(policy).paths_at("b")
+        assert records[0].path == ("a",)
+        assert records[0].hops == 0
+
+    def test_split_preserves_path(self):
+        policy = FifoPolicy(track_paths=True)
+        policy.reset()
+        policy.process(Interaction("a", "b", 1.0, 5.0))
+        policy.process(Interaction("b", "c", 2.0, 2.0))  # split: 2 go on, 3 stay
+        provenance = PathProvenance(policy)
+        at_c = provenance.paths_at("c")
+        at_b = provenance.paths_at("b")
+        assert at_c[0].path == ("a", "b")
+        assert at_c[0].quantity == pytest.approx(2.0)
+        assert at_b[0].path == ("a",)
+        assert at_b[0].quantity == pytest.approx(3.0)
+
+    def test_routes_from_filters_by_origin(self):
+        policy = FifoPolicy(track_paths=True)
+        policy.reset()
+        policy.process_all(
+            [
+                Interaction("a", "v", 1.0, 1.0),
+                Interaction("b", "v", 2.0, 1.0),
+            ]
+        )
+        provenance = PathProvenance(policy)
+        assert len(provenance.routes_from("a", "v")) == 1
+        assert len(provenance.routes_from("b", "v")) == 1
+        assert provenance.routes_from("z", "v") == []
+
+    def test_quantity_by_route_merges_identical_routes(self):
+        policy = FifoPolicy(track_paths=True)
+        policy.reset()
+        policy.process_all(
+            [
+                Interaction("a", "b", 1.0, 2.0),
+                Interaction("a", "b", 2.0, 3.0),
+            ]
+        )
+        by_route = PathProvenance(policy).quantity_by_route("b")
+        assert by_route == pytest.approx({("a",): 5.0})
+
+    def test_different_routes_stay_distinguishable(self):
+        """Unlike proportional provenance, paths keep routes apart."""
+        policy = FifoPolicy(track_paths=True)
+        policy.reset()
+        policy.process_all(
+            [
+                Interaction("a", "b", 1.0, 2.0),
+                Interaction("a", "c", 2.0, 2.0),
+                Interaction("b", "d", 3.0, 2.0),
+                Interaction("c", "d", 4.0, 2.0),
+            ]
+        )
+        by_route = PathProvenance(policy).quantity_by_route("d")
+        assert by_route == pytest.approx({("a", "b"): 2.0, ("a", "c"): 2.0})
+
+    def test_longest_path_at(self):
+        policy = FifoPolicy(track_paths=True)
+        policy.reset()
+        policy.process_all(relay_chain() + [Interaction("x", "d", 4.0, 1.0)])
+        longest = PathProvenance(policy).longest_path_at("d")
+        assert longest.path == ("a", "b", "c")
+
+    def test_longest_path_empty_buffer(self):
+        policy = FifoPolicy(track_paths=True)
+        policy.reset()
+        assert PathProvenance(policy).longest_path_at("nowhere") is None
+
+
+class TestStatistics:
+    def test_statistics_counts_hops_and_entries(self):
+        policy = FifoPolicy(track_paths=True)
+        policy.reset()
+        policy.process_all(relay_chain())
+        statistics = PathProvenance(policy).statistics()
+        assert statistics.entries == 1
+        assert statistics.total_hops == 2
+        assert statistics.total_path_vertices == 3
+        assert statistics.average_path_length == pytest.approx(2.0)
+
+    def test_statistics_empty(self):
+        policy = FifoPolicy(track_paths=True)
+        policy.reset()
+        statistics = PathProvenance(policy).statistics()
+        assert statistics.entries == 0
+        assert statistics.average_path_length == 0.0
+
+    def test_average_path_length_grows_with_relays(self, small_network):
+        policy = LifoPolicy(track_paths=True)
+        policy.reset()
+        policy.process_all(small_network.interactions)
+        statistics = PathProvenance(policy).statistics()
+        assert statistics.entries > 0
+        assert statistics.average_path_length >= 0.0
+
+    def test_origins_unaffected_by_path_tracking(self, small_network):
+        with_paths = LifoPolicy(track_paths=True)
+        with_paths.reset()
+        with_paths.process_all(small_network.interactions)
+        without = LifoPolicy()
+        without.reset()
+        without.process_all(small_network.interactions)
+        for vertex in without.tracked_vertices():
+            assert with_paths.origins(vertex).approx_equal(without.origins(vertex))
+
+    def test_path_record_dataclass(self):
+        record = PathRecord(origin="a", quantity=1.0, path=("a", "b"))
+        assert record.hops == 1

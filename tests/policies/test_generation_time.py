@@ -1,0 +1,100 @@
+"""Unit tests for the generation-time selection policies (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.policies.generation_time import LeastRecentlyBornPolicy, MostRecentlyBornPolicy
+
+
+def seed_buffer(policy):
+    """Give vertex ``v`` three quantity elements born at times 1, 2, 3."""
+    policy.reset()
+    policy.process_all(
+        [
+            Interaction("a", "v", 1.0, 2.0),   # 2 units born at a, time 1
+            Interaction("b", "v", 2.0, 3.0),   # 3 units born at b, time 2
+            Interaction("c", "v", 3.0, 4.0),   # 4 units born at c, time 3
+        ]
+    )
+    return policy
+
+
+class TestLeastRecentlyBorn:
+    def test_oldest_quantities_leave_first(self):
+        policy = seed_buffer(LeastRecentlyBornPolicy())
+        policy.process(Interaction("v", "u", 4.0, 4.0))
+        # The 2 units from a (time 1) and 2 of the 3 units from b (time 2) move.
+        assert policy.origins("u").as_dict() == pytest.approx({"a": 2, "b": 2})
+        assert policy.origins("v").as_dict() == pytest.approx({"b": 1, "c": 4})
+
+    def test_birth_time_kept_through_transfers(self):
+        policy = seed_buffer(LeastRecentlyBornPolicy())
+        policy.process(Interaction("v", "u", 4.0, 2.0))
+        entries = policy.entries("u")
+        assert len(entries) == 1
+        assert entries[0].birth_time == 1.0
+        assert entries[0].origin == "a"
+
+    def test_generation_when_buffer_insufficient(self):
+        policy = LeastRecentlyBornPolicy()
+        policy.reset()
+        policy.process(Interaction("a", "v", 1.0, 2.0))
+        policy.process(Interaction("v", "u", 5.0, 6.0))
+        # 2 relayed + 4 newborn at v with birth time 5.
+        origins = policy.origins("u").as_dict()
+        assert origins == pytest.approx({"a": 2, "v": 4})
+        newborn = [entry for entry in policy.entries("u") if entry.origin == "v"]
+        assert newborn[0].birth_time == 5.0
+
+    def test_name_and_flags(self):
+        assert LeastRecentlyBornPolicy.name == "lrb"
+        assert LeastRecentlyBornPolicy.supports_paths is True
+
+
+class TestMostRecentlyBorn:
+    def test_newest_quantities_leave_first(self):
+        policy = seed_buffer(MostRecentlyBornPolicy())
+        policy.process(Interaction("v", "u", 4.0, 4.0))
+        # The 4 units from c (time 3) move first and satisfy the transfer.
+        assert policy.origins("u").as_dict() == pytest.approx({"c": 4})
+        assert policy.origins("v").as_dict() == pytest.approx({"a": 2, "b": 3})
+
+    def test_partial_split_of_newest(self):
+        policy = seed_buffer(MostRecentlyBornPolicy())
+        policy.process(Interaction("v", "u", 4.0, 1.5))
+        assert policy.origins("u").as_dict() == pytest.approx({"c": 1.5})
+        assert policy.origins("v").as_dict() == pytest.approx({"a": 2, "b": 3, "c": 2.5})
+
+    def test_mirror_of_lrb_on_paper_example(self, paper_interactions):
+        lrb = LeastRecentlyBornPolicy()
+        lrb.reset()
+        lrb.process_all(paper_interactions)
+        mrb = MostRecentlyBornPolicy()
+        mrb.reset()
+        mrb.process_all(paper_interactions)
+        # Buffer totals agree; origin decompositions generally differ.
+        for vertex in ("v0", "v1", "v2"):
+            assert lrb.buffer_total(vertex) == pytest.approx(mrb.buffer_total(vertex))
+        assert lrb.origins("v2").as_dict() != mrb.origins("v2").as_dict()
+
+    def test_name(self):
+        assert MostRecentlyBornPolicy.name == "mrb"
+
+
+class TestEntryAccounting:
+    def test_entry_count_counts_buffered_triples(self, paper_interactions):
+        policy = LeastRecentlyBornPolicy()
+        policy.reset()
+        policy.process_all(paper_interactions)
+        # Final state of Table 3 has 4 triples across the three buffers.
+        assert policy.entry_count() == 4
+
+    def test_entries_returns_copies(self, paper_interactions):
+        policy = LeastRecentlyBornPolicy()
+        policy.reset()
+        policy.process_all(paper_interactions)
+        entries = policy.entries("v0")
+        entries[0].quantity = 999
+        assert policy.buffer_total("v0") == pytest.approx(3)

@@ -1,0 +1,154 @@
+"""Property-based cross-policy invariants (DESIGN.md Section 6).
+
+These tests generate random interaction streams with hypothesis and check
+the invariants that must hold for *every* provenance policy, regardless of
+selection order:
+
+1. quantity conservation: the origin decomposition of every buffer sums to
+   the buffer total computed by the NoProv baseline;
+2. buffer totals are identical across policies;
+3. the total provenance mass over all buffers equals the total quantity ever
+   generated (newborn) in the network;
+4. no quantity is ever negative;
+5. when an interaction drains a source buffer completely, every policy
+   transfers exactly the same provenance mass.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interaction import Interaction
+from repro.policies.generation_time import LeastRecentlyBornPolicy, MostRecentlyBornPolicy
+from repro.policies.no_provenance import NoProvenancePolicy
+from repro.policies.proportional import ProportionalDensePolicy, ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy, LifoPolicy
+
+VERTICES = list(range(6))
+
+
+@st.composite
+def interaction_streams(draw, max_size: int = 60):
+    """Random time-ordered interaction streams over a small vertex universe."""
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    interactions = []
+    time = 0.0
+    for _ in range(size):
+        source = draw(st.sampled_from(VERTICES))
+        destination = draw(st.sampled_from([v for v in VERTICES if v != source]))
+        quantity = draw(
+            st.floats(min_value=0.01, max_value=50.0, allow_nan=False, allow_infinity=False)
+        )
+        time += draw(st.floats(min_value=0.01, max_value=2.0, allow_nan=False))
+        interactions.append(Interaction(source, destination, time, quantity))
+    return interactions
+
+
+def all_policies():
+    return [
+        LeastRecentlyBornPolicy(),
+        MostRecentlyBornPolicy(),
+        FifoPolicy(),
+        LifoPolicy(),
+        ProportionalSparsePolicy(),
+        ProportionalDensePolicy(VERTICES),
+    ]
+
+
+def run(policy, interactions):
+    if isinstance(policy, ProportionalDensePolicy):
+        policy.reset(VERTICES)
+    else:
+        policy.reset()
+    policy.process_all(interactions)
+    return policy
+
+
+@settings(max_examples=40, deadline=None)
+@given(interactions=interaction_streams())
+def test_property_conservation_against_noprov(interactions):
+    reference = run(NoProvenancePolicy(), interactions)
+    for policy in all_policies():
+        run(policy, interactions)
+        for vertex in VERTICES:
+            expected = reference.buffer_total(vertex)
+            assert policy.buffer_total(vertex) == pytest.approx(
+                expected, rel=1e-7, abs=1e-7
+            ), f"{policy.describe()} disagrees on |B_{vertex}|"
+            assert policy.origins(vertex).total == pytest.approx(
+                expected, rel=1e-7, abs=1e-7
+            ), f"{policy.describe()} origin mass != buffer total at {vertex}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(interactions=interaction_streams())
+def test_property_total_provenance_equals_generated_mass(interactions):
+    reference = run(NoProvenancePolicy(), interactions)
+    generated_total = reference.total_generated()
+    for policy in all_policies():
+        run(policy, interactions)
+        provenance_mass = sum(
+            policy.origins(vertex).total for vertex in VERTICES
+        )
+        assert provenance_mass == pytest.approx(generated_total, rel=1e-7, abs=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(interactions=interaction_streams())
+def test_property_no_negative_quantities(interactions):
+    for policy in all_policies():
+        run(policy, interactions)
+        for vertex in VERTICES:
+            assert policy.buffer_total(vertex) >= -1e-9
+            for origin, quantity in policy.origins(vertex).items():
+                assert quantity >= 0, (policy.describe(), vertex, origin)
+
+
+@settings(max_examples=40, deadline=None)
+@given(interactions=interaction_streams())
+def test_property_aggregate_attribution_matches_generation_per_origin(interactions):
+    """Summed over all buffers, each origin is credited exactly what it generated.
+
+    Individual buffers attribute different origins under different selection
+    policies, but relay never creates or destroys quantity, so the aggregate
+    per-origin attribution is policy-independent and equals the newborn
+    quantity measured by the NoProv baseline.
+    """
+    reference = run(NoProvenancePolicy(), interactions)
+    generated = reference.generated_quantities()
+    for policy in all_policies():
+        run(policy, interactions)
+        attributed = {}
+        for vertex in VERTICES:
+            for origin, quantity in policy.origins(vertex).items():
+                attributed[origin] = attributed.get(origin, 0.0) + quantity
+        for origin in set(generated) | set(attributed):
+            assert attributed.get(origin, 0.0) == pytest.approx(
+                generated.get(origin, 0.0), rel=1e-6, abs=1e-6
+            ), (policy.describe(), origin)
+
+
+@settings(max_examples=30, deadline=None)
+@given(interactions=interaction_streams(max_size=40))
+def test_property_full_drain_empties_source_in_every_policy(interactions):
+    """Append an interaction draining one buffer entirely: the source empties
+    and the destination total grows identically under every policy."""
+    reference = run(NoProvenancePolicy(), interactions)
+    non_empty = [v for v in VERTICES if reference.buffer_total(v) > 0]
+    if not non_empty:
+        return
+    source = non_empty[0]
+    destination = (source + 1) % len(VERTICES)
+    total = reference.buffer_total(source)
+    destination_before = reference.buffer_total(destination)
+    last_time = interactions[-1].time + 1.0
+    draining = interactions + [Interaction(source, destination, last_time, total)]
+
+    for policy in all_policies():
+        run(policy, draining)
+        assert policy.buffer_total(source) == pytest.approx(0.0, abs=1e-7)
+        assert policy.origins(source).total == pytest.approx(0.0, abs=1e-7)
+        assert policy.buffer_total(destination) == pytest.approx(
+            destination_before + total, rel=1e-7, abs=1e-7
+        )

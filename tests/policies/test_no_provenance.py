@@ -1,0 +1,93 @@
+"""Unit tests for the NoProv baseline (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.policies.no_provenance import NoProvenancePolicy
+
+
+class TestPropagation:
+    def test_newborn_quantity_when_buffer_empty(self):
+        policy = NoProvenancePolicy()
+        policy.reset()
+        policy.process(Interaction("a", "b", 1.0, 5.0))
+        assert policy.buffer_total("a") == 0.0
+        assert policy.buffer_total("b") == 5.0
+        assert policy.generated_quantity("a") == 5.0
+
+    def test_relay_without_generation(self):
+        policy = NoProvenancePolicy()
+        policy.reset()
+        policy.process(Interaction("a", "b", 1.0, 5.0))
+        policy.process(Interaction("b", "c", 2.0, 3.0))
+        assert policy.buffer_total("b") == pytest.approx(2.0)
+        assert policy.buffer_total("c") == pytest.approx(3.0)
+        assert policy.generated_quantity("b") == 0.0
+
+    def test_partial_generation(self):
+        policy = NoProvenancePolicy()
+        policy.reset()
+        policy.process(Interaction("a", "b", 1.0, 2.0))
+        policy.process(Interaction("b", "c", 2.0, 5.0))
+        # b holds 2, needs to send 5 -> 3 newborn at b.
+        assert policy.generated_quantity("b") == pytest.approx(3.0)
+        assert policy.buffer_total("c") == pytest.approx(5.0)
+        assert policy.buffer_total("b") == 0.0
+
+    def test_zero_quantity_interaction_is_noop_on_totals(self):
+        policy = NoProvenancePolicy()
+        policy.reset()
+        policy.process(Interaction("a", "b", 1.0, 0.0))
+        assert policy.buffer_total("a") == 0.0
+        assert policy.buffer_total("b") == 0.0
+        assert policy.total_generated() == 0.0
+
+    def test_reset_clears_state(self, paper_interactions):
+        policy = NoProvenancePolicy()
+        policy.reset()
+        policy.process_all(paper_interactions)
+        policy.reset()
+        assert policy.buffer_total("v0") == 0.0
+        assert policy.total_generated() == 0.0
+
+    def test_reset_with_vertices_preregisters_buffers(self):
+        policy = NoProvenancePolicy()
+        policy.reset(["a", "b"])
+        assert policy.entry_count() == 2
+
+    def test_self_loop_keeps_quantity_at_vertex(self):
+        policy = NoProvenancePolicy()
+        policy.reset()
+        policy.process(Interaction("a", "a", 1.0, 5.0))
+        # The transfer leaves a with the full 5 units (generated then kept).
+        assert policy.buffer_total("a") == pytest.approx(5.0)
+        assert policy.generated_quantity("a") == pytest.approx(5.0)
+
+
+class TestQueries:
+    def test_origins_always_empty(self, paper_interactions):
+        policy = NoProvenancePolicy()
+        policy.reset()
+        policy.process_all(paper_interactions)
+        assert len(policy.origins("v0")) == 0
+
+    def test_tracked_vertices_only_nonempty(self, paper_interactions):
+        policy = NoProvenancePolicy()
+        policy.reset()
+        policy.process_all(paper_interactions[:2])
+        assert set(policy.tracked_vertices()) == {"v0"}
+
+    def test_generated_quantities_mapping(self, paper_interactions):
+        policy = NoProvenancePolicy()
+        policy.reset()
+        policy.process_all(paper_interactions)
+        assert policy.generated_quantities() == {"v1": 7, "v2": 2}
+
+    def test_describe_uses_name(self):
+        assert NoProvenancePolicy().describe() == "noprov"
+
+    def test_class_flags(self):
+        assert NoProvenancePolicy.tracks_provenance is False
+        assert NoProvenancePolicy.supports_paths is False

@@ -1,0 +1,206 @@
+"""Golden tests: the paper's running example (Figure 3, Tables 2-5).
+
+These tests replay the six-interaction example of the paper and check the
+intermediate and final buffer states reported in Tables 2 (NoProv), 3
+(least-recently-born), 4 (LIFO) and 5 (proportional selection).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ProvenanceEngine
+from repro.policies.generation_time import LeastRecentlyBornPolicy
+from repro.policies.no_provenance import NoProvenancePolicy
+from repro.policies.proportional import ProportionalDensePolicy, ProportionalSparsePolicy
+from repro.policies.receipt_order import FifoPolicy, LifoPolicy
+
+
+def run_and_collect(policy, interactions, vertices=("v0", "v1", "v2")):
+    """Process interactions one by one, recording buffer totals after each."""
+    policy.reset(vertices if getattr(policy, "name", "") == "proportional-dense" else ())
+    history = []
+    for interaction in interactions:
+        policy.process(interaction)
+        history.append({v: policy.buffer_total(v) for v in vertices})
+    return history
+
+
+class TestTable2NoProv:
+    """Buffer totals after each interaction (Table 2)."""
+
+    EXPECTED = [
+        {"v0": 0, "v1": 0, "v2": 3},
+        {"v0": 5, "v1": 0, "v2": 0},
+        {"v0": 2, "v1": 3, "v2": 0},
+        {"v0": 2, "v1": 0, "v2": 7},
+        {"v0": 2, "v1": 2, "v2": 5},
+        {"v0": 3, "v1": 2, "v2": 4},
+    ]
+
+    def test_buffer_totals_match_table2(self, paper_interactions):
+        history = run_and_collect(NoProvenancePolicy(), paper_interactions)
+        for step, expected in zip(history, self.EXPECTED):
+            for vertex, quantity in expected.items():
+                assert step[vertex] == pytest.approx(quantity)
+
+    def test_every_policy_reproduces_table2_totals(self, paper_interactions, paper_network):
+        """Buffer totals are policy-independent (only provenance differs)."""
+        policies = [
+            NoProvenancePolicy(),
+            LeastRecentlyBornPolicy(),
+            FifoPolicy(),
+            LifoPolicy(),
+            ProportionalSparsePolicy(),
+            ProportionalDensePolicy(paper_network.vertices),
+        ]
+        for policy in policies:
+            history = run_and_collect(policy, paper_interactions)
+            for step, expected in zip(history, self.EXPECTED):
+                for vertex, quantity in expected.items():
+                    assert step[vertex] == pytest.approx(quantity), policy
+
+    def test_generated_quantities(self, paper_interactions):
+        policy = NoProvenancePolicy()
+        policy.process_all(paper_interactions)
+        assert policy.generated_quantity("v1") == pytest.approx(7)
+        assert policy.generated_quantity("v2") == pytest.approx(2)
+        assert policy.generated_quantity("v0") == 0.0
+        assert policy.total_generated() == pytest.approx(9)
+
+
+class TestTable3LeastRecentlyBorn:
+    """Origin decompositions under the oldest-first policy (Table 3)."""
+
+    def test_final_buffers(self, paper_interactions):
+        policy = LeastRecentlyBornPolicy()
+        policy.reset()
+        policy.process_all(paper_interactions)
+        # Final row of Table 3:
+        # B_v0 = {(1,1,1),(2,3,2)}  -> origins {v1: 1, v2: 2}
+        # B_v1 = {(1,1,2)}          -> origins {v1: 2}
+        # B_v2 = {(1,5,4)}          -> origins {v1: 4}
+        assert policy.origins("v0").as_dict() == pytest.approx({"v1": 1, "v2": 2})
+        assert policy.origins("v1").as_dict() == pytest.approx({"v1": 2})
+        assert policy.origins("v2").as_dict() == pytest.approx({"v1": 4})
+
+    def test_intermediate_state_after_fourth_interaction(self, paper_interactions):
+        policy = LeastRecentlyBornPolicy()
+        policy.reset()
+        policy.process_all(paper_interactions[:4])
+        # Row 4 of Table 3: B_v2 = {(1,1,3),(1,5,4)}.
+        entries = sorted(
+            (entry.origin, entry.birth_time, entry.quantity)
+            for entry in policy.entries("v2")
+        )
+        assert entries == [("v1", 1, 3), ("v1", 5, 4)]
+        # B_v0 = {(2,3,2)}
+        entries_v0 = [
+            (entry.origin, entry.birth_time, entry.quantity)
+            for entry in policy.entries("v0")
+        ]
+        assert entries_v0 == [("v2", 3, 2)]
+
+    def test_birth_times_preserved_on_split(self, paper_interactions):
+        policy = LeastRecentlyBornPolicy()
+        policy.reset()
+        policy.process_all(paper_interactions[:5])
+        # Row 5 of Table 3: B_v1 = {(1,1,2)} - quantity born at time 1 at v1,
+        # partially transferred twice, keeps its original birth time.
+        entries = [
+            (entry.origin, entry.birth_time, entry.quantity)
+            for entry in policy.entries("v1")
+        ]
+        assert entries == [("v1", 1, 2)]
+
+
+class TestTable4Lifo:
+    """Origin decompositions under the LIFO policy (Table 4)."""
+
+    def test_final_buffers(self, paper_interactions):
+        policy = LifoPolicy()
+        policy.reset()
+        policy.process_all(paper_interactions)
+        # Final row of Table 4:
+        # B_v0 = {(1,2),(1,1)} -> origins {v1: 3}
+        # B_v1 = {(1,2)}       -> origins {v1: 2}
+        # B_v2 = {(1,1),(2,2),(1,1)} -> origins {v1: 2, v2: 2}
+        assert policy.origins("v0").as_dict() == pytest.approx({"v1": 3})
+        assert policy.origins("v1").as_dict() == pytest.approx({"v1": 2})
+        assert policy.origins("v2").as_dict() == pytest.approx({"v1": 2, "v2": 2})
+
+    def test_intermediate_state_after_third_interaction(self, paper_interactions):
+        policy = LifoPolicy()
+        policy.reset()
+        policy.process_all(paper_interactions[:3])
+        # Row 3 of Table 4: B_v0 = {(1,2)}, B_v1 = {(1,1),(2,2)}.
+        assert policy.origins("v0").as_dict() == pytest.approx({"v1": 2})
+        assert policy.origins("v1").as_dict() == pytest.approx({"v1": 1, "v2": 2})
+
+    def test_fifo_differs_from_lifo(self, paper_interactions):
+        fifo = FifoPolicy()
+        fifo.reset()
+        fifo.process_all(paper_interactions)
+        lifo = LifoPolicy()
+        lifo.reset()
+        lifo.process_all(paper_interactions)
+        assert fifo.origins("v0").as_dict() != lifo.origins("v0").as_dict()
+
+
+class TestTable5Proportional:
+    """Provenance vectors under proportional selection (Table 5)."""
+
+    EXPECTED_FINAL = {
+        "v0": {"v1": 2.03, "v2": 0.97},
+        "v1": {"v1": 1.66, "v2": 0.34},
+        "v2": {"v1": 3.31, "v2": 0.69},
+    }
+
+    @pytest.mark.parametrize("dense", [False, True])
+    def test_final_vectors(self, paper_interactions, paper_network, dense):
+        if dense:
+            policy = ProportionalDensePolicy(paper_network.vertices)
+        else:
+            policy = ProportionalSparsePolicy()
+            policy.reset()
+        policy.process_all(paper_interactions)
+        for vertex, expected in self.EXPECTED_FINAL.items():
+            actual = policy.origins(vertex).as_dict()
+            assert set(actual) == set(expected)
+            for origin, quantity in expected.items():
+                assert actual[origin] == pytest.approx(quantity, abs=0.01)
+
+    def test_intermediate_vectors_after_third_interaction(self, paper_interactions):
+        policy = ProportionalSparsePolicy()
+        policy.reset()
+        policy.process_all(paper_interactions[:3])
+        # Row 3 of Table 5: p_v0 = [0, 1.2, 0.8], p_v1 = [0, 1.8, 1.2].
+        assert policy.origins("v0").as_dict() == pytest.approx({"v1": 1.2, "v2": 0.8})
+        assert policy.origins("v1").as_dict() == pytest.approx({"v1": 1.8, "v2": 1.2})
+
+    def test_dense_and_sparse_agree_exactly(self, paper_interactions, paper_network):
+        sparse = ProportionalSparsePolicy()
+        sparse.reset()
+        sparse.process_all(paper_interactions)
+        dense = ProportionalDensePolicy(paper_network.vertices)
+        dense.process_all(paper_interactions)
+        for vertex in paper_network.vertices:
+            assert sparse.origins(vertex).approx_equal(dense.origins(vertex))
+
+
+class TestFigure1FifoExample:
+    """The FIFO transfer of Figure 1: 4 units from w, then 1 unit from z."""
+
+    def test_fifo_selects_oldest_received_first(self):
+        from repro.core.interaction import Interaction
+
+        interactions = [
+            Interaction("w", "v", 1, 4),   # v receives 4 units originating at w
+            Interaction("z", "v", 2, 3),   # then 3 units originating at z
+            Interaction("v", "u", 3, 5),   # v relays 5 units to u (FIFO)
+        ]
+        policy = FifoPolicy()
+        policy.reset()
+        policy.process_all(interactions)
+        assert policy.origins("u").as_dict() == pytest.approx({"w": 4, "z": 1})
+        assert policy.origins("v").as_dict() == pytest.approx({"z": 2})

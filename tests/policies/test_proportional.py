@@ -1,0 +1,137 @@
+"""Unit tests for the proportional selection policy (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.exceptions import PolicyConfigurationError, UnknownVertexError
+from repro.policies.proportional import ProportionalDensePolicy, ProportionalSparsePolicy
+
+
+class TestDenseConfiguration:
+    def test_requires_vertex_universe(self):
+        with pytest.raises(PolicyConfigurationError):
+            ProportionalDensePolicy().reset(())
+
+    def test_constructor_with_vertices(self):
+        policy = ProportionalDensePolicy(["a", "b", "c"])
+        policy.process(Interaction("a", "b", 1.0, 2.0))
+        assert policy.buffer_total("b") == 2.0
+
+    def test_unknown_vertex_raises(self):
+        policy = ProportionalDensePolicy(["a", "b"])
+        with pytest.raises(UnknownVertexError):
+            policy.process(Interaction("a", "z", 1.0, 2.0))
+
+    def test_entry_count_is_cells(self):
+        policy = ProportionalDensePolicy(["a", "b", "c"])
+        policy.process(Interaction("a", "b", 1.0, 2.0))
+        # Two touched vertices (a and b), three cells each.
+        assert policy.entry_count() == 6
+        assert policy.nonzero_entry_count() == 1
+
+
+@pytest.mark.parametrize("dense", [False, True])
+class TestProportionalSemantics:
+    def make(self, dense, vertices=("a", "b", "c", "d")):
+        if dense:
+            return ProportionalDensePolicy(list(vertices))
+        policy = ProportionalSparsePolicy()
+        policy.reset()
+        return policy
+
+    def test_full_relay_moves_whole_vector(self, dense):
+        policy = self.make(dense)
+        policy.process(Interaction("a", "b", 1.0, 4.0))
+        policy.process(Interaction("b", "c", 2.0, 4.0))
+        assert policy.origins("c").as_dict() == pytest.approx({"a": 4})
+        assert policy.buffer_total("b") == 0.0
+        assert len(policy.origins("b")) == 0
+
+    def test_full_relay_with_generation(self, dense):
+        policy = self.make(dense)
+        policy.process(Interaction("a", "b", 1.0, 4.0))
+        policy.process(Interaction("b", "c", 2.0, 6.0))
+        assert policy.origins("c").as_dict() == pytest.approx({"a": 4, "b": 2})
+
+    def test_partial_transfer_is_proportional(self, dense):
+        policy = self.make(dense)
+        policy.process(Interaction("a", "c", 1.0, 6.0))
+        policy.process(Interaction("b", "c", 2.0, 3.0))
+        # c holds 9 units: 6 from a, 3 from b.  Transfer 3 units -> 1/3.
+        policy.process(Interaction("c", "d", 3.0, 3.0))
+        assert policy.origins("d").as_dict() == pytest.approx({"a": 2, "b": 1})
+        assert policy.origins("c").as_dict() == pytest.approx({"a": 4, "b": 2})
+
+    def test_mixing_is_origin_based_not_path_based(self, dense):
+        policy = self.make(dense)
+        policy.process(Interaction("a", "b", 1.0, 2.0))
+        policy.process(Interaction("a", "c", 2.0, 2.0))
+        policy.process(Interaction("b", "d", 3.0, 2.0))
+        policy.process(Interaction("c", "d", 4.0, 2.0))
+        # Both parcels originate at a (via different routes) and are merged.
+        assert policy.origins("d").as_dict() == pytest.approx({"a": 4})
+
+    def test_buffer_totals_match_vector_sums(self, dense, small_network):
+        policy = (
+            ProportionalDensePolicy(small_network.vertices)
+            if dense
+            else self.make(dense)
+        )
+        policy.process_all(small_network.interactions)
+        for vertex in policy.tracked_vertices():
+            assert policy.origins(vertex).total == pytest.approx(
+                policy.buffer_total(vertex), rel=1e-6, abs=1e-6
+            )
+
+    def test_exact_drain_leaves_empty_vector(self, dense):
+        policy = self.make(dense)
+        policy.process(Interaction("a", "b", 1.0, 5.0))
+        policy.process(Interaction("b", "c", 2.0, 5.0))
+        assert policy.buffer_total("b") == 0.0
+        assert policy.origins("b").total == 0.0
+
+
+class TestSparseSpecifics:
+    def test_average_list_length(self):
+        policy = ProportionalSparsePolicy()
+        policy.reset()
+        policy.process(Interaction("a", "c", 1.0, 1.0))
+        policy.process(Interaction("b", "c", 2.0, 1.0))
+        # Vectors: a -> {} (cleared), b -> {} (cleared), c -> {a, b}.
+        assert policy.entry_count() == 2
+        assert policy.average_list_length() == pytest.approx(2 / 3)
+
+    def test_average_list_length_empty(self):
+        policy = ProportionalSparsePolicy()
+        policy.reset()
+        assert policy.average_list_length() == 0.0
+
+    def test_provenance_vector_returns_copy(self):
+        policy = ProportionalSparsePolicy()
+        policy.reset()
+        policy.process(Interaction("a", "b", 1.0, 2.0))
+        vector = policy.provenance_vector("b")
+        vector["a"] = 999
+        assert policy.origins("b")["a"] == pytest.approx(2.0)
+
+    def test_tiny_residues_are_pruned(self):
+        policy = ProportionalSparsePolicy()
+        policy.reset()
+        policy.process(Interaction("a", "b", 1.0, 1.0))
+        # Transfer almost everything; the residue left at b is ~1e-13 per
+        # origin and must be pruned from the sparse vector.
+        policy.process(Interaction("b", "c", 2.0, 1.0 - 1e-13))
+        assert len(policy.provenance_vector("b")) == 0
+
+    def test_dense_vs_sparse_equivalence_on_network(self, small_network):
+        dense = ProportionalDensePolicy(small_network.vertices)
+        dense.process_all(small_network.interactions)
+        sparse = ProportionalSparsePolicy()
+        sparse.reset()
+        sparse.process_all(small_network.interactions)
+        for vertex in small_network.vertices:
+            assert sparse.origins(vertex).approx_equal(
+                dense.origins(vertex), rel_tol=1e-6, abs_tol=1e-6
+            )

@@ -1,0 +1,61 @@
+"""Unit tests for the policy registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PolicyNotRegisteredError
+from repro.policies.base import SelectionPolicy
+from repro.policies.registry import POLICY_FACTORIES, available_policies, make_policy
+
+
+class TestRegistry:
+    def test_all_expected_policies_registered(self):
+        assert set(available_policies()) == {
+            "noprov",
+            "lrb",
+            "mrb",
+            "fifo",
+            "lifo",
+            "proportional-dense",
+            "proportional-sparse",
+            "proportional-selective",
+            "proportional-grouped",
+            "proportional-windowed",
+            "proportional-time-windowed",
+            "proportional-budget",
+            "lazy-replay",
+        }
+
+    def test_available_policies_sorted(self):
+        names = available_policies()
+        assert names == sorted(names)
+
+    def test_make_simple_policy(self):
+        policy = make_policy("fifo")
+        assert isinstance(policy, SelectionPolicy)
+        assert policy.name == "fifo"
+
+    def test_make_policy_with_kwargs(self):
+        policy = make_policy("fifo", track_paths=True)
+        assert policy.track_paths is True
+
+    def test_make_budget_policy(self):
+        policy = make_policy("proportional-budget", capacity=10)
+        assert policy.capacity == 10
+
+    def test_make_windowed_policy(self):
+        policy = make_policy("proportional-windowed", window=500)
+        assert policy.window == 500
+
+    def test_make_dense_policy_needs_vertices(self):
+        policy = make_policy("proportional-dense", vertices=["a", "b"])
+        assert policy.name == "proportional-dense"
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(PolicyNotRegisteredError):
+            make_policy("does-not-exist")
+
+    def test_factory_names_match_policy_names(self):
+        for name, factory in POLICY_FACTORIES.items():
+            assert getattr(factory, "name", name) == name

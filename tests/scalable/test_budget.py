@@ -1,0 +1,158 @@
+"""Unit tests for budget-based proportional provenance (Section 5.3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.core.provenance import UNKNOWN_ORIGIN
+from repro.exceptions import PolicyConfigurationError
+from repro.policies.proportional import ProportionalSparsePolicy
+from repro.scalable.budget import (
+    BudgetProportionalPolicy,
+    ShrinkStatistics,
+    keep_by_priority,
+    keep_largest,
+)
+
+
+def fan_in(target, count, quantity=1.0, start_time=1.0):
+    """``count`` interactions delivering quantity to ``target`` from distinct origins."""
+    return [
+        Interaction(f"origin-{i}", target, start_time + i, quantity + i)
+        for i in range(count)
+    ]
+
+
+class TestConfiguration:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(PolicyConfigurationError):
+            BudgetProportionalPolicy(0)
+
+    def test_keep_fraction_bounds(self):
+        with pytest.raises(PolicyConfigurationError):
+            BudgetProportionalPolicy(10, keep_fraction=0.0)
+        with pytest.raises(PolicyConfigurationError):
+            BudgetProportionalPolicy(10, keep_fraction=1.5)
+
+    def test_reset_clears_statistics(self):
+        policy = BudgetProportionalPolicy(2)
+        policy.process_all(fan_in("v", 10))
+        policy.reset()
+        assert policy.shrink_statistics.total_shrinks == 0
+        assert policy.entry_count() == 0
+
+
+class TestShrinkCriteria:
+    def test_keep_largest(self):
+        items = [("a", 1.0), ("b", 5.0), ("c", 3.0)]
+        assert keep_largest(items, 2) == [("b", 5.0), ("c", 3.0)]
+
+    def test_keep_by_priority(self):
+        criterion = keep_by_priority({"a": 10.0, "b": 1.0})
+        items = [("a", 1.0), ("b", 5.0), ("c", 3.0)]
+        kept = criterion(items, 2)
+        assert kept[0][0] == "a"          # highest priority wins
+        assert {origin for origin, _ in kept} == {"a", "b"}  # c has no priority
+
+    def test_shrink_statistics_average(self):
+        statistics = ShrinkStatistics()
+        statistics.record("v")
+        statistics.record("v")
+        statistics.record("w")
+        assert statistics.total_shrinks == 3
+        assert statistics.vertices_shrunk() == 2
+        assert statistics.average_shrinks() == pytest.approx(1.5)
+        assert statistics.average_shrinks(over_vertices=6) == pytest.approx(0.5)
+        assert ShrinkStatistics().average_shrinks() == 0.0
+
+
+class TestBudgetEnforcement:
+    def test_capacity_never_exceeded(self):
+        capacity = 5
+        policy = BudgetProportionalPolicy(capacity, keep_fraction=0.6)
+        policy.process_all(fan_in("v", 40))
+        named = [
+            origin
+            for origin in policy.origins("v").origins()
+            if origin is not UNKNOWN_ORIGIN
+        ]
+        assert len(named) <= capacity
+
+    def test_shrink_merges_removed_mass_into_unknown(self):
+        policy = BudgetProportionalPolicy(3, keep_fraction=0.67)
+        interactions = fan_in("v", 6, quantity=1.0)
+        policy.process_all(interactions)
+        origins = policy.origins("v")
+        total_delivered = sum(r.quantity for r in interactions)
+        assert origins.total == pytest.approx(total_delivered)
+        assert origins.unknown_quantity > 0
+
+    def test_no_shrink_when_under_capacity(self, paper_interactions):
+        policy = BudgetProportionalPolicy(100)
+        policy.process_all(paper_interactions)
+        assert policy.shrink_statistics.total_shrinks == 0
+        # Without shrinks the result is exact full proportional provenance.
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(paper_interactions)
+        for vertex in ("v0", "v1", "v2"):
+            assert policy.origins(vertex).approx_equal(full.origins(vertex))
+
+    def test_keep_largest_preserves_biggest_contributors(self):
+        policy = BudgetProportionalPolicy(3, keep_fraction=0.67, criterion=keep_largest)
+        policy.process_all(fan_in("v", 8, quantity=1.0))
+        origins = policy.origins("v")
+        # The largest contributor (origin-7, quantity 8.0) must survive.
+        assert origins.get("origin-7") == pytest.approx(8.0)
+
+    def test_buffer_totals_unaffected_by_budget(self, medium_network):
+        policy = BudgetProportionalPolicy(5)
+        policy.process_all(medium_network.interactions)
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(medium_network.interactions)
+        for vertex in policy.tracked_vertices():
+            assert policy.buffer_total(vertex) == pytest.approx(
+                full.buffer_total(vertex), rel=1e-7, abs=1e-7
+            )
+
+    def test_origin_mass_conserved(self, medium_network):
+        policy = BudgetProportionalPolicy(5)
+        policy.process_all(medium_network.interactions)
+        for vertex in policy.tracked_vertices():
+            assert policy.origins(vertex).total == pytest.approx(
+                policy.buffer_total(vertex), rel=1e-6, abs=1e-6
+            )
+
+    def test_larger_budget_more_accurate(self, medium_network):
+        """Known (non-UNKNOWN) fraction grows with the budget C."""
+        small = BudgetProportionalPolicy(2)
+        small.process_all(medium_network.interactions)
+        large = BudgetProportionalPolicy(200)
+        large.process_all(medium_network.interactions)
+
+        def total_known(policy):
+            return sum(
+                policy.origins(vertex).known_total for vertex in policy.tracked_vertices()
+            )
+
+        assert total_known(large) >= total_known(small)
+
+    def test_larger_budget_fewer_shrinks(self, medium_network):
+        small = BudgetProportionalPolicy(2)
+        small.process_all(medium_network.interactions)
+        large = BudgetProportionalPolicy(500)
+        large.process_all(medium_network.interactions)
+        assert large.shrink_statistics.total_shrinks <= small.shrink_statistics.total_shrinks
+
+    def test_known_fraction_bounds(self, medium_network):
+        policy = BudgetProportionalPolicy(10)
+        policy.process_all(medium_network.interactions)
+        for vertex in policy.tracked_vertices():
+            assert 0.0 <= policy.known_fraction(vertex) <= 1.0 + 1e-9
+
+    def test_non_empty_vertex_count(self, paper_interactions):
+        policy = BudgetProportionalPolicy(10)
+        policy.process_all(paper_interactions)
+        assert policy.non_empty_vertex_count() == 3

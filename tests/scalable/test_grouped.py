@@ -1,0 +1,112 @@
+"""Unit tests for grouped proportional provenance (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.exceptions import PolicyConfigurationError
+from repro.policies.proportional import ProportionalSparsePolicy
+from repro.scalable.grouped import GroupedProportionalPolicy
+
+
+class TestConfiguration:
+    def test_requires_groups(self):
+        with pytest.raises(PolicyConfigurationError):
+            GroupedProportionalPolicy([], {})
+
+    def test_round_robin_constructor(self):
+        policy = GroupedProportionalPolicy.round_robin(["a", "b", "c", "d"], 2)
+        assert policy.m == 2
+        assert policy.group_of("a") == 0
+        assert policy.group_of("b") == 1
+        assert policy.group_of("c") == 0
+
+    def test_round_robin_rejects_zero_groups(self):
+        with pytest.raises(PolicyConfigurationError):
+            GroupedProportionalPolicy.round_robin(["a"], 0)
+
+    def test_callable_assignment(self):
+        policy = GroupedProportionalPolicy(
+            groups=["even", "odd"], assignment=lambda v: "even" if v % 2 == 0 else "odd"
+        )
+        assert policy.group_of(4) == "even"
+        assert policy.group_of(3) == "odd"
+
+    def test_unmapped_vertex_without_default_raises(self):
+        policy = GroupedProportionalPolicy(groups=["g"], assignment={"a": "g"})
+        with pytest.raises(PolicyConfigurationError):
+            policy.group_of("unmapped")
+
+    def test_unmapped_vertex_with_default(self):
+        policy = GroupedProportionalPolicy(
+            groups=["g", "rest"], assignment={"a": "g"}, default_group="rest"
+        )
+        assert policy.group_of("unmapped") == "rest"
+
+    def test_invalid_default_group_rejected(self):
+        with pytest.raises(PolicyConfigurationError):
+            GroupedProportionalPolicy(groups=["g"], assignment={}, default_group="missing")
+
+    def test_duplicate_groups_deduplicated(self):
+        policy = GroupedProportionalPolicy(groups=["g", "g", "h"], assignment={}, default_group="g")
+        assert policy.m == 2
+
+
+class TestSemantics:
+    def test_origins_labelled_by_group(self):
+        policy = GroupedProportionalPolicy(
+            groups=["left", "right"],
+            assignment={"a": "left", "b": "right", "c": "right"},
+        )
+        policy.process(Interaction("a", "c", 1.0, 2.0))
+        policy.process(Interaction("b", "c", 2.0, 3.0))
+        assert policy.origins("c").as_dict() == pytest.approx({"left": 2.0, "right": 3.0})
+
+    def test_group_mass_matches_full_proportional(self, small_network):
+        num_groups = 4
+        policy = GroupedProportionalPolicy.round_robin(small_network.vertices, num_groups)
+        policy.process_all(small_network.interactions)
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(small_network.interactions)
+        group_of = {
+            vertex: index % num_groups
+            for index, vertex in enumerate(small_network.vertices)
+        }
+        for vertex in small_network.vertices:
+            expected = {}
+            for origin, quantity in full.origins(vertex).items():
+                group = group_of[origin]
+                expected[group] = expected.get(group, 0.0) + quantity
+            actual = policy.origins(vertex).as_dict()
+            for group in range(num_groups):
+                assert actual.get(group, 0.0) == pytest.approx(
+                    expected.get(group, 0.0), rel=1e-6, abs=1e-6
+                )
+
+    def test_buffer_totals_policy_independent(self, small_network):
+        policy = GroupedProportionalPolicy.round_robin(small_network.vertices, 3)
+        policy.process_all(small_network.interactions)
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(small_network.interactions)
+        for vertex in small_network.vertices:
+            assert policy.buffer_total(vertex) == pytest.approx(
+                full.buffer_total(vertex), rel=1e-7, abs=1e-7
+            )
+
+    def test_slot_quantities_include_zero_groups(self):
+        policy = GroupedProportionalPolicy.round_robin(["a", "b"], 2)
+        policy.process(Interaction("a", "b", 1.0, 1.0))
+        quantities = policy.slot_quantities("b")
+        assert set(quantities) == {0, 1}
+        assert quantities[0] == pytest.approx(1.0)
+        assert quantities[1] == 0.0
+
+    def test_entry_count_scales_with_group_count(self, small_network):
+        few = GroupedProportionalPolicy.round_robin(small_network.vertices, 2)
+        few.process_all(small_network.interactions)
+        many = GroupedProportionalPolicy.round_robin(small_network.vertices, 20)
+        many.process_all(small_network.interactions)
+        assert many.entry_count() > few.entry_count()

@@ -1,0 +1,134 @@
+"""Property-based invariants for the scope-limited proportional policies.
+
+Complements ``tests/policies/test_invariants.py`` (which covers the full
+policies of Section 4) with the restricted variants of Section 5: whatever
+information they drop, they must never violate quantity conservation, and
+the quantity they *do* attribute to named origins must be a subset of the
+exact proportional attribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interaction import Interaction
+from repro.core.provenance import UNKNOWN_ORIGIN
+from repro.policies.no_provenance import NoProvenancePolicy
+from repro.policies.proportional import ProportionalSparsePolicy
+from repro.scalable.budget import BudgetProportionalPolicy
+from repro.scalable.grouped import GroupedProportionalPolicy
+from repro.scalable.selective import SelectiveProportionalPolicy
+from repro.scalable.windowing import WindowedProportionalPolicy
+
+VERTICES = list(range(6))
+
+
+@st.composite
+def interaction_streams(draw, max_size: int = 50):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    interactions = []
+    time = 0.0
+    for _ in range(size):
+        source = draw(st.sampled_from(VERTICES))
+        destination = draw(st.sampled_from([v for v in VERTICES if v != source]))
+        quantity = draw(
+            st.floats(min_value=0.01, max_value=20.0, allow_nan=False, allow_infinity=False)
+        )
+        time += draw(st.floats(min_value=0.01, max_value=2.0, allow_nan=False))
+        interactions.append(Interaction(source, destination, time, quantity))
+    return interactions
+
+
+def scalable_policies():
+    return [
+        SelectiveProportionalPolicy(VERTICES[:2]),
+        GroupedProportionalPolicy.round_robin(VERTICES, 3),
+        WindowedProportionalPolicy(window=7),
+        BudgetProportionalPolicy(capacity=2),
+    ]
+
+
+def run(policy, interactions):
+    policy.reset()
+    policy.process_all(interactions)
+    return policy
+
+
+@settings(max_examples=40, deadline=None)
+@given(interactions=interaction_streams())
+def test_property_scalable_policies_conserve_buffer_totals(interactions):
+    reference = run(NoProvenancePolicy(), interactions)
+    for policy in scalable_policies():
+        run(policy, interactions)
+        for vertex in VERTICES:
+            assert policy.buffer_total(vertex) == pytest.approx(
+                reference.buffer_total(vertex), rel=1e-7, abs=1e-7
+            ), policy.describe()
+            assert policy.origins(vertex).total == pytest.approx(
+                reference.buffer_total(vertex), rel=1e-7, abs=1e-7
+            ), policy.describe()
+
+
+@settings(max_examples=40, deadline=None)
+@given(interactions=interaction_streams())
+def test_property_selective_attribution_is_exact_for_tracked_vertices(interactions):
+    tracked = VERTICES[:2]
+    exact = run(ProportionalSparsePolicy(), interactions)
+    selective = run(SelectiveProportionalPolicy(tracked), interactions)
+    for vertex in VERTICES:
+        exact_origins = exact.origins(vertex)
+        selective_origins = selective.origins(vertex)
+        for origin in tracked:
+            assert selective_origins.get(origin) == pytest.approx(
+                exact_origins.get(origin), rel=1e-6, abs=1e-6
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(interactions=interaction_streams())
+def test_property_grouped_attribution_sums_exact_attribution(interactions):
+    num_groups = 3
+    exact = run(ProportionalSparsePolicy(), interactions)
+    grouped = run(GroupedProportionalPolicy.round_robin(VERTICES, num_groups), interactions)
+    for vertex in VERTICES:
+        expected = {}
+        for origin, quantity in exact.origins(vertex).items():
+            group = VERTICES.index(origin) % num_groups
+            expected[group] = expected.get(group, 0.0) + quantity
+        actual = grouped.origins(vertex)
+        for group in range(num_groups):
+            assert actual.get(group) == pytest.approx(
+                expected.get(group, 0.0), rel=1e-6, abs=1e-6
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(interactions=interaction_streams())
+def test_property_budget_never_exceeds_capacity_and_underestimates_named_mass(interactions):
+    capacity = 2
+    exact = run(ProportionalSparsePolicy(), interactions)
+    budget = run(BudgetProportionalPolicy(capacity=capacity), interactions)
+    for vertex in VERTICES:
+        origins = budget.origins(vertex)
+        named = [origin for origin in origins.origins() if origin is not UNKNOWN_ORIGIN]
+        assert len(named) <= capacity
+        # A budget policy can only forget provenance, never invent it: the
+        # quantity attributed to any named origin is at most the exact one.
+        exact_origins = exact.origins(vertex)
+        for origin in named:
+            assert origins.get(origin) <= exact_origins.get(origin) + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(interactions=interaction_streams(), window=st.integers(min_value=1, max_value=20))
+def test_property_windowing_known_mass_never_exceeds_exact(interactions, window):
+    exact = run(ProportionalSparsePolicy(), interactions)
+    windowed = run(WindowedProportionalPolicy(window=window), interactions)
+    for vertex in VERTICES:
+        exact_origins = exact.origins(vertex)
+        windowed_origins = windowed.origins(vertex)
+        for origin, quantity in windowed_origins.items():
+            if origin is UNKNOWN_ORIGIN:
+                continue
+            assert quantity <= exact_origins.get(origin) + 1e-6

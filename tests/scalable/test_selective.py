@@ -1,0 +1,117 @@
+"""Unit tests for selective proportional provenance (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.core.provenance import UNKNOWN_ORIGIN
+from repro.exceptions import PolicyConfigurationError
+from repro.policies.proportional import ProportionalSparsePolicy
+from repro.scalable.selective import SelectiveProportionalPolicy
+
+
+class TestConfiguration:
+    def test_requires_tracked_vertices(self):
+        with pytest.raises(PolicyConfigurationError):
+            SelectiveProportionalPolicy([])
+
+    def test_deduplicates_tracked_vertices(self):
+        policy = SelectiveProportionalPolicy(["a", "a", "b"])
+        assert policy.k == 2
+        assert policy.tracked == ["a", "b"]
+
+    def test_slots_include_unknown(self):
+        policy = SelectiveProportionalPolicy(["a", "b"])
+        assert policy.num_slots == 3
+        assert policy.slot_labels[-1] is UNKNOWN_ORIGIN
+
+    def test_is_tracked(self):
+        policy = SelectiveProportionalPolicy(["a"])
+        assert policy.is_tracked("a")
+        assert not policy.is_tracked("z")
+
+
+class TestSemantics:
+    def test_tracked_origin_recorded_individually(self):
+        policy = SelectiveProportionalPolicy(["a"])
+        policy.process(Interaction("a", "b", 1.0, 5.0))
+        assert policy.origins("b").as_dict() == pytest.approx({"a": 5.0})
+
+    def test_untracked_origin_goes_to_unknown_slot(self):
+        policy = SelectiveProportionalPolicy(["a"])
+        policy.process(Interaction("z", "b", 1.0, 5.0))
+        origins = policy.origins("b")
+        assert origins.unknown_quantity == pytest.approx(5.0)
+        assert origins.known_total == 0.0
+
+    def test_mixture_of_tracked_and_untracked(self):
+        policy = SelectiveProportionalPolicy(["a"])
+        policy.process(Interaction("a", "v", 1.0, 6.0))
+        policy.process(Interaction("z", "v", 2.0, 3.0))
+        policy.process(Interaction("v", "u", 3.0, 3.0))
+        # v held 9 units (6 tracked from a, 3 unknown); 1/3 moves to u.
+        origins = policy.origins("u")
+        assert origins.get("a") == pytest.approx(2.0)
+        assert origins.unknown_quantity == pytest.approx(1.0)
+
+    def test_buffer_totals_match_full_policy(self, small_network):
+        tracked = list(small_network.vertices)[:5]
+        selective = SelectiveProportionalPolicy(tracked)
+        selective.process_all(small_network.interactions)
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(small_network.interactions)
+        for vertex in small_network.vertices:
+            assert selective.buffer_total(vertex) == pytest.approx(
+                full.buffer_total(vertex), rel=1e-7, abs=1e-7
+            )
+
+    def test_tracked_quantities_match_full_proportional(self, small_network):
+        """For tracked origins the decomposition equals full proportional."""
+        tracked = list(small_network.vertices)[:8]
+        selective = SelectiveProportionalPolicy(tracked)
+        selective.process_all(small_network.interactions)
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(small_network.interactions)
+        for vertex in small_network.vertices:
+            full_origins = full.origins(vertex)
+            selective_origins = selective.origins(vertex)
+            for origin in tracked:
+                assert selective_origins.get(origin) == pytest.approx(
+                    full_origins.get(origin), rel=1e-6, abs=1e-6
+                )
+
+    def test_unknown_slot_equals_untracked_mass(self, small_network):
+        tracked = list(small_network.vertices)[:5]
+        selective = SelectiveProportionalPolicy(tracked)
+        selective.process_all(small_network.interactions)
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(small_network.interactions)
+        for vertex in small_network.vertices:
+            untracked_mass = sum(
+                quantity
+                for origin, quantity in full.origins(vertex).items()
+                if origin not in tracked
+            )
+            assert selective.origins(vertex).unknown_quantity == pytest.approx(
+                untracked_mass, rel=1e-6, abs=1e-6
+            )
+
+
+class TestTopContributorConstructor:
+    def test_for_top_contributors(self, small_network):
+        policy = SelectiveProportionalPolicy.for_top_contributors(small_network, 4)
+        assert policy.k == 4
+        generated = small_network.generated_quantity_by_vertex()
+        best = max(generated, key=generated.get)
+        assert best in policy.tracked
+
+    def test_entry_count_scales_with_k(self, small_network):
+        small = SelectiveProportionalPolicy.for_top_contributors(small_network, 2)
+        small.process_all(small_network.interactions)
+        large = SelectiveProportionalPolicy.for_top_contributors(small_network, 10)
+        large.process_all(small_network.interactions)
+        assert large.entry_count() > small.entry_count()

@@ -1,0 +1,98 @@
+"""Unit tests for the time-based windowing variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.exceptions import PolicyConfigurationError
+from repro.policies.proportional import ProportionalSparsePolicy
+from repro.scalable.time_window import TimeWindowedProportionalPolicy
+
+
+class TestConfiguration:
+    def test_window_must_be_positive(self):
+        with pytest.raises(PolicyConfigurationError):
+            TimeWindowedProportionalPolicy(0.0)
+
+    def test_reset_clears_state(self, paper_interactions):
+        policy = TimeWindowedProportionalPolicy(window=2.0)
+        policy.process_all(paper_interactions)
+        policy.reset()
+        assert policy.resets_performed == 0
+        assert policy.entry_count() == 0
+
+
+class TestExactnessWithinWindow:
+    def test_no_reset_for_large_window(self, paper_interactions):
+        windowed = TimeWindowedProportionalPolicy(window=1000.0)
+        windowed.process_all(paper_interactions)
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(paper_interactions)
+        assert windowed.resets_performed == 0
+        for vertex in ("v0", "v1", "v2"):
+            assert windowed.origins(vertex).approx_equal(full.origins(vertex))
+
+    def test_recent_generation_always_tracked(self):
+        policy = TimeWindowedProportionalPolicy(window=10.0)
+        # Old traffic far in the past, then a fresh quantity at t=100.
+        policy.process_all(
+            [Interaction(f"x{i}", f"y{i}", float(i), 1.0) for i in range(1, 50)]
+        )
+        policy.process(Interaction("fresh", "target", 100.0, 3.0))
+        assert policy.origins("target").get("fresh") == pytest.approx(3.0)
+
+    def test_old_provenance_becomes_unknown(self):
+        policy = TimeWindowedProportionalPolicy(window=5.0)
+        policy.process(Interaction("ancient", "holder", 1.0, 4.0))
+        # Unrelated interactions crossing many window boundaries.
+        policy.process_all(
+            [Interaction(f"x{i}", f"y{i}", 1.0 + i * 2.0, 1.0) for i in range(1, 20)]
+        )
+        origins = policy.origins("holder")
+        assert origins.total == pytest.approx(4.0)
+        assert origins.unknown_quantity == pytest.approx(4.0)
+        assert policy.known_fraction("holder") == pytest.approx(0.0)
+
+
+class TestBoundaries:
+    def test_reset_count_matches_elapsed_windows(self):
+        policy = TimeWindowedProportionalPolicy(window=10.0)
+        policy.process(Interaction("a", "b", 1.0, 1.0))
+        policy.process(Interaction("a", "b", 35.0, 1.0))  # crosses boundaries at 10, 20, 30
+        assert policy.resets_performed == 3
+
+    def test_start_time_offsets_boundaries(self):
+        policy = TimeWindowedProportionalPolicy(window=10.0, start_time=100.0)
+        policy.process(Interaction("a", "b", 105.0, 1.0))
+        policy.process(Interaction("a", "b", 109.0, 1.0))
+        assert policy.resets_performed == 0
+        policy.process(Interaction("a", "b", 111.0, 1.0))
+        assert policy.resets_performed == 1
+
+    def test_buffer_totals_unaffected_by_resets(self, medium_network):
+        span = medium_network.time_span()
+        window = (span[1] - span[0]) / 10
+        policy = TimeWindowedProportionalPolicy(window=window)
+        policy.process_all(medium_network.interactions)
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(medium_network.interactions)
+        for vertex in policy.tracked_vertices():
+            assert policy.buffer_total(vertex) == pytest.approx(
+                full.buffer_total(vertex), rel=1e-7, abs=1e-7
+            )
+
+    def test_origin_mass_conserved(self, medium_network):
+        span = medium_network.time_span()
+        policy = TimeWindowedProportionalPolicy(window=(span[1] - span[0]) / 8)
+        policy.process_all(medium_network.interactions)
+        for vertex in policy.tracked_vertices():
+            assert policy.origins(vertex).total == pytest.approx(
+                policy.buffer_total(vertex), rel=1e-6, abs=1e-6
+            )
+
+    def test_known_fraction_empty_buffer(self):
+        policy = TimeWindowedProportionalPolicy(window=5.0)
+        assert policy.known_fraction("untouched") == 1.0

@@ -1,0 +1,105 @@
+"""Unit tests for the shared sparse vector store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scalable.vector_store import SparseVectorStore
+
+
+class TestBasicOperations:
+    def test_vector_created_on_demand(self):
+        store = SparseVectorStore()
+        vector = store.vector("v")
+        assert vector == {}
+        vector["a"] = 1.0
+        assert store.peek("v") == {"a": 1.0}
+
+    def test_peek_returns_copy(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 1.0)
+        copy = store.peek("v")
+        copy["a"] = 99
+        assert store.peek("v") == {"a": 1.0}
+
+    def test_peek_untouched_vertex(self):
+        assert SparseVectorStore().peek("missing") == {}
+
+    def test_add_accumulates(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 1.0)
+        store.add("v", "a", 2.0)
+        assert store.peek("v") == {"a": 3.0}
+
+    def test_add_zero_or_negative_ignored(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 0.0)
+        store.add("v", "a", -1.0)
+        assert store.peek("v") == {}
+
+    def test_replace_and_clear(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 1.0)
+        store.replace("v", {"b": 2.0})
+        assert store.peek("v") == {"b": 2.0}
+        store.clear()
+        assert store.entry_count() == 0
+
+    def test_origins_view(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 2.0)
+        assert store.origins("v").as_dict() == {"a": 2.0}
+
+    def test_vertices_and_list_lengths(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 1.0)
+        store.add("w", "a", 1.0)
+        store.add("w", "b", 1.0)
+        assert set(store.vertices()) == {"v", "w"}
+        assert dict(store.list_lengths()) == {"v": 1, "w": 2}
+        assert store.entry_count() == 3
+
+
+class TestTransfers:
+    def test_transfer_all(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 2.0)
+        store.add("v", "b", 3.0)
+        store.add("u", "a", 1.0)
+        store.transfer_all("v", "u")
+        assert store.peek("v") == {}
+        assert store.peek("u") == {"a": 3.0, "b": 3.0}
+
+    def test_transfer_fraction(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 4.0)
+        store.add("v", "b", 2.0)
+        store.transfer_fraction("v", "u", 0.5)
+        assert store.peek("u") == pytest.approx({"a": 2.0, "b": 1.0})
+        assert store.peek("v") == pytest.approx({"a": 2.0, "b": 1.0})
+
+    def test_transfer_fraction_out_of_range(self):
+        store = SparseVectorStore()
+        with pytest.raises(ValueError):
+            store.transfer_fraction("v", "u", 1.5)
+
+    def test_transfer_full_fraction_prunes_source(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 4.0)
+        store.transfer_fraction("v", "u", 1.0)
+        assert store.peek("v") == {}
+        assert store.peek("u") == {"a": 4.0}
+
+    def test_apply_interaction_full_relay_with_generation(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 2.0)
+        store.apply_interaction("v", "u", 5.0, source_total=2.0)
+        assert store.peek("u") == pytest.approx({"a": 2.0, "v": 3.0})
+        assert store.peek("v") == {}
+
+    def test_apply_interaction_partial(self):
+        store = SparseVectorStore()
+        store.add("v", "a", 8.0)
+        store.apply_interaction("v", "u", 2.0, source_total=8.0)
+        assert store.peek("u") == pytest.approx({"a": 2.0})
+        assert store.peek("v") == pytest.approx({"a": 6.0})

@@ -1,0 +1,112 @@
+"""Unit tests for the windowing approach (Section 5.3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.exceptions import PolicyConfigurationError
+from repro.policies.proportional import ProportionalSparsePolicy
+from repro.scalable.windowing import WindowedProportionalPolicy
+
+
+def chain(length, quantity=1.0, start_vertex=0):
+    """A chain of interactions a->b->c->... each moving ``quantity`` units."""
+    return [
+        Interaction(start_vertex + i, start_vertex + i + 1, float(i + 1), quantity)
+        for i in range(length)
+    ]
+
+
+class TestConfiguration:
+    def test_window_must_be_positive(self):
+        with pytest.raises(PolicyConfigurationError):
+            WindowedProportionalPolicy(0)
+
+    def test_reset_clears_counters(self):
+        policy = WindowedProportionalPolicy(2)
+        policy.process_all(chain(4))
+        policy.reset()
+        assert policy.interactions_processed == 0
+        assert policy.resets_performed == 0
+        assert policy.entry_count() == 0
+
+
+class TestExactnessBeforeFirstReset:
+    def test_matches_full_proportional_within_first_window(self, paper_interactions):
+        windowed = WindowedProportionalPolicy(window=100)
+        windowed.process_all(paper_interactions)
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(paper_interactions)
+        for vertex in ("v0", "v1", "v2"):
+            assert windowed.origins(vertex).approx_equal(full.origins(vertex))
+            assert windowed.known_fraction(vertex) == pytest.approx(1.0)
+
+
+class TestResetBehaviour:
+    def test_reset_counter_advances_every_window(self):
+        policy = WindowedProportionalPolicy(window=5)
+        policy.process_all(chain(17))
+        assert policy.resets_performed == 3  # after interactions 5, 10, 15
+
+    def test_provenance_within_last_window_is_exact(self):
+        """Quantities generated within the last W interactions stay tracked."""
+        window = 4
+        policy = WindowedProportionalPolicy(window=window)
+        # 2*window interactions of "noise", then a freshly generated quantity.
+        noise = chain(2 * window, quantity=1.0)
+        policy.process_all(noise)
+        fresh = Interaction("fresh-origin", "target", 100.0, 7.0)
+        policy.process(fresh)
+        origins = policy.origins("target")
+        assert origins.get("fresh-origin") == pytest.approx(7.0)
+
+    def test_old_provenance_becomes_unknown(self):
+        """Quantity generated more than 2W interactions ago loses its origin."""
+        window = 3
+        policy = WindowedProportionalPolicy(window=window)
+        policy.process(Interaction("ancient", "holder", 1.0, 5.0))
+        # Push far more than 2W unrelated interactions through other vertices.
+        policy.process_all(
+            [
+                Interaction(f"x{i}", f"y{i}", float(i + 2), 1.0)
+                for i in range(4 * window)
+            ]
+        )
+        origins = policy.origins("holder")
+        assert origins.total == pytest.approx(5.0)
+        assert origins.unknown_quantity == pytest.approx(5.0)
+        assert policy.known_fraction("holder") == pytest.approx(0.0)
+
+    def test_buffer_totals_unaffected_by_resets(self, medium_network):
+        windowed = WindowedProportionalPolicy(window=200)
+        windowed.process_all(medium_network.interactions)
+        full = ProportionalSparsePolicy()
+        full.reset()
+        full.process_all(medium_network.interactions)
+        for vertex in windowed.tracked_vertices():
+            assert windowed.buffer_total(vertex) == pytest.approx(
+                full.buffer_total(vertex), rel=1e-7, abs=1e-7
+            )
+
+    def test_origin_mass_conserved_despite_resets(self, medium_network):
+        """Known + unknown mass always equals the buffer total."""
+        policy = WindowedProportionalPolicy(window=150)
+        policy.process_all(medium_network.interactions)
+        for vertex in policy.tracked_vertices():
+            origins = policy.origins(vertex)
+            assert origins.total == pytest.approx(
+                policy.buffer_total(vertex), rel=1e-6, abs=1e-6
+            )
+
+    def test_smaller_window_never_more_memory(self, medium_network):
+        small = WindowedProportionalPolicy(window=100)
+        small.process_all(medium_network.interactions)
+        large = WindowedProportionalPolicy(window=2000)
+        large.process_all(medium_network.interactions)
+        assert small.entry_count() <= large.entry_count() * 2  # loose sanity bound
+
+    def test_known_fraction_defaults_to_one_for_empty_buffer(self):
+        policy = WindowedProportionalPolicy(window=5)
+        assert policy.known_fraction("untouched") == 1.0

@@ -1,0 +1,91 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.dataset == "taxis"
+        assert args.policy == "fifo"
+
+    def test_experiment_choices_cover_all_paper_experiments(self):
+        expected = {
+            "table6", "table7", "table8", "table9", "table10",
+            "figure2", "figure5", "figure6", "figure7", "figure8", "figure9",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "nope"])
+
+
+class TestCommands:
+    def test_policies_command(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out and "proportional-sparse" in out
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "taxis" in out and "bitcoin" in out
+
+    def test_run_on_preset(self, capsys):
+        assert main(["run", "--dataset", "taxis", "--scale", "0.02", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "processed" in out
+        assert "top 3 buffers" in out
+
+    def test_run_with_budget_policy(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--dataset", "taxis",
+                "--scale", "0.02",
+                "--policy", "proportional-budget",
+                "--budget", "5",
+            ]
+        )
+        assert exit_code == 0
+
+    def test_run_with_selective_policy(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--dataset", "taxis",
+                "--scale", "0.02",
+                "--policy", "proportional-selective",
+                "--top", "3",
+            ]
+        )
+        assert exit_code == 0
+
+    def test_run_on_csv_file(self, tmp_path, capsys):
+        from repro.datasets.io import write_interactions_csv
+        from repro.core.interaction import Interaction
+
+        path = tmp_path / "net.csv"
+        write_interactions_csv(
+            [Interaction("a", "b", 1.0, 2.0), Interaction("b", "c", 2.0, 1.0)], path
+        )
+        assert main(["run", "--dataset", str(path)]) == 0
+
+    def test_run_on_missing_csv_reports_error(self, capsys):
+        assert main(["run", "--dataset", "/does/not/exist.csv"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table6", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "table6" in out
+        assert "bitcoin" in out

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs end-to-end and prints something useful."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLES) >= 3
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    out = run_example(name, capsys)
+    assert len(out.strip()) > 0
+
+
+def test_quickstart_shows_paper_policies(capsys):
+    out = run_example("quickstart.py", capsys)
+    for label in ("fifo", "lifo", "lrb", "proportional-sparse"):
+        assert label in out
+    assert "B_v0" in out
+
+
+def test_fraud_example_reports_alert_summary(capsys):
+    out = run_example("financial_fraud_alerts.py", capsys)
+    assert "alerts raised" in out
+
+
+def test_taxi_example_reports_distribution(capsys):
+    out = run_example("taxi_passenger_flows.py", capsys)
+    assert "passengers" in out
+    assert "%" in out
+
+
+def test_botnet_example_reports_routes(capsys):
+    out = run_example("botnet_path_tracing.py", capsys)
+    assert "routes taken" in out
+    assert "->" in out
+
+
+def test_loan_example_compares_configurations(capsys):
+    out = run_example("loan_network_scalable_provenance.py", capsys)
+    assert "full proportional (sparse)" in out
+    assert "budget" in out

@@ -1,0 +1,129 @@
+"""End-to-end integration tests across modules.
+
+These tests exercise realistic pipelines that combine the dataset
+generators, the engine, several policies, the analyses and serialization —
+the way a downstream user of the library would wire the pieces together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BudgetProportionalPolicy,
+    FifoPolicy,
+    LifoPolicy,
+    NoProvenancePolicy,
+    PathProvenance,
+    ProportionalSparsePolicy,
+    ProvenanceEngine,
+    ReplayProvenance,
+    SelectiveProportionalPolicy,
+    datasets,
+)
+from repro.analysis.alerts import NeighbourOriginAlertRule
+from repro.analysis.contributors import top_contributors, top_receivers
+from repro.analysis.distribution import AccumulationTracker
+from repro.analysis.flow import top_financiers
+from repro.core.serialization import read_snapshot_json, write_snapshot_json
+
+
+@pytest.fixture(scope="module")
+def network():
+    return datasets.load_preset("prosper", scale=0.05)
+
+
+class TestFullPipeline:
+    def test_stream_analyse_serialize_reload(self, network, tmp_path):
+        """Run provenance, analyse the busiest vertex, round-trip to JSON."""
+        tracker = AccumulationTracker(watched=top_receivers(network, 1))
+        engine = ProvenanceEngine(ProportionalSparsePolicy(), observers=[tracker])
+        stats = engine.run(network)
+        assert stats.interactions == network.num_interactions
+
+        busiest = tracker.watched_vertices()[0]
+        financiers = top_financiers(engine, busiest, 5)
+        assert financiers and financiers[0][1] > 0
+
+        snapshot = engine.snapshot()
+        path = tmp_path / "snapshot.json"
+        write_snapshot_json(snapshot, path)
+        reloaded = read_snapshot_json(path)
+        assert reloaded.total_quantity() == pytest.approx(snapshot.total_quantity())
+        assert reloaded.get(busiest).approx_equal(snapshot[busiest], rel_tol=1e-9)
+
+    def test_alerting_pipeline_with_budget_policy(self, network):
+        """Alert rule works on top of a scope-limited (budget) policy too."""
+        threshold = 3.0 * network.average_quantity()
+        rule = NeighbourOriginAlertRule(threshold, max_neighbour_fraction=0.5)
+        engine = ProvenanceEngine(BudgetProportionalPolicy(capacity=20), observers=[rule])
+        engine.run(network)
+        for alert in rule.alerts:
+            assert alert.buffered_quantity > threshold
+
+    def test_selective_policy_agrees_with_full_on_tracked_vertices(self, network):
+        tracked = top_contributors(network, 5)
+        selective_engine = ProvenanceEngine(SelectiveProportionalPolicy(tracked))
+        selective_engine.run(network)
+        full_engine = ProvenanceEngine(ProportionalSparsePolicy())
+        full_engine.run(network)
+        busiest = top_receivers(network, 1)[0]
+        for origin in tracked:
+            assert selective_engine.origins(busiest).get(origin) == pytest.approx(
+                full_engine.origins(busiest).get(origin), rel=1e-6, abs=1e-6
+            )
+
+    def test_lazy_and_proactive_agree_end_to_end(self, network):
+        lazy_engine = ProvenanceEngine(ReplayProvenance(LifoPolicy))
+        lazy_engine.run(network)
+        proactive_engine = ProvenanceEngine(LifoPolicy())
+        proactive_engine.run(network)
+        busiest = top_receivers(network, 1)[0]
+        assert lazy_engine.origins(busiest).approx_equal(
+            proactive_engine.origins(busiest)
+        )
+
+    def test_path_tracking_pipeline(self, network):
+        policy = FifoPolicy(track_paths=True)
+        engine = ProvenanceEngine(policy)
+        engine.run(network)
+        provenance = PathProvenance(policy)
+        statistics = provenance.statistics()
+        assert statistics.entries > 0
+        busiest = top_receivers(network, 1)[0]
+        for record in provenance.paths_at(busiest):
+            assert record.path[0] == record.origin
+
+    def test_csv_round_trip_preserves_provenance(self, network, tmp_path):
+        """Provenance computed from a CSV re-import matches the original."""
+        from repro.datasets.io import read_network_csv, write_interactions_csv
+
+        path = tmp_path / "prosper.csv"
+        write_interactions_csv(network.interactions, path)
+        reloaded = read_network_csv(path, vertex_type=int)
+
+        original_engine = ProvenanceEngine(FifoPolicy())
+        original_engine.run(network)
+        reloaded_engine = ProvenanceEngine(FifoPolicy())
+        reloaded_engine.run(reloaded)
+
+        busiest = top_receivers(network, 1)[0]
+        assert reloaded_engine.origins(busiest).approx_equal(
+            original_engine.origins(busiest), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    def test_all_policies_conserve_total_quantity(self, network):
+        """Cross-policy conservation on a realistic preset (not just random streams)."""
+        reference = ProvenanceEngine(NoProvenancePolicy())
+        reference.run(network)
+        expected_total = sum(reference.buffer_totals().values())
+        for policy in (
+            FifoPolicy(),
+            LifoPolicy(),
+            ProportionalSparsePolicy(),
+            BudgetProportionalPolicy(capacity=10),
+        ):
+            engine = ProvenanceEngine(policy)
+            engine.run(network)
+            total = sum(engine.buffer_totals().values())
+            assert total == pytest.approx(expected_total, rel=1e-6)

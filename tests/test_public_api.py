@@ -1,0 +1,132 @@
+"""Tests of the public API surface exposed by ``import repro``."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_policy_classes_exported(self):
+        policies = [
+            repro.NoProvenancePolicy,
+            repro.LeastRecentlyBornPolicy,
+            repro.MostRecentlyBornPolicy,
+            repro.FifoPolicy,
+            repro.LifoPolicy,
+            repro.ProportionalDensePolicy,
+            repro.ProportionalSparsePolicy,
+            repro.SelectiveProportionalPolicy,
+            repro.GroupedProportionalPolicy,
+            repro.WindowedProportionalPolicy,
+            repro.BudgetProportionalPolicy,
+            repro.ReplayProvenance,
+        ]
+        for policy_class in policies:
+            assert issubclass(policy_class, repro.SelectionPolicy)
+
+    def test_subpackages_reachable(self):
+        assert hasattr(repro.datasets, "load_preset")
+        assert hasattr(repro.analysis, "top_contributors")
+        assert hasattr(repro.metrics, "deep_sizeof")
+        assert hasattr(repro.paths, "PathProvenance")
+        assert hasattr(repro.lazy, "ReplayProvenance")
+
+    def test_exceptions_form_hierarchy(self):
+        for exception in (
+            repro.InvalidInteractionError,
+            repro.UnknownVertexError,
+            repro.PolicyConfigurationError,
+            repro.PolicyNotRegisteredError,
+            repro.DatasetError,
+            repro.MemoryBudgetExceededError,
+        ):
+            assert issubclass(exception, repro.ReproError)
+
+    def test_registry_covers_exported_policy_names(self):
+        names = set(repro.available_policies())
+        for expected in ("fifo", "lifo", "lrb", "mrb", "noprov", "proportional-sparse"):
+            assert expected in names
+
+    def test_make_policy_round_trip(self):
+        policy = repro.make_policy("lifo", track_paths=True)
+        assert isinstance(policy, repro.LifoPolicy)
+
+
+class TestDocstrings:
+    """Every public module and class carries a docstring (documentation gate)."""
+
+    def test_package_docstring(self):
+        assert repro.__doc__ and "provenance" in repro.__doc__.lower()
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core.interaction",
+            "repro.core.network",
+            "repro.core.buffer",
+            "repro.core.provenance",
+            "repro.core.engine",
+            "repro.core.stream",
+            "repro.core.serialization",
+            "repro.policies.base",
+            "repro.policies.no_provenance",
+            "repro.policies.generation_time",
+            "repro.policies.receipt_order",
+            "repro.policies.proportional",
+            "repro.policies.registry",
+            "repro.scalable.selective",
+            "repro.scalable.grouped",
+            "repro.scalable.windowing",
+            "repro.scalable.budget",
+            "repro.paths.tracker",
+            "repro.lazy.replay",
+            "repro.datasets.schema",
+            "repro.datasets.synthetic",
+            "repro.datasets.catalog",
+            "repro.datasets.io",
+            "repro.analysis.distribution",
+            "repro.analysis.alerts",
+            "repro.analysis.grouping",
+            "repro.analysis.contributors",
+            "repro.analysis.flow",
+            "repro.metrics.memory",
+            "repro.metrics.timing",
+            "repro.metrics.tables",
+            "repro.bench.harness",
+            "repro.bench.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_module_docstrings(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+    def test_policy_class_docstrings(self):
+        for policy_class in (
+            repro.NoProvenancePolicy,
+            repro.FifoPolicy,
+            repro.LifoPolicy,
+            repro.LeastRecentlyBornPolicy,
+            repro.MostRecentlyBornPolicy,
+            repro.ProportionalDensePolicy,
+            repro.ProportionalSparsePolicy,
+            repro.SelectiveProportionalPolicy,
+            repro.GroupedProportionalPolicy,
+            repro.WindowedProportionalPolicy,
+            repro.BudgetProportionalPolicy,
+            repro.ReplayProvenance,
+        ):
+            assert policy_class.__doc__
