@@ -1,0 +1,100 @@
+"""Throughput benchmark: batched ``process_many`` vs. the seed per-interaction loop.
+
+Runs the no-provenance and dense-proportional policies (the two with chunked
+``process_many`` fast paths) over preset datasets with ``batch_size=1``
+(equivalent to the seed engine loop) and with the default batch size, and
+writes a ``BENCH_batched_throughput.json`` record with interactions/second
+for both paths plus the speedup.  The CI benchmark-smoke job runs this
+script; run it locally with::
+
+    PYTHONPATH=src python benchmarks/bench_batched.py [--scale 0.5] [--output path.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+from repro.datasets.catalog import load_preset
+from repro.runtime import DEFAULT_BATCH_SIZE, RunConfig, Runner
+
+#: (policy, dataset) pairs measured by the benchmark.  The dense policy runs
+#: on the small-vertex networks where it is feasible (as in the paper).
+CASES = (
+    ("noprov", "bitcoin"),
+    ("noprov", "taxis"),
+    ("proportional-dense", "taxis"),
+    ("proportional-dense", "flights"),
+)
+
+
+def best_of(network, policy_name: str, batch_size: int, repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` runs of one configuration."""
+    best = float("inf")
+    for _ in range(repeats):
+        config = RunConfig(dataset=network, policy=policy_name, batch_size=batch_size)
+        statistics = Runner(config).run().statistics
+        best = min(best, statistics.elapsed_seconds)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("--repeats", type=int, default=3, help="runs per configuration")
+    parser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="batch size of the batched configuration",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_batched_throughput.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args()
+
+    records = []
+    for policy_name, dataset in CASES:
+        network = load_preset(dataset, scale=args.scale)
+        per_item = best_of(network, policy_name, 1, args.repeats)
+        batched = best_of(network, policy_name, args.batch_size, args.repeats)
+        record = {
+            "policy": policy_name,
+            "dataset": dataset,
+            "interactions": network.num_interactions,
+            "per_interaction_seconds": per_item,
+            "batched_seconds": batched,
+            "per_interaction_ips": network.num_interactions / per_item if per_item else 0.0,
+            "batched_ips": network.num_interactions / batched if batched else 0.0,
+            "speedup": per_item / batched if batched else 0.0,
+        }
+        records.append(record)
+        print(
+            f"{policy_name:20s} on {dataset:8s}: "
+            f"{record['per_interaction_ips']:>10,.0f} ips -> "
+            f"{record['batched_ips']:>10,.0f} ips  "
+            f"({record['speedup']:.2f}x)"
+        )
+
+    payload = {
+        "benchmark": "batched_process_many_throughput",
+        "scale": args.scale,
+        "batch_size": args.batch_size,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "results": records,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    slower = [r for r in records if r["speedup"] <= 1.0]
+    if slower:
+        print("WARNING: batched path not faster for:", [r["policy"] for r in slower])
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

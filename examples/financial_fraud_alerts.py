@@ -17,7 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ProportionalSparsePolicy, ProvenanceEngine, datasets
+from repro import ProportionalSparsePolicy, RunConfig, Runner, datasets
 from repro.analysis.alerts import NeighbourOriginAlertRule
 
 
@@ -33,8 +33,10 @@ def main() -> None:
     threshold = network.average_quantity()
     rule = NeighbourOriginAlertRule(quantity_threshold=threshold)
 
-    engine = ProvenanceEngine(ProportionalSparsePolicy(), observers=[rule])
-    stats = engine.run(network)
+    result = Runner(
+        RunConfig(dataset=network, policy=ProportionalSparsePolicy(), observers=[rule])
+    ).run()
+    stats = result.statistics
     print(
         f"processed {stats.interactions} transactions in {stats.elapsed_seconds:.2f}s; "
         f"alert threshold = {threshold:.1f} units"

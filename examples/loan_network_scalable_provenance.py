@@ -21,19 +21,14 @@ from repro import (
     BudgetProportionalPolicy,
     GroupedProportionalPolicy,
     ProportionalSparsePolicy,
-    ProvenanceEngine,
+    RunConfig,
+    Runner,
     SelectiveProportionalPolicy,
     WindowedProportionalPolicy,
     datasets,
 )
 from repro.analysis.contributors import top_receivers
 from repro.metrics.memory import format_bytes, policy_memory_bytes
-
-
-def run(network, policy):
-    engine = ProvenanceEngine(policy)
-    stats = engine.run(network)
-    return engine, stats
 
 
 def main() -> None:
@@ -55,8 +50,9 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for label, policy in configurations:
-        engine, stats = run(network, policy)
-        origins = engine.origins(borrower)
+        result = Runner(RunConfig(dataset=network, policy=policy)).run()
+        stats = result.statistics
+        origins = result.origins(borrower)
         known = origins.known_total / origins.total * 100 if origins.total else 100.0
         print(
             f"{label:34s} {stats.elapsed_seconds:8.3f}s "

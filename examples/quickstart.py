@@ -2,7 +2,9 @@
 
 Replays the running example of the paper (Figure 3) under several selection
 policies and shows how the origin decomposition of each buffer differs, then
-runs the same API on a synthetic dataset preset.
+runs the same API on a synthetic dataset preset.  All runs go through the
+:class:`repro.Runner` pipeline — the single entry point for executing
+policies over datasets, presets, CSV files or raw streams.
 
 Run with::
 
@@ -17,9 +19,9 @@ from repro import (
     LeastRecentlyBornPolicy,
     LifoPolicy,
     ProportionalSparsePolicy,
-    ProvenanceEngine,
+    RunConfig,
+    Runner,
     TemporalInteractionNetwork,
-    datasets,
 )
 
 
@@ -38,12 +40,11 @@ def paper_running_example() -> TemporalInteractionNetwork:
 
 def show_policy(network: TemporalInteractionNetwork, policy) -> None:
     """Run one policy over the network and print each buffer's provenance."""
-    engine = ProvenanceEngine(policy)
-    engine.run(network)
+    result = Runner(RunConfig(dataset=network, policy=policy)).run()
     print(f"\n--- {policy.describe()} ---")
     for vertex in sorted(network.vertices, key=str):
-        total = engine.buffer_total(vertex)
-        origins = engine.origins(vertex)
+        total = result.buffer_total(vertex)
+        origins = result.origins(vertex)
         decomposition = ", ".join(
             f"{origin}={quantity:g}" for origin, quantity in sorted(origins.items(), key=lambda i: str(i[0]))
         )
@@ -60,18 +61,18 @@ def main() -> None:
     show_policy(network, LeastRecentlyBornPolicy())
     show_policy(network, ProportionalSparsePolicy())
 
-    # The same API scales to the synthetic dataset presets.
-    taxis = datasets.load_preset("taxis", scale=0.1)
-    engine = ProvenanceEngine(FifoPolicy())
-    stats = engine.run(taxis)
-    busiest = max(engine.buffer_totals(), key=engine.buffer_total)
+    # The same Runner scales to the synthetic dataset presets; policies can
+    # be referenced by registry name and execution is batched automatically.
+    result = Runner(RunConfig(dataset="taxis", scale=0.1, policy="fifo")).run()
+    stats = result.statistics
+    busiest, buffered = result.top_buffers(1)[0]
     print(
         f"\nprocessed {stats.interactions} taxi interactions in "
         f"{stats.elapsed_seconds:.3f}s; busiest zone is {busiest} with "
-        f"{engine.buffer_total(busiest):.0f} buffered passengers from "
-        f"{len(engine.origins(busiest))} origin zones"
+        f"{buffered:.0f} buffered passengers from "
+        f"{len(result.origins(busiest))} origin zones"
     )
-    for origin, quantity in engine.origins(busiest).top(5):
+    for origin, quantity in result.origins(busiest).top(5):
         print(f"  {quantity:7.1f} passengers originated at zone {origin}")
 
 

@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FifoPolicy, ProvenanceEngine, datasets
+from repro import FifoPolicy, RunConfig, Runner, datasets
 from repro.analysis.contributors import top_receivers
 from repro.analysis.distribution import AccumulationTracker
 
@@ -36,8 +36,9 @@ def main() -> None:
     print(f"watching drop-off zone {watched} (largest total passenger inflow)")
 
     tracker = AccumulationTracker(watched=[watched])
-    engine = ProvenanceEngine(FifoPolicy(), observers=[tracker])
-    engine.run(network)
+    Runner(
+        RunConfig(dataset=network, policy=FifoPolicy(), observers=[tracker])
+    ).run()
 
     series = tracker.series(watched)
     print(f"{len(series.points)} drop-offs delivered passengers to zone {watched}")

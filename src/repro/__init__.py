@@ -18,8 +18,9 @@ Quick start::
     print(engine.origins(vertex).top(5))
 """
 
-from repro import analysis, datasets, lazy, metrics, paths
+from repro import analysis, datasets, lazy, metrics, paths, runtime
 from repro.core.engine import ProvenanceEngine, RunStatistics
+from repro.runtime import RunConfig, Runner, RunResult
 from repro.lazy.replay import ReplayProvenance
 from repro.core.interaction import Interaction, Vertex
 from repro.core.network import TemporalInteractionNetwork
@@ -56,6 +57,10 @@ __all__ = [
     "TemporalInteractionNetwork",
     "ProvenanceEngine",
     "RunStatistics",
+    # runtime (Runner pipeline)
+    "Runner",
+    "RunConfig",
+    "RunResult",
     "OriginSet",
     "ProvenanceSnapshot",
     "UNKNOWN_ORIGIN",
@@ -89,6 +94,7 @@ __all__ = [
     "lazy",
     "metrics",
     "paths",
+    "runtime",
     # exceptions
     "ReproError",
     "InvalidInteractionError",

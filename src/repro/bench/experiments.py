@@ -28,10 +28,10 @@ from repro.bench.harness import (
     load_network_cached,
     run_policy,
 )
-from repro.core.engine import ProvenanceEngine
 from repro.core.network import TemporalInteractionNetwork
 from repro.datasets.catalog import get_spec
 from repro.lazy.replay import ReplayProvenance
+from repro.runtime import RunConfig, Runner
 from repro.metrics.memory import policy_memory_bytes
 from repro.paths.tracker import PathProvenance
 from repro.policies.generation_time import LeastRecentlyBornPolicy, MostRecentlyBornPolicy
@@ -457,8 +457,7 @@ def figure2_accumulation(
         vertex = top_receivers(network, 1)[0]
 
     tracker = AccumulationTracker(watched=[vertex])
-    engine = ProvenanceEngine(FifoPolicy(), observers=[tracker])
-    engine.run(network)
+    Runner(RunConfig(dataset=network, policy=FifoPolicy(), observers=[tracker])).run()
     series = tracker.series(vertex)
 
     rows: List[Dict[str, object]] = []
@@ -527,8 +526,14 @@ def figure9_alerts(
     rule = NeighbourOriginAlertRule(
         quantity_threshold, max_neighbour_fraction=max_neighbour_fraction
     )
-    engine = ProvenanceEngine(ProportionalSparsePolicy(), observers=[rule])
-    engine.run(network, limit=limit)
+    Runner(
+        RunConfig(
+            dataset=network,
+            policy=ProportionalSparsePolicy(),
+            observers=[rule],
+            limit=limit,
+        )
+    ).run()
 
     rows: List[Dict[str, object]] = []
     for alert in rule.alerts[:20]:
@@ -636,20 +641,24 @@ def ablation_lazy_vs_proactive(
     queried = top_receivers(network, 1)[0]
     rows: List[Dict[str, object]] = []
     for queries in query_counts:
+        # batch_size=1: this ablation times the paper's per-interaction
+        # algorithms, like every other table/figure of the suite.
         proactive = FifoPolicy()
-        proactive_engine = ProvenanceEngine(proactive)
+        proactive_runner = Runner(
+            RunConfig(dataset=network, policy=proactive, batch_size=1)
+        )
         start = _time.perf_counter()
-        proactive_engine.run(network)
+        proactive_result = proactive_runner.run()
         for _ in range(queries):
-            proactive_engine.origins(queried)
+            proactive_result.origins(queried)
         proactive_seconds = _time.perf_counter() - start
 
         lazy = ReplayProvenance(FifoPolicy)
-        lazy_engine = ProvenanceEngine(lazy)
+        lazy_runner = Runner(RunConfig(dataset=network, policy=lazy, batch_size=1))
         start = _time.perf_counter()
-        lazy_engine.run(network)
+        lazy_result = lazy_runner.run()
         for _ in range(queries):
-            lazy_engine.origins(queried)
+            lazy_result.origins(queried)
         lazy_seconds = _time.perf_counter() - start
 
         rows.append(

@@ -1,11 +1,15 @@
 """Shared experiment harness used by the benchmark suite.
 
-The functions here wrap the library's engine with the instrumentation needed
-to regenerate the paper's tables and figures: wall-clock timing, deep memory
-accounting, an optional memory ceiling that classifies configurations as
-infeasible (the ``--`` entries of Tables 7 and 8), and caching of generated
-networks so one benchmark session does not regenerate the same synthetic
-dataset for every policy.
+The functions here wrap the :class:`repro.runtime.Runner` pipeline with the
+instrumentation needed to regenerate the paper's tables and figures:
+wall-clock timing, deep memory accounting, an optional memory ceiling that
+classifies configurations as infeasible (the ``--`` entries of Tables 7 and
+8), and caching of generated networks so one benchmark session does not
+regenerate the same synthetic dataset for every policy.
+
+The paper's experiments measure the *per-interaction* algorithms, so the
+harness drives policies with ``batch_size=1`` by default; pass a larger
+``batch_size`` to measure the batched execution path instead.
 """
 
 from __future__ import annotations
@@ -13,13 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.engine import ProvenanceEngine, RunStatistics
+from repro.core.engine import RunStatistics
 from repro.core.network import TemporalInteractionNetwork
 from repro.datasets.catalog import load_preset
-from repro.exceptions import MemoryBudgetExceededError
-from repro.metrics.memory import MemoryCeiling, policy_memory_bytes
 from repro.metrics.tables import format_table
 from repro.policies.base import SelectionPolicy
+from repro.runtime import RunConfig, Runner
 
 __all__ = [
     "PolicyRunResult",
@@ -117,59 +120,39 @@ def run_policy(
     memory_check_every: Optional[int] = None,
     sample_every: int = 0,
     limit: Optional[int] = None,
+    batch_size: int = 1,
 ) -> PolicyRunResult:
     """Run ``policy`` over ``network`` with timing and memory accounting.
 
-    When a memory ceiling is given and exceeded, the run is reported as
-    infeasible instead of raising, mirroring how the paper reports
-    configurations that exceeded the machine's RAM.  By default the ceiling
-    is checked only once, after the run, so the memory accounting does not
-    distort the measured runtime; pass ``memory_check_every`` to also check
-    periodically and abort early (useful when even materialising the state
-    once would be too expensive).
+    A thin wrapper over the :class:`repro.runtime.Runner` pipeline that maps
+    its result onto the benchmark suite's :class:`PolicyRunResult`.  When a
+    memory ceiling is given and exceeded, the run is reported as infeasible
+    instead of raising, mirroring how the paper reports configurations that
+    exceeded the machine's RAM.  By default the ceiling is checked only
+    once, after the run, so the memory accounting does not distort the
+    measured runtime; pass ``memory_check_every`` to also check periodically
+    and abort early (useful when even materialising the state once would be
+    too expensive).
     """
-    engine = ProvenanceEngine(policy)
-    ceiling: Optional[MemoryCeiling] = None
-    if memory_ceiling_bytes is not None and memory_check_every is not None:
-        ceiling = MemoryCeiling(memory_ceiling_bytes, check_every=memory_check_every)
-        engine.add_observer(ceiling)
-
-    try:
-        statistics = engine.run(network, sample_every=sample_every, limit=limit)
-    except MemoryBudgetExceededError as error:
-        return PolicyRunResult(
-            dataset=network.name,
-            policy=policy.describe(),
-            feasible=False,
-            memory_bytes=error.used_bytes,
-            interactions=engine.interactions_processed,
-            note=str(error),
-        )
-
-    memory_bytes = policy_memory_bytes(policy)
-    if ceiling is not None:
-        memory_bytes = max(memory_bytes, ceiling.peak_bytes)
-    if memory_ceiling_bytes is not None and memory_bytes > memory_ceiling_bytes:
-        # The provenance state exceeds the configured ceiling: report the
-        # configuration as infeasible, exactly like an aborted run.
-        return PolicyRunResult(
-            dataset=network.name,
-            policy=policy.describe(),
-            feasible=False,
-            memory_bytes=memory_bytes,
-            interactions=statistics.interactions,
-            note=(
-                f"final provenance state uses {memory_bytes} bytes which "
-                f"exceeds the ceiling of {memory_ceiling_bytes} bytes"
-            ),
-        )
+    config = RunConfig(
+        dataset=network,
+        policy=policy,
+        batch_size=batch_size,
+        sample_every=sample_every,
+        limit=limit,
+        memory_ceiling_bytes=memory_ceiling_bytes,
+        memory_check_every=memory_check_every,
+        measure_memory=True,
+    )
+    result = Runner(config).run()
     return PolicyRunResult(
         dataset=network.name,
         policy=policy.describe(),
-        feasible=True,
-        runtime_seconds=statistics.elapsed_seconds,
-        memory_bytes=memory_bytes,
-        interactions=statistics.interactions,
-        entry_count=statistics.final_entry_count,
-        statistics=statistics,
+        feasible=result.feasible,
+        runtime_seconds=result.statistics.elapsed_seconds if result.feasible else None,
+        memory_bytes=result.memory_bytes,
+        interactions=result.statistics.interactions,
+        entry_count=result.statistics.final_entry_count if result.feasible else 0,
+        statistics=result.statistics if result.feasible else None,
+        note=result.note,
     )

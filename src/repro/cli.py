@@ -20,14 +20,11 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.bench import experiments as _experiments
-from repro.core.engine import ProvenanceEngine
-from repro.core.network import TemporalInteractionNetwork
 from repro.datasets.catalog import available_presets, load_preset
-from repro.datasets.io import read_network_csv
 from repro.exceptions import ReproError
 from repro.metrics.tables import format_table
-from repro.policies.proportional import ProportionalDensePolicy
-from repro.policies.registry import available_policies, make_policy
+from repro.policies.registry import available_policies
+from repro.runtime import DEFAULT_BATCH_SIZE, RunConfig, Runner
 
 __all__ = ["main", "build_parser"]
 
@@ -91,6 +88,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--window", type=int, default=1000,
         help="window size in interactions (proportional-windowed policy only)",
     )
+    run_parser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="interactions per process_many() batch (0 or 1: per-interaction)",
+    )
+    run_parser.add_argument(
+        "--stream", action="store_true",
+        help="stream CSV datasets lazily instead of loading them into memory",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=0,
+        help="partition the network into this many vertex shards (0: no sharding)",
+    )
+    run_parser.add_argument(
+        "--shard-by", choices=("components", "hash"), default="components",
+        help="partitioning mode: weakly-connected components (exact) or "
+        "stable vertex hash (approximate)",
+    )
+    run_parser.add_argument(
+        "--shard-executor", choices=("serial", "threads", "processes"),
+        default="serial", help="how shard engines are executed",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for parallel shard executors",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -105,46 +127,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_dataset(name: str, *, scale: float) -> TemporalInteractionNetwork:
-    if name in available_presets():
-        return load_preset(name, scale=scale)
-    return read_network_csv(name)
-
-
-def _make_policy(args: argparse.Namespace, network: TemporalInteractionNetwork):
+def _policy_options(args: argparse.Namespace) -> dict:
+    """Map CLI flags onto the structural options of the named policy."""
     name = args.policy
-    if name == ProportionalDensePolicy.name:
-        return make_policy(name, vertices=network.vertices)
     if name == "proportional-budget":
-        return make_policy(name, capacity=args.budget)
+        return {"capacity": args.budget}
     if name == "proportional-windowed":
-        return make_policy(name, window=args.window)
+        return {"window": args.window}
     if name == "proportional-selective":
-        from repro.scalable.selective import SelectiveProportionalPolicy
-
-        return SelectiveProportionalPolicy.for_top_contributors(network, k=args.top)
+        return {"k": args.top}
     if name == "proportional-grouped":
-        from repro.scalable.grouped import GroupedProportionalPolicy
-
-        return GroupedProportionalPolicy.round_robin(network.vertices, num_groups=args.top)
-    return make_policy(name)
+        return {"num_groups": args.top}
+    return {}
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    network = _load_dataset(args.dataset, scale=args.scale)
-    policy = _make_policy(args, network)
-    engine = ProvenanceEngine(policy)
-    statistics = engine.run(network, limit=args.limit)
+    config = RunConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        stream=args.stream,
+        policy=args.policy,
+        policy_options=_policy_options(args),
+        limit=args.limit,
+        batch_size=args.batch_size,
+        shards=args.shards,
+        shard_by=args.shard_by,
+        shard_executor=args.shard_executor,
+        max_workers=args.workers,
+    )
+    result = Runner(config).run()
+    statistics = result.statistics
 
     print(
-        f"processed {statistics.interactions} interactions of {network.name!r} "
-        f"with policy {policy.describe()!r} in {statistics.elapsed_seconds:.3f}s"
+        f"processed {statistics.interactions} interactions of "
+        f"{result.dataset_name!r} with policy {args.policy!r} "
+        f"in {statistics.elapsed_seconds:.3f}s"
     )
-    totals = engine.buffer_totals()
-    largest = sorted(totals.items(), key=lambda item: -item[1])[: args.top]
+    if result.sharded:
+        shard_sizes = ", ".join(
+            str(run.statistics.interactions) for run in result.shard_runs
+        )
+        exactness = "exact" if result.partition.exact else "approximate"
+        print(
+            f"sharded over {len(result.shard_runs)} {result.partition.mode} "
+            f"shards ({exactness}; per-shard interactions: {shard_sizes})"
+        )
     rows = []
-    for vertex, total in largest:
-        origins = engine.origins(vertex)
+    for vertex, total in result.top_buffers(args.top):
+        origins = result.origins(vertex)
         top_origins = ", ".join(
             f"{origin!r}:{quantity:.3g}" for origin, quantity in origins.top(3)
         )

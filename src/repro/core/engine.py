@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.interaction import Interaction, Vertex
@@ -33,6 +34,12 @@ __all__ = ["ProvenanceEngine", "RunStatistics", "InteractionObserver"]
 #: the interaction, and its zero-based position in the stream.
 InteractionObserver = Callable[["ProvenanceEngine", Interaction, int], None]
 
+#: First stream position at which the engine checks the policy's entry count
+#: when no explicit sampling is requested; subsequent checks happen at every
+#: doubling of that position (2048, 4096, ...), so a run of n interactions
+#: pays only O(log n) ``entry_count()`` calls for peak tracking.
+_PEAK_CHECK_START = 1024
+
 
 @dataclass
 class RunStatistics:
@@ -44,7 +51,11 @@ class RunStatistics:
     elapsed_seconds: float = 0.0
     #: Number of provenance entries stored by the policy at the end of the run.
     final_entry_count: int = 0
-    #: Largest observed entry count (sampled every ``sample_every`` interactions).
+    #: Largest observed entry count.  Observed at every ``sample_every``
+    #: position when sampling is on; without sampling the engine still checks
+    #: on a cheap geometric cadence (positions 1024, 2048, 4096, ...) so the
+    #: peak of a shrinking policy (windowed, budget) is not reported as its
+    #: final count.
     peak_entry_count: int = 0
     #: Interaction positions at which entry counts were sampled.
     samples: List[int] = field(default_factory=list)
@@ -97,6 +108,7 @@ class ProvenanceEngine:
         reset: bool = True,
         limit: Optional[int] = None,
         sample_every: int = 0,
+        batch_size: int = 0,
     ) -> RunStatistics:
         """Process a whole interaction stream and return run statistics.
 
@@ -115,6 +127,16 @@ class ProvenanceEngine:
             When positive, sample the policy's entry count and the elapsed
             time every ``sample_every`` interactions — the data behind the
             cumulative-cost curves of Figure 6.
+        batch_size:
+            When greater than one, pull fixed-size batches from the stream
+            and hand them to :meth:`SelectionPolicy.process_many` instead of
+            stepping one interaction at a time.  Provenance state and
+            sampling positions are identical to the per-interaction path
+            (batches are clipped at sampling boundaries); only the
+            per-interaction Python overhead is amortised.  When observers
+            are registered the engine falls back to per-interaction
+            stepping, because observers must see the policy state after
+            every single interaction.
         """
         if isinstance(source, TemporalInteractionNetwork):
             vertices: Sequence[Vertex] = source.vertices
@@ -128,7 +150,16 @@ class ProvenanceEngine:
             self._interactions_processed = 0
             self._last_time = None
 
+        if batch_size > 1 and not self._observers:
+            return self._run_batched(
+                interactions,
+                limit=limit,
+                sample_every=sample_every,
+                batch_size=batch_size,
+            )
+
         stats = RunStatistics()
+        next_peak_check = _PEAK_CHECK_START if not sample_every else 0
         start = _time.perf_counter()
         for index, interaction in enumerate(interactions):
             if limit is not None and index >= limit:
@@ -140,9 +171,70 @@ class ProvenanceEngine:
                 stats.samples.append(index + 1)
                 stats.sampled_entry_counts.append(entry_count)
                 stats.sampled_elapsed_seconds.append(_time.perf_counter() - start)
-                stats.peak_entry_count = max(stats.peak_entry_count, entry_count)
+                if entry_count > stats.peak_entry_count:
+                    stats.peak_entry_count = entry_count
+            elif next_peak_check and (index + 1) >= next_peak_check:
+                entry_count = self.policy.entry_count()
+                if entry_count > stats.peak_entry_count:
+                    stats.peak_entry_count = entry_count
+                next_peak_check *= 2
         stats.elapsed_seconds = _time.perf_counter() - start
         stats.final_entry_count = self.policy.entry_count()
+        stats.peak_entry_count = max(stats.peak_entry_count, stats.final_entry_count)
+        return stats
+
+    def _run_batched(
+        self,
+        interactions: Iterable[Interaction],
+        *,
+        limit: Optional[int],
+        sample_every: int,
+        batch_size: int,
+    ) -> RunStatistics:
+        """Batched drive loop behind :meth:`run` (no observers registered).
+
+        Batches are clipped at ``sample_every`` boundaries so entry counts
+        are sampled at exactly the positions of the per-interaction path.
+        """
+        policy = self.policy
+        process_many = policy.process_many
+        iterator = iter(interactions)
+        if limit is not None:
+            iterator = islice(iterator, max(limit, 0))
+
+        stats = RunStatistics()
+        processed = 0
+        next_peak_check = _PEAK_CHECK_START if not sample_every else 0
+        start = _time.perf_counter()
+        while True:
+            size = batch_size
+            if sample_every:
+                to_boundary = sample_every - (processed % sample_every)
+                size = min(size, to_boundary)
+            if next_peak_check:
+                size = min(size, next_peak_check - processed)
+            batch = list(islice(iterator, size))
+            if not batch:
+                break
+            process_many(batch)
+            processed += len(batch)
+            self._interactions_processed += len(batch)
+            self._last_time = batch[-1].time
+            stats.interactions += len(batch)
+            if sample_every and processed % sample_every == 0:
+                entry_count = policy.entry_count()
+                stats.samples.append(processed)
+                stats.sampled_entry_counts.append(entry_count)
+                stats.sampled_elapsed_seconds.append(_time.perf_counter() - start)
+                if entry_count > stats.peak_entry_count:
+                    stats.peak_entry_count = entry_count
+            elif next_peak_check and processed >= next_peak_check:
+                entry_count = policy.entry_count()
+                if entry_count > stats.peak_entry_count:
+                    stats.peak_entry_count = entry_count
+                next_peak_check *= 2
+        stats.elapsed_seconds = _time.perf_counter() - start
+        stats.final_entry_count = policy.entry_count()
         stats.peak_entry_count = max(stats.peak_entry_count, stats.final_entry_count)
         return stats
 

@@ -5,13 +5,19 @@ typically arrive as CSV files with one interaction per row.  This module
 reads and writes the simple ``source,destination,time,quantity`` format so
 the library can be used on the paper's original data when available, and so
 synthetic datasets can be persisted for external tools.
+
+All readers stream: :func:`read_interactions_csv` yields rows one at a time
+without materialising the file, so :class:`repro.runtime.Runner` (with
+``stream=True``) can drive a policy over CSV files larger than memory, and
+:func:`read_network_csv` feeds the network builder incrementally instead of
+building an intermediate list.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from repro.core.interaction import Interaction
 from repro.core.network import TemporalInteractionNetwork
@@ -52,24 +58,32 @@ def read_interactions_csv(
     path: Union[str, Path],
     *,
     vertex_type: type = str,
+    limit: Optional[int] = None,
 ) -> Iterator[Interaction]:
-    """Yield interactions from a CSV file.
+    """Lazily yield interactions from a CSV file.
 
     The file must have columns ``source, destination, time, quantity``
     (header optional).  ``vertex_type`` converts the vertex columns (use
-    ``int`` when vertex identifiers are integers).
+    ``int`` when vertex identifiers are integers).  Rows are parsed on
+    demand — the file is never materialised, so arbitrarily large files can
+    be streamed; ``limit`` stops after that many interactions without
+    reading the rest.
 
     Raises
     ------
     DatasetError
-        If a row cannot be parsed.
+        If a row cannot be parsed (raised when the offending row is
+        reached, not at call time).
     """
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"interaction file {path} does not exist")
+    yielded = 0
     with path.open("r", newline="") as handle:
         reader = csv.reader(handle)
         for line_number, row in enumerate(reader, start=1):
+            if limit is not None and yielded >= limit:
+                return
             if not row or all(not cell.strip() for cell in row):
                 continue
             if line_number == 1 and _is_header(row):
@@ -88,6 +102,7 @@ def read_interactions_csv(
                 )
             except (TypeError, ValueError) as exc:
                 raise DatasetError(f"{path}:{line_number}: cannot parse row {row!r}: {exc}") from exc
+            yielded += 1
 
 
 def _is_header(row: Sequence[str]) -> bool:
@@ -102,11 +117,13 @@ def read_network_csv(
     name: Optional[str] = None,
     vertex_type: type = str,
 ) -> TemporalInteractionNetwork:
-    """Read a CSV file into a :class:`TemporalInteractionNetwork`."""
+    """Read a CSV file into a :class:`TemporalInteractionNetwork`.
+
+    Rows stream straight into the network builder — no intermediate list —
+    so peak memory is the network itself, not twice the file.
+    """
     path = Path(path)
-    interactions: List[Interaction] = list(
-        read_interactions_csv(path, vertex_type=vertex_type)
-    )
     return TemporalInteractionNetwork.from_interactions(
-        interactions, name=name or path.stem
+        read_interactions_csv(path, vertex_type=vertex_type),
+        name=name or path.stem,
     )

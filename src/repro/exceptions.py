@@ -16,6 +16,7 @@ __all__ = [
     "PolicyNotRegisteredError",
     "DatasetError",
     "MemoryBudgetExceededError",
+    "RunConfigurationError",
 ]
 
 
@@ -46,6 +47,10 @@ class PolicyNotRegisteredError(ReproError, KeyError):
 
 class DatasetError(ReproError, ValueError):
     """A dataset file or generator specification could not be interpreted."""
+
+
+class RunConfigurationError(ReproError, ValueError):
+    """A :class:`repro.runtime.RunConfig` combines incompatible options."""
 
 
 class MemoryBudgetExceededError(ReproError, MemoryError):

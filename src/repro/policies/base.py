@@ -62,6 +62,20 @@ class SelectionPolicy(abc.ABC):
     def process(self, interaction: Interaction) -> None:
         """Apply a single interaction to the policy state."""
 
+    def process_many(self, interactions: Sequence[Interaction]) -> None:
+        """Apply a batch of interactions, in order.
+
+        Semantically equivalent to calling :meth:`process` once per element;
+        the default implementation does exactly that (with the method lookup
+        hoisted out of the loop).  Policies with dense or dict-based state
+        override this with chunked implementations that amortise attribute
+        lookups and bookkeeping over the whole batch — the same provenance
+        state must result either way, bit for bit.
+        """
+        process = self.process
+        for interaction in interactions:
+            process(interaction)
+
     def process_all(self, interactions: Iterable[Interaction]) -> int:
         """Apply every interaction of an iterable; returns the count processed.
 

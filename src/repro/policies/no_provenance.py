@@ -50,6 +50,26 @@ class NoProvenancePolicy(SelectionPolicy):
         if newborn > 0:
             self._generated[source] += newborn
 
+    def process_many(self, interactions: Sequence[Interaction]) -> None:
+        """Batched Algorithm 1: the per-interaction arithmetic inlined.
+
+        Produces exactly the state :meth:`process` would (same operations in
+        the same order); only the Python-level overhead — attribute lookups
+        and the call per interaction — is amortised over the batch.
+        """
+        buffers = self._buffers
+        generated = self._generated
+        for interaction in interactions:
+            source = interaction.source
+            quantity = interaction.quantity
+            available = buffers[source]
+            relayed = min(quantity, available)
+            newborn = quantity - relayed
+            buffers[source] = available - relayed
+            buffers[interaction.destination] += quantity
+            if newborn > 0:
+                generated[source] += newborn
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -124,6 +124,54 @@ class ProportionalDensePolicy(SelectionPolicy):
             self._totals[source] = source_total - quantity
             self._totals[destination] = self._totals.get(destination, 0.0) + quantity
 
+    def process_many(self, interactions: Sequence[Interaction]) -> None:
+        """Batched Algorithm 3 over dense vectors.
+
+        Replays the exact arithmetic of :meth:`process` (same numpy
+        operations, same order, hence bit-identical vectors) with the state
+        dictionaries, the vertex index and the vector cache held in locals,
+        amortising the per-interaction Python overhead over the batch.
+        """
+        index = self._index
+        vectors = self._vectors
+        totals = self._totals
+        universe = len(index)
+        zeros = np.zeros
+        for interaction in interactions:
+            source = interaction.source
+            destination = interaction.destination
+            quantity = interaction.quantity
+            if source not in index:
+                self._position(source)
+            if destination not in index:
+                self._position(destination)
+            source_total = totals.get(source, 0.0)
+
+            source_vector = vectors.get(source)
+            if source_vector is None:
+                source_vector = zeros(universe, dtype=np.float64)
+                vectors[source] = source_vector
+            destination_vector = vectors.get(destination)
+            if destination_vector is None:
+                destination_vector = zeros(universe, dtype=np.float64)
+                vectors[destination] = destination_vector
+
+            if quantity >= source_total:
+                destination_vector += source_vector
+                newborn = quantity - source_total
+                if newborn > 0:
+                    destination_vector[index[source]] += newborn
+                source_vector[:] = 0.0
+                totals[source] = 0.0
+                totals[destination] = totals.get(destination, 0.0) + quantity
+            else:
+                fraction = quantity / source_total
+                moved = source_vector * fraction
+                destination_vector += moved
+                source_vector -= moved
+                totals[source] = source_total - quantity
+                totals[destination] = totals.get(destination, 0.0) + quantity
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -214,6 +262,53 @@ class ProportionalSparsePolicy(SelectionPolicy):
                     del source_vector[origin]
             self._totals[source] = source_total - quantity
             self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+
+    def process_many(self, interactions: Sequence[Interaction]) -> None:
+        """Batched Algorithm 3 over sparse dict vectors.
+
+        Same arithmetic and operation order as :meth:`process` — only the
+        state lookups are hoisted into locals for the whole batch.
+        """
+        vectors = self._vectors
+        totals = self._totals
+        for interaction in interactions:
+            source = interaction.source
+            destination = interaction.destination
+            quantity = interaction.quantity
+            source_total = totals.get(source, 0.0)
+
+            source_vector = vectors.get(source)
+            if source_vector is None:
+                source_vector = {}
+                vectors[source] = source_vector
+            destination_vector = vectors.get(destination)
+            if destination_vector is None:
+                destination_vector = {}
+                vectors[destination] = destination_vector
+
+            if quantity >= source_total:
+                for origin, amount in source_vector.items():
+                    destination_vector[origin] = destination_vector.get(origin, 0.0) + amount
+                newborn = quantity - source_total
+                if newborn > 0:
+                    destination_vector[source] = destination_vector.get(source, 0.0) + newborn
+                source_vector.clear()
+                totals[source] = 0.0
+                totals[destination] = totals.get(destination, 0.0) + quantity
+            else:
+                fraction = quantity / source_total
+                keep = 1.0 - fraction
+                for origin in list(source_vector):
+                    amount = source_vector[origin]
+                    moved = amount * fraction
+                    destination_vector[origin] = destination_vector.get(origin, 0.0) + moved
+                    remaining = amount * keep
+                    if remaining > _PRUNE_EPSILON:
+                        source_vector[origin] = remaining
+                    else:
+                        del source_vector[origin]
+                totals[source] = source_total - quantity
+                totals[destination] = totals.get(destination, 0.0) + quantity
 
     # ------------------------------------------------------------------
     # queries

@@ -1,0 +1,40 @@
+"""Execution runtime: the Runner pipeline, run configuration and sharding.
+
+This package is the architectural seam between the paper's per-interaction
+algorithms (:mod:`repro.core`, :mod:`repro.policies`) and everything that
+*drives* them.  All callers — CLI, benchmark harness, experiments, examples
+— execute runs through :class:`Runner`, which adds batched policy execution
+and sharded partition runs on top of the core engine.
+"""
+
+from repro.runtime.config import DEFAULT_BATCH_SIZE, RunConfig
+from repro.runtime.partition import (
+    PartitionPlan,
+    Shard,
+    ShardRun,
+    connected_components,
+    merge_snapshots,
+    merge_statistics,
+    partition_network,
+    run_shards,
+    stable_shard_index,
+)
+from repro.runtime.runner import Runner, RunResult, build_policy, run
+
+__all__ = [
+    "RunConfig",
+    "DEFAULT_BATCH_SIZE",
+    "Runner",
+    "RunResult",
+    "run",
+    "build_policy",
+    "Shard",
+    "PartitionPlan",
+    "ShardRun",
+    "connected_components",
+    "partition_network",
+    "stable_shard_index",
+    "run_shards",
+    "merge_statistics",
+    "merge_snapshots",
+]

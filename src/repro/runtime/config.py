@@ -1,0 +1,169 @@
+"""Declarative configuration of a provenance run.
+
+A :class:`RunConfig` captures *everything* the :class:`repro.runtime.Runner`
+needs to execute one run — which dataset, which policy with which options,
+how the stream is driven (batch size, limit, sampling), what instrumentation
+is attached (observers, memory ceiling, checkpointing) and whether the run is
+sharded over vertex partitions.  The CLI, the benchmark harness and the
+examples all build one of these and hand it to a Runner, so every execution
+path in the repository goes through the same, well-tested pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Sequence, Union
+
+from repro.core.interaction import Interaction
+from repro.core.network import TemporalInteractionNetwork
+from repro.exceptions import RunConfigurationError
+from repro.policies.base import SelectionPolicy
+
+__all__ = ["RunConfig", "DEFAULT_BATCH_SIZE", "DatasetSource", "PolicySpec"]
+
+#: Default number of interactions handed to ``SelectionPolicy.process_many``
+#: per engine iteration.  Large enough to amortise the per-batch overhead,
+#: small enough that sampling boundaries rarely clip it.
+DEFAULT_BATCH_SIZE = 256
+
+#: What a run can consume: a preset name, a CSV path, an in-memory network,
+#: or any time-ordered iterable of interactions.
+DatasetSource = Union[str, Path, TemporalInteractionNetwork, Iterable[Interaction]]
+
+#: A policy is referenced by registry name or passed as a ready instance.
+PolicySpec = Union[str, SelectionPolicy]
+
+_SHARD_MODES = ("components", "hash")
+_EXECUTORS = ("serial", "threads", "processes")
+
+
+@dataclass
+class RunConfig:
+    """Full specification of one provenance run.
+
+    Parameters
+    ----------
+    dataset:
+        Preset name (see :func:`repro.datasets.available_presets`), path to
+        an interaction CSV, a :class:`TemporalInteractionNetwork`, or a raw
+        iterable of interactions.
+    scale, seed:
+        Forwarded to :func:`repro.datasets.load_preset` for preset datasets.
+    stream:
+        When the dataset is a CSV path, feed rows to the policy lazily
+        instead of materialising a network first — this is how files larger
+        than memory are ingested.  Streamed runs have no vertex universe, so
+        they cannot be sharded and cannot run policies that need the full
+        universe up front (the dense proportional policy).
+    vertex_type:
+        Converter for the vertex columns of CSV datasets (e.g. ``int``).
+    policy:
+        Registry name (``"fifo"``, ``"proportional-sparse"``, ...) or a
+        ready :class:`SelectionPolicy` instance.
+    policy_options:
+        Keyword arguments for the registry factory.  The structural options
+        of the scalable policies are recognised and resolved against the
+        dataset: ``k`` (selective), ``num_groups`` (grouped), ``capacity``
+        (budget), ``window`` (windowed).
+    observers:
+        :data:`~repro.core.engine.InteractionObserver` callables wired into
+        the engine.  Observers force per-interaction execution because they
+        must see the policy state after every single interaction.
+    batch_size:
+        Interactions per :meth:`SelectionPolicy.process_many` call; values
+        of 0 or 1 select the per-interaction path.
+    limit, sample_every:
+        As in :meth:`repro.core.engine.ProvenanceEngine.run`.
+    checkpoint_path:
+        When set, the engine state is saved there after the run completes
+        (see :mod:`repro.core.checkpoint`).
+    checkpoint_every:
+        Additionally checkpoint every N processed interactions (registers an
+        observer, hence forces per-interaction execution).
+    memory_ceiling_bytes, memory_check_every:
+        Classify the run as infeasible when the policy state exceeds the
+        ceiling; with ``memory_check_every`` the ceiling is also enforced
+        mid-run, aborting early.
+    measure_memory:
+        Account the policy's final memory footprint even without a ceiling
+        (the benchmark harness needs the number for Tables 7/8).
+    shards:
+        When > 1, partition the network into vertex shards and run one
+        engine per shard (see :mod:`repro.runtime.partition`).
+    shard_by:
+        ``"components"`` (weakly-connected components; exact) or ``"hash"``
+        (stable vertex hash; documented-approximate for cross-shard flows).
+    shard_executor:
+        ``"serial"``, ``"threads"`` or ``"processes"``.
+    max_workers:
+        Worker count for the parallel executors (None: library default).
+    """
+
+    dataset: DatasetSource = "taxis"
+    scale: float = 1.0
+    seed: Optional[int] = None
+    stream: bool = False
+    vertex_type: type = str
+    policy: PolicySpec = "fifo"
+    policy_options: Dict[str, Any] = field(default_factory=dict)
+    observers: Sequence = ()
+    batch_size: int = DEFAULT_BATCH_SIZE
+    limit: Optional[int] = None
+    sample_every: int = 0
+    checkpoint_path: Optional[Union[str, Path]] = None
+    checkpoint_every: int = 0
+    memory_ceiling_bytes: Optional[int] = None
+    memory_check_every: Optional[int] = None
+    measure_memory: bool = False
+    shards: int = 0
+    shard_by: str = "components"
+    shard_executor: str = "serial"
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 0:
+            raise RunConfigurationError(f"batch_size must be >= 0, got {self.batch_size}")
+        if self.sample_every < 0:
+            raise RunConfigurationError(f"sample_every must be >= 0, got {self.sample_every}")
+        if self.shards < 0:
+            raise RunConfigurationError(f"shards must be >= 0, got {self.shards}")
+        if self.shard_by not in _SHARD_MODES:
+            raise RunConfigurationError(
+                f"shard_by must be one of {_SHARD_MODES}, got {self.shard_by!r}"
+            )
+        if self.shard_executor not in _EXECUTORS:
+            raise RunConfigurationError(
+                f"shard_executor must be one of {_EXECUTORS}, got {self.shard_executor!r}"
+            )
+        if self.shards > 1:
+            if self.stream:
+                raise RunConfigurationError(
+                    "sharded runs need the full network; streamed CSV ingestion "
+                    "cannot be sharded"
+                )
+            if self.observers or self.checkpoint_every:
+                raise RunConfigurationError(
+                    "observers and periodic checkpointing are per-engine and are "
+                    "not supported in sharded runs"
+                )
+            if self.checkpoint_path is not None:
+                raise RunConfigurationError(
+                    "checkpointing a sharded run is not supported yet"
+                )
+        if self.stream and isinstance(self.dataset, TemporalInteractionNetwork):
+            raise RunConfigurationError(
+                "stream=True only applies to CSV paths; the dataset is already "
+                "an in-memory network"
+            )
+        if self.checkpoint_every < 0:
+            raise RunConfigurationError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+
+    @property
+    def effective_batch_size(self) -> int:
+        """Batch size actually used by the engine (observers force 1)."""
+        if self.observers or self.checkpoint_every:
+            return 1
+        return self.batch_size

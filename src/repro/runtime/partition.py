@@ -1,0 +1,335 @@
+"""Vertex partitioning and sharded provenance runs.
+
+Quantity flows never cross weakly-connected components of a temporal
+interaction network: an interaction moves quantity along an edge, and every
+edge lies inside one component.  Component-based shards therefore compute
+*exactly* the provenance of a single global run — each vertex's buffer and
+origin decomposition live entirely inside one shard, and the merged result
+is a disjoint union.
+
+Hash-based shards trade exactness for balance: vertices are assigned to
+shards by a stable hash and every interaction follows its *source* vertex.
+A vertex that receives quantity on several shards has its buffer split
+across them, and a relay performed on the source's shard cannot see
+quantity that arrived on another shard — the policy classifies the missing
+amount as newborn instead.  Hash-sharded runs therefore *overestimate*
+buffered totals and generated quantity wherever flows cross shards, and
+their origin decompositions are approximate; every interaction is still
+processed exactly once, and networks whose components fit inside single
+shards incur no error at all.  Use hash shards when a network is dominated
+by one giant component and throughput matters more than exact attribution.
+
+Shards run sequentially or via :mod:`concurrent.futures` (threads or
+processes — policies and interactions are picklable, so process pools work
+out of the box).
+"""
+
+from __future__ import annotations
+
+import time as _time
+import zlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.engine import ProvenanceEngine, RunStatistics
+from repro.core.interaction import Interaction, Vertex
+from repro.core.network import TemporalInteractionNetwork
+from repro.core.provenance import OriginSet, ProvenanceSnapshot
+from repro.exceptions import RunConfigurationError
+from repro.policies.base import SelectionPolicy
+
+__all__ = [
+    "Shard",
+    "PartitionPlan",
+    "ShardRun",
+    "connected_components",
+    "stable_shard_index",
+    "partition_network",
+    "run_shards",
+    "merge_statistics",
+    "merge_snapshots",
+]
+
+
+@dataclass
+class Shard:
+    """One vertex partition and the interactions assigned to it."""
+
+    index: int
+    vertices: Tuple[Vertex, ...]
+    interactions: List[Interaction]
+
+    @property
+    def num_interactions(self) -> int:
+        return len(self.interactions)
+
+    def universe(self) -> Tuple[Vertex, ...]:
+        """All vertices a policy on this shard can encounter.
+
+        For component shards this equals :attr:`vertices`.  For hash shards
+        the interactions follow their *source* vertex, so destinations from
+        other shards appear too; policies with dense per-vertex state need
+        them in their universe.
+        """
+        seen = dict.fromkeys(self.vertices)
+        for interaction in self.interactions:
+            seen.setdefault(interaction.source)
+            seen.setdefault(interaction.destination)
+        return tuple(seen)
+
+
+@dataclass
+class PartitionPlan:
+    """The outcome of partitioning a network for a sharded run."""
+
+    mode: str
+    shards: List[Shard]
+    #: True when the partition provably reproduces the global provenance
+    #: (component shards); False for hash shards, whose origin decomposition
+    #: is approximate for vertices with cross-shard traffic.
+    exact: bool
+    #: Number of interactions whose endpoints land on different shards
+    #: (always 0 for component shards).
+    cross_shard_interactions: int = 0
+
+
+@dataclass
+class ShardRun:
+    """The result of driving one shard through its own engine."""
+
+    shard: Shard
+    policy: SelectionPolicy
+    statistics: RunStatistics
+    last_time: Optional[float] = None
+
+
+def connected_components(network: TemporalInteractionNetwork) -> List[Set[Vertex]]:
+    """Weakly-connected components of the network, largest first.
+
+    Uses union-find over the edge set; isolated vertices form singleton
+    components.
+    """
+    parent: Dict[Vertex, Vertex] = {vertex: vertex for vertex in network.vertices}
+
+    def find(vertex: Vertex) -> Vertex:
+        root = vertex
+        while parent[root] != root:
+            root = parent[root]
+        while parent[vertex] != root:  # path compression
+            parent[vertex], vertex = root, parent[vertex]
+        return root
+
+    for edge in network.edges():
+        root_a, root_b = find(edge.source), find(edge.destination)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    groups: Dict[Vertex, Set[Vertex]] = {}
+    for vertex in parent:
+        groups.setdefault(find(vertex), set()).add(vertex)
+    return sorted(groups.values(), key=len, reverse=True)
+
+
+def stable_shard_index(vertex: Vertex, num_shards: int) -> int:
+    """Deterministic shard assignment of a vertex (stable across processes).
+
+    Python's built-in ``hash`` of strings is salted per process, which would
+    make shard assignments irreproducible; CRC32 of the repr is stable.
+    """
+    return zlib.crc32(repr(vertex).encode("utf-8")) % num_shards
+
+
+def partition_network(
+    network: TemporalInteractionNetwork,
+    num_shards: int,
+    *,
+    mode: str = "components",
+    limit: Optional[int] = None,
+) -> PartitionPlan:
+    """Split a network into at most ``num_shards`` vertex shards.
+
+    ``mode="components"`` packs weakly-connected components into shards
+    (greedy largest-first by interaction count, so shard workloads balance);
+    the result is exact.  ``mode="hash"`` assigns vertices by stable hash
+    and interactions by their source vertex; the result is approximate (see
+    the module docstring).  ``limit`` restricts the plan to the first
+    ``limit`` interactions of the *global* time order — the sharded
+    equivalent of the engine's ``limit``, applied before assignment so the
+    total processed count matches an unsharded limited run.
+    """
+    if num_shards < 1:
+        raise RunConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    interactions = network.interactions
+    if limit is not None:
+        interactions = interactions[: max(limit, 0)]
+
+    if mode == "components":
+        components = connected_components(network)
+        num_shards = min(num_shards, len(components)) or 1
+        # Greedy balance by interaction weight: heaviest component first into
+        # the currently lightest shard.
+        weight: Dict[Vertex, int] = {}
+        for interaction in interactions:
+            weight[interaction.source] = weight.get(interaction.source, 0) + 1
+        component_weight = [
+            sum(weight.get(vertex, 0) for vertex in component)
+            for component in components
+        ]
+        order = sorted(range(len(components)), key=lambda i: -component_weight[i])
+        loads = [0] * num_shards
+        membership: Dict[Vertex, int] = {}
+        for position in order:
+            lightest = min(range(num_shards), key=loads.__getitem__)
+            loads[lightest] += component_weight[position]
+            for vertex in components[position]:
+                membership[vertex] = lightest
+        cross = 0
+    elif mode == "hash":
+        membership = {
+            vertex: stable_shard_index(vertex, num_shards)
+            for vertex in network.vertices
+        }
+        cross = sum(
+            1
+            for interaction in interactions
+            if membership[interaction.source] != membership[interaction.destination]
+        )
+    else:
+        raise RunConfigurationError(f"unknown partition mode {mode!r}")
+
+    shard_vertices: List[List[Vertex]] = [[] for _ in range(num_shards)]
+    for vertex in network.vertices:  # registration order keeps dense indices stable
+        shard_vertices[membership[vertex]].append(vertex)
+    shard_interactions: List[List[Interaction]] = [[] for _ in range(num_shards)]
+    for interaction in interactions:
+        shard_interactions[membership[interaction.source]].append(interaction)
+
+    shards = [
+        Shard(index=i, vertices=tuple(shard_vertices[i]), interactions=shard_interactions[i])
+        for i in range(num_shards)
+    ]
+    return PartitionPlan(
+        mode=mode,
+        shards=shards,
+        exact=(mode == "components"),
+        cross_shard_interactions=cross,
+    )
+
+
+def _run_one_shard(
+    payload: Tuple[Shard, SelectionPolicy, int, int]
+) -> ShardRun:
+    """Drive one shard's interactions through its own engine.
+
+    Module-level so process pools can pickle it; the policy travels with the
+    payload and returns carrying its final state.
+    """
+    shard, policy, batch_size, sample_every = payload
+    engine = ProvenanceEngine(policy)
+    policy.reset(shard.universe())
+    statistics = engine.run(
+        shard.interactions,
+        reset=False,
+        sample_every=sample_every,
+        batch_size=batch_size,
+    )
+    return ShardRun(
+        shard=shard,
+        policy=engine.policy,
+        statistics=statistics,
+        last_time=engine.current_time,
+    )
+
+
+def run_shards(
+    plan: PartitionPlan,
+    policies: Sequence[SelectionPolicy],
+    *,
+    batch_size: int = 0,
+    sample_every: int = 0,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+) -> Tuple[List[ShardRun], RunStatistics]:
+    """Run one engine per shard and merge the statistics.
+
+    ``policies`` must hold one independent policy per shard (same order as
+    ``plan.shards``).  A global interaction limit is applied when the plan
+    is built (:func:`partition_network` ``limit=``), not here — per-shard
+    truncation would process a different prefix than an unsharded run.
+    Returns the per-shard runs plus merged statistics whose
+    ``elapsed_seconds`` is the wall-clock time of the whole sharded run
+    (not the sum of per-shard times, which overcounts under parallel
+    executors).
+    """
+    if len(policies) != len(plan.shards):
+        raise RunConfigurationError(
+            f"need one policy per shard: {len(plan.shards)} shards, "
+            f"{len(policies)} policies"
+        )
+    payloads = [
+        (shard, policy, batch_size, sample_every)
+        for shard, policy in zip(plan.shards, policies)
+    ]
+    start = _time.perf_counter()
+    if executor == "serial":
+        runs = [_run_one_shard(payload) for payload in payloads]
+    elif executor == "threads":
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            runs = list(pool.map(_run_one_shard, payloads))
+    elif executor == "processes":
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            runs = list(pool.map(_run_one_shard, payloads))
+    else:
+        raise RunConfigurationError(f"unknown shard executor {executor!r}")
+    elapsed = _time.perf_counter() - start
+    merged = merge_statistics([run.statistics for run in runs], elapsed_seconds=elapsed)
+    return runs, merged
+
+
+def merge_statistics(
+    per_shard: Sequence[RunStatistics], *, elapsed_seconds: Optional[float] = None
+) -> RunStatistics:
+    """Combine per-shard statistics into run-level totals.
+
+    Counts are summed.  ``elapsed_seconds`` defaults to the slowest shard
+    (the wall-clock of a perfectly parallel run); pass the measured wall
+    clock for the true value.  Per-position samples do not line up across
+    shards and are dropped; ``peak_entry_count`` is the sum of per-shard
+    peaks, an upper bound on the true global peak.
+    """
+    merged = RunStatistics()
+    for statistics in per_shard:
+        merged.interactions += statistics.interactions
+        merged.final_entry_count += statistics.final_entry_count
+        merged.peak_entry_count += statistics.peak_entry_count
+    if elapsed_seconds is not None:
+        merged.elapsed_seconds = elapsed_seconds
+    elif per_shard:
+        merged.elapsed_seconds = max(s.elapsed_seconds for s in per_shard)
+    return merged
+
+
+def merge_snapshots(runs: Sequence[ShardRun]) -> ProvenanceSnapshot:
+    """Union the per-shard provenance into one global snapshot.
+
+    Component shards have disjoint vertex sets, so this is a plain union;
+    hash shards can buffer quantity for the same vertex on several shards,
+    in which case the origin sets are summed.
+    """
+    origins: Dict[Vertex, OriginSet] = {}
+    last_time = 0.0
+    interactions = 0
+    for run in runs:
+        interactions += run.statistics.interactions
+        if run.last_time is not None and run.last_time > last_time:
+            last_time = run.last_time
+        for vertex in run.policy.tracked_vertices():
+            decomposition = run.policy.origins(vertex)
+            existing = origins.get(vertex)
+            origins[vertex] = decomposition if existing is None else existing.merge(decomposition)
+    return ProvenanceSnapshot(
+        time=last_time,
+        interactions_processed=interactions,
+        origins=origins,
+    )

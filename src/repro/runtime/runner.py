@@ -1,0 +1,411 @@
+"""The Runner: single entry point for executing provenance runs.
+
+Every execution surface of the repository — the CLI, the benchmark harness,
+the experiment implementations and the examples — drives the library through
+:class:`Runner`.  The Runner owns the whole pipeline:
+
+1. **dataset resolution** — preset name, CSV path (materialised or lazily
+   streamed), in-memory network or raw interaction iterable;
+2. **policy construction** — registry names (with the structural options of
+   the scalable policies resolved against the dataset) or ready instances;
+3. **observer wiring** — analysis observers, memory ceilings, periodic
+   checkpoint observers;
+4. **execution** — batched single-engine runs, or sharded runs with one
+   engine per vertex partition (serial / threads / processes);
+5. **result assembly** — merged statistics, feasibility classification,
+   memory accounting, final checkpointing, and uniform provenance queries
+   over whatever ran.
+
+Typical use::
+
+    from repro.runtime import Runner, RunConfig
+
+    result = Runner(RunConfig(dataset="taxis", policy="fifo")).run()
+    print(result.statistics.interactions_per_second)
+    print(result.origins(result.top_buffers(1)[0][0]).top(5))
+
+or, for one-liners, the module-level convenience wrapper::
+
+    from repro.runtime import run
+    result = run(dataset="bitcoin", policy="proportional-sparse", scale=0.2)
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.checkpoint import save_engine
+from repro.core.engine import ProvenanceEngine, RunStatistics
+from repro.core.interaction import Interaction, Vertex
+from repro.core.network import TemporalInteractionNetwork
+from repro.core.provenance import OriginSet, ProvenanceSnapshot
+from repro.datasets.catalog import available_presets, load_preset
+from repro.datasets.io import read_interactions_csv, read_network_csv
+from repro.exceptions import (
+    MemoryBudgetExceededError,
+    RunConfigurationError,
+)
+from repro.metrics.memory import MemoryCeiling, policy_memory_bytes
+from repro.policies.base import SelectionPolicy
+from repro.policies.registry import make_policy
+from repro.runtime.config import RunConfig
+from repro.runtime.partition import (
+    PartitionPlan,
+    ShardRun,
+    merge_snapshots,
+    partition_network,
+    run_shards,
+)
+
+__all__ = ["Runner", "RunResult", "run", "build_policy"]
+
+
+def build_policy(
+    config: RunConfig,
+    network: Optional[TemporalInteractionNetwork],
+) -> SelectionPolicy:
+    """Construct the policy a config describes, resolving dataset context.
+
+    Ready instances are returned as-is.  Registry names are instantiated
+    with ``config.policy_options``; the scalable policies whose constructors
+    need dataset context are special-cased exactly as the CLI historically
+    did:
+
+    * ``proportional-dense`` receives the vertex universe,
+    * ``proportional-selective`` tracks the top-``k`` contributors
+      (``k`` option, default 5),
+    * ``proportional-grouped`` uses ``num_groups`` round-robin groups
+      (default 5).
+    """
+    spec = config.policy
+    if isinstance(spec, SelectionPolicy):
+        return spec
+    options = dict(config.policy_options)
+    if spec == "proportional-dense" and network is not None:
+        options.setdefault("vertices", network.vertices)
+        return make_policy(spec, **options)
+    if spec == "proportional-selective" and "tracked" not in options:
+        if network is None:
+            raise RunConfigurationError(
+                "proportional-selective needs a network to pick the top-k "
+                "contributors; pass a preset/CSV/network dataset or construct "
+                "the policy yourself"
+            )
+        from repro.scalable.selective import SelectiveProportionalPolicy
+
+        return SelectiveProportionalPolicy.for_top_contributors(
+            network, k=options.pop("k", 5), **options
+        )
+    if spec == "proportional-grouped" and "groups" not in options:
+        if network is None:
+            raise RunConfigurationError(
+                "proportional-grouped needs a network to form vertex groups; "
+                "pass a preset/CSV/network dataset or construct the policy "
+                "yourself"
+            )
+        from repro.scalable.grouped import GroupedProportionalPolicy
+
+        return GroupedProportionalPolicy.round_robin(
+            network.vertices, num_groups=options.pop("num_groups", 5), **options
+        )
+    return make_policy(spec, **options)
+
+
+@dataclass
+class RunResult:
+    """Everything a completed run produced, with uniform provenance queries.
+
+    Single-engine runs expose their engine; sharded runs expose the
+    per-shard runs.  The query helpers (:meth:`origins`,
+    :meth:`buffer_total`, :meth:`buffer_totals`, :meth:`snapshot`) work the
+    same either way, merging across shards when needed.
+    """
+
+    config: RunConfig
+    statistics: RunStatistics
+    policy: Optional[SelectionPolicy] = None
+    network: Optional[TemporalInteractionNetwork] = None
+    engine: Optional[ProvenanceEngine] = None
+    shard_runs: List[ShardRun] = field(default_factory=list)
+    partition: Optional[PartitionPlan] = None
+    feasible: bool = True
+    memory_bytes: Optional[int] = None
+    note: str = ""
+
+    @property
+    def sharded(self) -> bool:
+        return bool(self.shard_runs)
+
+    @property
+    def dataset_name(self) -> str:
+        """Human-readable name of what was run."""
+        if self.network is not None:
+            return self.network.name
+        dataset = self.config.dataset
+        if isinstance(dataset, (str, Path)):
+            return Path(str(dataset)).stem
+        return "stream"
+
+    # ------------------------------------------------------------------
+    # provenance queries (uniform over single-engine and sharded runs)
+    # ------------------------------------------------------------------
+    def origins(self, vertex: Vertex) -> OriginSet:
+        """The merged origin decomposition ``O(t, B_v)`` of ``vertex``."""
+        if self.engine is not None:
+            return self.engine.origins(vertex)
+        merged = OriginSet()
+        for run in self.shard_runs:
+            merged = merged.merge(run.policy.origins(vertex))
+        return merged
+
+    def buffer_total(self, vertex: Vertex) -> float:
+        """The buffered quantity ``|B_v|`` of ``vertex`` (summed over shards)."""
+        if self.engine is not None:
+            return self.engine.buffer_total(vertex)
+        return sum(run.policy.buffer_total(vertex) for run in self.shard_runs)
+
+    def buffer_totals(self) -> Dict[Vertex, float]:
+        """Every non-empty vertex and its buffered quantity."""
+        if self.engine is not None:
+            return self.engine.buffer_totals()
+        totals: Dict[Vertex, float] = {}
+        for run in self.shard_runs:
+            for vertex in run.policy.tracked_vertices():
+                totals[vertex] = totals.get(vertex, 0.0) + run.policy.buffer_total(vertex)
+        return totals
+
+    def snapshot(self) -> ProvenanceSnapshot:
+        """Provenance of every vertex with a non-empty buffer, right now."""
+        if self.engine is not None:
+            return self.engine.snapshot()
+        return merge_snapshots(self.shard_runs)
+
+    def top_buffers(self, n: int) -> List[Tuple[Vertex, float]]:
+        """The ``n`` vertices with the largest buffered quantities."""
+        totals = self.buffer_totals()
+        return sorted(totals.items(), key=lambda item: (-item[1], repr(item[0])))[:n]
+
+
+class Runner:
+    """Executes one :class:`RunConfig` end to end (see module docstring)."""
+
+    def __init__(self, config: RunConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # dataset resolution
+    # ------------------------------------------------------------------
+    def resolve_dataset(
+        self,
+    ) -> Tuple[Optional[TemporalInteractionNetwork], Optional[Iterable[Interaction]]]:
+        """Turn ``config.dataset`` into a network or a lazy stream.
+
+        Returns ``(network, stream)``; exactly one of the two is non-None.
+        """
+        config = self.config
+        dataset = config.dataset
+        if isinstance(dataset, TemporalInteractionNetwork):
+            return dataset, None
+        if isinstance(dataset, (str, Path)):
+            name = str(dataset)
+            if name in available_presets():
+                return load_preset(name, scale=config.scale, seed=config.seed), None
+            if config.stream:
+                return None, read_interactions_csv(name, vertex_type=config.vertex_type)
+            return read_network_csv(name, vertex_type=config.vertex_type), None
+        # Any other iterable of interactions is treated as a raw stream.
+        return None, dataset
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the configured run and return its result."""
+        network, stream = self.resolve_dataset()
+        if self.config.shards > 1:
+            if network is None:
+                # __post_init__ rejects stream=True + shards, but a raw
+                # interaction iterable also resolves to a stream.
+                raise RunConfigurationError(
+                    "sharded runs need the full network; pass a preset name, "
+                    "a CSV path or a TemporalInteractionNetwork"
+                )
+            return self._run_sharded(network)
+        return self._run_single(network, stream)
+
+    def _run_single(
+        self,
+        network: Optional[TemporalInteractionNetwork],
+        stream: Optional[Iterable[Interaction]],
+    ) -> RunResult:
+        config = self.config
+        policy = build_policy(config, network)
+        engine = ProvenanceEngine(policy, observers=list(config.observers))
+
+        ceiling: Optional[MemoryCeiling] = None
+        if config.memory_ceiling_bytes is not None and config.memory_check_every:
+            ceiling = MemoryCeiling(
+                config.memory_ceiling_bytes, check_every=config.memory_check_every
+            )
+            engine.add_observer(ceiling)
+        if config.checkpoint_every:
+            if config.checkpoint_path is None:
+                raise RunConfigurationError(
+                    "checkpoint_every needs a checkpoint_path to write to"
+                )
+            engine.add_observer(_CheckpointObserver(
+                Path(config.checkpoint_path), config.checkpoint_every
+            ))
+
+        source = network if network is not None else stream
+        try:
+            statistics = engine.run(
+                source,
+                limit=config.limit,
+                sample_every=config.sample_every,
+                batch_size=config.effective_batch_size,
+            )
+        except MemoryBudgetExceededError as error:
+            return RunResult(
+                config=config,
+                statistics=RunStatistics(interactions=engine.interactions_processed),
+                policy=policy,
+                network=network,
+                engine=engine,
+                feasible=False,
+                memory_bytes=error.used_bytes,
+                note=str(error),
+            )
+
+        memory_bytes: Optional[int] = None
+        if config.measure_memory or config.memory_ceiling_bytes is not None:
+            memory_bytes = policy_memory_bytes(policy)
+            if ceiling is not None:
+                memory_bytes = max(memory_bytes, ceiling.peak_bytes)
+        if (
+            config.memory_ceiling_bytes is not None
+            and memory_bytes is not None
+            and memory_bytes > config.memory_ceiling_bytes
+        ):
+            return RunResult(
+                config=config,
+                statistics=statistics,
+                policy=policy,
+                network=network,
+                engine=engine,
+                feasible=False,
+                memory_bytes=memory_bytes,
+                note=(
+                    f"final provenance state uses {memory_bytes} bytes which "
+                    f"exceeds the ceiling of {config.memory_ceiling_bytes} bytes"
+                ),
+            )
+
+        if config.checkpoint_path is not None:
+            save_engine(engine, config.checkpoint_path)
+
+        return RunResult(
+            config=config,
+            statistics=statistics,
+            policy=policy,
+            network=network,
+            engine=engine,
+            memory_bytes=memory_bytes,
+        )
+
+    def _run_sharded(self, network: TemporalInteractionNetwork) -> RunResult:
+        config = self.config
+        plan = partition_network(
+            network, config.shards, mode=config.shard_by, limit=config.limit
+        )
+        policies = self._shard_policies(network, plan)
+        runs, statistics = run_shards(
+            plan,
+            policies,
+            batch_size=config.effective_batch_size,
+            sample_every=config.sample_every,
+            executor=config.shard_executor,
+            max_workers=config.max_workers,
+        )
+
+        memory_bytes: Optional[int] = None
+        feasible = True
+        note = "" if plan.exact else (
+            f"hash-sharded run: origin decompositions are approximate for "
+            f"{plan.cross_shard_interactions} cross-shard interactions"
+        )
+        if config.measure_memory or config.memory_ceiling_bytes is not None:
+            memory_bytes = sum(policy_memory_bytes(run.policy) for run in runs)
+            if (
+                config.memory_ceiling_bytes is not None
+                and memory_bytes > config.memory_ceiling_bytes
+            ):
+                feasible = False
+                note = (
+                    f"sharded provenance state uses {memory_bytes} bytes which "
+                    f"exceeds the ceiling of {config.memory_ceiling_bytes} bytes"
+                )
+
+        return RunResult(
+            config=config,
+            statistics=statistics,
+            network=network,
+            shard_runs=list(runs),
+            partition=plan,
+            feasible=feasible,
+            memory_bytes=memory_bytes,
+            note=note,
+        )
+
+    def _shard_policies(
+        self, network: TemporalInteractionNetwork, plan: PartitionPlan
+    ) -> List[SelectionPolicy]:
+        """One independent policy per shard.
+
+        The dense proportional policy is instantiated per shard with the
+        *shard's* vertex universe (including cross-shard destinations under
+        hash partitioning), shrinking its vectors.  Every other spec is
+        built once — instance specs as given, name specs via
+        :func:`build_policy`, so expensive constructions like the selective
+        policy's contributor pre-pass run once, not per shard — and
+        deep-copied so shards never share state.
+        """
+        spec = self.config.policy
+        if spec == "proportional-dense":
+            options = dict(self.config.policy_options)
+            policies = []
+            for shard in plan.shards:
+                options["vertices"] = shard.universe()
+                policies.append(make_policy(spec, **options))
+            return policies
+        template = spec if isinstance(spec, SelectionPolicy) else build_policy(
+            self.config, network
+        )
+        return [copy.deepcopy(template) for _ in plan.shards]
+
+
+class _CheckpointObserver:
+    """Engine observer that checkpoints every ``every`` interactions."""
+
+    def __init__(self, path: Path, every: int):
+        self.path = path
+        self.every = every
+
+    def __call__(self, engine: ProvenanceEngine, interaction: Interaction, position: int) -> None:
+        if (position + 1) % self.every == 0:
+            save_engine(engine, self.path)
+
+
+def run(
+    dataset: Union[str, Path, TemporalInteractionNetwork, Iterable[Interaction]] = "taxis",
+    policy: Union[str, SelectionPolicy] = "fifo",
+    **options,
+) -> RunResult:
+    """Convenience wrapper: build a :class:`RunConfig` and run it.
+
+    Keyword arguments are forwarded to :class:`RunConfig`.
+    """
+    return Runner(RunConfig(dataset=dataset, policy=policy, **options)).run()

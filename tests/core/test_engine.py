@@ -72,6 +72,109 @@ class TestRun:
         assert RunStatistics(interactions=5, elapsed_seconds=0.0).interactions_per_second == 0.0
 
 
+class _ShrinkingPolicy(NoProvenancePolicy):
+    """Entry count grows to a peak and then collapses (like windowed resets)."""
+
+    def __init__(self, shrink_at: int):
+        super().__init__()
+        self.shrink_at = shrink_at
+        self._processed = 0
+
+    def process(self, interaction):
+        super().process(interaction)
+        self._processed += 1
+        if self._processed == self.shrink_at:
+            self._buffers.clear()
+
+    def process_many(self, interactions):
+        for interaction in interactions:
+            self.process(interaction)
+
+
+def _distinct_pair_stream(count, *, repeated_after=None):
+    """Distinct vertex pairs (entry count grows), optionally one repeated
+    pair from ``repeated_after`` on (entry count stays flat after that)."""
+    interactions = []
+    for index in range(count):
+        if repeated_after is not None and index >= repeated_after:
+            interactions.append(Interaction("x", "y", float(index), 1.0))
+        else:
+            interactions.append(Interaction(f"s{index}", f"d{index}", float(index), 1.0))
+    return interactions
+
+
+class TestPeakEntryCount:
+    def test_peak_tracked_without_sampling(self):
+        # Entries grow until interaction 1500, then collapse to zero.  With
+        # sample_every=0 the seed engine reported peak == final == 0; the
+        # geometric cadence must observe the pre-collapse peak at 1024.
+        policy = _ShrinkingPolicy(shrink_at=1500)
+        engine = ProvenanceEngine(policy)
+        stream = _distinct_pair_stream(3000, repeated_after=1500)
+        statistics = engine.run(stream)
+        assert statistics.final_entry_count <= 2
+        assert statistics.peak_entry_count >= 2048
+
+    def test_peak_tracked_without_sampling_batched(self):
+        policy = _ShrinkingPolicy(shrink_at=1500)
+        engine = ProvenanceEngine(policy)
+        stream = _distinct_pair_stream(3000, repeated_after=1500)
+        statistics = engine.run(stream, batch_size=256)
+        assert statistics.final_entry_count <= 2
+        assert statistics.peak_entry_count >= 2048
+
+    def test_peak_with_sampling_unchanged(self):
+        policy = _ShrinkingPolicy(shrink_at=1500)
+        engine = ProvenanceEngine(policy)
+        stream = _distinct_pair_stream(3000, repeated_after=1500)
+        statistics = engine.run(stream, sample_every=100)
+        # Sampling at 100-interaction cadence sees the true peak region.
+        assert statistics.peak_entry_count >= 2800
+        assert statistics.samples[0] == 100
+
+    def test_peak_never_below_final(self, small_network):
+        engine = ProvenanceEngine(FifoPolicy())
+        statistics = engine.run(small_network)
+        assert statistics.peak_entry_count >= statistics.final_entry_count
+
+
+class TestBatchedRun:
+    def test_batched_matches_per_interaction(self, small_network):
+        per_item = ProvenanceEngine(FifoPolicy())
+        stats_a = per_item.run(small_network, sample_every=50)
+        batched = ProvenanceEngine(FifoPolicy())
+        stats_b = batched.run(small_network, sample_every=50, batch_size=64)
+        assert stats_a.interactions == stats_b.interactions
+        assert stats_a.samples == stats_b.samples
+        assert stats_a.sampled_entry_counts == stats_b.sampled_entry_counts
+        assert per_item.buffer_totals() == batched.buffer_totals()
+        for vertex in per_item.buffer_totals():
+            assert per_item.origins(vertex) == batched.origins(vertex)
+
+    def test_batched_respects_limit(self, paper_network):
+        engine = ProvenanceEngine(FifoPolicy())
+        statistics = engine.run(paper_network, limit=2, batch_size=4)
+        assert statistics.interactions == 2
+        assert engine.interactions_processed == 2
+        assert engine.buffer_total("v0") == pytest.approx(5)
+
+    def test_batched_updates_counters(self, paper_network):
+        engine = ProvenanceEngine(FifoPolicy())
+        engine.run(paper_network, batch_size=4)
+        assert engine.interactions_processed == 6
+        assert engine.current_time == 8
+
+    def test_observers_force_per_interaction(self, paper_network):
+        positions = []
+        engine = ProvenanceEngine(
+            FifoPolicy(),
+            observers=[lambda _engine, _interaction, position: positions.append(position)],
+        )
+        engine.run(paper_network, batch_size=4)
+        # Every single interaction was observed despite the batch request.
+        assert positions == [0, 1, 2, 3, 4, 5]
+
+
 class TestStepAndObservers:
     def test_step_updates_time_and_count(self):
         engine = ProvenanceEngine(FifoPolicy())

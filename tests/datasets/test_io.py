@@ -62,6 +62,51 @@ class TestRoundTrip:
         assert len(list(read_interactions_csv(path))) == 2
 
 
+class TestStreaming:
+    def test_reader_is_lazy(self, tmp_path):
+        # A malformed row at the end must not break consumption of the
+        # prefix: rows are parsed on demand, not at call time.
+        path = tmp_path / "tail_error.csv"
+        path.write_text("a,b,1.0,2.0\nb,c,2.0,3.0\nbroken,row,not-a-time,1\n")
+        reader = read_interactions_csv(path)
+        assert next(reader).source == "a"
+        assert next(reader).source == "b"
+        with pytest.raises(DatasetError):
+            next(reader)
+
+    def test_limit_stops_before_bad_rows(self, tmp_path):
+        path = tmp_path / "tail_error.csv"
+        path.write_text("a,b,1.0,2.0\nb,c,2.0,3.0\nbroken,row,not-a-time,1\n")
+        loaded = list(read_interactions_csv(path, limit=2))
+        assert [i.source for i in loaded] == ["a", "b"]
+
+    def test_limit_larger_than_file(self, tmp_path, sample_interactions):
+        path = tmp_path / "small.csv"
+        write_interactions_csv(sample_interactions, path)
+        assert len(list(read_interactions_csv(path, limit=100))) == 3
+
+    def test_network_reader_streams(self, tmp_path, sample_interactions, monkeypatch):
+        # read_network_csv must feed the generator straight into the network
+        # builder without materialising an intermediate list.
+        import repro.datasets.io as io_module
+
+        path = tmp_path / "net.csv"
+        write_interactions_csv(sample_interactions, path)
+        original = io_module.read_interactions_csv
+        materialised = []
+
+        def tracking_reader(*args, **kwargs):
+            generator = original(*args, **kwargs)
+            materialised.append(generator)
+            return generator
+
+        monkeypatch.setattr(io_module, "read_interactions_csv", tracking_reader)
+        network = io_module.read_network_csv(path)
+        assert network.num_interactions == 3
+        # The generator was handed over, not converted: it is now exhausted.
+        assert next(materialised[0], None) is None
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(DatasetError):

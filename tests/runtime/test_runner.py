@@ -1,0 +1,212 @@
+"""Unit tests for the Runner facade and RunConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import load_engine
+from repro.core.interaction import Interaction
+from repro.core.network import TemporalInteractionNetwork
+from repro.datasets.io import write_interactions_csv
+from repro.exceptions import RunConfigurationError
+from repro.policies.no_provenance import NoProvenancePolicy
+from repro.policies.receipt_order import FifoPolicy
+from repro.runtime import RunConfig, Runner, build_policy, run
+
+
+class TestDatasetResolution:
+    def test_preset_by_name(self):
+        result = run(dataset="taxis", policy="fifo", scale=0.02)
+        assert result.network is not None
+        assert result.dataset_name == "taxis"
+        assert result.statistics.interactions == result.network.num_interactions
+
+    def test_in_memory_network(self, paper_network):
+        result = run(dataset=paper_network, policy="fifo")
+        assert result.statistics.interactions == 6
+        assert result.buffer_total("v0") == pytest.approx(3)
+
+    def test_raw_interaction_iterable(self, paper_interactions):
+        result = run(dataset=iter(paper_interactions), policy="fifo")
+        assert result.statistics.interactions == 6
+        assert result.network is None
+
+    def test_csv_path_materialised(self, tmp_path, paper_interactions):
+        path = tmp_path / "net.csv"
+        write_interactions_csv(paper_interactions, path)
+        result = run(dataset=str(path), policy="fifo")
+        assert result.network is not None
+        assert result.network.num_interactions == 6
+        assert result.dataset_name == "net"
+
+    def test_csv_path_streamed(self, tmp_path, paper_interactions):
+        path = tmp_path / "net.csv"
+        write_interactions_csv(paper_interactions, path)
+        result = run(dataset=str(path), policy="fifo", stream=True)
+        assert result.network is None  # never materialised
+        assert result.statistics.interactions == 6
+        assert result.buffer_total("v0") == pytest.approx(3)
+
+    def test_streamed_matches_materialised(self, tmp_path, tiny_taxis_network):
+        path = tmp_path / "taxis.csv"
+        write_interactions_csv(tiny_taxis_network.interactions, path)
+        materialised = run(dataset=str(path), policy="proportional-sparse", vertex_type=int)
+        streamed = run(
+            dataset=str(path), policy="proportional-sparse", stream=True, vertex_type=int
+        )
+        assert materialised.buffer_totals() == streamed.buffer_totals()
+
+
+class TestPolicyConstruction:
+    def test_policy_instance_used_directly(self, paper_network):
+        policy = FifoPolicy()
+        result = run(dataset=paper_network, policy=policy)
+        assert result.policy is policy
+
+    def test_structural_options(self, tiny_taxis_network):
+        result = run(
+            dataset=tiny_taxis_network,
+            policy="proportional-budget",
+            policy_options={"capacity": 7},
+        )
+        assert result.policy.capacity == 7
+
+    def test_selective_resolves_top_k(self, tiny_taxis_network):
+        config = RunConfig(
+            dataset=tiny_taxis_network,
+            policy="proportional-selective",
+            policy_options={"k": 3},
+        )
+        policy = build_policy(config, tiny_taxis_network)
+        assert len(policy.tracked) == 3
+
+    def test_selective_without_network_rejected(self):
+        config = RunConfig(dataset=iter(()), policy="proportional-selective")
+        with pytest.raises(RunConfigurationError):
+            build_policy(config, None)
+
+    def test_grouped_resolves_groups(self, tiny_taxis_network):
+        config = RunConfig(
+            dataset=tiny_taxis_network,
+            policy="proportional-grouped",
+            policy_options={"num_groups": 4},
+        )
+        policy = build_policy(config, tiny_taxis_network)
+        assert policy is not None
+
+    def test_dense_gets_vertex_universe(self, paper_network):
+        config = RunConfig(dataset=paper_network, policy="proportional-dense")
+        policy = build_policy(config, paper_network)
+        result = Runner(config).run()
+        assert result.buffer_total("v0") == pytest.approx(3)
+        assert policy.entry_count() >= 0
+
+
+class TestObserversAndCheckpoints:
+    def test_observers_see_every_interaction(self, paper_network):
+        seen = []
+        run(
+            dataset=paper_network,
+            policy="fifo",
+            observers=[lambda _e, _i, position: seen.append(position)],
+            batch_size=64,  # observers force per-interaction execution
+        )
+        assert seen == [0, 1, 2, 3, 4, 5]
+
+    def test_final_checkpoint_written(self, tmp_path, paper_network):
+        path = tmp_path / "engine.pkl"
+        run(dataset=paper_network, policy="fifo", checkpoint_path=path)
+        restored = load_engine(path)
+        assert restored.interactions_processed == 6
+        assert restored.buffer_total("v0") == pytest.approx(3)
+
+    def test_periodic_checkpointing(self, tmp_path, paper_network):
+        path = tmp_path / "engine.pkl"
+        run(
+            dataset=paper_network,
+            policy="fifo",
+            checkpoint_path=path,
+            checkpoint_every=2,
+        )
+        assert load_engine(path).interactions_processed == 6
+
+    def test_checkpoint_every_without_path_rejected(self, paper_network):
+        with pytest.raises(RunConfigurationError):
+            run(dataset=paper_network, policy="fifo", checkpoint_every=2)
+
+
+class TestMemoryAccounting:
+    def test_memory_measured_on_demand(self, paper_network):
+        unmeasured = run(dataset=paper_network, policy="fifo")
+        measured = run(dataset=paper_network, policy="fifo", measure_memory=True)
+        assert unmeasured.memory_bytes is None
+        assert measured.memory_bytes > 0
+
+    def test_ceiling_classifies_infeasible(self, small_network):
+        result = run(
+            dataset=small_network,
+            policy="proportional-sparse",
+            memory_ceiling_bytes=16,  # absurdly small: must be infeasible
+        )
+        assert not result.feasible
+        assert result.memory_bytes > 16
+        assert "exceeds the ceiling" in result.note
+
+    def test_midrun_ceiling_aborts_early(self, small_network):
+        result = run(
+            dataset=small_network,
+            policy="proportional-sparse",
+            memory_ceiling_bytes=16,
+            memory_check_every=10,
+        )
+        assert not result.feasible
+        assert result.statistics.interactions < small_network.num_interactions
+
+
+class TestConfigValidation:
+    def test_negative_batch_size_rejected(self):
+        with pytest.raises(RunConfigurationError):
+            RunConfig(batch_size=-1)
+
+    def test_bad_shard_mode_rejected(self):
+        with pytest.raises(RunConfigurationError):
+            RunConfig(shards=2, shard_by="roulette")
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(RunConfigurationError):
+            RunConfig(shards=2, shard_executor="carrier-pigeon")
+
+    def test_stream_plus_shards_rejected(self):
+        with pytest.raises(RunConfigurationError):
+            RunConfig(dataset="x.csv", stream=True, shards=2)
+
+    def test_observers_plus_shards_rejected(self):
+        with pytest.raises(RunConfigurationError):
+            RunConfig(shards=2, observers=[lambda *a: None])
+
+    def test_stream_with_network_rejected(self):
+        network = TemporalInteractionNetwork.from_interactions(
+            [Interaction("a", "b", 1.0, 1.0)]
+        )
+        with pytest.raises(RunConfigurationError):
+            RunConfig(dataset=network, stream=True)
+
+
+class TestRunResultQueries:
+    def test_top_buffers_sorted(self, tiny_taxis_network):
+        result = run(dataset=tiny_taxis_network, policy="fifo")
+        top = result.top_buffers(5)
+        totals = [total for _vertex, total in top]
+        assert totals == sorted(totals, reverse=True)
+        assert len(top) == 5
+
+    def test_snapshot_matches_engine(self, paper_network):
+        result = run(dataset=paper_network, policy="fifo")
+        snapshot = result.snapshot()
+        assert set(snapshot) == {"v0", "v1", "v2"}
+        assert snapshot.total_quantity() == pytest.approx(9)
+
+    def test_noprov_instance(self, paper_network):
+        result = run(dataset=paper_network, policy=NoProvenancePolicy())
+        assert len(result.origins("v0")) == 0
+        assert result.buffer_total("v0") == pytest.approx(3)
