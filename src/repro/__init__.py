@@ -18,8 +18,18 @@ Quick start::
     print(engine.origins(vertex).top(5))
 """
 
-from repro import analysis, datasets, lazy, metrics, paths, runtime
+from repro import analysis, datasets, lazy, metrics, paths, runtime, stores
 from repro.core.engine import ProvenanceEngine, RunStatistics
+from repro.stores import (
+    DenseNumpyStore,
+    DictStore,
+    ProvenanceStore,
+    SqliteStore,
+    StoreSpec,
+    StoreStats,
+    available_store_backends,
+    resolve_store_spec,
+)
 from repro.runtime import RunConfig, Runner, RunResult
 from repro.lazy.replay import ReplayProvenance
 from repro.core.interaction import Interaction, Vertex
@@ -88,6 +98,15 @@ __all__ = [
     # registry
     "available_policies",
     "make_policy",
+    # provenance stores
+    "ProvenanceStore",
+    "StoreSpec",
+    "StoreStats",
+    "DictStore",
+    "DenseNumpyStore",
+    "SqliteStore",
+    "available_store_backends",
+    "resolve_store_spec",
     # subpackages
     "analysis",
     "datasets",
@@ -95,6 +114,7 @@ __all__ = [
     "metrics",
     "paths",
     "runtime",
+    "stores",
     # exceptions
     "ReproError",
     "InvalidInteractionError",

@@ -22,9 +22,11 @@ from typing import List, Optional, Sequence
 from repro.bench import experiments as _experiments
 from repro.datasets.catalog import available_presets, load_preset
 from repro.exceptions import ReproError
+from repro.metrics.memory import format_bytes
 from repro.metrics.tables import format_table
 from repro.policies.registry import available_policies
 from repro.runtime import DEFAULT_BATCH_SIZE, RunConfig, Runner
+from repro.stores import available_store_backends
 
 __all__ = ["main", "build_parser"]
 
@@ -97,6 +99,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream CSV datasets lazily instead of loading them into memory",
     )
     run_parser.add_argument(
+        "--store", choices=available_store_backends(), default=None,
+        help="provenance-store backend for the policy state (default: "
+        "REPRO_DEFAULT_STORE env var, then in-memory dicts)",
+    )
+    run_parser.add_argument(
+        "--hot-capacity", type=int, default=None,
+        help="resident entries per store before spilling (sqlite store only)",
+    )
+    run_parser.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="additionally write the structured run record (RunResult.to_json) "
+        "to PATH ('-' for stdout)",
+    )
+    run_parser.add_argument(
         "--shards", type=int, default=0,
         help="partition the network into this many vertex shards (0: no sharding)",
     )
@@ -142,12 +158,17 @@ def _policy_options(args: argparse.Namespace) -> dict:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    store_options = {}
+    if args.hot_capacity is not None:
+        store_options["hot_capacity"] = args.hot_capacity
     config = RunConfig(
         dataset=args.dataset,
         scale=args.scale,
         stream=args.stream,
         policy=args.policy,
         policy_options=_policy_options(args),
+        store=args.store,
+        store_options=store_options,
         limit=args.limit,
         batch_size=args.batch_size,
         shards=args.shards,
@@ -163,6 +184,19 @@ def _command_run(args: argparse.Namespace) -> int:
         f"{result.dataset_name!r} with policy {args.policy!r} "
         f"in {statistics.elapsed_seconds:.3f}s"
     )
+    spec = config.store_spec
+    if spec is not None:
+        entries = sum(stats.entries for stats in result.store_stats.values())
+        line = f"store backend {spec.backend!r}: {entries} entries"
+        if result.spilled_bytes:
+            spill_reads = sum(
+                stats.spill_reads for stats in result.store_stats.values()
+            )
+            line += (
+                f", spilled {format_bytes(result.spilled_bytes)} to disk "
+                f"({spill_reads} faults back in)"
+            )
+        print(line)
     if result.sharded:
         shard_sizes = ", ".join(
             str(run.statistics.interactions) for run in result.shard_runs
@@ -187,6 +221,13 @@ def _command_run(args: argparse.Namespace) -> int:
             }
         )
     print(format_table(rows, title=f"top {args.top} buffers"))
+    if args.json:
+        document = result.to_json()
+        if args.json == "-":
+            print(document)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
     return 0
 
 

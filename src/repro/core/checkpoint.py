@@ -9,19 +9,35 @@ optionally the engine counters) with :mod:`pickle`.
 Every policy in the library is picklable: buffers are plain Python
 containers, dense vectors are numpy arrays, and the artificial
 :data:`~repro.core.provenance.UNKNOWN_ORIGIN` sentinel preserves its
-identity across pickling (see its ``__reduce__``).
+identity across pickling (see its ``__reduce__``).  Annotation state lives
+in :mod:`repro.stores` backends, which serialise their *full* contents —
+the SQLite spill store materialises its cold tier into the pickle and
+rebuilds a fresh spill file on load, so checkpoints are self-contained
+files regardless of backend.
+
+:func:`policy_store_snapshot` / :func:`restore_policy_stores` additionally
+expose the state *as data* (plain role-keyed dicts), uniform across
+backends — the hook for external checkpoint formats and for migrating a
+policy's state from one store backend to another.
 """
 
 from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import Union
+from typing import Dict, Hashable, Mapping, Union
 
 from repro.core.engine import ProvenanceEngine
 from repro.policies.base import SelectionPolicy
 
-__all__ = ["save_policy", "load_policy", "save_engine", "load_engine"]
+__all__ = [
+    "save_policy",
+    "load_policy",
+    "save_engine",
+    "load_engine",
+    "policy_store_snapshot",
+    "restore_policy_stores",
+]
 
 #: Pickle protocol used for checkpoints (4 = supported on every Python >= 3.4,
 #: handles large objects efficiently).
@@ -80,3 +96,29 @@ def load_engine(path: Union[str, Path]) -> ProvenanceEngine:
     engine._interactions_processed = int(state.get("interactions_processed", 0))
     engine._last_time = state.get("current_time")
     return engine
+
+
+def policy_store_snapshot(policy: SelectionPolicy) -> Dict[str, Dict[Hashable, object]]:
+    """Materialise every provenance store of ``policy`` as plain dicts.
+
+    Keys are the policy's state-component roles (``"buffers"``,
+    ``"vectors"``, ...); values are full materialisations including any
+    spilled entries.  Uniform across store backends — snapshotting a
+    spilling policy and restoring into a dict-backed one (or vice versa)
+    yields identical provenance.
+    """
+    return {role: store.snapshot() for role, store in policy.stores().items()}
+
+
+def restore_policy_stores(
+    policy: SelectionPolicy, snapshot: Mapping[str, Mapping[Hashable, object]]
+) -> None:
+    """Load a :func:`policy_store_snapshot` into ``policy``'s stores.
+
+    The policy must already be structurally configured (same policy class
+    and parameters; for store-role mismatches a ``KeyError`` is raised so a
+    wrong pairing fails loudly rather than silently dropping state).
+    """
+    stores = policy.stores()
+    for role, data in snapshot.items():
+        stores[role].restore(data)

@@ -285,3 +285,12 @@ class ProvenanceEngine:
             vertex: self.policy.buffer_total(vertex)
             for vertex in self.policy.tracked_vertices()
         }
+
+    def store_stats(self):
+        """Accounting of the policy's provenance stores, keyed by role.
+
+        Uniform view over whatever :mod:`repro.stores` backend the policy
+        was built with — spill backends report evictions and spilled bytes
+        here (see :class:`repro.stores.StoreStats`).
+        """
+        return self.policy.store_stats()

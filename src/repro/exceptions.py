@@ -17,6 +17,7 @@ __all__ = [
     "DatasetError",
     "MemoryBudgetExceededError",
     "RunConfigurationError",
+    "StoreConfigurationError",
 ]
 
 
@@ -51,6 +52,10 @@ class DatasetError(ReproError, ValueError):
 
 class RunConfigurationError(ReproError, ValueError):
     """A :class:`repro.runtime.RunConfig` combines incompatible options."""
+
+
+class StoreConfigurationError(ReproError, ValueError):
+    """A provenance store was requested with an unknown backend or options."""
 
 
 class MemoryBudgetExceededError(ReproError, MemoryError):

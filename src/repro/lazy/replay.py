@@ -27,7 +27,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
-from repro.policies.base import SelectionPolicy
+from repro.policies.base import SelectionPolicy, StoreArgument
 from repro.policies.receipt_order import FifoPolicy
 
 __all__ = ["ReplayProvenance"]
@@ -49,14 +49,32 @@ class ReplayProvenance(SelectionPolicy):
     supports_paths = False
 
     def __init__(
-        self, policy_factory: Callable[[], SelectionPolicy] = FifoPolicy
+        self,
+        policy_factory: Callable[[], SelectionPolicy] = FifoPolicy,
+        *,
+        store: StoreArgument = None,
     ) -> None:
+        super().__init__(store=store)
         self.policy_factory = policy_factory
         self._log: List[Interaction] = []
         self._vertices: List[Vertex] = []
         self._replayed: Optional[SelectionPolicy] = None
         self._replayed_length = -1
         self._replay_count = 0
+
+    def _build_replay_policy(self) -> SelectionPolicy:
+        """Instantiate the proactive policy used for replays.
+
+        The interaction log itself is append-only and stays in memory (that
+        is the point of the lazy approach); the *replayed* policy inherits
+        this policy's store spec so its transient annotation state follows
+        the configured backend.  Factories that do not accept a ``store``
+        keyword (lambdas, pre-bound constructors) are called as-is.
+        """
+        try:
+            return self.policy_factory(store=self.store_spec)
+        except TypeError:
+            return self.policy_factory()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -89,7 +107,7 @@ class ReplayProvenance(SelectionPolicy):
         """Replay the log through a fresh proactive policy (cached)."""
         if self._replayed is not None and self._replayed_length == len(self._log):
             return self._replayed
-        policy = self.policy_factory()
+        policy = self._build_replay_policy()
         policy.reset(self._vertices)
         for interaction in self._log:
             policy.process(interaction)
@@ -109,7 +127,7 @@ class ReplayProvenance(SelectionPolicy):
             raise IndexError(
                 f"position {position} outside the log of {len(self._log)} interactions"
             )
-        policy = self.policy_factory()
+        policy = self._build_replay_policy()
         policy.reset(self._vertices)
         for interaction in self._log[:position]:
             policy.process(interaction)

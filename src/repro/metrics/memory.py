@@ -80,7 +80,15 @@ def _all_slots(cls: type) -> Iterable[str]:
 
 
 def policy_memory_bytes(policy: Any) -> int:
-    """Estimated bytes consumed by a policy's provenance state."""
+    """Estimated bytes consumed by a policy's *resident* provenance state.
+
+    Walks the policy's stores like any other attribute, which makes the
+    accounting store-aware for free: a spilling backend
+    (:class:`repro.stores.SqliteStore`) only exposes its hot tier to the
+    traversal, so entries spilled to disk do not count against memory
+    ceilings — exactly the semantics that lets a spill-backed run stay
+    feasible where the dict-backed equivalent exceeds the ceiling.
+    """
     return deep_sizeof(policy)
 
 

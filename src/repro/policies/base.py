@@ -17,17 +17,27 @@ The minimal contract is:
 * :meth:`SelectionPolicy.tracked_vertices` — vertices with non-empty buffers.
 * :meth:`SelectionPolicy.entry_count` — number of stored provenance entries,
   used by the memory accounting of the benchmark harness.
+
+Annotation state itself lives in pluggable :mod:`repro.stores` backends:
+every policy builds its per-role state through :meth:`_make_store` instead
+of raw dicts, so a run can keep provenance in plain dicts (default), packed
+numpy matrices, or an SQLite spill store — with bit-identical results.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import ClassVar, Iterable, Iterator, Sequence
+from typing import ClassVar, Dict, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
+from repro.stores import ProvenanceStore, StoreSpec, StoreStats, resolve_store_spec
 
 __all__ = ["SelectionPolicy"]
+
+#: How callers select a store backend: a spec, a backend name, or ``None``
+#: (environment default, then plain dicts).
+StoreArgument = Union[str, StoreSpec, None]
 
 
 class SelectionPolicy(abc.ABC):
@@ -42,6 +52,47 @@ class SelectionPolicy(abc.ABC):
 
     #: Whether the policy can also record transfer paths (how-provenance).
     supports_paths: ClassVar[bool] = False
+
+    def __init__(self, *, store: StoreArgument = None) -> None:
+        self._store_spec = resolve_store_spec(store)
+        self._stores: Dict[str, ProvenanceStore] = {}
+
+    # ------------------------------------------------------------------
+    # provenance stores
+    # ------------------------------------------------------------------
+    @property
+    def store_spec(self) -> StoreSpec:
+        """The store specification this policy builds its state with."""
+        spec = getattr(self, "_store_spec", None)
+        return spec if spec is not None else resolve_store_spec(None)
+
+    def _make_store(
+        self, role: str, *, dimension: Optional[int] = None
+    ) -> ProvenanceStore:
+        """Build (and register) a fresh store for one state component.
+
+        Called from ``__init__`` and ``reset``; the previous store of the
+        same role, if any, is closed so spill files are released promptly.
+        Subclasses that skip ``super().__init__`` still work — the spec
+        falls back to the environment default.
+        """
+        registry = getattr(self, "_stores", None)
+        if registry is None:
+            registry = self._stores = {}
+        old = registry.get(role)
+        if old is not None:
+            old.close()
+        store = self.store_spec.create(role, dimension=dimension)
+        registry[role] = store
+        return store
+
+    def stores(self) -> Dict[str, ProvenanceStore]:
+        """The policy's provenance stores, keyed by state-component role."""
+        return dict(getattr(self, "_stores", {}))
+
+    def store_stats(self) -> Dict[str, StoreStats]:
+        """Accounting snapshot of every store (entries, evictions, spill)."""
+        return {role: store.stats() for role, store in self.stores().items()}
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -15,12 +15,12 @@ it has travelled through, starting at its origin.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+from typing import Callable, Iterator, List, Sequence, Tuple
 
 from repro.core.buffer import BufferEntry, QuantityBuffer
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
-from repro.policies.base import SelectionPolicy
+from repro.policies.base import SelectionPolicy, StoreArgument
 
 __all__ = ["EntryBufferPolicy"]
 
@@ -31,14 +31,17 @@ class EntryBufferPolicy(SelectionPolicy):
     Subclasses provide :meth:`make_buffer`, returning an empty
     :class:`~repro.core.buffer.QuantityBuffer` in the desired selection
     order.  Everything else — the residue loop, entry splitting, newborn
-    generation and optional path extension — lives here.
+    generation and optional path extension — lives here.  The per-vertex
+    buffers live in a :mod:`repro.stores` backend, so runs whose entry
+    state outgrows memory can spill buffers to disk.
     """
 
     supports_paths = True
 
-    def __init__(self, *, track_paths: bool = False) -> None:
+    def __init__(self, *, track_paths: bool = False, store: StoreArgument = None) -> None:
+        super().__init__(store=store)
         self.track_paths = track_paths
-        self._buffers: Dict[Vertex, QuantityBuffer] = {}
+        self._buffers = self._make_store("buffers")
 
     # ------------------------------------------------------------------
     # to implement
@@ -51,16 +54,12 @@ class EntryBufferPolicy(SelectionPolicy):
     # lifecycle
     # ------------------------------------------------------------------
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
-        self._buffers = {}
+        self._buffers = self._make_store("buffers")
         for vertex in vertices:
-            self._buffers[vertex] = self.make_buffer()
+            self._buffers.put(vertex, self.make_buffer())
 
     def _buffer(self, vertex: Vertex) -> QuantityBuffer:
-        buffer = self._buffers.get(vertex)
-        if buffer is None:
-            buffer = self.make_buffer()
-            self._buffers[vertex] = buffer
-        return buffer
+        return self._buffers.get_or_create(vertex, self.make_buffer)
 
     def process(self, interaction: Interaction) -> None:
         source_buffer = self._buffer(interaction.source)
@@ -84,6 +83,79 @@ class EntryBufferPolicy(SelectionPolicy):
                 path=(interaction.source,) if self.track_paths else None,
             )
             destination_buffer.push(newborn)
+
+    def process_many(self, interactions: Sequence[Interaction]) -> None:
+        """Batched Algorithm 2: the propagation loop with hoisted lookups.
+
+        Bit-identical to repeated :meth:`process` calls — the relayed
+        quantity accumulates left to right exactly like the ``sum()`` of
+        the per-interaction path.  With a dict-backed store the loop runs
+        against the raw dict; spilling backends run the same loop through
+        the store interface.
+        """
+        raw = self._buffers.raw_dict()
+        make_buffer = self.make_buffer
+        track_paths = self.track_paths
+        extend_path = self._extend_path
+        if raw is not None:
+            get = raw.get
+            for interaction in interactions:
+                source = interaction.source
+                destination = interaction.destination
+                source_buffer = get(source)
+                if source_buffer is None:
+                    source_buffer = make_buffer()
+                    raw[source] = source_buffer
+                destination_buffer = get(destination)
+                if destination_buffer is None:
+                    destination_buffer = make_buffer()
+                    raw[destination] = destination_buffer
+
+                transferred = source_buffer.drain(interaction.quantity)
+                push = destination_buffer.push
+                relayed_quantity = 0.0
+                for entry in transferred:
+                    relayed_quantity += entry.quantity
+                    if track_paths:
+                        entry.path = extend_path(entry.path, source)
+                    push(entry)
+
+                residue = interaction.quantity - relayed_quantity
+                if residue > 1e-12:
+                    push(
+                        BufferEntry(
+                            origin=source,
+                            quantity=residue,
+                            birth_time=interaction.time,
+                            path=(source,) if track_paths else None,
+                        )
+                    )
+            return
+        get_or_create = self._buffers.get_or_create
+        for interaction in interactions:
+            source = interaction.source
+            source_buffer = get_or_create(source, make_buffer)
+            destination_buffer = get_or_create(interaction.destination, make_buffer)
+
+            transferred = source_buffer.drain(interaction.quantity)
+            push = destination_buffer.push
+            relayed_quantity = 0.0
+            for entry in transferred:
+                relayed_quantity += entry.quantity
+                if track_paths:
+                    entry.path = extend_path(entry.path, source)
+                push(entry)
+
+            residue = interaction.quantity - relayed_quantity
+            if residue > 1e-12:
+                push(
+                    BufferEntry(
+                        origin=source,
+                        quantity=residue,
+                        birth_time=interaction.time,
+                        path=(source,) if track_paths else None,
+                    )
+                )
 
     @staticmethod
     def _extend_path(path: Tuple[Vertex, ...], transmitter: Vertex) -> Tuple[Vertex, ...]:

@@ -5,16 +5,19 @@ reference point of Tables 7 and 8 in the paper (column "No Provenance") and
 is also reused internally to compute per-vertex generated quantities (for
 top-k selection) and as the ground truth for the quantity-conservation
 invariant checked by the test suite.
+
+Both scalar maps (buffer totals and generated quantities) live in
+:mod:`repro.stores` backends; the batched path keeps its raw-dict fast loop
+whenever the configured backend is dict-based.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterator, Sequence
 
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
-from repro.policies.base import SelectionPolicy
+from repro.policies.base import SelectionPolicy, StoreArgument
 
 __all__ = ["NoProvenancePolicy"]
 
@@ -26,49 +29,74 @@ class NoProvenancePolicy(SelectionPolicy):
     tracks_provenance = False
     supports_paths = False
 
-    def __init__(self) -> None:
-        self._buffers: Dict[Vertex, float] = defaultdict(float)
-        self._generated: Dict[Vertex, float] = defaultdict(float)
+    def __init__(self, *, store: StoreArgument = None) -> None:
+        super().__init__(store=store)
+        self._buffers = self._make_store("buffers")
+        self._generated = self._make_store("generated")
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
-        self._buffers = defaultdict(float)
-        self._generated = defaultdict(float)
+        self._buffers = self._make_store("buffers")
+        self._generated = self._make_store("generated")
         for vertex in vertices:
-            self._buffers[vertex] = 0.0
+            self._buffers.put(vertex, 0.0)
 
     def process(self, interaction: Interaction) -> None:
+        buffers = self._buffers
         source = interaction.source
-        destination = interaction.destination
-        available = self._buffers[source]
-        relayed = min(interaction.quantity, available)
-        newborn = interaction.quantity - relayed
-        self._buffers[source] = available - relayed
-        self._buffers[destination] += interaction.quantity
+        quantity = interaction.quantity
+        available = buffers.get(source)
+        if available is None:
+            available = 0.0
+        relayed = min(quantity, available)
+        newborn = quantity - relayed
+        buffers.put(source, available - relayed)
+        buffers.merge(interaction.destination, quantity)
         if newborn > 0:
-            self._generated[source] += newborn
+            self._generated.merge(source, newborn)
 
     def process_many(self, interactions: Sequence[Interaction]) -> None:
         """Batched Algorithm 1: the per-interaction arithmetic inlined.
 
         Produces exactly the state :meth:`process` would (same operations in
         the same order); only the Python-level overhead — attribute lookups
-        and the call per interaction — is amortised over the batch.
+        and the call per interaction — is amortised over the batch.  With a
+        dict-backed store the loop runs against the raw dicts; other
+        backends run the same arithmetic through the store interface.
         """
-        buffers = self._buffers
-        generated = self._generated
+        buffers = self._buffers.raw_dict()
+        generated = self._generated.raw_dict()
+        if buffers is None or generated is None:
+            buffers_get = self._buffers.get
+            buffers_put = self._buffers.put
+            buffers_merge = self._buffers.merge
+            generated_merge = self._generated.merge
+            for interaction in interactions:
+                source = interaction.source
+                quantity = interaction.quantity
+                available = buffers_get(source)
+                if available is None:
+                    available = 0.0
+                relayed = min(quantity, available)
+                newborn = quantity - relayed
+                buffers_put(source, available - relayed)
+                buffers_merge(interaction.destination, quantity)
+                if newborn > 0:
+                    generated_merge(source, newborn)
+            return
         for interaction in interactions:
             source = interaction.source
             quantity = interaction.quantity
-            available = buffers[source]
+            available = buffers.get(source, 0.0)
             relayed = min(quantity, available)
             newborn = quantity - relayed
             buffers[source] = available - relayed
-            buffers[interaction.destination] += quantity
+            destination = interaction.destination
+            buffers[destination] = buffers.get(destination, 0.0) + quantity
             if newborn > 0:
-                generated[source] += newborn
+                generated[source] = generated.get(source, 0.0) + newborn
 
     # ------------------------------------------------------------------
     # queries
@@ -89,7 +117,7 @@ class NoProvenancePolicy(SelectionPolicy):
 
     def generated_quantities(self) -> Dict[Vertex, float]:
         """Mapping of every generating vertex to its total newborn quantity."""
-        return dict(self._generated)
+        return self._generated.snapshot()
 
     def total_generated(self) -> float:
         """Total newborn quantity injected into the network so far."""

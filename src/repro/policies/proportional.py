@@ -33,7 +33,7 @@ import numpy as np
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
 from repro.exceptions import PolicyConfigurationError, UnknownVertexError
-from repro.policies.base import SelectionPolicy
+from repro.policies.base import SelectionPolicy, StoreArgument
 
 __all__ = ["ProportionalDensePolicy", "ProportionalSparsePolicy"]
 
@@ -55,11 +55,17 @@ class ProportionalDensePolicy(SelectionPolicy):
     tracks_provenance = True
     supports_paths = False
 
-    def __init__(self, vertices: Optional[Sequence[Vertex]] = None) -> None:
+    def __init__(
+        self,
+        vertices: Optional[Sequence[Vertex]] = None,
+        *,
+        store: StoreArgument = None,
+    ) -> None:
+        super().__init__(store=store)
         self._index: Dict[Vertex, int] = {}
         self._order: list = []
-        self._vectors: Dict[Vertex, np.ndarray] = {}
-        self._totals: Dict[Vertex, float] = {}
+        self._vectors = self._make_store("vectors")
+        self._totals = self._make_store("totals")
         if vertices is not None:
             self.reset(vertices)
 
@@ -69,21 +75,20 @@ class ProportionalDensePolicy(SelectionPolicy):
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
         self._index = {vertex: position for position, vertex in enumerate(vertices)}
         self._order = list(vertices)
-        self._vectors = {}
-        self._totals = {}
         if not self._index:
             raise PolicyConfigurationError(
                 "ProportionalDensePolicy needs the full vertex universe; "
                 "construct it with vertices or run it on a "
                 "TemporalInteractionNetwork rather than a bare interaction stream"
             )
+        self._vectors = self._make_store("vectors", dimension=len(self._index))
+        self._totals = self._make_store("totals")
+
+    def _zero_vector(self) -> np.ndarray:
+        return np.zeros(len(self._index), dtype=np.float64)
 
     def _vector(self, vertex: Vertex) -> np.ndarray:
-        vector = self._vectors.get(vertex)
-        if vector is None:
-            vector = np.zeros(len(self._index), dtype=np.float64)
-            self._vectors[vertex] = vector
-        return vector
+        return self._vectors.get_or_create(vertex, self._zero_vector)
 
     def _position(self, vertex: Vertex) -> int:
         try:
@@ -100,7 +105,8 @@ class ProportionalDensePolicy(SelectionPolicy):
         # Both endpoints must belong to the universe fixed at reset time.
         self._position(source)
         self._position(destination)
-        source_total = self._totals.get(source, 0.0)
+        totals = self._totals
+        source_total = totals.get(source, 0.0)
 
         source_vector = self._vector(source)
         destination_vector = self._vector(destination)
@@ -113,30 +119,67 @@ class ProportionalDensePolicy(SelectionPolicy):
             if newborn > 0:
                 destination_vector[self._position(source)] += newborn
             source_vector[:] = 0.0
-            self._totals[source] = 0.0
-            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+            totals.put(source, 0.0)
+            totals.merge(destination, quantity)
         else:
             # Proportional split (lines 9-10).
             fraction = quantity / source_total
             moved = source_vector * fraction
             destination_vector += moved
             source_vector -= moved
-            self._totals[source] = source_total - quantity
-            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+            totals.put(source, source_total - quantity)
+            totals.merge(destination, quantity)
 
     def process_many(self, interactions: Sequence[Interaction]) -> None:
         """Batched Algorithm 3 over dense vectors.
 
         Replays the exact arithmetic of :meth:`process` (same numpy
         operations, same order, hence bit-identical vectors) with the state
-        dictionaries, the vertex index and the vector cache held in locals,
+        stores, the vertex index and the vector accessors held in locals,
         amortising the per-interaction Python overhead over the batch.
+        Dict-backed stores are driven through their raw dicts; the dense
+        and sqlite backends run the same arithmetic through the store
+        interface.
         """
         index = self._index
-        vectors = self._vectors
-        totals = self._totals
+        vectors = self._vectors.raw_dict()
+        totals = self._totals.raw_dict()
         universe = len(index)
         zeros = np.zeros
+        if vectors is None or totals is None:
+            vector_of = self._vector
+            totals_get = self._totals.get
+            totals_put = self._totals.put
+            totals_merge = self._totals.merge
+            for interaction in interactions:
+                source = interaction.source
+                destination = interaction.destination
+                quantity = interaction.quantity
+                if source not in index:
+                    self._position(source)
+                if destination not in index:
+                    self._position(destination)
+                source_total = totals_get(source, 0.0)
+
+                source_vector = vector_of(source)
+                destination_vector = vector_of(destination)
+
+                if quantity >= source_total:
+                    destination_vector += source_vector
+                    newborn = quantity - source_total
+                    if newborn > 0:
+                        destination_vector[index[source]] += newborn
+                    source_vector[:] = 0.0
+                    totals_put(source, 0.0)
+                    totals_merge(destination, quantity)
+                else:
+                    fraction = quantity / source_total
+                    moved = source_vector * fraction
+                    destination_vector += moved
+                    source_vector -= moved
+                    totals_put(source, source_total - quantity)
+                    totals_merge(destination, quantity)
+            return
         for interaction in interactions:
             source = interaction.source
             destination = interaction.destination
@@ -211,29 +254,27 @@ class ProportionalSparsePolicy(SelectionPolicy):
     tracks_provenance = True
     supports_paths = False
 
-    def __init__(self) -> None:
-        self._vectors: Dict[Vertex, Dict[Vertex, float]] = {}
-        self._totals: Dict[Vertex, float] = {}
+    def __init__(self, *, store: StoreArgument = None) -> None:
+        super().__init__(store=store)
+        self._vectors = self._make_store("vectors")
+        self._totals = self._make_store("totals")
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
-        self._vectors = {}
-        self._totals = {}
+        self._vectors = self._make_store("vectors")
+        self._totals = self._make_store("totals")
 
     def _vector(self, vertex: Vertex) -> Dict[Vertex, float]:
-        vector = self._vectors.get(vertex)
-        if vector is None:
-            vector = {}
-            self._vectors[vertex] = vector
-        return vector
+        return self._vectors.get_or_create(vertex, dict)
 
     def process(self, interaction: Interaction) -> None:
         source = interaction.source
         destination = interaction.destination
         quantity = interaction.quantity
-        source_total = self._totals.get(source, 0.0)
+        totals = self._totals
+        source_total = totals.get(source, 0.0)
 
         source_vector = self._vector(source)
         destination_vector = self._vector(destination)
@@ -246,8 +287,8 @@ class ProportionalSparsePolicy(SelectionPolicy):
             if newborn > 0:
                 destination_vector[source] = destination_vector.get(source, 0.0) + newborn
             source_vector.clear()
-            self._totals[source] = 0.0
-            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+            totals.put(source, 0.0)
+            totals.merge(destination, quantity)
         else:
             fraction = quantity / source_total
             keep = 1.0 - fraction
@@ -260,17 +301,21 @@ class ProportionalSparsePolicy(SelectionPolicy):
                     source_vector[origin] = remaining
                 else:
                     del source_vector[origin]
-            self._totals[source] = source_total - quantity
-            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+            totals.put(source, source_total - quantity)
+            totals.merge(destination, quantity)
 
     def process_many(self, interactions: Sequence[Interaction]) -> None:
         """Batched Algorithm 3 over sparse dict vectors.
 
         Same arithmetic and operation order as :meth:`process` — only the
-        state lookups are hoisted into locals for the whole batch.
+        state lookups are hoisted into locals for the whole batch.  Non-dict
+        store backends run the identical loop through the store interface.
         """
-        vectors = self._vectors
-        totals = self._totals
+        vectors = self._vectors.raw_dict()
+        totals = self._totals.raw_dict()
+        if vectors is None or totals is None:
+            self._process_many_store(interactions)
+            return
         for interaction in interactions:
             source = interaction.source
             destination = interaction.destination
@@ -309,6 +354,45 @@ class ProportionalSparsePolicy(SelectionPolicy):
                         del source_vector[origin]
                 totals[source] = source_total - quantity
                 totals[destination] = totals.get(destination, 0.0) + quantity
+
+    def _process_many_store(self, interactions: Sequence[Interaction]) -> None:
+        """Interface-driven batch loop for non-dict store backends."""
+        vector_of = self._vector
+        totals_get = self._totals.get
+        totals_put = self._totals.put
+        totals_merge = self._totals.merge
+        for interaction in interactions:
+            source = interaction.source
+            destination = interaction.destination
+            quantity = interaction.quantity
+            source_total = totals_get(source, 0.0)
+
+            source_vector = vector_of(source)
+            destination_vector = vector_of(destination)
+
+            if quantity >= source_total:
+                for origin, amount in source_vector.items():
+                    destination_vector[origin] = destination_vector.get(origin, 0.0) + amount
+                newborn = quantity - source_total
+                if newborn > 0:
+                    destination_vector[source] = destination_vector.get(source, 0.0) + newborn
+                source_vector.clear()
+                totals_put(source, 0.0)
+                totals_merge(destination, quantity)
+            else:
+                fraction = quantity / source_total
+                keep = 1.0 - fraction
+                for origin in list(source_vector):
+                    amount = source_vector[origin]
+                    moved = amount * fraction
+                    destination_vector[origin] = destination_vector.get(origin, 0.0) + moved
+                    remaining = amount * keep
+                    if remaining > _PRUNE_EPSILON:
+                        source_vector[origin] = remaining
+                    else:
+                        del source_vector[origin]
+                totals_put(source, source_total - quantity)
+                totals_merge(destination, quantity)
 
     # ------------------------------------------------------------------
     # queries

@@ -3,8 +3,9 @@
 This package is the architectural seam between the paper's per-interaction
 algorithms (:mod:`repro.core`, :mod:`repro.policies`) and everything that
 *drives* them.  All callers — CLI, benchmark harness, experiments, examples
-— execute runs through :class:`Runner`, which adds batched policy execution
-and sharded partition runs on top of the core engine.
+— execute runs through :class:`Runner`, which adds batched policy execution,
+pluggable provenance-store backends (``RunConfig(store=...)``, see
+:mod:`repro.stores`) and sharded partition runs on top of the core engine.
 """
 
 from repro.runtime.config import DEFAULT_BATCH_SIZE, RunConfig

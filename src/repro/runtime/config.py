@@ -19,6 +19,7 @@ from repro.core.interaction import Interaction
 from repro.core.network import TemporalInteractionNetwork
 from repro.exceptions import RunConfigurationError
 from repro.policies.base import SelectionPolicy
+from repro.stores import StoreSpec, resolve_store_spec
 
 __all__ = ["RunConfig", "DEFAULT_BATCH_SIZE", "DatasetSource", "PolicySpec"]
 
@@ -66,6 +67,17 @@ class RunConfig:
         of the scalable policies are recognised and resolved against the
         dataset: ``k`` (selective), ``num_groups`` (grouped), ``capacity``
         (budget), ``window`` (windowed).
+    store, store_options:
+        Provenance-store backend the policy keeps its annotation state in:
+        ``"dict"`` (in-memory, default), ``"dense"`` (packed numpy matrix
+        for fixed-dimension vector state) or ``"sqlite"`` (bounded resident
+        entries with LRU spill to disk — see
+        :class:`repro.stores.SqliteStore`).  ``store_options`` forwards
+        backend options such as ``hot_capacity`` and ``directory``.  When
+        both are left unset, policies fall back to the
+        ``REPRO_DEFAULT_STORE`` environment variable, then to dicts.
+        Sharded runs build one store instance per shard, so shards spill
+        independently.
     observers:
         :data:`~repro.core.engine.InteractionObserver` callables wired into
         the engine.  Observers force per-interaction execution because they
@@ -107,6 +119,8 @@ class RunConfig:
     vertex_type: type = str
     policy: PolicySpec = "fifo"
     policy_options: Dict[str, Any] = field(default_factory=dict)
+    store: Union[str, StoreSpec, None] = None
+    store_options: Dict[str, Any] = field(default_factory=dict)
     observers: Sequence = ()
     batch_size: int = DEFAULT_BATCH_SIZE
     limit: Optional[int] = None
@@ -122,6 +136,10 @@ class RunConfig:
     max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.store is not None or self.store_options:
+            # Validate the backend name and options eagerly so a typo fails
+            # at configuration time, not mid-run inside a policy.
+            resolve_store_spec(self.store, options=self.store_options)
         if self.batch_size < 0:
             raise RunConfigurationError(f"batch_size must be >= 0, got {self.batch_size}")
         if self.sample_every < 0:
@@ -167,3 +185,15 @@ class RunConfig:
         if self.observers or self.checkpoint_every:
             return 1
         return self.batch_size
+
+    @property
+    def store_spec(self) -> Optional[StoreSpec]:
+        """The resolved store specification, or ``None`` when unspecified.
+
+        ``None`` means "let each policy resolve its own default" (the
+        ``REPRO_DEFAULT_STORE`` environment variable, then dicts) — the
+        Runner only injects a ``store=`` argument when this is non-None.
+        """
+        if self.store is None and not self.store_options:
+            return None
+        return resolve_store_spec(self.store, options=self.store_options)

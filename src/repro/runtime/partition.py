@@ -29,7 +29,7 @@ from __future__ import annotations
 import time as _time
 import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.engine import ProvenanceEngine, RunStatistics
@@ -38,6 +38,7 @@ from repro.core.network import TemporalInteractionNetwork
 from repro.core.provenance import OriginSet, ProvenanceSnapshot
 from repro.exceptions import RunConfigurationError
 from repro.policies.base import SelectionPolicy
+from repro.stores import StoreStats
 
 __all__ = [
     "Shard",
@@ -102,6 +103,24 @@ class ShardRun:
     policy: SelectionPolicy
     statistics: RunStatistics
     last_time: Optional[float] = None
+    #: Store accounting captured inside the shard worker (before any
+    #: pickling back to the parent), keyed by state-component role.
+    store_stats: Dict[str, StoreStats] = field(default_factory=dict)
+
+    def timing_row(self) -> Dict[str, object]:
+        """Flat per-shard breakdown row used by ``RunResult.to_dict``."""
+        return {
+            "shard": self.shard.index,
+            "vertices": len(self.shard.vertices),
+            "interactions": self.statistics.interactions,
+            "elapsed_seconds": self.statistics.elapsed_seconds,
+            "interactions_per_second": self.statistics.interactions_per_second,
+            "final_entry_count": self.statistics.final_entry_count,
+            "peak_entry_count": self.statistics.peak_entry_count,
+            "store": {
+                role: stats.to_dict() for role, stats in self.store_stats.items()
+            },
+        }
 
 
 def connected_components(network: TemporalInteractionNetwork) -> List[Set[Vertex]]:
@@ -239,6 +258,7 @@ def _run_one_shard(
         policy=engine.policy,
         statistics=statistics,
         last_time=engine.current_time,
+        store_stats=engine.policy.store_stats(),
     )
 
 

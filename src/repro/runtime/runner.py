@@ -13,8 +13,8 @@ the experiment implementations and the examples — drives the library through
 4. **execution** — batched single-engine runs, or sharded runs with one
    engine per vertex partition (serial / threads / processes);
 5. **result assembly** — merged statistics, feasibility classification,
-   memory accounting, final checkpointing, and uniform provenance queries
-   over whatever ran.
+   memory accounting, per-store spill statistics, final checkpointing,
+   structured JSON export and uniform provenance queries over whatever ran.
 
 Typical use::
 
@@ -33,9 +33,10 @@ or, for one-liners, the module-level convenience wrapper::
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.checkpoint import save_engine
 from repro.core.engine import ProvenanceEngine, RunStatistics
@@ -59,6 +60,7 @@ from repro.runtime.partition import (
     partition_network,
     run_shards,
 )
+from repro.stores import StoreStats, merge_store_stats
 
 __all__ = ["Runner", "RunResult", "run", "build_policy"]
 
@@ -84,6 +86,9 @@ def build_policy(
     if isinstance(spec, SelectionPolicy):
         return spec
     options = dict(config.policy_options)
+    store_spec = config.store_spec
+    if store_spec is not None:
+        options.setdefault("store", store_spec)
     if spec == "proportional-dense" and network is not None:
         options.setdefault("vertices", network.vertices)
         return make_policy(spec, **options)
@@ -134,6 +139,9 @@ class RunResult:
     feasible: bool = True
     memory_bytes: Optional[int] = None
     note: str = ""
+    #: Store accounting keyed by state-component role; summed over shards
+    #: for sharded runs.  Spill backends report evictions/spilled bytes.
+    store_stats: Dict[str, StoreStats] = field(default_factory=dict)
 
     @property
     def sharded(self) -> bool:
@@ -187,6 +195,69 @@ class RunResult:
         """The ``n`` vertices with the largest buffered quantities."""
         totals = self.buffer_totals()
         return sorted(totals.items(), key=lambda item: (-item[1], repr(item[0])))[:n]
+
+    # ------------------------------------------------------------------
+    # structured export
+    # ------------------------------------------------------------------
+    @property
+    def shard_timings(self) -> List[Dict[str, object]]:
+        """Per-shard timing/store breakdown rows (empty for single runs)."""
+        return [run.timing_row() for run in self.shard_runs]
+
+    @property
+    def policy_name(self) -> str:
+        """Registry name (or description) of the policy that ran."""
+        spec = self.config.policy
+        if isinstance(spec, SelectionPolicy):
+            return spec.describe()
+        if self.policy is not None:
+            return self.policy.describe()
+        return str(spec)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary of the run: statistics, shards, store usage.
+
+        The structured counterpart of the CLI's human-readable report, and
+        the record format behind ``BENCH_*.json`` dashboards — everything is
+        plain JSON types (vertices are not included; use the provenance
+        query helpers for per-vertex data).
+        """
+        store_spec = self.config.store_spec
+        return {
+            "dataset": self.dataset_name,
+            "policy": self.policy_name,
+            "feasible": self.feasible,
+            "note": self.note,
+            "statistics": {
+                **asdict(self.statistics),
+                "interactions_per_second": self.statistics.interactions_per_second,
+            },
+            "memory_bytes": self.memory_bytes,
+            "store": {
+                "backend": store_spec.backend if store_spec is not None else None,
+                "stats": {
+                    role: stats.to_dict() for role, stats in self.store_stats.items()
+                },
+            },
+            "sharding": {
+                "sharded": self.sharded,
+                "mode": self.partition.mode if self.partition else None,
+                "exact": self.partition.exact if self.partition else None,
+                "cross_shard_interactions": (
+                    self.partition.cross_shard_interactions if self.partition else 0
+                ),
+                "shards": self.shard_timings,
+            },
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """The :meth:`to_dict` record rendered as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Total bytes spilled to disk by all stores (0 for in-memory runs)."""
+        return sum(stats.spilled_bytes for stats in self.store_stats.values())
 
 
 class Runner:
@@ -278,6 +349,7 @@ class Runner:
                 feasible=False,
                 memory_bytes=error.used_bytes,
                 note=str(error),
+                store_stats=policy.store_stats(),
             )
 
         memory_bytes: Optional[int] = None
@@ -302,6 +374,7 @@ class Runner:
                     f"final provenance state uses {memory_bytes} bytes which "
                     f"exceeds the ceiling of {config.memory_ceiling_bytes} bytes"
                 ),
+                store_stats=policy.store_stats(),
             )
 
         if config.checkpoint_path is not None:
@@ -314,6 +387,7 @@ class Runner:
             network=network,
             engine=engine,
             memory_bytes=memory_bytes,
+            store_stats=policy.store_stats(),
         )
 
     def _run_sharded(self, network: TemporalInteractionNetwork) -> RunResult:
@@ -358,6 +432,7 @@ class Runner:
             feasible=feasible,
             memory_bytes=memory_bytes,
             note=note,
+            store_stats=merge_store_stats(run.store_stats for run in runs),
         )
 
     def _shard_policies(
@@ -376,6 +451,9 @@ class Runner:
         spec = self.config.policy
         if spec == "proportional-dense":
             options = dict(self.config.policy_options)
+            store_spec = self.config.store_spec
+            if store_spec is not None:
+                options.setdefault("store", store_spec)
             policies = []
             for shard in plan.shards:
                 options["vertices"] = shard.universe()
@@ -384,6 +462,9 @@ class Runner:
         template = spec if isinstance(spec, SelectionPolicy) else build_policy(
             self.config, network
         )
+        # Deep copies duplicate the template's store spec but not live store
+        # resources; every shard rebuilds fresh stores in its own reset()
+        # (spill files included), so shards spill independently.
         return [copy.deepcopy(template) for _ in plan.shards]
 
 

@@ -17,7 +17,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet, UNKNOWN_ORIGIN
 from repro.exceptions import PolicyConfigurationError
-from repro.policies.base import SelectionPolicy
+from repro.policies.base import SelectionPolicy, StoreArgument
 from repro.scalable.vector_store import SparseVectorStore
 
 __all__ = ["BudgetProportionalPolicy", "ShrinkStatistics", "keep_largest", "keep_by_priority"]
@@ -98,6 +98,7 @@ class BudgetProportionalPolicy(SelectionPolicy):
         *,
         keep_fraction: float = 0.7,
         criterion: ShrinkCriterion = keep_largest,
+        store: StoreArgument = None,
     ) -> None:
         """Create a budget-based policy.
 
@@ -121,19 +122,20 @@ class BudgetProportionalPolicy(SelectionPolicy):
             raise PolicyConfigurationError(
                 f"keep_fraction must be in (0, 1], got {keep_fraction!r}"
             )
+        super().__init__(store=store)
         self.capacity = capacity
         self.keep_fraction = keep_fraction
         self.criterion = criterion
-        self._store = SparseVectorStore()
-        self._totals: Dict[Vertex, float] = {}
+        self._store = SparseVectorStore(self._make_store("vectors"))
+        self._totals = self._make_store("totals")
         self.shrink_statistics = ShrinkStatistics()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
-        self._store = SparseVectorStore()
-        self._totals = {}
+        self._store = SparseVectorStore(self._make_store("vectors"))
+        self._totals = self._make_store("totals")
         self.shrink_statistics = ShrinkStatistics()
 
     def process(self, interaction: Interaction) -> None:
@@ -145,10 +147,10 @@ class BudgetProportionalPolicy(SelectionPolicy):
         self._store.apply_interaction(source, destination, quantity, source_total)
 
         if quantity >= source_total:
-            self._totals[source] = 0.0
+            self._totals.put(source, 0.0)
         else:
-            self._totals[source] = source_total - quantity
-        self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+            self._totals.put(source, source_total - quantity)
+        self._totals.merge(destination, quantity)
 
         self._enforce_budget(destination)
 

@@ -13,6 +13,7 @@ from typing import Callable, Hashable, Mapping, Optional, Sequence, Union
 
 from repro.core.interaction import Vertex
 from repro.exceptions import PolicyConfigurationError
+from repro.policies.base import StoreArgument
 from repro.scalable.reduced import ReducedVectorPolicy
 
 __all__ = ["GroupedProportionalPolicy"]
@@ -32,6 +33,7 @@ class GroupedProportionalPolicy(ReducedVectorPolicy):
         assignment: GroupAssignment,
         *,
         default_group: Optional[Hashable] = None,
+        store: StoreArgument = None,
     ) -> None:
         """Create a grouped policy.
 
@@ -51,7 +53,7 @@ class GroupedProportionalPolicy(ReducedVectorPolicy):
         groups = list(dict.fromkeys(groups))
         if not groups:
             raise PolicyConfigurationError("at least one group is required")
-        super().__init__(slot_labels=groups)
+        super().__init__(slot_labels=groups, store=store)
         self._group_index = {group: position for position, group in enumerate(groups)}
         self._assignment = assignment
         self._default_group = default_group
@@ -62,13 +64,14 @@ class GroupedProportionalPolicy(ReducedVectorPolicy):
 
     @classmethod
     def round_robin(
-        cls, vertices: Sequence[Vertex], num_groups: int
+        cls, vertices: Sequence[Vertex], num_groups: int, **options
     ) -> "GroupedProportionalPolicy":
         """Assign vertices to ``num_groups`` groups in round-robin order.
 
         This is the allocation used in the paper's experiments (Section 7.3),
         which notes that runtime and memory are insensitive to how vertices
-        are allocated to groups.
+        are allocated to groups.  Extra keyword arguments (e.g. ``store=``)
+        are forwarded to the constructor.
         """
         if num_groups <= 0:
             raise PolicyConfigurationError(
@@ -77,7 +80,7 @@ class GroupedProportionalPolicy(ReducedVectorPolicy):
         assignment = {
             vertex: position % num_groups for position, vertex in enumerate(vertices)
         }
-        return cls(groups=list(range(num_groups)), assignment=assignment)
+        return cls(groups=list(range(num_groups)), assignment=assignment, **options)
 
     @property
     def m(self) -> int:

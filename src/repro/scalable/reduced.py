@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
 from repro.exceptions import PolicyConfigurationError
-from repro.policies.base import SelectionPolicy
+from repro.policies.base import SelectionPolicy, StoreArgument
 
 __all__ = ["ReducedVectorPolicy"]
 
@@ -33,18 +33,22 @@ class ReducedVectorPolicy(SelectionPolicy):
     propagation is identical to the dense proportional policy, except the
     per-vertex vectors have ``len(slot_labels)`` components instead of
     ``|V|`` — giving the ``O(k * |V|)`` space and ``O(k)`` per-interaction
-    time bounds of the paper.
+    time bounds of the paper.  The slot vectors have a fixed dimension, so
+    the dense matrix store backend applies to them directly.
     """
 
     tracks_provenance = True
     supports_paths = False
 
-    def __init__(self, slot_labels: Sequence[Hashable]) -> None:
+    def __init__(
+        self, slot_labels: Sequence[Hashable], *, store: StoreArgument = None
+    ) -> None:
         if not slot_labels:
             raise PolicyConfigurationError("at least one provenance slot is required")
+        super().__init__(store=store)
         self._slot_labels: List[Hashable] = list(slot_labels)
-        self._vectors: Dict[Vertex, np.ndarray] = {}
-        self._totals: Dict[Vertex, float] = {}
+        self._vectors = self._make_store("vectors", dimension=len(self._slot_labels))
+        self._totals = self._make_store("totals")
 
     # ------------------------------------------------------------------
     # to implement
@@ -66,21 +70,21 @@ class ReducedVectorPolicy(SelectionPolicy):
         return len(self._slot_labels)
 
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
-        self._vectors = {}
-        self._totals = {}
+        self._vectors = self._make_store("vectors", dimension=len(self._slot_labels))
+        self._totals = self._make_store("totals")
+
+    def _zero_vector(self) -> np.ndarray:
+        return np.zeros(self.num_slots, dtype=np.float64)
 
     def _vector(self, vertex: Vertex) -> np.ndarray:
-        vector = self._vectors.get(vertex)
-        if vector is None:
-            vector = np.zeros(self.num_slots, dtype=np.float64)
-            self._vectors[vertex] = vector
-        return vector
+        return self._vectors.get_or_create(vertex, self._zero_vector)
 
     def process(self, interaction: Interaction) -> None:
         source = interaction.source
         destination = interaction.destination
         quantity = interaction.quantity
-        source_total = self._totals.get(source, 0.0)
+        totals = self._totals
+        source_total = totals.get(source, 0.0)
 
         source_vector = self._vector(source)
         destination_vector = self._vector(destination)
@@ -91,15 +95,15 @@ class ReducedVectorPolicy(SelectionPolicy):
             if newborn > 0:
                 destination_vector[self.slot_of(source)] += newborn
             source_vector[:] = 0.0
-            self._totals[source] = 0.0
-            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+            totals.put(source, 0.0)
+            totals.merge(destination, quantity)
         else:
             fraction = quantity / source_total
             moved = source_vector * fraction
             destination_vector += moved
             source_vector -= moved
-            self._totals[source] = source_total - quantity
-            self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+            totals.put(source, source_total - quantity)
+            totals.merge(destination, quantity)
 
     # ------------------------------------------------------------------
     # queries

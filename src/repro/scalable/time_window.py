@@ -21,7 +21,7 @@ from typing import Dict, Iterator, Sequence
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet, UNKNOWN_ORIGIN
 from repro.exceptions import PolicyConfigurationError
-from repro.policies.base import SelectionPolicy
+from repro.policies.base import SelectionPolicy, StoreArgument
 from repro.scalable.vector_store import SparseVectorStore
 
 __all__ = ["TimeWindowedProportionalPolicy"]
@@ -34,7 +34,13 @@ class TimeWindowedProportionalPolicy(SelectionPolicy):
     tracks_provenance = True
     supports_paths = False
 
-    def __init__(self, window: float, *, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        window: float,
+        *,
+        start_time: float = 0.0,
+        store: StoreArgument = None,
+    ) -> None:
         """Create a time-windowed policy.
 
         Parameters
@@ -50,11 +56,12 @@ class TimeWindowedProportionalPolicy(SelectionPolicy):
             raise PolicyConfigurationError(
                 f"window length must be positive, got {window!r}"
             )
+        super().__init__(store=store)
         self.window = float(window)
         self.start_time = float(start_time)
-        self._totals: Dict[Vertex, float] = {}
-        self._odd = SparseVectorStore()
-        self._even = SparseVectorStore()
+        self._totals = self._make_store("totals")
+        self._odd = SparseVectorStore(self._make_store("odd"))
+        self._even = SparseVectorStore(self._make_store("even"))
         self._boundaries_crossed = 0
         self._resets = 0
 
@@ -62,9 +69,9 @@ class TimeWindowedProportionalPolicy(SelectionPolicy):
     # lifecycle
     # ------------------------------------------------------------------
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
-        self._totals = {}
-        self._odd = SparseVectorStore()
-        self._even = SparseVectorStore()
+        self._totals = self._make_store("totals")
+        self._odd = SparseVectorStore(self._make_store("odd"))
+        self._even = SparseVectorStore(self._make_store("even"))
         self._boundaries_crossed = 0
         self._resets = 0
 
@@ -90,10 +97,10 @@ class TimeWindowedProportionalPolicy(SelectionPolicy):
         self._even.apply_interaction(source, destination, quantity, source_total)
 
         if quantity >= source_total:
-            self._totals[source] = 0.0
+            self._totals.put(source, 0.0)
         else:
-            self._totals[source] = source_total - quantity
-        self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+            self._totals.put(source, source_total - quantity)
+        self._totals.merge(destination, quantity)
 
     def _reset_one_store(self, boundary_index: int) -> None:
         """Reset the odd or even store when a window boundary is crossed."""

@@ -6,14 +6,20 @@ apply the same proportional transfer arithmetic as Algorithm 3; they differ
 only in when and how vectors are truncated.  :class:`SparseVectorStore`
 centralises the transfer arithmetic so the policies only implement their
 truncation rules.
+
+The per-vertex vectors themselves live in a pluggable
+:class:`~repro.stores.ProvenanceStore` backend (plain dicts by default), so
+the scope-limiting policies participate in spill-to-disk runs like every
+other policy.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.interaction import Vertex
 from repro.core.provenance import OriginSet
+from repro.stores import DictStore, ProvenanceStore
 
 __all__ = ["SparseVectorStore"]
 
@@ -25,38 +31,39 @@ class SparseVectorStore:
 
     __slots__ = ("_vectors",)
 
-    def __init__(self) -> None:
-        self._vectors: Dict[Vertex, Dict[Vertex, float]] = {}
+    def __init__(self, backing: Optional[ProvenanceStore] = None) -> None:
+        self._vectors: ProvenanceStore = backing if backing is not None else DictStore()
 
     # ------------------------------------------------------------------
     # basic access
     # ------------------------------------------------------------------
     def vector(self, vertex: Vertex) -> Dict[Vertex, float]:
         """The (mutable) sparse vector of ``vertex``, created on demand."""
-        vector = self._vectors.get(vertex)
-        if vector is None:
-            vector = {}
-            self._vectors[vertex] = vector
-        return vector
+        return self._vectors.get_or_create(vertex, dict)
 
     def peek(self, vertex: Vertex) -> Dict[Vertex, float]:
         """A copy of the sparse vector of ``vertex`` (empty if untouched)."""
-        return dict(self._vectors.get(vertex, {}))
+        return dict(self._vectors.get(vertex) or {})
 
     def origins(self, vertex: Vertex) -> OriginSet:
         """The vector of ``vertex`` as an :class:`OriginSet`."""
-        return OriginSet(self._vectors.get(vertex, {}))
+        return OriginSet(self._vectors.get(vertex) or {})
 
     def replace(self, vertex: Vertex, vector: Dict[Vertex, float]) -> None:
         """Overwrite the vector of ``vertex`` (used by window resets)."""
-        self._vectors[vertex] = dict(vector)
+        self._vectors.put(vertex, dict(vector))
 
     def vertices(self) -> Iterator[Vertex]:
         """Vertices with an allocated (possibly empty) vector."""
-        return iter(self._vectors)
+        return iter(self._vectors.keys())
 
     def clear(self) -> None:
-        self._vectors = {}
+        self._vectors.clear()
+
+    @property
+    def backing(self) -> ProvenanceStore:
+        """The provenance-store backend holding the vectors."""
+        return self._vectors
 
     # ------------------------------------------------------------------
     # proportional arithmetic

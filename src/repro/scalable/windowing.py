@@ -18,7 +18,7 @@ from typing import Dict, Iterator, Sequence
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet, UNKNOWN_ORIGIN
 from repro.exceptions import PolicyConfigurationError
-from repro.policies.base import SelectionPolicy
+from repro.policies.base import SelectionPolicy, StoreArgument
 from repro.scalable.vector_store import SparseVectorStore
 
 __all__ = ["WindowedProportionalPolicy"]
@@ -31,15 +31,16 @@ class WindowedProportionalPolicy(SelectionPolicy):
     tracks_provenance = True
     supports_paths = False
 
-    def __init__(self, window: int) -> None:
+    def __init__(self, window: int, *, store: StoreArgument = None) -> None:
         if window <= 0:
             raise PolicyConfigurationError(
                 f"window size must be a positive number of interactions, got {window!r}"
             )
+        super().__init__(store=store)
         self.window = window
-        self._totals: Dict[Vertex, float] = {}
-        self._odd = SparseVectorStore()
-        self._even = SparseVectorStore()
+        self._totals = self._make_store("totals")
+        self._odd = SparseVectorStore(self._make_store("odd"))
+        self._even = SparseVectorStore(self._make_store("even"))
         self._interactions_processed = 0
         # Number of window boundaries hit so far; parity decides which store
         # is reset next and which one queries should use.
@@ -49,9 +50,9 @@ class WindowedProportionalPolicy(SelectionPolicy):
     # lifecycle
     # ------------------------------------------------------------------
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
-        self._totals = {}
-        self._odd = SparseVectorStore()
-        self._even = SparseVectorStore()
+        self._totals = self._make_store("totals")
+        self._odd = SparseVectorStore(self._make_store("odd"))
+        self._even = SparseVectorStore(self._make_store("even"))
         self._interactions_processed = 0
         self._resets = 0
 
@@ -66,10 +67,10 @@ class WindowedProportionalPolicy(SelectionPolicy):
         self._even.apply_interaction(source, destination, quantity, source_total)
 
         if quantity >= source_total:
-            self._totals[source] = 0.0
+            self._totals.put(source, 0.0)
         else:
-            self._totals[source] = source_total - quantity
-        self._totals[destination] = self._totals.get(destination, 0.0) + quantity
+            self._totals.put(source, source_total - quantity)
+        self._totals.merge(destination, quantity)
 
         self._interactions_processed += 1
         if self._interactions_processed % self.window == 0:

@@ -1,0 +1,43 @@
+"""Pluggable provenance stores: where a policy's annotation state lives.
+
+The selection policies of the paper differ precisely in how much annotation
+state they keep per vertex buffer; this package decouples that state from
+the policies through the :class:`ProvenanceStore` interface and three
+interchangeable backends:
+
+* :class:`DictStore` — plain in-memory dicts (the seed behaviour, default);
+* :class:`DenseNumpyStore` — fixed-dimension vectors packed into one
+  contiguous matrix (backs the dense proportional policy);
+* :class:`SqliteStore` — bounded resident entries with LRU spill to an
+  SQLite file, enabling larger-than-memory runs.
+
+Select a backend per run with ``RunConfig(store="sqlite")``, per policy
+with ``FifoPolicy(store="sqlite")``, or globally via the
+``REPRO_DEFAULT_STORE`` environment variable.  All backends are equivalence
+-tested to produce bit-identical provenance.
+"""
+
+from repro.stores.base import ProvenanceStore, StoreStats, merge_store_stats
+from repro.stores.dense import DenseNumpyStore
+from repro.stores.dict_store import DictStore
+from repro.stores.spec import (
+    DEFAULT_STORE_ENV,
+    StoreSpec,
+    available_store_backends,
+    resolve_store_spec,
+)
+from repro.stores.sqlite_store import DEFAULT_HOT_CAPACITY, SqliteStore
+
+__all__ = [
+    "ProvenanceStore",
+    "StoreStats",
+    "merge_store_stats",
+    "DictStore",
+    "DenseNumpyStore",
+    "SqliteStore",
+    "StoreSpec",
+    "resolve_store_spec",
+    "available_store_backends",
+    "DEFAULT_STORE_ENV",
+    "DEFAULT_HOT_CAPACITY",
+]

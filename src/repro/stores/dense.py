@@ -1,0 +1,166 @@
+"""Dense numpy backend: fixed-dimension vectors packed into row blocks.
+
+The dense proportional policy (Algorithm 3) and the reduced-vector policies
+(Sections 5.1/5.2) keep one fixed-length float64 vector per touched vertex.
+Storing each vector as an individual numpy array (the seed layout) pays an
+object header and an allocation per vertex; ``DenseNumpyStore`` instead
+packs them as rows of contiguous blocks — the layout the paper's C
+implementation uses for its SIMD-friendly vector operations.
+
+``get`` returns a *view* of the vector's row, so the in-place numpy
+arithmetic of the policies (``destination_vector += source_vector``,
+``source_vector[:] = 0.0``) operates directly on the block.  Growth
+*appends* a new block rather than reallocating storage, so row views handed
+out earlier remain valid for the lifetime of the store — policies may hold
+a view across an allocation of another key (every ``process()`` step does).
+Element-wise float64 operations are bit-identical whether operands are
+standalone arrays or block rows, which is what the store-equivalence tests
+rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import StoreConfigurationError
+from repro.stores.base import ProvenanceStore, StoreStats
+
+__all__ = ["DenseNumpyStore"]
+
+#: Rows per storage block.  A block is allocated whole, so this bounds both
+#: the allocation granularity and the slack after the final touched vertex.
+_BLOCK_ROWS = 256
+
+
+class DenseNumpyStore(ProvenanceStore):
+    """Row-per-key storage of fixed-dimension float64 vectors."""
+
+    def __init__(self, dimension: int, *, block_rows: int = _BLOCK_ROWS):
+        if dimension < 0:
+            raise StoreConfigurationError(
+                f"vector dimension must be >= 0, got {dimension!r}"
+            )
+        if block_rows < 1:
+            raise StoreConfigurationError(
+                f"block_rows must be >= 1, got {block_rows!r}"
+            )
+        self._dimension = int(dimension)
+        self._block_rows = int(block_rows)
+        self._blocks: List[np.ndarray] = []
+        self._rows: Dict[Hashable, int] = {}
+        self._free: List[int] = []
+        self._next_row = 0
+        self._evictions = 0
+
+    @property
+    def dimension(self) -> int:
+        """Length of every stored vector."""
+        return self._dimension
+
+    # ------------------------------------------------------------------
+    # row allocation
+    # ------------------------------------------------------------------
+    def _view(self, row: int) -> np.ndarray:
+        block, offset = divmod(row, self._block_rows)
+        return self._blocks[block][offset]
+
+    def _allocate(self, key: Hashable) -> int:
+        if self._free:
+            row = self._free.pop()
+            self._view(row)[:] = 0.0
+        else:
+            row = self._next_row
+            self._next_row += 1
+            if row // self._block_rows >= len(self._blocks):
+                # Blocks are only ever appended, never reallocated: views of
+                # existing rows stay valid across growth.
+                self._blocks.append(
+                    np.zeros((self._block_rows, self._dimension), dtype=np.float64)
+                )
+        self._rows[key] = row
+        return row
+
+    # ------------------------------------------------------------------
+    # point access
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        row = self._rows.get(key)
+        if row is None:
+            return default
+        return self._view(row)
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any] = None) -> Any:
+        """The row view of ``key``, allocating a zeroed row on miss.
+
+        ``factory`` is accepted for interface compatibility but ignored: a
+        freshly allocated row is already the zero vector the policies'
+        factories would produce.
+        """
+        row = self._rows.get(key)
+        if row is None:
+            row = self._allocate(key)
+        return self._view(row)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        row = self._rows.get(key)
+        if row is None:
+            row = self._allocate(key)
+        self._view(row)[:] = value
+
+    def merge(self, key: Hashable, amount: Any) -> None:
+        row = self._rows.get(key)
+        if row is None:
+            row = self._allocate(key)
+        self._view(row)[:] += amount
+
+    def evict(self, key: Hashable) -> Any:
+        row = self._rows.pop(key, None)
+        if row is None:
+            return None
+        value = self._view(row).copy()
+        self._free.append(row)
+        self._evictions += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # iteration / bulk state
+    # ------------------------------------------------------------------
+    def items(self) -> Iterable[Tuple[Hashable, Any]]:
+        return ((key, self._view(row)) for key, row in self._rows.items())
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._rows.keys()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._rows
+
+    def snapshot(self) -> Dict[Hashable, Any]:
+        return {key: self._view(row).copy() for key, row in self._rows.items()}
+
+    def restore(self, mapping: Mapping[Hashable, Any]) -> None:
+        self.clear()
+        for key, value in mapping.items():
+            self.put(key, value)
+
+    def clear(self) -> None:
+        self._blocks = []
+        self._rows = {}
+        self._free = []
+        self._next_row = 0
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            backend="dense",
+            entries=len(self._rows),
+            resident_entries=len(self._rows),
+            evictions=self._evictions,
+            memory_bytes=self.memory_bytes(),
+        )

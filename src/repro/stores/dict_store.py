@@ -1,0 +1,63 @@
+"""The in-memory dict backend: the seed behaviour, and the default.
+
+``DictStore`` *is* a ``dict`` — policies that held raw dicts before the
+store refactor keep exactly their old data layout and performance.  The
+point lookups (``get``, ``__contains__``, ``__len__``, iteration) are the C
+implementations inherited from ``dict``; only the store-protocol extensions
+(``merge``, ``snapshot`` ...) are Python-level.  The batched fast paths ask
+for :meth:`raw_dict` and then run their tight loops directly against the
+dict, which is the same object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, Mapping, Tuple
+
+from repro.stores.base import ProvenanceStore, StoreStats
+
+__all__ = ["DictStore"]
+
+
+class DictStore(dict, ProvenanceStore):
+    """Plain-dict provenance store (current behaviour, default backend)."""
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        value = dict.get(self, key)
+        if value is None:
+            value = factory()
+            self[key] = value
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self[key] = value
+
+    def merge(self, key: Hashable, amount: Any) -> None:
+        existing = dict.get(self, key)
+        self[key] = amount if existing is None else existing + amount
+
+    def merge_many(self, items: Iterable[Tuple[Hashable, Any]]) -> None:
+        get = dict.get
+        for key, amount in items:
+            existing = get(self, key)
+            self[key] = amount if existing is None else existing + amount
+
+    def evict(self, key: Hashable) -> Any:
+        return self.pop(key, None)
+
+    def snapshot(self) -> Dict[Hashable, Any]:
+        return dict(self)
+
+    def restore(self, mapping: Mapping[Hashable, Any]) -> None:
+        self.clear()
+        self.update(mapping)
+
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            backend="dict",
+            entries=len(self),
+            resident_entries=len(self),
+            memory_bytes=self.memory_bytes(),
+        )
+
+    def raw_dict(self) -> dict:
+        return self

@@ -1,0 +1,135 @@
+"""Store specification and resolution: which backend a run's policies use.
+
+A :class:`StoreSpec` names a backend (``"dict"``, ``"dense"``, ``"sqlite"``)
+plus backend options and acts as the *store factory* policies use to build
+their per-role state (``policy._make_store(role, ...)``).  Resolution order
+for an unspecified store is: the ``REPRO_DEFAULT_STORE`` environment
+variable, then ``"dict"`` — so an entire test or CI run can be pushed onto
+the spill backend by exporting ``REPRO_DEFAULT_STORE=sqlite`` without
+touching any call site.
+
+Roles are short labels for a policy's state components (``"buffers"``,
+``"vectors"``, ``"totals"``, ``"generated"``, ``"odd"``/``"even"``).  The
+dense backend applies only to fixed-dimension vector roles (the policy
+passes ``dimension=``); other roles fall back to the dict backend, so
+``store="dense"`` is always safe to request.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import StoreConfigurationError
+from repro.stores.base import ProvenanceStore
+from repro.stores.dense import DenseNumpyStore
+from repro.stores.dict_store import DictStore
+from repro.stores.sqlite_store import DEFAULT_HOT_CAPACITY, SqliteStore
+
+__all__ = [
+    "StoreSpec",
+    "resolve_store_spec",
+    "available_store_backends",
+    "DEFAULT_STORE_ENV",
+]
+
+#: Environment variable consulted when no store is specified explicitly.
+DEFAULT_STORE_ENV = "REPRO_DEFAULT_STORE"
+
+_BACKENDS: Tuple[str, ...] = ("dict", "dense", "sqlite")
+
+#: Option keys each backend understands.  Validation is per backend so a
+#: spill option paired with an in-memory backend fails loudly instead of
+#: being silently ignored (e.g. ``--hot-capacity`` without ``--store
+#: sqlite`` would otherwise drop the memory bound the caller asked for).
+_BACKEND_OPTIONS = {
+    "dict": frozenset(),
+    "dense": frozenset({"block_rows"}),
+    "sqlite": frozenset({"hot_capacity", "directory"}),
+}
+
+
+def available_store_backends() -> Tuple[str, ...]:
+    """Names of the provenance-store backends, in documentation order."""
+    return _BACKENDS
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """A backend name plus its options; the store factory given to policies.
+
+    Options understood per backend (anything else is rejected, per backend,
+    so a spill option paired with an in-memory backend fails loudly):
+
+    * ``sqlite`` — ``hot_capacity`` (resident entries per store, default
+      4096) and ``directory`` (where spill files are created; defaults to
+      the system temp directory).
+    * ``dense`` — ``block_rows`` (rows per storage block, default 256).
+    * ``dict`` — no options.
+    """
+
+    backend: str = "dict"
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise StoreConfigurationError(
+                f"unknown store backend {self.backend!r}; "
+                f"available backends: {', '.join(_BACKENDS)}"
+            )
+        unknown = set(self.options) - _BACKEND_OPTIONS[self.backend]
+        if unknown:
+            raise StoreConfigurationError(
+                f"options {sorted(unknown)!r} do not apply to the "
+                f"{self.backend!r} store backend"
+            )
+
+    def create(self, role: str, *, dimension: Optional[int] = None) -> ProvenanceStore:
+        """Build a fresh store for one policy state component.
+
+        ``dimension`` is the fixed vector length of dense-vector roles
+        (``None`` for everything else); only the dense backend uses it.
+        """
+        if self.backend == "sqlite":
+            return SqliteStore(
+                hot_capacity=int(self.options.get("hot_capacity", DEFAULT_HOT_CAPACITY)),
+                directory=self.options.get("directory"),
+            )
+        if self.backend == "dense" and dimension is not None:
+            if "block_rows" in self.options:
+                return DenseNumpyStore(
+                    dimension, block_rows=int(self.options["block_rows"])
+                )
+            return DenseNumpyStore(dimension)
+        return DictStore()
+
+
+def resolve_store_spec(
+    spec: Union[str, StoreSpec, None] = None,
+    *,
+    options: Optional[Mapping[str, Any]] = None,
+) -> StoreSpec:
+    """Normalise a store specification into a :class:`StoreSpec`.
+
+    ``spec`` may be a ready spec (returned as-is, with ``options`` layered
+    on top when given), a backend name, or ``None`` — which consults the
+    ``REPRO_DEFAULT_STORE`` environment variable and falls back to the dict
+    backend.
+
+    Raises
+    ------
+    StoreConfigurationError
+        For unknown backend names or option keys.
+    """
+    if isinstance(spec, StoreSpec):
+        if options:
+            return StoreSpec(spec.backend, {**dict(spec.options), **dict(options)})
+        return spec
+    if spec is None:
+        spec = os.environ.get(DEFAULT_STORE_ENV, "").strip() or "dict"
+    if not isinstance(spec, str):
+        raise StoreConfigurationError(
+            f"store must be a backend name or a StoreSpec, got {type(spec).__name__}"
+        )
+    return StoreSpec(spec.lower(), dict(options or {}))

@@ -1,0 +1,308 @@
+"""SQLite spill backend: bounded resident state, overflow on disk.
+
+The paper reports configurations whose provenance state exceeds available
+memory as infeasible (the ``--`` entries of Tables 7 and 8).  ``SqliteStore``
+turns those configurations into *slow but feasible* runs: at most
+``hot_capacity`` entries stay resident in an LRU dict, and the least
+recently used entries are spilled (pickled) into an SQLite file, faulting
+back in on access.
+
+Design notes
+------------
+* **Single-tier invariant** — every key lives in exactly one tier (hot dict
+  or cold table); promoting an entry deletes its cold row.  The cold *key*
+  set is kept in memory so misses, membership tests and ``len()`` never
+  touch SQL — only values are spilled, which is where the memory goes.
+* **Lazy file creation** — the database file (a temp file unless a
+  ``directory`` is configured) is only created at the first spill, so
+  stores that never exceed ``hot_capacity`` cost no I/O at all.  This keeps
+  ``REPRO_DEFAULT_STORE=sqlite`` runs of small workloads cheap.
+* **Mutation-in-place safety** — policies mutate fetched values in place
+  and fetch all values of one step before mutating (see
+  :mod:`repro.stores.base`); eviction is strictly least-recently-used, so
+  with ``hot_capacity >= 2`` a fetch can never displace the other value of
+  the current step.
+* **Exactness** — pickling round-trips floats, dicts, buffer objects and
+  numpy arrays bit for bit, so spilled-and-faulted state is
+  indistinguishable from resident state; the store-equivalence tests run
+  every policy with a tiny ``hot_capacity`` to force heavy spilling.
+* **Pickle/deepcopy** — checkpointing and per-shard deep copies serialise
+  the *full* contents (hot and cold) and rebuild a fresh spill file on
+  restore, so shards and restored checkpoints never share a database.
+* **Full-scan accounting** — ``items()``/``values()``/``snapshot()``
+  deserialise the whole cold tier; policies whose ``entry_count()``
+  inspects every value therefore pay a cold-tier scan per call.  The
+  engine bounds peak-tracking to O(log n) such calls per run; ``sample_every``
+  makes the cost explicit and opt-in.  (Incremental per-store counters are
+  a known follow-up, see ROADMAP.)
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import tempfile
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import StoreConfigurationError
+from repro.stores.base import ProvenanceStore, StoreStats
+
+__all__ = ["SqliteStore", "DEFAULT_HOT_CAPACITY"]
+
+#: Default number of resident entries.  Large enough that small runs never
+#: spill; bound it explicitly (or via ``store_options={"hot_capacity": n}``)
+#: to cap resident memory on big runs.
+DEFAULT_HOT_CAPACITY = 4096
+
+_PROTOCOL = 4
+_MISSING = object()
+
+
+class SqliteStore(ProvenanceStore):
+    """LRU-resident provenance store spilling cold entries to SQLite."""
+
+    def __init__(
+        self,
+        *,
+        hot_capacity: int = DEFAULT_HOT_CAPACITY,
+        directory: Optional[str] = None,
+    ) -> None:
+        if hot_capacity < 2:
+            raise StoreConfigurationError(
+                f"hot_capacity must be >= 2 (one step touches two vertices), "
+                f"got {hot_capacity!r}"
+            )
+        self._hot_capacity = int(hot_capacity)
+        self._directory = str(directory) if directory is not None else None
+        #: Resident tier; insertion order doubles as recency (oldest first).
+        self._hot: Dict[Hashable, Any] = {}
+        #: Keys currently spilled to the cold tier (values live in SQLite).
+        self._cold_keys = set()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._path: Optional[str] = None
+        self._evictions = 0
+        self._spilled_bytes = 0
+        self._spill_reads = 0
+
+    @property
+    def hot_capacity(self) -> int:
+        """Maximum number of resident entries before spilling starts."""
+        return self._hot_capacity
+
+    @property
+    def spill_path(self) -> Optional[str]:
+        """Path of the spill database (``None`` before the first spill)."""
+        return self._path
+
+    # ------------------------------------------------------------------
+    # cold tier plumbing
+    # ------------------------------------------------------------------
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            handle, path = tempfile.mkstemp(
+                prefix="repro-store-", suffix=".sqlite", dir=self._directory
+            )
+            os.close(handle)
+            self._path = path
+            # check_same_thread=False: shard runs fetch from pool threads;
+            # each store is still used by one thread at a time.
+            conn = sqlite3.connect(path, check_same_thread=False)
+            # The spill file is a cache, not a database of record: skip
+            # journaling and fsyncs entirely.
+            conn.execute("PRAGMA journal_mode=OFF")
+            conn.execute("PRAGMA synchronous=OFF")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS kv (key BLOB PRIMARY KEY, value BLOB NOT NULL)"
+            )
+            self._conn = conn
+        return self._conn
+
+    @staticmethod
+    def _encode_key(key: Hashable) -> bytes:
+        # Pickle is deterministic for the vertex types the library uses
+        # (str, int, tuples thereof), so byte equality == key equality.
+        return pickle.dumps(key, protocol=_PROTOCOL)
+
+    def _spill_one(self) -> None:
+        hot = self._hot
+        key = next(iter(hot))  # least recently used
+        value = hot.pop(key)
+        key_blob = self._encode_key(key)
+        value_blob = pickle.dumps(value, protocol=_PROTOCOL)
+        self._connection().execute(
+            "INSERT OR REPLACE INTO kv (key, value) VALUES (?, ?)",
+            (key_blob, value_blob),
+        )
+        self._cold_keys.add(key)
+        self._evictions += 1
+        self._spilled_bytes += len(key_blob) + len(value_blob)
+
+    def _admit(self, key: Hashable, value: Any) -> None:
+        self._hot[key] = value
+        if len(self._hot) > self._hot_capacity:
+            self._spill_one()
+
+    def _fault_in(self, key: Hashable) -> Any:
+        key_blob = self._encode_key(key)
+        conn = self._connection()
+        row = conn.execute(
+            "SELECT value FROM kv WHERE key = ?", (key_blob,)
+        ).fetchone()
+        value = pickle.loads(row[0])
+        conn.execute("DELETE FROM kv WHERE key = ?", (key_blob,))
+        self._cold_keys.discard(key)
+        self._spill_reads += 1
+        self._admit(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # point access
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        hot = self._hot
+        if key in hot:
+            value = hot.pop(key)  # refresh recency
+            hot[key] = value
+            return value
+        if key in self._cold_keys:
+            return self._fault_in(key)
+        return default
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = factory()
+            self._admit(key, value)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        hot = self._hot
+        if key in hot:
+            hot.pop(key)
+        elif key in self._cold_keys:
+            self._connection().execute(
+                "DELETE FROM kv WHERE key = ?", (self._encode_key(key),)
+            )
+            self._cold_keys.discard(key)
+        self._admit(key, value)
+
+    def merge(self, key: Hashable, amount: Any) -> None:
+        existing = self.get(key, _MISSING)
+        self.put(key, amount if existing is _MISSING else existing + amount)
+
+    def evict(self, key: Hashable) -> Any:
+        if key in self._hot:
+            return self._hot.pop(key)
+        if key in self._cold_keys:
+            key_blob = self._encode_key(key)
+            conn = self._connection()
+            row = conn.execute(
+                "SELECT value FROM kv WHERE key = ?", (key_blob,)
+            ).fetchone()
+            conn.execute("DELETE FROM kv WHERE key = ?", (key_blob,))
+            self._cold_keys.discard(key)
+            return pickle.loads(row[0])
+        return None
+
+    # ------------------------------------------------------------------
+    # iteration / bulk state
+    # ------------------------------------------------------------------
+    def _cold_rows(self) -> List[Tuple[Any, Any]]:
+        """All cold ``(key, value)`` pairs, materialised before iteration so
+        callers may touch the store (and thus the table) while consuming."""
+        if not self._cold_keys or self._conn is None:
+            return []
+        rows = self._conn.execute("SELECT key, value FROM kv").fetchall()
+        return [(pickle.loads(k), pickle.loads(v)) for k, v in rows]
+
+    def items(self) -> Iterable[Tuple[Hashable, Any]]:
+        resident = list(self._hot.items())
+        return resident + self._cold_rows()
+
+    def keys(self) -> Iterable[Hashable]:
+        return list(self._hot.keys()) + list(self._cold_keys)
+
+    def values(self) -> Iterable[Any]:
+        return [value for _key, value in self.items()]
+
+    def __len__(self) -> int:
+        return len(self._hot) + len(self._cold_keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._hot or key in self._cold_keys
+
+    def snapshot(self) -> Dict[Hashable, Any]:
+        return dict(self.items())
+
+    def restore(self, mapping: Mapping[Hashable, Any]) -> None:
+        self.clear()
+        for key, value in mapping.items():
+            self._admit(key, value)
+
+    def clear(self) -> None:
+        self._hot.clear()
+        self._cold_keys.clear()
+        if self._conn is not None:
+            self._conn.execute("DELETE FROM kv")
+
+    # ------------------------------------------------------------------
+    # accounting / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            backend="sqlite",
+            entries=len(self),
+            resident_entries=len(self._hot),
+            evictions=self._evictions,
+            spilled_bytes=self._spilled_bytes,
+            spill_reads=self._spill_reads,
+            memory_bytes=self.memory_bytes(),
+        )
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+            self._conn = None
+        if self._path is not None:
+            try:
+                os.unlink(self._path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+            self._path = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown varies
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # pickling / deep copies (checkpoints, per-shard store instances)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "hot_capacity": self._hot_capacity,
+            "directory": self._directory,
+            "entries": self.snapshot(),
+            "counters": (self._evictions, self._spilled_bytes, self._spill_reads),
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self._hot_capacity = state["hot_capacity"]
+        self._directory = state.get("directory")
+        self._hot = {}
+        self._cold_keys = set()
+        self._conn = None
+        self._path = None
+        self._evictions = 0
+        self._spilled_bytes = 0
+        self._spill_reads = 0
+        for key, value in state["entries"].items():
+            self._admit(key, value)
+        # Loading re-spills anything beyond the hot capacity; report the
+        # counters of the original store, not the reload churn.
+        self._evictions, self._spilled_bytes, self._spill_reads = state["counters"]

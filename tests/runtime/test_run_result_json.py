@@ -1,0 +1,173 @@
+"""Richer RunResult: structured JSON export, per-shard timing, store stats.
+
+Also holds the spill acceptance test of the store subsystem: a sharded
+SQLite-store run completes under a memory ceiling that the dict-store run
+exceeds, and reports the spilled bytes in its result.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets.catalog import load_preset
+from repro.metrics.memory import policy_memory_bytes
+from repro.runtime import RunConfig, Runner
+from repro.stores import StoreSpec
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load_preset("taxis", scale=0.1)
+
+
+class TestStructuredExport:
+    def test_to_json_roundtrips_single_run(self, network):
+        result = Runner(
+            RunConfig(dataset=network, policy="fifo", store="sqlite", sample_every=100)
+        ).run()
+        document = json.loads(result.to_json())
+        assert document["dataset"] == "taxis"
+        assert document["policy"] == "fifo"
+        assert document["feasible"] is True
+        statistics = document["statistics"]
+        assert statistics["interactions"] == result.statistics.interactions
+        assert statistics["interactions_per_second"] > 0
+        assert statistics["samples"] == result.statistics.samples
+        assert document["store"]["backend"] == "sqlite"
+        assert document["store"]["stats"]["buffers"]["entries"] > 0
+        assert document["sharding"]["sharded"] is False
+        assert document["sharding"]["shards"] == []
+
+    def test_to_json_reports_per_shard_breakdown(self, network):
+        result = Runner(
+            RunConfig(dataset=network, policy="proportional-sparse", shards=3)
+        ).run()
+        document = json.loads(result.to_json())
+        shards = document["sharding"]["shards"]
+        assert len(shards) == len(result.shard_runs)
+        assert document["sharding"]["mode"] == "components"
+        assert sum(row["interactions"] for row in shards) == (
+            result.statistics.interactions
+        )
+        for row in shards:
+            assert row["elapsed_seconds"] >= 0
+            assert "vectors" in row["store"] and "totals" in row["store"]
+
+    def test_store_stats_present_without_explicit_store(self, network):
+        from repro.stores import resolve_store_spec
+
+        result = Runner(RunConfig(dataset=network, policy="fifo")).run()
+        # the policy falls back to the environment default (dict unless
+        # REPRO_DEFAULT_STORE overrides it)
+        assert result.store_stats["buffers"].backend == resolve_store_spec(None).backend
+        assert result.store_stats["buffers"].entries > 0
+        document = json.loads(result.to_json())
+        assert document["store"]["backend"] is None  # policy default, not forced
+
+    def test_policy_name_for_instance_specs(self, network):
+        from repro.policies.receipt_order import LifoPolicy
+
+        result = Runner(RunConfig(dataset=network, policy=LifoPolicy())).run()
+        assert result.policy_name == "lifo"
+
+
+class TestSpillFeasibility:
+    """Acceptance: the sqlite store turns an infeasible run into a slow one."""
+
+    def test_sqlite_sharded_run_completes_under_ceiling_dict_exceeds(self, network):
+        spill_store = StoreSpec("sqlite", {"hot_capacity": 8})
+        # Measure both footprints of the full per-vertex entry state: the
+        # dict store keeps everything resident, the spill store only its
+        # hot tiers.  Any ceiling strictly between the two separates them.
+        dict_run = Runner(
+            RunConfig(dataset=network, policy="fifo", measure_memory=True)
+        ).run()
+        resident_run = Runner(
+            RunConfig(
+                dataset=network, policy="fifo", store=spill_store, measure_memory=True
+            )
+        ).run()
+        assert resident_run.memory_bytes < dict_run.memory_bytes
+        ceiling = (resident_run.memory_bytes + dict_run.memory_bytes) // 2
+
+        config = dict(
+            dataset=network,
+            policy="fifo",
+            shards=2,
+            shard_by="hash",
+            memory_ceiling_bytes=ceiling,
+        )
+
+        infeasible = Runner(RunConfig(**config)).run()
+        assert not infeasible.feasible
+        assert infeasible.memory_bytes > ceiling
+
+        spilling = Runner(RunConfig(**config, store=spill_store)).run()
+        assert spilling.feasible, spilling.note
+        assert spilling.memory_bytes <= ceiling
+        assert spilling.spilled_bytes > 0
+        assert spilling.statistics.interactions == dict_run.statistics.interactions
+        # the spill shows up in the structured export, per shard and in total
+        document = json.loads(spilling.to_json())
+        total = sum(
+            stats["spilled_bytes"]
+            for stats in document["store"]["stats"].values()
+        )
+        assert total == spilling.spilled_bytes
+        assert any(
+            row["store"]["buffers"]["spilled_bytes"] > 0
+            for row in document["sharding"]["shards"]
+        )
+
+    def test_spilled_single_run_stays_under_midrun_ceiling(self, network):
+        """The ceiling observer sees only resident state, so spilling runs
+        survive periodic checks that abort the dict-store run mid-stream."""
+        spill_store = StoreSpec("sqlite", {"hot_capacity": 8})
+        dict_run = Runner(
+            RunConfig(dataset=network, policy="fifo", measure_memory=True)
+        ).run()
+        resident_run = Runner(
+            RunConfig(
+                dataset=network, policy="fifo", store=spill_store, measure_memory=True
+            )
+        ).run()
+        ceiling = (resident_run.memory_bytes + dict_run.memory_bytes) // 2
+
+        aborted = Runner(
+            RunConfig(
+                dataset=network,
+                policy="fifo",
+                memory_ceiling_bytes=ceiling,
+                memory_check_every=200,
+                batch_size=1,
+            )
+        ).run()
+        assert not aborted.feasible
+        assert aborted.statistics.interactions < dict_run.statistics.interactions
+
+        spilling = Runner(
+            RunConfig(
+                dataset=network,
+                policy="fifo",
+                store=spill_store,
+                memory_ceiling_bytes=ceiling,
+                memory_check_every=200,
+                batch_size=1,
+            )
+        ).run()
+        assert spilling.feasible, spilling.note
+        assert spilling.statistics.interactions == dict_run.statistics.interactions
+        assert spilling.spilled_bytes > 0
+
+    def test_policy_memory_counts_resident_state_only(self, network):
+        from repro.policies.registry import make_policy
+
+        spilled = make_policy("fifo", store=StoreSpec("sqlite", {"hot_capacity": 8}))
+        resident = make_policy("fifo")
+        spilled.reset(network.vertices)
+        resident.reset(network.vertices)
+        spilled.process_all(network.interactions)
+        resident.process_all(network.interactions)
+        assert policy_memory_bytes(spilled) < policy_memory_bytes(resident) / 2

@@ -1,0 +1,132 @@
+"""Checkpoint round-trips through every store backend.
+
+Save → restore → continue must produce exactly the provenance of an
+uninterrupted run, regardless of where the annotation state lives — in
+particular for the SQLite store, whose checkpoint must be self-contained
+(the spill file is *not* part of the checkpoint; its contents are).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import (
+    load_engine,
+    load_policy,
+    policy_store_snapshot,
+    restore_policy_stores,
+    save_engine,
+    save_policy,
+)
+from repro.core.engine import ProvenanceEngine
+from repro.datasets.catalog import load_preset
+from repro.policies.registry import make_policy
+from repro.stores import StoreSpec
+
+BACKEND_SPECS = {
+    "dict": StoreSpec("dict"),
+    "dense": StoreSpec("dense"),
+    "sqlite": StoreSpec("sqlite", {"hot_capacity": 8}),
+}
+
+POLICIES = ["noprov", "fifo", "lrb", "proportional-sparse", "proportional-dense"]
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load_preset("taxis", scale=0.05)
+
+
+def _make(policy_name, backend, network):
+    policy = make_policy(policy_name, store=BACKEND_SPECS[backend])
+    policy.reset(network.vertices)
+    return policy
+
+
+def _snapshot(policy):
+    return {
+        vertex: policy.origins(vertex).as_dict() for vertex in policy.tracked_vertices()
+    }
+
+
+@pytest.mark.parametrize("backend", sorted(BACKEND_SPECS))
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_checkpoint_roundtrip_continues_identically(
+    tmp_path, network, policy_name, backend
+):
+    interactions = network.interactions
+    half = len(interactions) // 2
+    path = tmp_path / "checkpoint.pickle"
+
+    # Uninterrupted reference run.
+    reference = _make(policy_name, backend, network)
+    reference.process_all(interactions)
+
+    # Run half, checkpoint, restore, continue with the rest.
+    interrupted = _make(policy_name, backend, network)
+    interrupted.process_all(interactions[:half])
+    save_policy(interrupted, path)
+    restored = load_policy(path)
+    restored.process_all(interactions[half:])
+
+    assert _snapshot(restored) == _snapshot(reference)
+    assert {
+        vertex: restored.buffer_total(vertex) for vertex in restored.tracked_vertices()
+    } == {
+        vertex: reference.buffer_total(vertex)
+        for vertex in reference.tracked_vertices()
+    }
+
+
+@pytest.mark.parametrize("backend", sorted(BACKEND_SPECS))
+def test_engine_checkpoint_roundtrip(tmp_path, network, backend):
+    interactions = network.interactions
+    half = len(interactions) // 2
+    path = tmp_path / "engine.pickle"
+
+    reference = ProvenanceEngine(_make("fifo", backend, network))
+    reference.run(network, reset=False)
+
+    engine = ProvenanceEngine(_make("fifo", backend, network))
+    engine.run(interactions[:half], reset=False)
+    save_engine(engine, path)
+    resumed = load_engine(path)
+    resumed.run(interactions[half:], reset=False)
+
+    assert resumed.interactions_processed == len(interactions)
+    assert {v: s.as_dict() for v, s in resumed.snapshot().items()} == {
+        v: s.as_dict() for v, s in reference.snapshot().items()
+    }
+
+
+@pytest.mark.parametrize("source_backend", sorted(BACKEND_SPECS))
+@pytest.mark.parametrize("target_backend", sorted(BACKEND_SPECS))
+def test_store_snapshot_migrates_between_backends(
+    network, source_backend, target_backend
+):
+    """policy_store_snapshot/restore_policy_stores move state across backends."""
+    source = _make("proportional-sparse", source_backend, network)
+    source.process_all(network.interactions)
+
+    target = _make("proportional-sparse", target_backend, network)
+    restore_policy_stores(target, policy_store_snapshot(source))
+
+    assert _snapshot(target) == _snapshot(source)
+
+
+def test_sqlite_checkpoint_is_self_contained(tmp_path, network):
+    """Deleting the live spill file must not affect a saved checkpoint."""
+    policy = _make("fifo", "sqlite", network)
+    policy.process_all(network.interactions)
+    expected = _snapshot(policy)
+    assert any(
+        stats.spilled_bytes > 0 for stats in policy.store_stats().values()
+    ), "the run must actually spill for this test to mean anything"
+
+    path = tmp_path / "checkpoint.pickle"
+    save_policy(policy, path)
+    for store in policy.stores().values():
+        store.close()  # removes the live spill file
+
+    restored = load_policy(path)
+    assert _snapshot(restored) == expected

@@ -1,0 +1,266 @@
+"""Unit tests of the provenance-store backends and the store spec."""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StoreConfigurationError
+from repro.stores import (
+    DEFAULT_STORE_ENV,
+    DenseNumpyStore,
+    DictStore,
+    ProvenanceStore,
+    SqliteStore,
+    StoreSpec,
+    available_store_backends,
+    resolve_store_spec,
+)
+
+
+_BACKEND_FACTORIES = {
+    "dict": DictStore,
+    "dense": lambda: DenseNumpyStore(3),
+    "sqlite": lambda: SqliteStore(hot_capacity=4),
+}
+
+
+@pytest.fixture(params=sorted(_BACKEND_FACTORIES))
+def store(request):
+    """A fresh store of each backend; vectors have dimension 3."""
+    instance = _BACKEND_FACTORIES[request.param]()
+    yield instance
+    instance.close()
+
+
+class TestProtocol:
+    """Shared contract: the same operations give the same answers everywhere."""
+
+    def test_put_get_roundtrip(self, store):
+        value = np.array([1.0, 2.0, 3.0])
+        store.put("v", value)
+        assert np.array_equal(store.get("v"), value)
+        assert store.get("missing") is None
+        assert store.get("missing", "fallback") == "fallback"
+
+    def test_len_contains_iteration(self, store):
+        for index in range(10):
+            store.put(f"v{index}", np.full(3, float(index)))
+        assert len(store) == 10
+        assert "v3" in store and "nope" not in store
+        assert set(store.keys()) == {f"v{i}" for i in range(10)}
+        assert {key for key, _value in store.items()} == set(store.keys())
+
+    def test_merge_accumulates(self, store):
+        store.merge("v", np.array([1.0, 0.0, 2.0]))
+        store.merge("v", np.array([0.5, 1.0, 0.0]))
+        assert np.array_equal(store.get("v"), np.array([1.5, 1.0, 2.0]))
+
+    def test_merge_many_matches_individual_merges(self, store):
+        items = [("a", np.full(3, 1.0)), ("b", np.full(3, 2.0)), ("a", np.full(3, 0.25))]
+        store.merge_many(items)
+        assert np.array_equal(store.get("a"), np.full(3, 1.25))
+        assert np.array_equal(store.get("b"), np.full(3, 2.0))
+
+    def test_get_or_create(self, store):
+        created = store.get_or_create("v", lambda: np.zeros(3))
+        assert np.array_equal(created, np.zeros(3))
+        created += 1.0  # in-place mutation must be visible on re-fetch
+        assert np.array_equal(store.get("v"), np.ones(3))
+
+    def test_evict_removes(self, store):
+        store.put("v", np.full(3, 7.0))
+        removed = store.evict("v")
+        assert np.array_equal(removed, np.full(3, 7.0))
+        assert "v" not in store and len(store) == 0
+        assert store.evict("v") is None
+
+    def test_snapshot_restore_roundtrip(self, store):
+        for index in range(6):
+            store.put(f"v{index}", np.full(3, float(index)))
+        snapshot = store.snapshot()
+        store.clear()
+        assert len(store) == 0
+        store.restore(snapshot)
+        assert len(store) == 6
+        assert np.array_equal(store.get("v4"), np.full(3, 4.0))
+
+    def test_stats_entry_counts(self, store):
+        for index in range(7):
+            store.put(f"v{index}", np.zeros(3))
+        stats = store.stats()
+        assert stats.entries == 7
+        assert stats.backend in available_store_backends()
+        assert stats.to_dict()["entries"] == 7
+
+
+class TestDictStore:
+    def test_raw_dict_is_the_store(self):
+        store = DictStore()
+        raw = store.raw_dict()
+        assert raw is store
+        raw["v"] = 1.0
+        assert store.get("v") == 1.0
+
+    def test_scalar_merge(self):
+        store = DictStore()
+        store.merge("v", 2.0)
+        store.merge("v", 0.5)
+        assert store.get("v") == 2.5
+
+
+class TestDenseNumpyStore:
+    def test_views_share_matrix_memory(self):
+        store = DenseNumpyStore(4)
+        vector = store.get_or_create("v", None)
+        vector[2] = 9.0
+        assert store.get("v")[2] == 9.0
+
+    def test_growth_preserves_rows(self):
+        store = DenseNumpyStore(2, block_rows=2)
+        for index in range(50):
+            store.get_or_create(f"v{index}", None)[0] = float(index)
+        for index in range(50):
+            assert store.get(f"v{index}")[0] == float(index)
+
+    def test_views_survive_block_growth(self):
+        """Allocating new keys must never invalidate previously fetched views.
+
+        Regression test: the policies fetch the source row, then allocating
+        the destination row may grow the storage; writes through the source
+        view must land in the store, not in an orphaned buffer.
+        """
+        store = DenseNumpyStore(2, block_rows=2)
+        held = store.get_or_create("source", None)
+        for index in range(20):  # forces several new blocks
+            store.get_or_create(f"v{index}", None)
+        held[:] = 7.0  # write through the pre-growth view
+        assert np.array_equal(store.get("source"), np.full(2, 7.0))
+
+    def test_evicted_rows_are_recycled_zeroed(self):
+        store = DenseNumpyStore(2, block_rows=2)
+        store.get_or_create("a", None)[:] = 5.0
+        store.evict("a")
+        fresh = store.get_or_create("b", None)
+        assert np.array_equal(fresh, np.zeros(2))
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(StoreConfigurationError):
+            DenseNumpyStore(-1)
+
+
+class TestSqliteStore:
+    def test_spills_beyond_hot_capacity(self):
+        store = SqliteStore(hot_capacity=4)
+        for index in range(20):
+            store.put(index, {"origin": float(index)})
+        stats = store.stats()
+        assert stats.entries == 20
+        assert stats.resident_entries <= 4
+        assert stats.evictions >= 16
+        assert stats.spilled_bytes > 0
+        assert store.spill_path is not None and os.path.exists(store.spill_path)
+        # every value faults back in intact
+        for index in range(20):
+            assert store.get(index) == {"origin": float(index)}
+        assert store.stats().spill_reads >= 16
+        store.close()
+
+    def test_no_file_until_first_spill(self):
+        store = SqliteStore(hot_capacity=8)
+        for index in range(8):
+            store.put(index, index * 1.0)
+        assert store.spill_path is None
+        store.put(99, 99.0)
+        assert store.spill_path is not None
+        store.close()
+
+    def test_close_removes_spill_file(self):
+        store = SqliteStore(hot_capacity=2)
+        for index in range(10):
+            store.put(index, float(index))
+        path = store.spill_path
+        store.close()
+        assert not os.path.exists(path)
+
+    def test_mutated_resident_value_spills_current_state(self):
+        store = SqliteStore(hot_capacity=2)
+        buffer = store.get_or_create("v", dict)
+        buffer["a"] = 1.0  # mutate in place, no put()
+        for index in range(5):  # push "v" out of the hot tier
+            store.put(index, float(index))
+        assert store.get("v") == {"a": 1.0}
+        store.close()
+
+    def test_pickle_roundtrip_preserves_all_tiers_and_counters(self):
+        store = SqliteStore(hot_capacity=3)
+        for index in range(12):
+            store.put(index, {"value": float(index)})
+        stats_before = store.stats()
+        clone = pickle.loads(pickle.dumps(store))
+        assert len(clone) == 12
+        # counters reflect the original store, not the reload churn ...
+        assert clone.stats().evictions == stats_before.evictions
+        assert clone.spill_path != store.spill_path
+        # ... and every value (both tiers) survives the round trip intact
+        for index in range(12):
+            assert clone.get(index) == {"value": float(index)}
+        store.close()
+        clone.close()
+
+    def test_deepcopy_is_independent(self):
+        store = SqliteStore(hot_capacity=3)
+        for index in range(8):
+            store.put(index, [float(index)])
+        clone = copy.deepcopy(store)
+        clone.get(0).append(99.0)
+        clone.put("extra", 1.0)
+        assert store.get(0) == [0.0]
+        assert "extra" not in store
+        store.close()
+        clone.close()
+
+    def test_hot_capacity_floor(self):
+        with pytest.raises(StoreConfigurationError):
+            SqliteStore(hot_capacity=1)
+
+
+class TestStoreSpec:
+    def test_resolution_order(self, monkeypatch):
+        monkeypatch.delenv(DEFAULT_STORE_ENV, raising=False)
+        assert resolve_store_spec(None).backend == "dict"
+        monkeypatch.setenv(DEFAULT_STORE_ENV, "sqlite")
+        assert resolve_store_spec(None).backend == "sqlite"
+        # explicit names win over the environment
+        assert resolve_store_spec("dense").backend == "dense"
+        spec = StoreSpec("sqlite", {"hot_capacity": 7})
+        assert resolve_store_spec(spec) is spec
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StoreConfigurationError):
+            resolve_store_spec("redis")
+        with pytest.raises(StoreConfigurationError):
+            StoreSpec("sqlite", {"bogus_option": 1})
+
+    def test_dense_spec_falls_back_without_dimension(self):
+        spec = StoreSpec("dense")
+        assert isinstance(spec.create("vectors", dimension=5), DenseNumpyStore)
+        assert isinstance(spec.create("totals"), DictStore)
+
+    def test_sqlite_spec_options_forwarded(self, tmp_path):
+        spec = StoreSpec("sqlite", {"hot_capacity": 2, "directory": str(tmp_path)})
+        store = spec.create("buffers")
+        for index in range(6):
+            store.put(index, float(index))
+        assert store.spill_path.startswith(str(tmp_path))
+        store.close()
+
+    def test_every_backend_creates_a_store(self):
+        for backend in available_store_backends():
+            store = StoreSpec(backend).create("buffers")
+            assert isinstance(store, ProvenanceStore)
+            store.close()
