@@ -18,8 +18,16 @@ Quick start::
     print(engine.origins(vertex).top(5))
 """
 
-from repro import analysis, datasets, lazy, metrics, paths, runtime, stores
+from repro import analysis, datasets, lazy, metrics, paths, runtime, sources, stores
 from repro.core.engine import ProvenanceEngine, RunStatistics
+from repro.sources import (
+    CsvTailSource,
+    GeneratorSource,
+    InteractionSource,
+    MergeSource,
+    MicroBatchScheduler,
+    SequenceSource,
+)
 from repro.stores import (
     DenseNumpyStore,
     DictStore,
@@ -71,6 +79,13 @@ __all__ = [
     "Runner",
     "RunConfig",
     "RunResult",
+    # streaming ingestion (sources + scheduler)
+    "InteractionSource",
+    "SequenceSource",
+    "CsvTailSource",
+    "GeneratorSource",
+    "MergeSource",
+    "MicroBatchScheduler",
     "OriginSet",
     "ProvenanceSnapshot",
     "UNKNOWN_ORIGIN",
@@ -114,6 +129,7 @@ __all__ = [
     "metrics",
     "paths",
     "runtime",
+    "sources",
     "stores",
     # exceptions
     "ReproError",

@@ -99,6 +99,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream CSV datasets lazily instead of loading them into memory",
     )
     run_parser.add_argument(
+        "--follow", action="store_true",
+        help="tail a CSV dataset for appended rows (streaming ingestion); "
+        "pair with --idle-timeout so an idle producer ends the run",
+    )
+    run_parser.add_argument(
+        "--micro-batch", type=int, default=None,
+        help="micro-batch size of the streaming scheduler (default: --batch-size)",
+    )
+    run_parser.add_argument(
+        "--max-in-flight", type=int, default=None,
+        help="bound on interactions buffered between source and policy "
+        "(backpressure; default: 4x the micro-batch)",
+    )
+    run_parser.add_argument(
+        "--flush-interval", type=float, default=None,
+        help="flush a partial micro-batch after this many seconds (slow feeds)",
+    )
+    run_parser.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="with --follow: end the run after this many seconds without new rows",
+    )
+    run_parser.add_argument(
+        "--checkpoint", type=str, default=None, metavar="PATH",
+        help="write the engine state to PATH after the run (and periodically "
+        "with --checkpoint-every)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="also checkpoint every N processed interactions "
+        "(streaming runs checkpoint at batch-clipped offsets)",
+    )
+    run_parser.add_argument(
+        "--resume-from", type=str, default=None, metavar="PATH",
+        help="resume from an engine checkpoint: restore the policy state and "
+        "skip the interactions it already processed",
+    )
+    run_parser.add_argument(
         "--store", choices=available_store_backends(), default=None,
         help="provenance-store backend for the policy state (default: "
         "REPRO_DEFAULT_STORE env var, then in-memory dicts)",
@@ -106,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--hot-capacity", type=int, default=None,
         help="resident entries per store before spilling (sqlite store only)",
+    )
+    run_parser.add_argument(
+        "--hot-bytes", type=int, default=None,
+        help="serialized-byte budget for the resident tier; size-aware LRU "
+        "eviction (sqlite store only)",
+    )
+    run_parser.add_argument(
+        "--spill-batch", type=int, default=None,
+        help="LRU entries spilled per overflow in one batched write "
+        "(sqlite store only)",
     )
     run_parser.add_argument(
         "--json", type=str, default=None, metavar="PATH",
@@ -161,10 +208,22 @@ def _command_run(args: argparse.Namespace) -> int:
     store_options = {}
     if args.hot_capacity is not None:
         store_options["hot_capacity"] = args.hot_capacity
+    if args.hot_bytes is not None:
+        store_options["hot_bytes"] = args.hot_bytes
+    if args.spill_batch is not None:
+        store_options["spill_batch"] = args.spill_batch
     config = RunConfig(
         dataset=args.dataset,
         scale=args.scale,
         stream=args.stream,
+        follow=args.follow,
+        micro_batch=args.micro_batch,
+        max_in_flight=args.max_in_flight,
+        flush_interval=args.flush_interval,
+        idle_timeout=args.idle_timeout,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume_from,
         policy=args.policy,
         policy_options=_policy_options(args),
         store=args.store,
@@ -179,11 +238,33 @@ def _command_run(args: argparse.Namespace) -> int:
     result = Runner(config).run()
     statistics = result.statistics
 
+    # result.policy_name reports what actually ran — for --resume-from that
+    # is the checkpoint's restored policy, not the --policy flag.
+    ran_policy = result.policy_name
     print(
         f"processed {statistics.interactions} interactions of "
-        f"{result.dataset_name!r} with policy {args.policy!r} "
+        f"{result.dataset_name!r} with policy {ran_policy!r} "
         f"in {statistics.elapsed_seconds:.3f}s"
     )
+    if args.resume_from is not None and ran_policy != args.policy:
+        print(
+            f"note: resumed from {args.resume_from!r}, which restores the "
+            f"checkpointed policy {ran_policy!r} (--policy {args.policy!r} "
+            f"does not apply)"
+        )
+    if result.scheduler_stats is not None and config.uses_scheduler:
+        sched = result.scheduler_stats
+        flushes = ", ".join(
+            f"{trigger}={count}"
+            for trigger, count in sched["flushes"].items()
+            if count
+        ) or "none"
+        print(
+            f"micro-batched: {sched['batches']} batches "
+            f"(micro-batch {sched['micro_batch']}, "
+            f"peak in-flight {sched['peak_in_flight']}/{sched['max_in_flight']}, "
+            f"flushes: {flushes})"
+        )
     spec = config.store_spec
     if spec is not None:
         entries = sum(stats.entries for stats in result.store_stats.values())

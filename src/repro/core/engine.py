@@ -20,13 +20,15 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from itertools import islice
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.interaction import Interaction, Vertex
 from repro.core.network import TemporalInteractionNetwork
 from repro.core.provenance import OriginSet, ProvenanceSnapshot
 from repro.policies.base import SelectionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sources import MicroBatchScheduler
 
 __all__ = ["ProvenanceEngine", "RunStatistics", "InteractionObserver"]
 
@@ -85,6 +87,7 @@ class ProvenanceEngine:
         self._observers: List[InteractionObserver] = list(observers or [])
         self._interactions_processed = 0
         self._last_time: Optional[float] = None
+        self._scheduler: Optional["MicroBatchScheduler"] = None
 
     # ------------------------------------------------------------------
     # observers
@@ -109,6 +112,9 @@ class ProvenanceEngine:
         limit: Optional[int] = None,
         sample_every: int = 0,
         batch_size: int = 0,
+        scheduler: Optional["MicroBatchScheduler"] = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
     ) -> RunStatistics:
         """Process a whole interaction stream and return run statistics.
 
@@ -117,10 +123,14 @@ class ProvenanceEngine:
         source:
             A :class:`TemporalInteractionNetwork` (its time-ordered
             interactions are used and its vertex universe is passed to the
-            policy) or any time-ordered iterable of interactions.
+            policy), an :class:`~repro.sources.InteractionSource` (possibly
+            live — the run follows it until it exhausts), a ready
+            :class:`~repro.sources.MicroBatchScheduler`, or any time-ordered
+            iterable of interactions.
         reset:
             Reset the policy before running (default).  Set to False to
-            continue a previous run with more interactions.
+            continue a previous run with more interactions — the basis of
+            checkpoint-resumed streaming runs.
         limit:
             Process at most this many interactions (None for all).
         sample_every:
@@ -128,16 +138,48 @@ class ProvenanceEngine:
             time every ``sample_every`` interactions — the data behind the
             cumulative-cost curves of Figure 6.
         batch_size:
-            When greater than one, pull fixed-size batches from the stream
-            and hand them to :meth:`SelectionPolicy.process_many` instead of
-            stepping one interaction at a time.  Provenance state and
-            sampling positions are identical to the per-interaction path
-            (batches are clipped at sampling boundaries); only the
-            per-interaction Python overhead is amortised.  When observers
-            are registered the engine falls back to per-interaction
-            stepping, because observers must see the policy state after
-            every single interaction.
+            When greater than one, drive the policy through micro-batched
+            :meth:`SelectionPolicy.process_many` calls instead of stepping
+            one interaction at a time.  Every batched run — eager, sharded
+            or streaming — goes through a
+            :class:`~repro.sources.MicroBatchScheduler`; for plain iterables
+            the engine wraps the input in an eager
+            :class:`~repro.sources.SequenceSource` itself.  Provenance
+            state and sampling positions are identical to the
+            per-interaction path (batches are clipped at sampling
+            boundaries); only the per-interaction Python overhead is
+            amortised.  When observers are registered the engine falls back
+            to per-interaction stepping, because observers must see the
+            policy state after every single interaction.
+        scheduler:
+            Explicit micro-batch scheduler (overrides ``batch_size``
+            chunking; its source is the stream).  Lets callers configure
+            time-based flushing and backpressure (``max_in_flight``).
+        checkpoint_every, on_checkpoint:
+            When both set on a batched/scheduled run, batches are clipped
+            at every ``checkpoint_every`` boundary and ``on_checkpoint``
+            is invoked there with the engine and the total interactions
+            processed — periodic engine snapshots at exact stream offsets,
+            without forcing per-interaction execution.
         """
+        from repro.sources import InteractionSource, MicroBatchScheduler
+
+        if isinstance(source, MicroBatchScheduler):
+            scheduler, source = source, source.source
+        clamped_max_pull = False
+        original_max_pull: Optional[int] = None
+        if scheduler is not None and limit is not None:
+            # limit bounds CONSUMPTION, not just processing: clamp the
+            # scheduler's read-ahead so a caller's source is never drained
+            # past what this run will process (items already pending count
+            # against the limit first).  The clamp is restored afterwards so
+            # continuation runs (reset=False) on the same scheduler are not
+            # stuck at this run's limit.
+            bound = scheduler.pulled + max(max(limit, 0) - scheduler.pending, 0)
+            if scheduler.max_pull is None or scheduler.max_pull > bound:
+                clamped_max_pull = True
+                original_max_pull = scheduler.max_pull
+                scheduler.max_pull = bound
         if isinstance(source, TemporalInteractionNetwork):
             vertices: Sequence[Vertex] = source.vertices
             interactions: Iterable[Interaction] = source.interactions
@@ -150,14 +192,69 @@ class ProvenanceEngine:
             self._interactions_processed = 0
             self._last_time = None
 
-        if batch_size > 1 and not self._observers:
-            return self._run_batched(
-                interactions,
-                limit=limit,
-                sample_every=sample_every,
-                batch_size=batch_size,
-            )
+        try:
+            if scheduler is not None and not self._observers:
+                return self._run_scheduled(
+                    scheduler,
+                    limit=limit,
+                    sample_every=sample_every,
+                    checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint,
+                )
+            if batch_size > 1 and not self._observers:
+                return self._run_batched(
+                    interactions,
+                    limit=limit,
+                    sample_every=sample_every,
+                    batch_size=batch_size,
+                    checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint,
+                )
+            if scheduler is not None:
+                # Observers force per-interaction stepping; drain the
+                # scheduler batch by batch but step each interaction
+                # individually.
+                interactions = (
+                    interaction for batch in scheduler for interaction in batch
+                )
+            elif isinstance(interactions, InteractionSource):
+                # limit bounds consumption on this path too: never drain
+                # the source past what the run will process.
+                interactions = interactions.iter_limited(limit)
+            if checkpoint_every and on_checkpoint is not None:
+                # The per-interaction path honours periodic checkpoints
+                # through the observer mechanism, so requesting them is
+                # never a silent no-op regardless of execution mode.
+                def _checkpoint_observer(
+                    engine: "ProvenanceEngine",
+                    _interaction: Interaction,
+                    position: int,
+                ) -> None:
+                    if (position + 1) % checkpoint_every == 0:
+                        on_checkpoint(engine, engine.interactions_processed)
 
+                self.add_observer(_checkpoint_observer)
+                try:
+                    return self._run_sequential(
+                        interactions, limit=limit, sample_every=sample_every
+                    )
+                finally:
+                    self.remove_observer(_checkpoint_observer)
+            return self._run_sequential(
+                interactions, limit=limit, sample_every=sample_every
+            )
+        finally:
+            if clamped_max_pull:
+                scheduler.max_pull = original_max_pull
+
+    def _run_sequential(
+        self,
+        interactions: Iterable[Interaction],
+        *,
+        limit: Optional[int],
+        sample_every: int,
+    ) -> RunStatistics:
+        """Per-interaction drive loop behind :meth:`run` (observers fire)."""
         stats = RunStatistics()
         next_peak_check = _PEAK_CHECK_START if not sample_every else 0
         start = _time.perf_counter()
@@ -190,31 +287,76 @@ class ProvenanceEngine:
         limit: Optional[int],
         sample_every: int,
         batch_size: int,
+        checkpoint_every: int = 0,
+        on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
     ) -> RunStatistics:
         """Batched drive loop behind :meth:`run` (no observers registered).
 
-        Batches are clipped at ``sample_every`` boundaries so entry counts
-        are sampled at exactly the positions of the per-interaction path.
+        Wraps the stream in an eager source and drives the shared scheduled
+        loop, so the eager, sharded and streaming paths all execute the same
+        code; an eager source never makes the scheduler wait, so this is the
+        plain fixed-size chunking the batched path always performed.
+        """
+        from repro.sources import InteractionSource, MicroBatchScheduler, SequenceSource
+
+        # The limit bounds CONSUMPTION, not just processing: the scheduler
+        # reads ahead (backpressure room), and a caller's iterator/source
+        # must not be drained past the limit it asked for.
+        if isinstance(interactions, InteractionSource):
+            source = interactions
+        else:
+            source = SequenceSource(interactions, limit=limit)
+        scheduler = MicroBatchScheduler(
+            source, micro_batch=batch_size, max_pull=limit
+        )
+        return self._run_scheduled(
+            scheduler,
+            limit=limit,
+            sample_every=sample_every,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
+
+    def _run_scheduled(
+        self,
+        scheduler: "MicroBatchScheduler",
+        *,
+        limit: Optional[int],
+        sample_every: int,
+        checkpoint_every: int = 0,
+        on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
+    ) -> RunStatistics:
+        """The micro-batched drive loop every batched run goes through.
+
+        Batches are clipped at ``sample_every``, peak-check and
+        ``checkpoint_every`` boundaries so entry counts are sampled — and
+        checkpoints written — at exactly the positions of the
+        per-interaction path.  The scheduler may flush smaller batches on
+        its own time/window triggers; smaller never breaks equivalence,
+        only the clipping ceilings matter.
         """
         policy = self.policy
         process_many = policy.process_many
-        iterator = iter(interactions)
-        if limit is not None:
-            iterator = islice(iterator, max(limit, 0))
+        self._scheduler = scheduler
 
         stats = RunStatistics()
         processed = 0
         next_peak_check = _PEAK_CHECK_START if not sample_every else 0
         start = _time.perf_counter()
         while True:
-            size = batch_size
+            if limit is not None and processed >= max(limit, 0):
+                break
+            size = scheduler.micro_batch
+            if limit is not None:
+                size = min(size, max(limit, 0) - processed)
             if sample_every:
-                to_boundary = sample_every - (processed % sample_every)
-                size = min(size, to_boundary)
+                size = min(size, sample_every - (processed % sample_every))
             if next_peak_check:
                 size = min(size, next_peak_check - processed)
-            batch = list(islice(iterator, size))
-            if not batch:
+            if checkpoint_every:
+                size = min(size, checkpoint_every - (processed % checkpoint_every))
+            batch = scheduler.next_batch(size)
+            if batch is None:
                 break
             process_many(batch)
             processed += len(batch)
@@ -233,6 +375,12 @@ class ProvenanceEngine:
                 if entry_count > stats.peak_entry_count:
                     stats.peak_entry_count = entry_count
                 next_peak_check *= 2
+            if (
+                checkpoint_every
+                and on_checkpoint is not None
+                and processed % checkpoint_every == 0
+            ):
+                on_checkpoint(self, self._interactions_processed)
         stats.elapsed_seconds = _time.perf_counter() - start
         stats.final_entry_count = policy.entry_count()
         stats.peak_entry_count = max(stats.peak_entry_count, stats.final_entry_count)
@@ -285,6 +433,17 @@ class ProvenanceEngine:
             vertex: self.policy.buffer_total(vertex)
             for vertex in self.policy.tracked_vertices()
         }
+
+    def scheduler_stats(self) -> Optional[Dict[str, object]]:
+        """Micro-batch scheduler accounting of the last batched run.
+
+        ``None`` when the engine has only run per-interaction (observers
+        registered, or ``batch_size <= 1``).  See
+        :meth:`repro.sources.MicroBatchScheduler.stats`.
+        """
+        if self._scheduler is None:
+            return None
+        return self._scheduler.stats()
 
     def store_stats(self):
         """Accounting of the policy's provenance stores, keyed by role.

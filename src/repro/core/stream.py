@@ -10,11 +10,9 @@ streams (e.g. several CSV files covering different time ranges).
 
 from __future__ import annotations
 
-import heapq
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, Optional
 
 from repro.core.interaction import Interaction, validate_interactions
-from repro.exceptions import InvalidInteractionError
 
 __all__ = [
     "InteractionStream",
@@ -68,43 +66,30 @@ class InteractionStream:
 def merge_streams(*streams: Iterable[Interaction]) -> Iterator[Interaction]:
     """Merge several time-ordered interaction streams into one ordered stream.
 
-    Each input stream must already be sorted by time; the merge is performed
-    lazily with a heap so arbitrarily long streams can be combined without
-    materialising them.
-    """
-    decorated = (
-        ((interaction.time, index, position), interaction)
-        for index, stream in enumerate(streams)
-        for position, interaction in enumerate(stream)
-    )
-    # heapq.merge requires each individual iterable to be sorted; we instead
-    # decorate and push through a single heap to also catch unsorted inputs.
-    heap: List = []
-    iterators = [iter(stream) for stream in streams]
-    del decorated  # the generator above documents intent; real work follows
+    Each input stream must already be sorted by time; a violation raises
+    :class:`~repro.exceptions.InvalidInteractionError` only when the
+    offending interaction is reached, after the valid prefix has been
+    yielded — so prefix consumers (``take_prefix``, ``limit=``) succeed over
+    streams whose violations lie beyond what they consume.  Ties across
+    streams come out in argument order, deterministically.  The merge is
+    strictly lazy (one interaction of lookahead per input), so arbitrarily
+    long streams can be combined without materialising them.
 
-    for index, iterator in enumerate(iterators):
-        first = next(iterator, None)
-        if first is not None:
-            heapq.heappush(heap, (first.time, index, 0, first))
-    positions = [1] * len(iterators)
-    last_time = None
-    while heap:
-        time, index, _, interaction = heapq.heappop(heap)
-        if last_time is not None and time < last_time:
-            raise InvalidInteractionError(
-                "input streams passed to merge_streams must each be time-ordered"
-            )
-        last_time = time
-        yield interaction
-        nxt = next(iterators[index], None)
-        if nxt is not None:
-            if nxt.time < time:
-                raise InvalidInteractionError(
-                    f"stream #{index} is not time-ordered: {nxt.time} follows {time}"
-                )
-            heapq.heappush(heap, (nxt.time, index, positions[index], nxt))
-            positions[index] += 1
+    This is the plain-iterable facade over
+    :class:`repro.sources.MergeSource`, which additionally merges *live*
+    sources (stalling on quiet inputs instead of misordering) and batches
+    its lookahead; use the source form when any input is still growing.
+    """
+    # Imported lazily: repro.sources sits above repro.core in the layering.
+    from repro.sources import MergeSource, SequenceSource
+
+    if not streams:
+        return
+    # lookahead=1: at most one item beyond the yield point is consumed per
+    # input, so an ordering violation raises only when actually reached.
+    yield from MergeSource(
+        *(SequenceSource(stream) for stream in streams), lookahead=1
+    )
 
 
 def take_prefix(

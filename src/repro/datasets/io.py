@@ -23,9 +23,47 @@ from repro.core.interaction import Interaction
 from repro.core.network import TemporalInteractionNetwork
 from repro.exceptions import DatasetError
 
-__all__ = ["write_interactions_csv", "read_interactions_csv", "read_network_csv"]
+__all__ = [
+    "write_interactions_csv",
+    "read_interactions_csv",
+    "read_network_csv",
+    "parse_interaction_row",
+    "is_header_row",
+]
 
 _HEADER = ("source", "destination", "time", "quantity")
+
+
+def parse_interaction_row(
+    row: Sequence[str],
+    *,
+    vertex_type: type = str,
+    path: object = "<csv>",
+    line_number: int = 0,
+) -> Interaction:
+    """Parse one ``source,destination,time,quantity`` CSV row.
+
+    Shared by the eager readers here and the tailing
+    :class:`repro.sources.CsvTailSource`, so both accept exactly the same
+    format and raise the same :class:`~repro.exceptions.DatasetError` with a
+    ``path:line`` prefix.
+    """
+    if len(row) < 4:
+        raise DatasetError(
+            f"{path}:{line_number}: expected 4 columns "
+            f"(source, destination, time, quantity), got {len(row)}"
+        )
+    try:
+        return Interaction(
+            source=vertex_type(row[0].strip()),
+            destination=vertex_type(row[1].strip()),
+            time=float(row[2]),
+            quantity=float(row[3]),
+        )
+    except (TypeError, ValueError) as exc:
+        raise DatasetError(
+            f"{path}:{line_number}: cannot parse row {row!r}: {exc}"
+        ) from exc
 
 
 def write_interactions_csv(
@@ -88,27 +126,19 @@ def read_interactions_csv(
                 continue
             if line_number == 1 and _is_header(row):
                 continue
-            if len(row) < 4:
-                raise DatasetError(
-                    f"{path}:{line_number}: expected 4 columns "
-                    f"(source, destination, time, quantity), got {len(row)}"
-                )
-            try:
-                yield Interaction(
-                    source=vertex_type(row[0].strip()),
-                    destination=vertex_type(row[1].strip()),
-                    time=float(row[2]),
-                    quantity=float(row[3]),
-                )
-            except (TypeError, ValueError) as exc:
-                raise DatasetError(f"{path}:{line_number}: cannot parse row {row!r}: {exc}") from exc
+            yield parse_interaction_row(
+                row, vertex_type=vertex_type, path=path, line_number=line_number
+            )
             yielded += 1
 
 
-def _is_header(row: Sequence[str]) -> bool:
+def is_header_row(row: Sequence[str]) -> bool:
     """True when a CSV row looks like the canonical header."""
     normalised = tuple(cell.strip().lower() for cell in row[:4])
     return normalised == _HEADER
+
+
+_is_header = is_header_row
 
 
 def read_network_csv(

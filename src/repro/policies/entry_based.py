@@ -208,7 +208,9 @@ class EntryBufferPolicy(SelectionPolicy):
     # accounting
     # ------------------------------------------------------------------
     def entry_count(self) -> int:
-        return sum(len(buffer) for buffer in self._buffers.values())
+        # entry_total(len) is incremental on spilling backends: counting
+        # entries does not deserialise the cold tier.
+        return self._buffers.entry_total()
 
     def path_length_total(self) -> Tuple[int, int]:
         """``(total hops, entry count)`` over all buffered entries.

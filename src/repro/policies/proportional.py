@@ -417,7 +417,7 @@ class ProportionalSparsePolicy(SelectionPolicy):
     # accounting
     # ------------------------------------------------------------------
     def entry_count(self) -> int:
-        return sum(len(vector) for vector in self._vectors.values())
+        return self._vectors.entry_total()
 
     def average_list_length(self) -> float:
         """Average number of contributing origins per (touched) vertex.

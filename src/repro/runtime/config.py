@@ -19,6 +19,7 @@ from repro.core.interaction import Interaction
 from repro.core.network import TemporalInteractionNetwork
 from repro.exceptions import RunConfigurationError
 from repro.policies.base import SelectionPolicy
+from repro.sources import InteractionSource
 from repro.stores import StoreSpec, resolve_store_spec
 
 __all__ = ["RunConfig", "DEFAULT_BATCH_SIZE", "DatasetSource", "PolicySpec"]
@@ -29,8 +30,11 @@ __all__ = ["RunConfig", "DEFAULT_BATCH_SIZE", "DatasetSource", "PolicySpec"]
 DEFAULT_BATCH_SIZE = 256
 
 #: What a run can consume: a preset name, a CSV path, an in-memory network,
-#: or any time-ordered iterable of interactions.
-DatasetSource = Union[str, Path, TemporalInteractionNetwork, Iterable[Interaction]]
+#: an :class:`~repro.sources.InteractionSource` (possibly live), or any
+#: time-ordered iterable of interactions.
+DatasetSource = Union[
+    str, Path, TemporalInteractionNetwork, InteractionSource, Iterable[Interaction]
+]
 
 #: A policy is referenced by registry name or passed as a ready instance.
 PolicySpec = Union[str, SelectionPolicy]
@@ -57,6 +61,35 @@ class RunConfig:
         than memory are ingested.  Streamed runs have no vertex universe, so
         they cannot be sharded and cannot run policies that need the full
         universe up front (the dense proportional policy).
+    source:
+        An explicit :class:`~repro.sources.InteractionSource` to ingest
+        from (overrides ``dataset``); the run follows the source until it
+        exhausts.  Live sources (``CsvTailSource(follow=True)``,
+        rate-limited ``GeneratorSource`` feeds, ``MergeSource`` over them)
+        are driven through the micro-batch scheduler.
+    follow:
+        When the dataset is a CSV path, tail it for appended rows instead
+        of reading it once (:class:`~repro.sources.CsvTailSource`); pair
+        with ``idle_timeout`` so an idle producer ends the run instead of
+        hanging it.
+    micro_batch, max_in_flight, flush_interval:
+        Micro-batch scheduler knobs (see
+        :class:`~repro.sources.MicroBatchScheduler`): target interactions
+        per flush (default: ``batch_size``), the bound on interactions
+        buffered between source and policy (backpressure; default
+        ``4 * micro_batch``), and an optional wall-clock flush deadline for
+        slow feeds.  Setting any of them routes the run through an explicit
+        scheduler even for eager datasets; results are bit-identical to the
+        eager path either way.
+    idle_timeout:
+        With ``follow=True``: end the run after this many seconds without
+        a new row (the termination guard of follow runs).
+    resume_from:
+        Path of an engine checkpoint (``checkpoint_path`` /
+        ``checkpoint_every`` of an earlier run) to resume from: the policy
+        state is restored and the first ``interactions_processed``
+        interactions of the stream are skipped, so a resumed run continues
+        exactly where the checkpoint was taken.
     vertex_type:
         Converter for the vertex columns of CSV datasets (e.g. ``int``).
     policy:
@@ -116,6 +149,13 @@ class RunConfig:
     scale: float = 1.0
     seed: Optional[int] = None
     stream: bool = False
+    source: Optional[InteractionSource] = None
+    follow: bool = False
+    micro_batch: Optional[int] = None
+    max_in_flight: Optional[int] = None
+    flush_interval: Optional[float] = None
+    idle_timeout: Optional[float] = None
+    resume_from: Optional[Union[str, Path]] = None
     vertex_type: type = str
     policy: PolicySpec = "fifo"
     policy_options: Dict[str, Any] = field(default_factory=dict)
@@ -154,11 +194,73 @@ class RunConfig:
             raise RunConfigurationError(
                 f"shard_executor must be one of {_EXECUTORS}, got {self.shard_executor!r}"
             )
+        if self.micro_batch is not None and self.micro_batch < 1:
+            raise RunConfigurationError(
+                f"micro_batch must be >= 1, got {self.micro_batch}"
+            )
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise RunConfigurationError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.flush_interval is not None and self.flush_interval <= 0:
+            raise RunConfigurationError(
+                f"flush_interval must be positive, got {self.flush_interval}"
+            )
+        if self.idle_timeout is not None:
+            if self.idle_timeout <= 0:
+                raise RunConfigurationError(
+                    f"idle_timeout must be positive, got {self.idle_timeout}"
+                )
+            if not self.follow:
+                # Only the tailing source the Runner builds consumes it; an
+                # explicit source= carries its own termination policy.
+                raise RunConfigurationError(
+                    "idle_timeout only applies to follow=True runs; configure "
+                    "termination on the source itself for source=/stream runs"
+                )
+        if self.follow:
+            if self.source is not None:
+                raise RunConfigurationError(
+                    "follow=True applies to CSV-path datasets; an explicit "
+                    "source= already decides how the stream is ingested"
+                )
+            if not isinstance(self.dataset, (str, Path)):
+                raise RunConfigurationError(
+                    "follow=True needs a CSV path dataset to tail"
+                )
+            if self.stream:
+                raise RunConfigurationError(
+                    "follow=True already ingests lazily; drop stream=True"
+                )
+        if self.source is not None and self.stream:
+            raise RunConfigurationError(
+                "stream=True only applies to CSV paths; the run already has "
+                "an explicit source"
+            )
         if self.shards > 1:
             if self.stream:
                 raise RunConfigurationError(
                     "sharded runs need the full network; streamed CSV ingestion "
                     "cannot be sharded"
+                )
+            if self.source is not None or self.follow:
+                raise RunConfigurationError(
+                    "sharded runs need the full network up front; streaming "
+                    "sources cannot be sharded"
+                )
+            if self.resume_from is not None:
+                raise RunConfigurationError(
+                    "resuming a sharded run from a checkpoint is not supported"
+                )
+            if (
+                self.micro_batch is not None
+                or self.max_in_flight is not None
+                or self.flush_interval is not None
+            ):
+                raise RunConfigurationError(
+                    "micro_batch/max_in_flight/flush_interval configure the "
+                    "single-engine scheduler; sharded runs batch per shard "
+                    "via batch_size"
                 )
             if self.observers or self.checkpoint_every:
                 raise RunConfigurationError(
@@ -174,15 +276,54 @@ class RunConfig:
                 "stream=True only applies to CSV paths; the dataset is already "
                 "an in-memory network"
             )
+        if self.stream and isinstance(self.dataset, InteractionSource):
+            raise RunConfigurationError(
+                "stream=True only applies to CSV paths; the dataset is already "
+                "a streaming source"
+            )
         if self.checkpoint_every < 0:
             raise RunConfigurationError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
 
     @property
+    def uses_scheduler(self) -> bool:
+        """Whether the run is driven through an explicit micro-batch scheduler.
+
+        True for source-fed, tailed and resumed runs, and whenever one of
+        the scheduler knobs (``micro_batch``, ``max_in_flight``,
+        ``flush_interval``) is set explicitly.  Eager runs without these
+        knobs still go through a scheduler — the engine builds one
+        internally for every batched run — but keep their historical
+        checkpoint/observer semantics.
+        """
+        return (
+            self.source is not None
+            or self.follow
+            or self.resume_from is not None
+            or self.micro_batch is not None
+            or self.max_in_flight is not None
+            or self.flush_interval is not None
+        )
+
+    @property
+    def effective_micro_batch(self) -> int:
+        """Scheduler flush size: ``micro_batch``, else the batch size."""
+        if self.micro_batch is not None:
+            return self.micro_batch
+        return self.batch_size if self.batch_size > 1 else DEFAULT_BATCH_SIZE
+
+    @property
     def effective_batch_size(self) -> int:
-        """Batch size actually used by the engine (observers force 1)."""
-        if self.observers or self.checkpoint_every:
+        """Batch size actually used by the engine (observers force 1).
+
+        Periodic checkpointing historically forced per-interaction stepping
+        (an observer); scheduler-driven runs instead clip batches at the
+        checkpoint boundaries, so they keep their batch size.
+        """
+        if self.observers:
+            return 1
+        if self.checkpoint_every and not self.uses_scheduler:
             return 1
         return self.batch_size
 

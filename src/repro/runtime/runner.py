@@ -35,10 +35,11 @@ from __future__ import annotations
 import copy
 import json
 from dataclasses import asdict, dataclass, field
+from itertools import islice
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.core.checkpoint import save_engine
+from repro.core.checkpoint import load_engine, save_engine
 from repro.core.engine import ProvenanceEngine, RunStatistics
 from repro.core.interaction import Interaction, Vertex
 from repro.core.network import TemporalInteractionNetwork
@@ -59,6 +60,12 @@ from repro.runtime.partition import (
     merge_snapshots,
     partition_network,
     run_shards,
+)
+from repro.sources import (
+    CsvTailSource,
+    InteractionSource,
+    MicroBatchScheduler,
+    SequenceSource,
 )
 from repro.stores import StoreStats, merge_store_stats
 
@@ -142,6 +149,10 @@ class RunResult:
     #: Store accounting keyed by state-component role; summed over shards
     #: for sharded runs.  Spill backends report evictions/spilled bytes.
     store_stats: Dict[str, StoreStats] = field(default_factory=dict)
+    #: Micro-batch scheduler accounting (batches, flush triggers, peak
+    #: in-flight) of batched runs; ``None`` for per-interaction runs and
+    #: sharded runs (each shard drives its own scheduler).
+    scheduler_stats: Optional[Dict[str, Any]] = None
 
     @property
     def sharded(self) -> bool:
@@ -152,9 +163,13 @@ class RunResult:
         """Human-readable name of what was run."""
         if self.network is not None:
             return self.network.name
+        if self.config.source is not None:
+            return type(self.config.source).__name__
         dataset = self.config.dataset
         if isinstance(dataset, (str, Path)):
             return Path(str(dataset)).stem
+        if isinstance(dataset, InteractionSource):
+            return type(dataset).__name__
         return "stream"
 
     # ------------------------------------------------------------------
@@ -248,6 +263,10 @@ class RunResult:
                 ),
                 "shards": self.shard_timings,
             },
+            "streaming": {
+                "scheduled": self.scheduler_stats is not None,
+                "scheduler": self.scheduler_stats,
+            },
         }
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -272,18 +291,36 @@ class Runner:
     def resolve_dataset(
         self,
     ) -> Tuple[Optional[TemporalInteractionNetwork], Optional[Iterable[Interaction]]]:
-        """Turn ``config.dataset`` into a network or a lazy stream.
+        """Turn the configured input into a network or a stream.
 
         Returns ``(network, stream)``; exactly one of the two is non-None.
+        The stream arm is an :class:`~repro.sources.InteractionSource` for
+        source-fed and tailed runs, or a plain lazy iterable for streamed
+        CSVs and raw interaction iterables.
         """
         config = self.config
+        if config.source is not None:
+            return None, config.source
         dataset = config.dataset
         if isinstance(dataset, TemporalInteractionNetwork):
             return dataset, None
+        if isinstance(dataset, InteractionSource):
+            return None, dataset
         if isinstance(dataset, (str, Path)):
             name = str(dataset)
             if name in available_presets():
+                if config.follow:
+                    raise RunConfigurationError(
+                        f"follow=True tails a CSV file; {name!r} is a preset"
+                    )
                 return load_preset(name, scale=config.scale, seed=config.seed), None
+            if config.follow:
+                return None, CsvTailSource(
+                    name,
+                    vertex_type=config.vertex_type,
+                    follow=True,
+                    idle_timeout=config.idle_timeout,
+                )
             if config.stream:
                 return None, read_interactions_csv(name, vertex_type=config.vertex_type)
             return read_network_csv(name, vertex_type=config.vertex_type), None
@@ -313,8 +350,21 @@ class Runner:
         stream: Optional[Iterable[Interaction]],
     ) -> RunResult:
         config = self.config
-        policy = build_policy(config, network)
-        engine = ProvenanceEngine(policy, observers=list(config.observers))
+
+        # Resumed runs restore the whole engine (policy state plus stream
+        # offset) from the checkpoint and skip what it already processed.
+        resumed: Optional[ProvenanceEngine] = None
+        skip = 0
+        if config.resume_from is not None:
+            resumed = load_engine(config.resume_from)
+            skip = resumed.interactions_processed
+            policy = resumed.policy
+            engine = resumed
+            for observer in config.observers:
+                engine.add_observer(observer)
+        else:
+            policy = build_policy(config, network)
+            engine = ProvenanceEngine(policy, observers=list(config.observers))
 
         ceiling: Optional[MemoryCeiling] = None
         if config.memory_ceiling_bytes is not None and config.memory_check_every:
@@ -322,22 +372,90 @@ class Runner:
                 config.memory_ceiling_bytes, check_every=config.memory_check_every
             )
             engine.add_observer(ceiling)
+
+        use_scheduler = config.uses_scheduler or isinstance(stream, InteractionSource)
+        # Scheduler-driven runs checkpoint at batch-clipped stream offsets;
+        # everything else keeps the historical per-interaction observer.
+        # ANY engine observer (user-supplied or the ceiling above) forces the
+        # per-interaction path, where only the observer mechanism fires — so
+        # in-loop checkpointing must be off whenever an observer exists.
+        checkpoint_in_loop = bool(
+            use_scheduler
+            and config.checkpoint_every
+            and not config.observers
+            and ceiling is None
+        )
         if config.checkpoint_every:
             if config.checkpoint_path is None:
                 raise RunConfigurationError(
                     "checkpoint_every needs a checkpoint_path to write to"
                 )
-            engine.add_observer(_CheckpointObserver(
-                Path(config.checkpoint_path), config.checkpoint_every
-            ))
+            if not checkpoint_in_loop:
+                engine.add_observer(_CheckpointObserver(
+                    Path(config.checkpoint_path), config.checkpoint_every
+                ))
 
-        source = network if network is not None else stream
+        scheduler: Optional[MicroBatchScheduler] = None
+        if use_scheduler:
+            if isinstance(stream, InteractionSource):
+                base = stream
+                if skip:
+                    _drain_source(base, skip)
+            else:
+                iterable = stream if stream is not None else network.interactions
+                if skip:
+                    iterable = islice(iter(iterable), skip, None)
+                # limit bounds consumption too: the scheduler's read-ahead
+                # must not drain a caller's iterator past the limit.
+                base = SequenceSource(iterable, limit=config.limit)
+            scheduler_options: Dict[str, Any] = {}
+            if config.max_in_flight is not None:
+                scheduler_options["max_in_flight"] = config.max_in_flight
+            scheduler = MicroBatchScheduler(
+                base,
+                micro_batch=config.effective_micro_batch,
+                flush_interval=config.flush_interval,
+                # read-ahead must not drain a caller's source past the limit
+                max_pull=config.limit,
+                **scheduler_options,
+            )
+        elif skip:  # pragma: no cover - resume_from implies use_scheduler
+            stream = islice(iter(stream), skip, None)
+
+        on_checkpoint = None
+        if checkpoint_in_loop:
+            checkpoint_path = Path(config.checkpoint_path)
+
+            def on_checkpoint(eng: ProvenanceEngine, _processed: int) -> None:
+                save_engine(eng, checkpoint_path)
+
+        if network is not None:
+            source: Union[TemporalInteractionNetwork, Iterable[Interaction]] = network
+        elif scheduler is not None:
+            source = scheduler
+        else:
+            source = stream
+        # The Runner closes sources it constructed itself — the follow tail
+        # source, wrappers over files it opened or networks it loaded — so a
+        # run ending before exhaustion (limit hit, memory abort) releases
+        # file handles promptly.  Caller-passed sources AND caller-passed
+        # raw iterables/generators stay theirs to manage: a generator may be
+        # continued after a limited run (the reset=False pattern).
+        owns_stream = (
+            config.source is None
+            and not isinstance(config.dataset, InteractionSource)
+            and (network is not None or isinstance(config.dataset, (str, Path)))
+        )
         try:
             statistics = engine.run(
                 source,
+                reset=resumed is None,
                 limit=config.limit,
                 sample_every=config.sample_every,
                 batch_size=config.effective_batch_size,
+                scheduler=scheduler,
+                checkpoint_every=config.checkpoint_every if checkpoint_in_loop else 0,
+                on_checkpoint=on_checkpoint,
             )
         except MemoryBudgetExceededError as error:
             return RunResult(
@@ -350,7 +468,11 @@ class Runner:
                 memory_bytes=error.used_bytes,
                 note=str(error),
                 store_stats=policy.store_stats(),
+                scheduler_stats=engine.scheduler_stats(),
             )
+        finally:
+            if scheduler is not None and owns_stream:
+                scheduler.close()
 
         memory_bytes: Optional[int] = None
         if config.measure_memory or config.memory_ceiling_bytes is not None:
@@ -375,6 +497,7 @@ class Runner:
                     f"exceeds the ceiling of {config.memory_ceiling_bytes} bytes"
                 ),
                 store_stats=policy.store_stats(),
+                scheduler_stats=engine.scheduler_stats(),
             )
 
         if config.checkpoint_path is not None:
@@ -388,6 +511,7 @@ class Runner:
             engine=engine,
             memory_bytes=memory_bytes,
             store_stats=policy.store_stats(),
+            scheduler_stats=engine.scheduler_stats(),
         )
 
     def _run_sharded(self, network: TemporalInteractionNetwork) -> RunResult:
@@ -466,6 +590,18 @@ class Runner:
         # resources; every shard rebuilds fresh stores in its own reset()
         # (spill files included), so shards spill independently.
         return [copy.deepcopy(template) for _ in plan.shards]
+
+
+def _drain_source(source: InteractionSource, count: int) -> None:
+    """Discard the first ``count`` interactions of a source (resume skip).
+
+    ``iter_limited`` never polls past the offset, so nothing beyond it is
+    consumed and dropped.  A live source that has not yet re-produced the
+    checkpointed prefix is waited on until it does; a truncated file simply
+    exhausts and the resumed run sees no new interactions.
+    """
+    for _ in source.iter_limited(count):
+        pass
 
 
 class _CheckpointObserver:

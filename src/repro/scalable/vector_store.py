@@ -127,8 +127,11 @@ class SparseVectorStore:
     # accounting
     # ------------------------------------------------------------------
     def entry_count(self) -> int:
-        """Total number of non-zero components over all vectors."""
-        return sum(len(vector) for vector in self._vectors.values())
+        """Total number of non-zero components over all vectors.
+
+        Counted incrementally on spilling backends (no cold-tier scan).
+        """
+        return self._vectors.entry_total()
 
     def list_lengths(self) -> Iterator[Tuple[Vertex, int]]:
         """``(vertex, number of components)`` pairs for every vector."""

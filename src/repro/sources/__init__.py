@@ -1,0 +1,39 @@
+"""Streaming ingestion: interaction sources and the micro-batch scheduler.
+
+The paper's policies consume a *time-ordered stream* of interactions; this
+package decouples **where that stream comes from** (the
+:class:`InteractionSource` backends) from **how it is fed to a policy**
+(the :class:`MicroBatchScheduler`, which flushes micro-batches by size or
+time under a bounded in-flight queue):
+
+* :class:`SequenceSource` — lists, generators, streamed CSV readers (the
+  eager datasets the repository always handled);
+* :class:`CsvTailSource` — follow a growing CSV file, ``tail -f`` style,
+  with an idle-timeout termination guard;
+* :class:`GeneratorSource` — rate-limited synthetic/replay feed (a live
+  feed stand-in with no network dependency);
+* :class:`MergeSource` — k-way time-ordered merge of sources, stable on
+  timestamp ties and stalling (not misordering) on quiet live inputs.
+
+Every execution path — eager, sharded and streaming — drives policies
+through the scheduler (see :meth:`repro.core.engine.ProvenanceEngine.run`),
+and a scheduled run is bit-identical to an eager run over the same
+interaction sequence for every policy and store backend.
+"""
+
+from repro.sources.base import InteractionSource
+from repro.sources.csv_tail import CsvTailSource
+from repro.sources.generator import GeneratorSource
+from repro.sources.merge import MergeSource
+from repro.sources.scheduler import DEFAULT_MAX_IN_FLIGHT_FACTOR, MicroBatchScheduler
+from repro.sources.sequence import SequenceSource
+
+__all__ = [
+    "InteractionSource",
+    "SequenceSource",
+    "CsvTailSource",
+    "GeneratorSource",
+    "MergeSource",
+    "MicroBatchScheduler",
+    "DEFAULT_MAX_IN_FLIGHT_FACTOR",
+]

@@ -1,0 +1,144 @@
+"""The :class:`InteractionSource` interface: where interaction streams come from.
+
+The paper's provenance policies are defined over a *time-ordered stream* of
+interactions; historically the repository was file-shaped — a run resolved
+its whole dataset up front (a network, or a fully-known CSV iterator) before
+the engine started.  An :class:`InteractionSource` inverts that: it is a
+pull-based handle on a possibly *unbounded, still-growing* stream that the
+:class:`repro.sources.MicroBatchScheduler` polls for micro-batches.
+
+The contract is deliberately small:
+
+* :meth:`poll` — return up to ``max_items`` interactions that are available
+  *right now*, in time order.  An empty list does **not** mean the stream
+  ended; it means nothing has arrived yet (a tailed file between writes, a
+  rate-limited feed between tokens).
+* :attr:`exhausted` — ``True`` once the source will never produce another
+  interaction.  Only then may a consumer stop polling.
+* :attr:`watermark` — the timestamp of the last interaction handed out, the
+  stream-progress marker used by time-windowed flushes and monitoring.
+* :meth:`close` — release external resources (file handles); idempotent.
+
+Sources must hand out interactions in non-decreasing time order; the
+:class:`repro.sources.MergeSource` combinator enforces this across inputs
+the way :func:`repro.core.stream.merge_streams` does for plain iterables.
+"""
+
+from __future__ import annotations
+
+import abc
+import time as _time
+from typing import Iterator, List, Optional
+
+from repro.core.interaction import Interaction
+from repro.exceptions import InvalidInteractionError
+
+__all__ = ["InteractionSource"]
+
+#: poll() sizing used by plain iteration (__iter__) over a source.
+_ITER_CHUNK = 1024
+
+#: Sleep between empty polls when iterating a live source directly.
+_ITER_POLL_INTERVAL = 0.01
+
+
+class InteractionSource(abc.ABC):
+    """Pull-based handle on a (possibly unbounded) interaction stream."""
+
+    def __init__(self) -> None:
+        self._watermark: Optional[float] = None
+        self._emitted = 0
+
+    # ------------------------------------------------------------------
+    # to implement
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def poll(self, max_items: int) -> List[Interaction]:
+        """Up to ``max_items`` interactions available now (maybe empty).
+
+        An empty list means "nothing yet", not "finished" — consult
+        :attr:`exhausted` to distinguish the two.  Implementations must
+        yield interactions in non-decreasing time order and should call
+        :meth:`_emit` on every returned batch so the watermark advances.
+        """
+
+    @property
+    @abc.abstractmethod
+    def exhausted(self) -> bool:
+        """True once the source will never produce another interaction."""
+
+    # ------------------------------------------------------------------
+    # shared bookkeeping
+    # ------------------------------------------------------------------
+    def _emit(self, batch: List[Interaction]) -> List[Interaction]:
+        """Advance the watermark over ``batch`` and return it (chainable)."""
+        if batch:
+            self._watermark = batch[-1].time
+            self._emitted += len(batch)
+        return batch
+
+    @property
+    def watermark(self) -> Optional[float]:
+        """Timestamp of the last interaction handed out (None before any)."""
+        return self._watermark
+
+    @property
+    def interactions_emitted(self) -> int:
+        """Total number of interactions handed out so far."""
+        return self._emitted
+
+    def _check_order(self, interaction: Interaction) -> Interaction:
+        """Reject an interaction older than the current watermark."""
+        if self._watermark is not None and interaction.time < self._watermark:
+            raise InvalidInteractionError(
+                f"{type(self).__name__} produced an out-of-order interaction: "
+                f"{interaction.time} follows {self._watermark}"
+            )
+        return interaction
+
+    # ------------------------------------------------------------------
+    # lifecycle / convenience
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release external resources; idempotent."""
+
+    def __enter__(self) -> "InteractionSource":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[Interaction]:
+        """Drain the source by polling until exhausted.
+
+        Convenience for tests and per-interaction consumers (the engine's
+        observer path iterates sources directly).  A live source that has
+        nothing to hand out is waited on with a short sleep per empty poll,
+        so following a quiet feed does not spin a core; scheduled
+        consumption (:class:`repro.sources.MicroBatchScheduler`) remains the
+        richer way to drive a feed (configurable waits, flush triggers,
+        backpressure accounting).
+        """
+        return self.iter_limited(None)
+
+    def iter_limited(self, limit: Optional[int]) -> Iterator[Interaction]:
+        """Iterate at most ``limit`` interactions, bounding CONSUMPTION.
+
+        Unlike ``islice(iter(source), n)`` — whose chunked polling would
+        consume up to a whole chunk beyond ``n`` and silently drop it —
+        polls never ask the source for more than the remainder, so whatever
+        lies past the limit stays available for continuation runs.
+        ``limit=None`` iterates everything.
+        """
+        remaining = None if limit is None else max(limit, 0)
+        while remaining is None or remaining > 0:
+            size = _ITER_CHUNK if remaining is None else min(remaining, _ITER_CHUNK)
+            batch = self.poll(size)
+            if batch:
+                if remaining is not None:
+                    remaining -= len(batch)
+                yield from batch
+            elif self.exhausted:
+                return
+            else:
+                _time.sleep(_ITER_POLL_INTERVAL)

@@ -1,0 +1,155 @@
+"""``MergeSource``: k-way time-ordered merge of interaction sources.
+
+Combines several sources (shard feeds, per-region CSV tails, replayed
+histories covering different time ranges) into one time-ordered stream, the
+source-level counterpart of :func:`repro.core.stream.merge_streams`:
+
+* the output is globally non-decreasing in time;
+* ties are broken by input position — equal timestamps come out in the
+  order the sources were passed, deterministically;
+* an input that hands out an out-of-order interaction is rejected with
+  :class:`~repro.exceptions.InvalidInteractionError`;
+* **watermark correctness over live inputs** — while any non-exhausted
+  input has nothing buffered, the merge emits nothing at all, because that
+  input could still produce the globally-smallest timestamp.  The merge
+  therefore stalls (returns an empty poll) rather than emit early; it
+  exhausts only when every input is exhausted and every lookahead drained.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from collections import deque
+from typing import Deque, Iterator, List
+
+from repro.core.interaction import Interaction
+from repro.exceptions import InvalidInteractionError, RunConfigurationError
+from repro.sources.base import _ITER_POLL_INTERVAL, InteractionSource
+
+__all__ = ["MergeSource"]
+
+#: Default interactions buffered per input between merge rounds.
+_LOOKAHEAD = 256
+
+
+class MergeSource(InteractionSource):
+    """Merge several :class:`InteractionSource` inputs in time order.
+
+    ``lookahead`` is how many interactions are pulled (and order-validated)
+    per input per refill: larger values amortise polling, ``lookahead=1``
+    reproduces strictly lazy pull-one-ahead semantics — an ordering
+    violation is then only detected when the offending interaction is
+    actually reached, after the valid prefix has been emitted (this is what
+    :func:`repro.core.stream.merge_streams` uses).
+    """
+
+    def __init__(self, *sources: InteractionSource, lookahead: int = _LOOKAHEAD) -> None:
+        super().__init__()
+        if not sources:
+            raise RunConfigurationError("MergeSource needs at least one input source")
+        if lookahead < 1:
+            raise RunConfigurationError(f"lookahead must be >= 1, got {lookahead!r}")
+        self._sources = list(sources)
+        self._lookahead_size = lookahead
+        self._lookahead: List[Deque[Interaction]] = [deque() for _ in sources]
+        self._last_times: List[float] = [float("-inf")] * len(sources)
+
+    def _fill(self, index: int) -> None:
+        """Top up one input's lookahead, validating per-input time order."""
+        source = self._sources[index]
+        queue = self._lookahead[index]
+        if queue or source.exhausted:
+            return
+        batch = source.poll(self._lookahead_size)
+        last = self._last_times[index]
+        for interaction in batch:
+            if interaction.time < last:
+                raise InvalidInteractionError(
+                    f"merge input #{index} is not time-ordered: "
+                    f"{interaction.time} follows {last}"
+                )
+            last = interaction.time
+        if batch:
+            self._last_times[index] = last
+            queue.extend(batch)
+
+    def poll(self, max_items: int) -> List[Interaction]:
+        if max_items <= 0:
+            return []
+        ready = True
+        for index in range(len(self._sources)):
+            self._fill(index)
+            if not self._lookahead[index] and not self._sources[index].exhausted:
+                # A live input may still deliver the smallest timestamp;
+                # emitting now could break global time order.
+                ready = False
+        if not ready:
+            return []
+        # Every contributing input has lookahead: merge the fronts.  The heap
+        # orders by (time, input position) so equal timestamps are stable.
+        heap = [
+            (queue[0].time, index)
+            for index, queue in enumerate(self._lookahead)
+            if queue
+        ]
+        heapq.heapify(heap)
+        batch: List[Interaction] = []
+        while heap and len(batch) < max_items:
+            _time_key, index = heapq.heappop(heap)
+            queue = self._lookahead[index]
+            batch.append(queue.popleft())
+            if len(batch) >= max_items:
+                break  # defer the refill (and its validation) to the next poll
+            if not queue:
+                self._fill(index)
+                if not queue and not self._sources[index].exhausted:
+                    break  # input went quiet mid-merge: stop before ordering breaks
+            if queue:
+                heapq.heappush(heap, (queue[0].time, index))
+        return self._emit(batch)
+
+    def __iter__(self) -> Iterator[Interaction]:
+        """Lazy merged iteration with one persistent heap.
+
+        O(log k) per interaction for k inputs — unlike repeated ``poll``
+        calls, which rebuild the front heap per batch.  Ordering violations
+        surface only when the offending interaction is pulled, after the
+        valid prefix has been yielded (with ``lookahead=1`` exactly one
+        input item beyond the yield point is ever consumed).  Live inputs
+        that are quiet are waited on with a short sleep, like
+        :meth:`InteractionSource.__iter__`.
+        """
+        def await_lookahead(index: int) -> None:
+            while True:
+                self._fill(index)
+                if self._lookahead[index] or self._sources[index].exhausted:
+                    return
+                _time.sleep(_ITER_POLL_INTERVAL)
+
+        heap: List = []
+        for index in range(len(self._sources)):
+            await_lookahead(index)
+            if self._lookahead[index]:
+                heap.append((self._lookahead[index][0].time, index))
+        heapq.heapify(heap)
+        while heap:
+            _time_key, index = heapq.heappop(heap)
+            queue = self._lookahead[index]
+            interaction = queue.popleft()
+            self._emit([interaction])
+            yield interaction
+            if not queue:
+                await_lookahead(index)
+            if queue:
+                heapq.heappush(heap, (queue[0].time, index))
+
+    @property
+    def exhausted(self) -> bool:
+        return all(source.exhausted for source in self._sources) and not any(
+            self._lookahead
+        )
+
+    def close(self) -> None:
+        for source in self._sources:
+            source.close()

@@ -1,0 +1,257 @@
+"""Micro-batch scheduling with bounded in-flight queueing (backpressure).
+
+The :class:`MicroBatchScheduler` sits between an
+:class:`~repro.sources.base.InteractionSource` and the engine's
+``process_many`` fast paths.  It accumulates polled interactions in a
+bounded pending queue and flushes a micro-batch when the first of these
+triggers fires:
+
+* **size** — ``micro_batch`` interactions are pending (the throughput
+  trigger; this is the only trigger eager sources ever need);
+* **wall time** — ``flush_interval`` seconds have passed since the oldest
+  pending interaction arrived (bounds latency on slow feeds);
+* **event time** — the pending batch spans more than ``event_time_window``
+  stream-time units (bounds how much stream time one batch may cover);
+* **end of stream** — the source is exhausted: whatever is pending flushes.
+
+Backpressure is structural: the scheduler never holds more than
+``max_in_flight`` interactions and never polls the source for more than the
+remaining room, so a fast producer cannot balloon memory between the source
+and the policy — the source stays ahead by at most ``max_in_flight``
+interactions, exactly like a bounded consumer queue.
+
+:meth:`next_batch` blocks (sleeping ``poll_interval`` between polls) until
+it can return a batch or the stream ends, so drive loops stay simple:
+
+    while (batch := scheduler.next_batch()) is not None:
+        policy.process_many(batch)
+
+Equivalence: the scheduler only *chunks* the stream — it never reorders,
+drops or duplicates — so a scheduled run is bit-identical to an eager run
+over the same interaction sequence for every policy and store backend (the
+tests under ``tests/sources/`` enforce this).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.core.interaction import Interaction
+from repro.exceptions import RunConfigurationError
+from repro.sources.base import InteractionSource
+
+__all__ = ["MicroBatchScheduler", "DEFAULT_MAX_IN_FLIGHT_FACTOR"]
+
+#: Default bound on pending interactions, as a multiple of ``micro_batch``.
+DEFAULT_MAX_IN_FLIGHT_FACTOR = 4
+
+
+class MicroBatchScheduler:
+    """Flush-by-size/time micro-batching over an interaction source."""
+
+    def __init__(
+        self,
+        source: InteractionSource,
+        *,
+        micro_batch: int = 256,
+        max_in_flight: Optional[int] = None,
+        flush_interval: Optional[float] = None,
+        event_time_window: Optional[float] = None,
+        max_pull: Optional[int] = None,
+        poll_interval: float = 0.01,
+        clock: Callable[[], float] = _time.monotonic,
+        sleep: Callable[[float], None] = _time.sleep,
+    ) -> None:
+        if micro_batch < 1:
+            raise RunConfigurationError(
+                f"micro_batch must be >= 1, got {micro_batch!r}"
+            )
+        if max_in_flight is None:
+            max_in_flight = micro_batch * DEFAULT_MAX_IN_FLIGHT_FACTOR
+        if max_in_flight < micro_batch:
+            raise RunConfigurationError(
+                f"max_in_flight ({max_in_flight}) must be >= micro_batch "
+                f"({micro_batch}) or no full batch could ever accumulate"
+            )
+        if flush_interval is not None and flush_interval <= 0:
+            raise RunConfigurationError(
+                f"flush_interval must be positive, got {flush_interval!r}"
+            )
+        if event_time_window is not None and event_time_window <= 0:
+            raise RunConfigurationError(
+                f"event_time_window must be positive, got {event_time_window!r}"
+            )
+        if max_pull is not None and max_pull < 0:
+            raise RunConfigurationError(
+                f"max_pull must be >= 0, got {max_pull!r}"
+            )
+        #: Hard bound on total interactions consumed from the source.  A
+        #: run with ``limit=`` sets this so read-ahead never drains a
+        #: caller's source past what the run will actually process.
+        self.max_pull = max_pull
+        self._pulled = 0
+        self.source = source
+        self.micro_batch = micro_batch
+        self.max_in_flight = max_in_flight
+        self.flush_interval = flush_interval
+        self.event_time_window = event_time_window
+        self.poll_interval = poll_interval
+        self._clock = clock
+        self._sleep = sleep
+        self._pending: Deque[Interaction] = deque()
+        self._oldest_arrival: Optional[float] = None
+        #: flush counters by trigger, for RunResult/bench reporting.
+        self._flushes: Dict[str, int] = {"size": 0, "timer": 0, "window": 0, "final": 0}
+        self._batches = 0
+        self._interactions = 0
+        self._peak_pending = 0
+        self._waits = 0
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def _pull(self) -> int:
+        """Poll the source for up to the backpressure room; returns count.
+
+        Always asks for the full remaining room, not just the next batch's
+        shortfall: a bursty source runs ahead of the policy by up to
+        ``max_in_flight`` interactions (bounded read-ahead), which is what
+        the knob buys — and all it allows.
+        """
+        room = self.max_in_flight - len(self._pending)
+        if self.max_pull is not None:
+            room = min(room, self.max_pull - self._pulled)
+        if room <= 0 or self.source.exhausted:
+            return 0
+        got = self.source.poll(room)
+        if got:
+            self._pulled += len(got)
+            if self._oldest_arrival is None:
+                self._oldest_arrival = self._clock()
+            self._pending.extend(got)
+            if len(self._pending) > self._peak_pending:
+                self._peak_pending = len(self._pending)
+        return len(got)
+
+    def _input_done(self) -> bool:
+        """No more interactions will ever enter the pending queue."""
+        if self.source.exhausted:
+            return True
+        return self.max_pull is not None and self._pulled >= self.max_pull
+
+    def _flush(self, size: int, trigger: str) -> List[Interaction]:
+        pending = self._pending
+        size = min(size, len(pending))
+        batch = [pending.popleft() for _ in range(size)]
+        if not pending:
+            # Items left pending keep the original arrival stamp: they are
+            # no younger than the flushed ones, so the flush_interval
+            # latency bound holds across clipped (partial) flushes.
+            self._oldest_arrival = None
+        self._flushes[trigger] += 1
+        self._batches += 1
+        self._interactions += len(batch)
+        return batch
+
+    def _event_span_exceeded(self) -> bool:
+        window = self.event_time_window
+        if window is None or len(self._pending) < 2:
+            return False
+        return self._pending[-1].time - self._pending[0].time > window
+
+    def _window_prefix(self, limit: int) -> int:
+        """How many pending items fit inside one event-time window.
+
+        Counts the prefix whose timestamps lie within ``event_time_window``
+        of the oldest pending item (at least one, so progress is always
+        made), capped at ``limit``.
+        """
+        pending = self._pending
+        horizon = pending[0].time + self.event_time_window
+        count = 0
+        for interaction in pending:
+            if count >= limit or interaction.time > horizon:
+                break
+            count += 1
+        return max(count, 1)
+
+    def next_batch(self, max_items: Optional[int] = None) -> Optional[List[Interaction]]:
+        """The next micro-batch, or ``None`` once the stream is finished.
+
+        ``max_items`` caps this batch below ``micro_batch`` — the engine
+        uses it to clip batches at sampling and checkpoint boundaries so a
+        scheduled run samples at exactly the positions of an eager run.
+        Blocks (sleeping ``poll_interval`` between source polls) while a
+        live source has nothing to hand out and no flush trigger has fired.
+        """
+        target = self.micro_batch if max_items is None else min(max_items, self.micro_batch)
+        if target < 1:
+            raise RunConfigurationError(f"max_items must be >= 1, got {max_items!r}")
+        windowed = self.event_time_window is not None
+        while True:
+            if len(self._pending) < target:
+                self._pull()
+            if len(self._pending) >= target:
+                if windowed:
+                    prefix = self._window_prefix(target)
+                    if prefix < target:
+                        return self._flush(prefix, "window")
+                return self._flush(target, "size")
+            if self._event_span_exceeded():
+                return self._flush(self._window_prefix(target), "window")
+            if self._input_done():
+                if not self._pending:
+                    return None
+                if windowed:
+                    prefix = self._window_prefix(target)
+                    if prefix < min(target, len(self._pending)):
+                        return self._flush(prefix, "window")
+                return self._flush(target, "final")
+            if (
+                self.flush_interval is not None
+                and self._pending
+                and self._clock() - self._oldest_arrival >= self.flush_interval
+            ):
+                return self._flush(target, "timer")
+            # Live source, nothing flushable yet: wait a poll tick.
+            self._waits += 1
+            self._sleep(self.poll_interval)
+
+    def __iter__(self):
+        while True:
+            batch = self.next_batch()
+            if batch is None:
+                return
+            yield batch
+
+    # ------------------------------------------------------------------
+    # accounting / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Interactions currently buffered between source and policy."""
+        return len(self._pending)
+
+    @property
+    def pulled(self) -> int:
+        """Total interactions consumed from the source so far."""
+        return self._pulled
+
+    def stats(self) -> Dict[str, object]:
+        """Scheduler accounting for run reports and the bench record."""
+        return {
+            "micro_batch": self.micro_batch,
+            "max_in_flight": self.max_in_flight,
+            "batches": self._batches,
+            "interactions": self._interactions,
+            "peak_in_flight": self._peak_pending,
+            "waits": self._waits,
+            "flushes": dict(self._flushes),
+            "watermark": self.source.watermark,
+        }
+
+    def close(self) -> None:
+        self._pending.clear()
+        self.source.close()

@@ -168,6 +168,18 @@ class ProvenanceStore(abc.ABC):
         """Iterate over all stored values."""
         return (value for _key, value in self.items())
 
+    def entry_total(self, measure: Callable[[Any], int] = len) -> int:
+        """Sum of ``measure(value)`` over every stored value.
+
+        This is how the entry-buffer and sparse-vector policies count their
+        provenance entries (``measure`` defaults to ``len``: entries per
+        buffer, non-zero components per vector).  The default implementation
+        scans every value; spilling backends override it with an
+        incremental counter so counting does not deserialise the cold tier
+        (see :meth:`repro.stores.SqliteStore.entry_total`).
+        """
+        return sum(measure(value) for value in self.values())
+
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self.keys())
 

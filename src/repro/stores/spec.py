@@ -46,7 +46,7 @@ _BACKENDS: Tuple[str, ...] = ("dict", "dense", "sqlite")
 _BACKEND_OPTIONS = {
     "dict": frozenset(),
     "dense": frozenset({"block_rows"}),
-    "sqlite": frozenset({"hot_capacity", "directory"}),
+    "sqlite": frozenset({"hot_capacity", "hot_bytes", "spill_batch", "directory"}),
 }
 
 
@@ -63,8 +63,11 @@ class StoreSpec:
     so a spill option paired with an in-memory backend fails loudly):
 
     * ``sqlite`` — ``hot_capacity`` (resident entries per store, default
-      4096) and ``directory`` (where spill files are created; defaults to
-      the system temp directory).
+      4096), ``hot_bytes`` (optional serialized-byte budget for the
+      resident tier; size-aware LRU eviction), ``spill_batch`` (LRU
+      entries spilled per overflow, batched into one SQL write; default 1)
+      and ``directory`` (where spill files are created; defaults to the
+      system temp directory).
     * ``dense`` — ``block_rows`` (rows per storage block, default 256).
     * ``dict`` — no options.
     """
@@ -92,8 +95,11 @@ class StoreSpec:
         (``None`` for everything else); only the dense backend uses it.
         """
         if self.backend == "sqlite":
+            hot_bytes = self.options.get("hot_bytes")
             return SqliteStore(
                 hot_capacity=int(self.options.get("hot_capacity", DEFAULT_HOT_CAPACITY)),
+                hot_bytes=int(hot_bytes) if hot_bytes is not None else None,
+                spill_batch=int(self.options.get("spill_batch", 1)),
                 directory=self.options.get("directory"),
             )
         if self.backend == "dense" and dimension is not None:

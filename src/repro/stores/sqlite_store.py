@@ -29,12 +29,25 @@ Design notes
 * **Pickle/deepcopy** — checkpointing and per-shard deep copies serialise
   the *full* contents (hot and cold) and rebuild a fresh spill file on
   restore, so shards and restored checkpoints never share a database.
-* **Full-scan accounting** — ``items()``/``values()``/``snapshot()``
-  deserialise the whole cold tier; policies whose ``entry_count()``
-  inspects every value therefore pay a cold-tier scan per call.  The
-  engine bounds peak-tracking to O(log n) such calls per run; ``sample_every``
-  makes the cost explicit and opt-in.  (Incremental per-store counters are
-  a known follow-up, see ROADMAP.)
+* **Incremental entry counters** — the length (``len``) of every value is
+  recorded when it is spilled, so :meth:`SqliteStore.entry_total` — the
+  call behind ``entry_count()`` on entry-buffer and sparse-vector policies
+  — sums resident lengths plus a running cold-tier total instead of
+  deserialising the whole cold tier.  Cold values cannot change while cold
+  (policies only mutate resident values), so the recorded lengths stay
+  exact until fault-in.  ``items()``/``values()``/``snapshot()`` still
+  materialise everything, but sampling (``sample_every``) and the engine's
+  O(log n) peak checks no longer pay a cold-tier scan per call.
+* **Size-aware eviction** — an optional ``hot_bytes`` budget bounds the
+  *serialized* size of the resident tier: entry sizes are measured at
+  admission and fault-in (exact blob lengths where available), re-measured
+  periodically because resident values are mutated in place (one amortised
+  pickling per access, see ``_refresh_hot_sizes``), and the least recently
+  used entries are spilled in one batched ``executemany`` until the tier
+  fits.  The budget is approximate by one refresh interval.
+  ``spill_batch`` independently batches capacity-triggered spills
+  (evicting a few extra LRU entries per overflow, amortising the SQL
+  round-trips on skewed workloads).
 """
 
 from __future__ import annotations
@@ -66,6 +79,8 @@ class SqliteStore(ProvenanceStore):
         self,
         *,
         hot_capacity: int = DEFAULT_HOT_CAPACITY,
+        hot_bytes: Optional[int] = None,
+        spill_batch: int = 1,
         directory: Optional[str] = None,
     ) -> None:
         if hot_capacity < 2:
@@ -73,12 +88,31 @@ class SqliteStore(ProvenanceStore):
                 f"hot_capacity must be >= 2 (one step touches two vertices), "
                 f"got {hot_capacity!r}"
             )
+        if hot_bytes is not None and hot_bytes < 1:
+            raise StoreConfigurationError(
+                f"hot_bytes must be a positive byte budget, got {hot_bytes!r}"
+            )
+        if spill_batch < 1:
+            raise StoreConfigurationError(
+                f"spill_batch must be >= 1, got {spill_batch!r}"
+            )
         self._hot_capacity = int(hot_capacity)
+        self._hot_bytes = int(hot_bytes) if hot_bytes is not None else None
+        self._spill_batch = int(spill_batch)
         self._directory = str(directory) if directory is not None else None
         #: Resident tier; insertion order doubles as recency (oldest first).
         self._hot: Dict[Hashable, Any] = {}
         #: Keys currently spilled to the cold tier (values live in SQLite).
         self._cold_keys = set()
+        #: len(value) recorded at spill time per cold key (None: unsized
+        #: value), kept in sync so entry_total() never scans the cold tier.
+        self._cold_lengths: Dict[Hashable, Optional[int]] = {}
+        self._cold_len_total = 0
+        self._cold_unsized = 0
+        #: Last measured serialized size per resident key (hot_bytes mode).
+        self._hot_sizes: Dict[Hashable, int] = {}
+        self._hot_bytes_total = 0
+        self._ops_since_refresh = 0
         self._conn: Optional[sqlite3.Connection] = None
         self._path: Optional[str] = None
         self._evictions = 0
@@ -89,6 +123,20 @@ class SqliteStore(ProvenanceStore):
     def hot_capacity(self) -> int:
         """Maximum number of resident entries before spilling starts."""
         return self._hot_capacity
+
+    @property
+    def hot_bytes(self) -> Optional[int]:
+        """Serialized-byte budget of the resident tier (None: count-only)."""
+        return self._hot_bytes
+
+    @property
+    def resident_bytes_estimate(self) -> int:
+        """Estimated serialized size of the resident tier (hot_bytes mode).
+
+        0 when no ``hot_bytes`` budget is configured — sizes are only
+        measured when the budget needs them.
+        """
+        return self._hot_bytes_total
 
     @property
     def spill_path(self) -> Optional[str]:
@@ -124,24 +172,113 @@ class SqliteStore(ProvenanceStore):
         # (str, int, tuples thereof), so byte equality == key equality.
         return pickle.dumps(key, protocol=_PROTOCOL)
 
-    def _spill_one(self) -> None:
-        hot = self._hot
-        key = next(iter(hot))  # least recently used
-        value = hot.pop(key)
-        key_blob = self._encode_key(key)
-        value_blob = pickle.dumps(value, protocol=_PROTOCOL)
-        self._connection().execute(
-            "INSERT OR REPLACE INTO kv (key, value) VALUES (?, ?)",
-            (key_blob, value_blob),
-        )
-        self._cold_keys.add(key)
-        self._evictions += 1
-        self._spilled_bytes += len(key_blob) + len(value_blob)
+    def _record_cold(self, key: Hashable, value: Any) -> None:
+        """Cache ``len(value)`` for a key entering the cold tier."""
+        try:
+            length: Optional[int] = len(value)
+        except TypeError:
+            length = None
+        self._cold_lengths[key] = length
+        if length is None:
+            self._cold_unsized += 1
+        else:
+            self._cold_len_total += length
 
-    def _admit(self, key: Hashable, value: Any) -> None:
+    def _forget_cold(self, key: Hashable) -> None:
+        """Drop the cached length of a key leaving the cold tier."""
+        if key not in self._cold_lengths:
+            return
+        length = self._cold_lengths.pop(key)
+        if length is None:
+            self._cold_unsized -= 1
+        else:
+            self._cold_len_total -= length
+
+    def _spill_lru(self, count: int) -> None:
+        """Move the ``count`` least recently used entries to the cold tier.
+
+        One ``executemany`` per call — batching spills cuts the SQL
+        round-trips on workloads that overflow the hot tier continuously.
+        At least two entries always stay resident so a fetch can never
+        displace the other value of the current step (see module notes).
+        """
+        hot = self._hot
+        count = min(count, len(hot) - 2)
+        if count <= 0:
+            return
+        rows = []
+        for _ in range(count):
+            key = next(iter(hot))  # least recently used
+            value = hot.pop(key)
+            key_blob = self._encode_key(key)
+            value_blob = pickle.dumps(value, protocol=_PROTOCOL)
+            rows.append((key_blob, value_blob))
+            self._cold_keys.add(key)
+            self._record_cold(key, value)
+            self._evictions += 1
+            self._spilled_bytes += len(key_blob) + len(value_blob)
+            if self._hot_bytes is not None:
+                self._hot_bytes_total -= self._hot_sizes.pop(key, 0)
+                # The exact blob length corrects the admission-time estimate
+                # retroactively: what leaves the budget is what was counted.
+        self._connection().executemany(
+            "INSERT OR REPLACE INTO kv (key, value) VALUES (?, ?)", rows
+        )
+
+    def _over_budget_count(self) -> int:
+        """How many LRU entries must spill to fit the ``hot_bytes`` budget."""
+        excess = self._hot_bytes_total - self._hot_bytes
+        if excess <= 0:
+            return 0
+        count = 0
+        for key in self._hot:  # oldest first
+            if excess <= 0:
+                break
+            excess -= self._hot_sizes.get(key, 0)
+            count += 1
+        return count
+
+    def _refresh_hot_sizes(self) -> None:
+        """Re-measure every resident value (they are mutated in place).
+
+        Values grow between store writes — a buffer gains entries through
+        the reference ``get()`` handed out — so admission-time sizes go
+        stale.  Budget mode re-measures the whole hot tier every
+        ``max(64, len(hot))`` touches: one amortised pickling per touch,
+        which keeps the budget honest without pickling on every access.
+        """
+        total = 0
+        sizes: Dict[Hashable, int] = {}
+        for key, value in self._hot.items():
+            size = len(pickle.dumps(value, protocol=_PROTOCOL))
+            sizes[key] = size
+            total += size
+        self._hot_sizes = sizes
+        self._hot_bytes_total = total
+        self._ops_since_refresh = 0
+
+    def _touch_budget(self) -> None:
+        """Count a budget-mode access; refresh sizes and spill when due."""
+        self._ops_since_refresh += 1
+        if self._ops_since_refresh >= max(64, len(self._hot)):
+            self._refresh_hot_sizes()
+            if self._hot_bytes_total > self._hot_bytes:
+                self._spill_lru(self._over_budget_count())
+
+    def _admit(self, key: Hashable, value: Any, *, size: Optional[int] = None) -> None:
         self._hot[key] = value
-        if len(self._hot) > self._hot_capacity:
-            self._spill_one()
+        if self._hot_bytes is not None:
+            if size is None:
+                size = len(pickle.dumps(value, protocol=_PROTOCOL))
+            self._hot_bytes_total += size - self._hot_sizes.get(key, 0)
+            self._hot_sizes[key] = size
+        overflow = len(self._hot) - self._hot_capacity
+        if overflow > 0:
+            # Spill at least the overflow; with spill_batch > 1 a few extra
+            # LRU entries ride along so the next overflows are free.
+            self._spill_lru(max(overflow, self._spill_batch))
+        if self._hot_bytes is not None and self._hot_bytes_total > self._hot_bytes:
+            self._spill_lru(self._over_budget_count())
 
     def _fault_in(self, key: Hashable) -> Any:
         key_blob = self._encode_key(key)
@@ -152,8 +289,9 @@ class SqliteStore(ProvenanceStore):
         value = pickle.loads(row[0])
         conn.execute("DELETE FROM kv WHERE key = ?", (key_blob,))
         self._cold_keys.discard(key)
+        self._forget_cold(key)
         self._spill_reads += 1
-        self._admit(key, value)
+        self._admit(key, value, size=len(row[0]))
         return value
 
     # ------------------------------------------------------------------
@@ -164,6 +302,8 @@ class SqliteStore(ProvenanceStore):
         if key in hot:
             value = hot.pop(key)  # refresh recency
             hot[key] = value
+            if self._hot_bytes is not None:
+                self._touch_budget()
             return value
         if key in self._cold_keys:
             return self._fault_in(key)
@@ -185,6 +325,7 @@ class SqliteStore(ProvenanceStore):
                 "DELETE FROM kv WHERE key = ?", (self._encode_key(key),)
             )
             self._cold_keys.discard(key)
+            self._forget_cold(key)
         self._admit(key, value)
 
     def merge(self, key: Hashable, amount: Any) -> None:
@@ -193,6 +334,8 @@ class SqliteStore(ProvenanceStore):
 
     def evict(self, key: Hashable) -> Any:
         if key in self._hot:
+            if self._hot_bytes is not None:
+                self._hot_bytes_total -= self._hot_sizes.pop(key, 0)
             return self._hot.pop(key)
         if key in self._cold_keys:
             key_blob = self._encode_key(key)
@@ -202,6 +345,7 @@ class SqliteStore(ProvenanceStore):
             ).fetchone()
             conn.execute("DELETE FROM kv WHERE key = ?", (key_blob,))
             self._cold_keys.discard(key)
+            self._forget_cold(key)
             return pickle.loads(row[0])
         return None
 
@@ -232,6 +376,19 @@ class SqliteStore(ProvenanceStore):
     def __contains__(self, key: Hashable) -> bool:
         return key in self._hot or key in self._cold_keys
 
+    def entry_total(self, measure: Callable[[Any], int] = len) -> int:
+        """Sum of ``measure(value)`` without deserialising the cold tier.
+
+        For the default ``len`` measure the cold contribution comes from
+        the running counter maintained at spill/fault time (cold values
+        cannot change while cold, so it is exact); only unsized cold values
+        or a custom ``measure`` fall back to the full materialising scan.
+        """
+        if measure is len and not self._cold_unsized:
+            resident = sum(len(value) for value in self._hot.values())
+            return resident + self._cold_len_total
+        return super().entry_total(measure)
+
     def snapshot(self) -> Dict[Hashable, Any]:
         return dict(self.items())
 
@@ -243,6 +400,11 @@ class SqliteStore(ProvenanceStore):
     def clear(self) -> None:
         self._hot.clear()
         self._cold_keys.clear()
+        self._cold_lengths.clear()
+        self._cold_len_total = 0
+        self._cold_unsized = 0
+        self._hot_sizes.clear()
+        self._hot_bytes_total = 0
         if self._conn is not None:
             self._conn.execute("DELETE FROM kv")
 
@@ -286,6 +448,8 @@ class SqliteStore(ProvenanceStore):
     def __getstate__(self) -> Dict[str, Any]:
         return {
             "hot_capacity": self._hot_capacity,
+            "hot_bytes": self._hot_bytes,
+            "spill_batch": self._spill_batch,
             "directory": self._directory,
             "entries": self.snapshot(),
             "counters": (self._evictions, self._spilled_bytes, self._spill_reads),
@@ -293,9 +457,17 @@ class SqliteStore(ProvenanceStore):
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self._hot_capacity = state["hot_capacity"]
+        self._hot_bytes = state.get("hot_bytes")
+        self._spill_batch = state.get("spill_batch", 1)
         self._directory = state.get("directory")
         self._hot = {}
         self._cold_keys = set()
+        self._cold_lengths = {}
+        self._cold_len_total = 0
+        self._cold_unsized = 0
+        self._hot_sizes = {}
+        self._hot_bytes_total = 0
+        self._ops_since_refresh = 0
         self._conn = None
         self._path = None
         self._evictions = 0

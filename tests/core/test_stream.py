@@ -64,6 +64,65 @@ class TestMergeStreams:
         merged = list(merge_streams(make([1, 5]), make([2, 4]), make([3])))
         assert [r.time for r in merged] == [1, 2, 3, 4, 5]
 
+    def test_merge_no_streams(self):
+        assert list(merge_streams()) == []
+
+    def test_equal_timestamps_across_streams_keep_argument_order(self):
+        # Ties must come out in the order the streams were passed — the
+        # merge is deterministic, not arbitrary.
+        first = make([1, 2, 2], source="first")
+        second = make([2, 2, 3], source="second")
+        merged = list(merge_streams(first, second))
+        assert [r.time for r in merged] == [1, 2, 2, 2, 2, 3]
+        assert [r.source for r in merged if r.time == 2] == [
+            "first", "first", "second", "second",
+        ]
+
+    def test_equal_timestamps_within_one_stream_keep_stream_order(self):
+        stream = [
+            Interaction("a", "b", 1.0, 1.0),
+            Interaction("a", "c", 1.0, 2.0),
+            Interaction("a", "d", 1.0, 3.0),
+        ]
+        merged = list(merge_streams(stream, make([])))
+        assert [r.quantity for r in merged] == [1.0, 2.0, 3.0]
+
+    def test_empty_streams_mixed_with_nonempty(self):
+        merged = list(merge_streams([], make([1, 3]), [], make([2]), []))
+        assert [r.time for r in merged] == [1, 2, 3]
+
+    def test_merge_rejects_out_of_order_in_later_position(self):
+        # The violation sits deep inside one input, after valid output has
+        # already been produced: it must still be caught when reached.
+        bad = make([1, 4, 2])
+        merged = merge_streams(make([1, 2, 3]), bad)
+        with pytest.raises(InvalidInteractionError):
+            list(merged)
+
+    def test_merge_yields_valid_prefix_before_raising(self):
+        # Lazy error semantics: prefix consumers succeed over streams whose
+        # violation lies beyond what they consume.
+        merged = merge_streams(make([1, 4, 2]))
+        assert next(merged).time == 1
+        assert next(merged).time == 4
+        with pytest.raises(InvalidInteractionError):
+            next(merged)
+
+    def test_merge_is_lazy_in_chunks(self):
+        # The merge reads bounded lookahead per input, never whole streams:
+        # taking a prefix of the merge must not drain a long generator.
+        consumed = []
+
+        def generator():
+            for interaction in make(list(range(10_000))):
+                consumed.append(interaction.time)
+                yield interaction
+
+        merged = merge_streams(generator())
+        prefix = [next(merged).time for _ in range(10)]
+        assert prefix == list(range(10))
+        assert len(consumed) < 10_000
+
 
 class TestPrefixAndWindow:
     def test_take_prefix(self):
@@ -88,6 +147,20 @@ class TestPrefixAndWindow:
 
     def test_time_window_unbounded_end(self):
         assert [r.time for r in time_window(make([1, 2, 3]), start=2)] == [2, 3]
+
+    def test_time_window_empty_input(self):
+        assert list(time_window([], start=0, end=10)) == []
+
+    def test_time_window_boundaries_are_inclusive(self):
+        windowed = list(time_window(make([1, 2, 3]), start=1, end=3))
+        assert [r.time for r in windowed] == [1, 2, 3]
+
+    def test_time_window_no_matches_inside_bounds(self):
+        assert list(time_window(make([1, 2, 3]), start=1.4, end=1.6)) == []
+
+    def test_time_window_equal_start_and_end(self):
+        windowed = list(time_window(make([1, 2, 2, 3]), start=2, end=2))
+        assert [r.time for r in windowed] == [2, 2]
 
     def test_time_window_stops_early_on_sorted_input(self):
         # The generator must stop consuming once past `end`.

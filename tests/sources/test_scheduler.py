@@ -1,0 +1,241 @@
+"""Unit tests for the micro-batch scheduler: flush triggers, backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.exceptions import RunConfigurationError
+from repro.sources import InteractionSource, MicroBatchScheduler, SequenceSource
+
+
+def make(times):
+    return [Interaction("a", "b", float(t), 1.0) for t in times]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class ScriptedSource(InteractionSource):
+    """Hands out pre-scripted poll results, then exhausts.
+
+    Each entry of ``script`` is what one ``poll`` call returns (an empty
+    list simulates a quiet live feed); sizes are clamped to the caller's
+    ``max_items`` so backpressure-driven polls behave like a real source.
+    """
+
+    def __init__(self, script):
+        super().__init__()
+        self._script = list(script)
+        self.poll_sizes = []
+
+    def poll(self, max_items):
+        self.poll_sizes.append(max_items)
+        if not self._script:
+            return []
+        batch = self._script[0][:max_items]
+        self._script[0] = self._script[0][len(batch):]
+        if not self._script[0]:
+            self._script.pop(0)
+        return self._emit(batch)
+
+    @property
+    def exhausted(self):
+        return not self._script
+
+
+class TestFlushTriggers:
+    def test_size_flush_and_final_flush(self):
+        scheduler = MicroBatchScheduler(SequenceSource(make(range(10))), micro_batch=4)
+        batches = [[r.time for r in batch] for batch in scheduler]
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        stats = scheduler.stats()
+        assert stats["flushes"]["size"] == 2
+        assert stats["flushes"]["final"] == 1
+        assert stats["interactions"] == 10
+
+    def test_next_batch_respects_max_items_clipping(self):
+        scheduler = MicroBatchScheduler(SequenceSource(make(range(10))), micro_batch=8)
+        assert len(scheduler.next_batch(3)) == 3  # clipped below micro_batch
+        assert len(scheduler.next_batch()) == 7
+        assert scheduler.next_batch() is None
+
+    def test_wall_clock_flush_on_slow_feed(self):
+        clock = FakeClock()
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        source = ScriptedSource([make([1, 2]), [], [], [], make([3])])
+        scheduler = MicroBatchScheduler(
+            source, micro_batch=100, flush_interval=0.05,
+            poll_interval=0.02, clock=clock, sleep=sleep,
+        )
+        batch = scheduler.next_batch()
+        # two interactions arrived, then the feed went quiet: the timer
+        # flushes the partial batch instead of waiting for 100
+        assert [r.time for r in batch] == [1, 2]
+        assert scheduler.stats()["flushes"]["timer"] == 1
+        assert sleeps  # it actually waited between polls
+        assert [r.time for r in scheduler.next_batch()] == [3]
+        assert scheduler.next_batch() is None
+
+    def test_event_time_window_bounds_every_batch_span(self):
+        # Interactions spanning 190 stream-time units with a 10-unit window:
+        # every emitted batch must cover at most one window of stream time.
+        times = [0, 3, 8, 50, 55, 120, 190]
+        scheduler = MicroBatchScheduler(
+            SequenceSource(make(times)), micro_batch=100, event_time_window=10,
+        )
+        batches = [[r.time for r in batch] for batch in scheduler]
+        assert batches == [[0, 3, 8], [50, 55], [120], [190]]
+        for batch in batches:
+            assert batch[-1] - batch[0] <= 10
+        assert scheduler.stats()["flushes"]["window"] == 3
+
+    def test_event_time_window_bounds_size_triggered_flushes_too(self):
+        # Even when enough items are pending for a size flush, the emitted
+        # batch must not span more than the window.
+        times = [0, 1, 2, 100, 101, 102]
+        scheduler = MicroBatchScheduler(
+            SequenceSource(make(times)), micro_batch=4, event_time_window=10,
+        )
+        batches = [[r.time for r in batch] for batch in scheduler]
+        assert batches == [[0, 1, 2], [100, 101, 102]]
+
+    def test_partial_flush_keeps_oldest_arrival_stamp(self):
+        # A clipped flush that leaves items pending must not reset the
+        # latency clock: leftovers flush within one flush_interval of the
+        # ORIGINAL arrival, not of the previous flush.
+        clock = FakeClock()
+        source = ScriptedSource([make(range(10))] + [[]] * 50)
+        scheduler = MicroBatchScheduler(
+            source, micro_batch=100, max_in_flight=200, flush_interval=1.0,
+            poll_interval=0.1, clock=clock,
+            sleep=lambda seconds: clock.advance(seconds),
+        )
+        first = scheduler.next_batch(6)   # arrives at t=0; clipped flush
+        assert len(first) == 6
+        clock.advance(0.9)
+        # The 4 leftovers arrived at t=0: the timer must fire around t=1.0
+        # (arrival + interval), not t=1.9 (previous flush + interval).
+        second = scheduler.next_batch()
+        assert len(second) == 4
+        assert clock.now <= 1.2
+
+    def test_empty_source_returns_none_immediately(self):
+        scheduler = MicroBatchScheduler(SequenceSource([]), micro_batch=4)
+        assert scheduler.next_batch() is None
+
+
+class TestBackpressure:
+    def test_never_buffers_more_than_max_in_flight(self):
+        source = ScriptedSource([make(range(1000))])
+        scheduler = MicroBatchScheduler(source, micro_batch=8, max_in_flight=16)
+        for batch in scheduler:
+            assert scheduler.pending <= 16
+        assert scheduler.stats()["peak_in_flight"] <= 16
+        assert scheduler.stats()["interactions"] == 1000
+
+    def test_reads_ahead_up_to_max_in_flight(self):
+        # The knob buys bounded read-ahead: a bursty source is drained past
+        # the next micro-batch, up to the in-flight bound — not merely up to
+        # the batch shortfall.
+        source = ScriptedSource([make(range(1000))])
+        scheduler = MicroBatchScheduler(source, micro_batch=8, max_in_flight=32)
+        scheduler.next_batch()
+        assert scheduler.stats()["peak_in_flight"] == 32
+        assert scheduler.pending == 24  # 32 pulled, 8 flushed
+
+    def test_polls_are_clamped_to_remaining_room(self):
+        source = ScriptedSource([make(range(100))])
+        scheduler = MicroBatchScheduler(source, micro_batch=8, max_in_flight=16)
+        list(scheduler)
+        assert max(source.poll_sizes) <= 16
+
+    def test_default_max_in_flight_scales_with_micro_batch(self):
+        scheduler = MicroBatchScheduler(SequenceSource([]), micro_batch=32)
+        assert scheduler.max_in_flight == 128
+
+    def test_rejects_inconsistent_bounds(self):
+        with pytest.raises(RunConfigurationError):
+            MicroBatchScheduler(SequenceSource([]), micro_batch=16, max_in_flight=8)
+        with pytest.raises(RunConfigurationError):
+            MicroBatchScheduler(SequenceSource([]), micro_batch=0)
+        with pytest.raises(RunConfigurationError):
+            MicroBatchScheduler(SequenceSource([]), flush_interval=0)
+        with pytest.raises(RunConfigurationError):
+            MicroBatchScheduler(SequenceSource([]), event_time_window=-1)
+
+
+class TestConsumptionBounds:
+    def test_engine_clamps_caller_scheduler_to_limit(self):
+        # engine.run(scheduler, limit=N) must not let read-ahead drain the
+        # source past N: the remainder stays available for continuation.
+        from repro.core.engine import ProvenanceEngine
+        from repro.policies.registry import make_policy
+
+        source = SequenceSource(make(range(1000)))
+        scheduler = MicroBatchScheduler(source, micro_batch=16)
+        engine = ProvenanceEngine(make_policy("fifo"))
+        statistics = engine.run(scheduler, limit=10)
+        assert statistics.interactions == 10
+        assert scheduler.pulled == 10
+        assert len(source.poll(2000)) == 990  # nothing lost to read-ahead
+
+    def test_limit_clamp_is_restored_for_continuation_runs(self):
+        # The engine's limit clamp must not permanently cap the scheduler:
+        # a reset=False continuation on the same scheduler keeps consuming.
+        from repro.core.engine import ProvenanceEngine
+        from repro.policies.registry import make_policy
+
+        source = SequenceSource(make(range(100)))
+        scheduler = MicroBatchScheduler(source, micro_batch=8)
+        engine = ProvenanceEngine(make_policy("fifo"))
+        assert engine.run(scheduler, limit=5).interactions == 5
+        assert scheduler.max_pull is None  # clamp restored
+        assert engine.run(scheduler, reset=False, limit=50).interactions == 50
+        assert engine.run(scheduler, reset=False).interactions == 45
+        assert engine.interactions_processed == 100
+
+    def test_per_interaction_path_respects_the_limit_too(self):
+        # The observer/per-interaction path must not drain a source past
+        # the limit either (iter_limited, not chunked iteration).
+        from repro.core.engine import ProvenanceEngine
+        from repro.policies.registry import make_policy
+
+        source = SequenceSource(make(range(1000)))
+        engine = ProvenanceEngine(make_policy("fifo"))
+        statistics = engine.run(source, limit=10, batch_size=1)
+        assert statistics.interactions == 10
+        assert source.interactions_emitted == 10
+        continuation = engine.run(source, reset=False, limit=20)
+        assert continuation.interactions == 20
+        assert source.interactions_emitted == 30
+
+    def test_max_pull_bounds_source_consumption(self):
+        source = SequenceSource(make(range(100)))
+        scheduler = MicroBatchScheduler(source, micro_batch=8, max_pull=20)
+        batches = list(scheduler)
+        assert sum(len(batch) for batch in batches) == 20
+        assert len(source.poll(200)) == 80
+
+
+class TestOrderPreservation:
+    def test_concatenated_batches_equal_the_input_stream(self):
+        times = list(range(257))
+        scheduler = MicroBatchScheduler(
+            SequenceSource(make(times)), micro_batch=7, max_in_flight=21
+        )
+        replayed = [r.time for batch in scheduler for r in batch]
+        assert replayed == [float(t) for t in times]

@@ -1,0 +1,271 @@
+"""Acceptance tests of the streaming subsystem: bit-identical to eager runs.
+
+The equivalence bar of the source/scheduler refactor: a streaming run over
+ANY source — sequence-wrapped, CSV-tailed, merged — must produce origin
+sets identical (float for float) to the eager run on the same interaction
+sequence, for EVERY registered policy, on the dict store and on the SQLite
+spill store.  Resumed runs must land on the same provenance as uninterrupted
+ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import load_engine
+from repro.datasets.catalog import load_preset
+from repro.datasets.io import write_interactions_csv
+from repro.policies.registry import available_policies
+from repro.runtime import RunConfig, Runner
+from repro.sources import (
+    CsvTailSource,
+    GeneratorSource,
+    MergeSource,
+    MicroBatchScheduler,
+    SequenceSource,
+)
+from repro.stores import StoreSpec
+
+#: Structural parameters for the policies whose constructors require them.
+STRUCTURAL_OPTIONS = {
+    "proportional-budget": {"capacity": 20},
+    "proportional-windowed": {"window": 150},
+    "proportional-time-windowed": {"window": 50.0},
+}
+
+#: A tiny hot capacity forces heavy spilling, so the sqlite leg genuinely
+#: exercises fault-in/spill during scheduled execution.
+STORES = {
+    "dict": None,
+    "sqlite": StoreSpec("sqlite", {"hot_capacity": 8}),
+}
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load_preset("taxis", scale=0.05)
+
+
+def snapshot_dict(result):
+    snapshot = result.snapshot()
+    return {vertex: snapshot[vertex].as_dict() for vertex in snapshot}
+
+
+def run_config(network, policy_name, store, **extra):
+    return RunConfig(
+        dataset=network,
+        policy=policy_name,
+        policy_options=STRUCTURAL_OPTIONS.get(policy_name, {}),
+        store=STORES[store],
+        **extra,
+    )
+
+
+@pytest.mark.parametrize("store", sorted(STORES))
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_scheduled_run_identical_to_eager(network, policy_name, store):
+    eager = Runner(run_config(network, policy_name, store, batch_size=1)).run()
+    scheduled = Runner(run_config(
+        network, policy_name, store, micro_batch=61, max_in_flight=200
+    )).run()
+    assert eager.statistics.interactions == scheduled.statistics.interactions
+    assert snapshot_dict(eager) == snapshot_dict(scheduled)
+    assert scheduled.scheduler_stats is not None
+    assert scheduled.scheduler_stats["interactions"] == eager.statistics.interactions
+    assert scheduled.scheduler_stats["peak_in_flight"] <= 200
+
+
+@pytest.mark.parametrize("store", sorted(STORES))
+def test_csv_tail_source_identical_to_eager(network, store, tmp_path):
+    path = tmp_path / "feed.csv"
+    write_interactions_csv(network.interactions, path)
+    eager = Runner(run_config(network, "fifo", store)).run()
+    tailed = Runner(RunConfig(
+        source=CsvTailSource(path, vertex_type=int),
+        policy="fifo",
+        store=STORES[store],
+        micro_batch=64,
+    )).run()
+    assert snapshot_dict(eager) == snapshot_dict(tailed)
+
+
+@pytest.mark.parametrize("store", sorted(STORES))
+def test_merge_source_reassembles_split_stream(network, store):
+    # Split the stream round-robin into 3 time-ordered sub-streams and merge
+    # them back: the merged run must equal the eager run on the whole stream.
+    interactions = network.interactions
+    parts = [interactions[i::3] for i in range(3)]
+    merged = MergeSource(*(SequenceSource(part) for part in parts))
+    eager = Runner(run_config(network, "fifo", store)).run()
+    streamed = Runner(RunConfig(
+        source=merged, policy="fifo", store=STORES[store], micro_batch=32
+    )).run()
+    assert streamed.statistics.interactions == len(interactions)
+    assert snapshot_dict(eager) == snapshot_dict(streamed)
+
+
+def test_merge_source_split_preserves_exact_order(network):
+    # The reassembled sequence itself must be the original one (stability on
+    # equal timestamps), independent of any policy.
+    interactions = network.interactions
+    parts = [interactions[i::3] for i in range(3)]
+    merged = list(MergeSource(*(SequenceSource(part) for part in parts)))
+    assert [r.time for r in merged] == [r.time for r in interactions]
+
+
+def test_generator_source_identical_to_eager(network):
+    eager = Runner(run_config(network, "lrb", "dict")).run()
+    replayed = Runner(RunConfig(
+        source=GeneratorSource(network.interactions),
+        policy="lrb",
+        micro_batch=50,
+    )).run()
+    assert snapshot_dict(eager) == snapshot_dict(replayed)
+
+
+@pytest.mark.parametrize("store", sorted(STORES))
+@pytest.mark.parametrize("policy_name", ["fifo", "proportional-sparse"])
+def test_resumed_run_identical_to_uninterrupted(
+    network, policy_name, store, tmp_path
+):
+    checkpoint = tmp_path / "resume.ckpt"
+    eager = Runner(run_config(network, policy_name, store)).run()
+    half = len(network.interactions) // 2
+    interrupted = Runner(run_config(
+        network, policy_name, store,
+        micro_batch=64,
+        limit=half,
+        checkpoint_path=checkpoint,
+        checkpoint_every=100,
+    )).run()
+    assert interrupted.statistics.interactions == half
+    resumed = Runner(run_config(
+        network, policy_name, store,
+        micro_batch=64,
+        resume_from=checkpoint,
+    )).run()
+    assert resumed.statistics.interactions == len(network.interactions) - half
+    assert resumed.engine.interactions_processed == len(network.interactions)
+    assert snapshot_dict(eager) == snapshot_dict(resumed)
+
+
+def test_engine_checkpoints_fire_on_the_per_interaction_path(network):
+    # checkpoint_every/on_checkpoint must never be a silent no-op: the
+    # per-interaction path (default batch_size) honours them through the
+    # observer mechanism.
+    from repro.core.engine import ProvenanceEngine
+    from repro.policies.registry import make_policy
+
+    offsets = []
+    engine = ProvenanceEngine(make_policy("fifo"))
+    engine.run(
+        network.interactions[:10],
+        checkpoint_every=2,
+        on_checkpoint=lambda _engine, processed: offsets.append(processed),
+    )
+    assert offsets == [2, 4, 6, 8, 10]
+
+
+def test_periodic_streaming_checkpoints_land_on_exact_offsets(network, tmp_path):
+    checkpoint = tmp_path / "periodic.ckpt"
+    offsets = []
+
+    class Recorder:
+        def __call__(self, engine, processed):
+            offsets.append(processed)
+
+    from repro.core.engine import ProvenanceEngine
+    from repro.policies.registry import make_policy
+
+    engine = ProvenanceEngine(make_policy("fifo"))
+    scheduler = MicroBatchScheduler(
+        SequenceSource(network.interactions), micro_batch=64
+    )
+    engine.run(
+        network, scheduler=scheduler, checkpoint_every=150,
+        on_checkpoint=Recorder(),
+    )
+    assert offsets == list(range(150, len(network.interactions) + 1, 150))
+
+
+def test_streaming_checkpoint_file_restores_runnable_engine(network, tmp_path):
+    checkpoint = tmp_path / "mid.ckpt"
+    Runner(run_config(
+        network, "fifo", "dict",
+        micro_batch=64,
+        limit=300,
+        checkpoint_path=checkpoint,
+        checkpoint_every=64,
+    )).run()
+    engine = load_engine(checkpoint)
+    assert engine.interactions_processed == 300
+    # the restored engine keeps running
+    engine.run(network.interactions[300:400], reset=False, batch_size=32)
+    assert engine.interactions_processed == 400
+
+
+def test_checkpoints_still_written_under_memory_ceiling(network, tmp_path):
+    # A memory ceiling registers an engine observer, which forces the
+    # per-interaction path — periodic checkpointing must then fall back to
+    # the observer mechanism instead of being silently disabled.  The run
+    # aborts on the tiny ceiling before any end-of-run save, so the
+    # checkpoint on disk can only come from the periodic mechanism.
+    checkpoint = tmp_path / "ceiling.ckpt"
+    result = Runner(RunConfig(
+        dataset=network,
+        policy="fifo",
+        micro_batch=64,                # scheduler knob set: the bug's trigger
+        checkpoint_path=checkpoint,
+        checkpoint_every=50,
+        memory_ceiling_bytes=1_000,    # trips at the first periodic check
+        memory_check_every=200,
+    )).run()
+    assert not result.feasible
+    assert checkpoint.exists(), "periodic checkpointing was silently disabled"
+    engine = load_engine(checkpoint)
+    assert engine.interactions_processed >= 50
+    assert engine.interactions_processed % 50 == 0
+
+
+def test_observer_run_with_scheduler_knobs_checkpoints_periodically(network, tmp_path):
+    # Explicit observers also force per-interaction stepping; periodic
+    # checkpoints must keep firing there even when scheduler knobs are set.
+    checkpoint = tmp_path / "mid.ckpt"
+    positions = []
+
+    def observer(engine, interaction, position):
+        positions.append(position)
+
+    result = Runner(RunConfig(
+        dataset=network,
+        policy="fifo",
+        micro_batch=64,
+        observers=[observer],
+        checkpoint_path=checkpoint,
+        checkpoint_every=100,
+        limit=250,
+    )).run()
+    assert result.statistics.interactions == 250
+    assert len(positions) == 250       # the per-interaction path really ran
+    assert checkpoint.exists()
+
+
+@pytest.mark.parametrize("store", sorted(STORES))
+def test_scheduled_sampling_matches_eager_positions(network, store):
+    eager = Runner(run_config(
+        network, "fifo", store, batch_size=1, sample_every=100
+    )).run()
+    scheduled = Runner(run_config(
+        network, "fifo", store, micro_batch=97, sample_every=100
+    )).run()
+    assert eager.statistics.samples == scheduled.statistics.samples
+    assert (
+        eager.statistics.sampled_entry_counts
+        == scheduled.statistics.sampled_entry_counts
+    )
+
+
+def test_sharded_runs_report_scheduler_batches(network):
+    # Sharded engines drive the same scheduled loop per shard.
+    result = Runner(RunConfig(dataset=network, policy="fifo", shards=2)).run()
+    assert result.statistics.interactions == len(network.interactions)

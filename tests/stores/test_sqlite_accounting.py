@@ -1,0 +1,164 @@
+"""SqliteStore accounting: incremental entry counters and size-aware eviction."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.datasets.catalog import load_preset
+from repro.exceptions import StoreConfigurationError
+from repro.runtime import RunConfig, Runner
+from repro.stores import DictStore, SqliteStore, StoreSpec
+
+
+def fill(store, count, width=5):
+    for i in range(count):
+        store.put(i, list(range(i % width)))
+
+
+class TestIncrementalEntryCounters:
+    def test_entry_total_matches_full_scan_under_heavy_spill(self):
+        store = SqliteStore(hot_capacity=4)
+        fill(store, 200, width=9)
+        assert store.stats().evictions > 0
+        assert store.entry_total() == sum(len(v) for v in store.values())
+
+    def test_entry_total_tracks_removals_and_overwrites(self):
+        store = SqliteStore(hot_capacity=4)
+        fill(store, 50)
+        store.put(0, [1, 2, 3, 4, 5, 6, 7])   # overwrite (cold or hot)
+        store.evict(1)
+        store.get(2)                           # fault one entry back in
+        assert store.entry_total() == sum(len(v) for v in store.values())
+
+    def test_entry_total_does_not_touch_the_cold_tier(self):
+        store = SqliteStore(hot_capacity=4)
+        fill(store, 100)
+        reads_before = store.stats().spill_reads
+        store.entry_total()
+        assert store.stats().spill_reads == reads_before
+
+    def test_unsized_values_fall_back_to_scan(self):
+        store = SqliteStore(hot_capacity=2)
+        for i in range(10):
+            store.put(i, float(i))  # floats have no len()
+        assert store.entry_total(lambda _v: 1) == 10
+
+    def test_custom_measure_bypasses_the_cache(self):
+        store = SqliteStore(hot_capacity=4)
+        fill(store, 30)
+        expected = sum(len(v) * 2 for v in store.values())
+        assert store.entry_total(lambda v: len(v) * 2) == expected
+
+    def test_matches_dict_store_semantics(self):
+        spilling, resident = SqliteStore(hot_capacity=4), DictStore()
+        fill(spilling, 60)
+        fill(resident, 60)
+        assert spilling.entry_total() == resident.entry_total()
+
+    def test_counters_survive_pickle_roundtrip(self):
+        store = SqliteStore(hot_capacity=4)
+        fill(store, 80)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.entry_total() == store.entry_total()
+
+    def test_clear_resets_counters(self):
+        store = SqliteStore(hot_capacity=4)
+        fill(store, 40)
+        store.clear()
+        assert store.entry_total() == 0
+
+
+class TestEngineCadenceCrossCheck:
+    """The O(log n) peak-tracking cadence stays correct on the spill backend."""
+
+    def test_peak_and_sampled_entry_counts_match_dict_runs(self):
+        network = load_preset("taxis", scale=0.1)
+        dict_run = Runner(RunConfig(
+            dataset=network, policy="fifo", sample_every=200
+        )).run()
+        spill_run = Runner(RunConfig(
+            dataset=network, policy="fifo", sample_every=200,
+            store=StoreSpec("sqlite", {"hot_capacity": 8}),
+        )).run()
+        assert dict_run.statistics.samples == spill_run.statistics.samples
+        assert (
+            dict_run.statistics.sampled_entry_counts
+            == spill_run.statistics.sampled_entry_counts
+        )
+        assert (
+            dict_run.statistics.peak_entry_count
+            == spill_run.statistics.peak_entry_count
+        )
+        assert (
+            dict_run.statistics.final_entry_count
+            == spill_run.statistics.final_entry_count
+        )
+
+
+class TestSizeAwareEviction:
+    def test_hot_bytes_budget_bounds_resident_serialized_size(self):
+        store = SqliteStore(hot_capacity=10_000, hot_bytes=2_000)
+        fill(store, 400, width=11)
+        assert store.resident_bytes_estimate <= 2_000
+        stats = store.stats()
+        assert stats.evictions > 0
+        assert stats.entries == 400  # nothing lost, only displaced
+
+    def test_hot_bytes_preserves_contents_exactly(self):
+        budgeted = SqliteStore(hot_capacity=10_000, hot_bytes=1_500)
+        plain = DictStore()
+        for i in range(200):
+            value = list(range(i % 13))
+            budgeted.put(i, list(value))
+            plain.put(i, list(value))
+        assert budgeted.snapshot() == plain.snapshot()
+
+    def test_keeps_two_entries_resident_for_step_safety(self):
+        # Even an absurdly small byte budget must leave two entries hot so
+        # one engine step can mutate both endpoint values safely.
+        store = SqliteStore(hot_capacity=16, hot_bytes=1)
+        fill(store, 50)
+        assert store.stats().resident_entries >= 2
+
+    def test_spill_batch_amortises_writes(self):
+        # With spill_batch=N the store evicts N LRU entries per overflow, so
+        # resident occupancy dips below capacity after each batch.
+        store = SqliteStore(hot_capacity=10, spill_batch=5)
+        fill(store, 11)
+        assert store.stats().resident_entries == 6  # 11 - 5 spilled in one go
+        assert store.stats().entries == 11
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(StoreConfigurationError):
+            SqliteStore(hot_bytes=0)
+        with pytest.raises(StoreConfigurationError):
+            SqliteStore(spill_batch=0)
+        with pytest.raises(StoreConfigurationError):
+            StoreSpec("dict", {"hot_bytes": 100})  # spill option on dict store
+
+    def test_hot_bytes_run_equivalent_to_dict_run(self):
+        network = load_preset("taxis", scale=0.05)
+
+        def snapshot_dict(result):
+            snapshot = result.snapshot()
+            return {vertex: snapshot[vertex].as_dict() for vertex in snapshot}
+
+        dict_run = Runner(RunConfig(dataset=network, policy="fifo")).run()
+        budgeted = Runner(RunConfig(
+            dataset=network, policy="fifo",
+            store=StoreSpec("sqlite", {
+                "hot_capacity": 64, "hot_bytes": 4_096, "spill_batch": 4,
+            }),
+        )).run()
+        assert snapshot_dict(dict_run) == snapshot_dict(budgeted)
+        assert budgeted.spilled_bytes > 0
+
+    def test_hot_bytes_roundtrips_through_pickle(self):
+        store = SqliteStore(hot_capacity=32, hot_bytes=1_000, spill_batch=3)
+        fill(store, 100)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.hot_bytes == 1_000
+        assert clone.snapshot() == store.snapshot()
+        assert clone.resident_bytes_estimate <= 1_000

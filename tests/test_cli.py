@@ -89,3 +89,87 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "table6" in out
         assert "bitcoin" in out
+
+
+class TestStreamingFlags:
+    def _write_feed(self, tmp_path):
+        from repro.core.interaction import Interaction
+        from repro.datasets.io import write_interactions_csv
+
+        path = tmp_path / "feed.csv"
+        write_interactions_csv(
+            [
+                Interaction("a", "b", 1.0, 2.0),
+                Interaction("b", "c", 2.0, 1.0),
+                Interaction("a", "c", 3.0, 4.0),
+            ],
+            path,
+        )
+        return path
+
+    def test_streaming_flags_parse(self):
+        args = build_parser().parse_args([
+            "run", "--follow", "--micro-batch", "64", "--max-in-flight", "256",
+            "--flush-interval", "0.5", "--idle-timeout", "2",
+        ])
+        assert args.follow is True
+        assert args.micro_batch == 64
+        assert args.max_in_flight == 256
+        assert args.flush_interval == 0.5
+        assert args.idle_timeout == 2.0
+
+    def test_follow_run_with_idle_timeout_terminates(self, tmp_path, capsys):
+        path = self._write_feed(tmp_path)
+        exit_code = main([
+            "run", "--dataset", str(path), "--follow", "--idle-timeout", "0.2",
+            "--micro-batch", "2",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "processed 3 interactions" in out
+        assert "micro-batched" in out
+
+    def test_micro_batch_run_reports_scheduler_line(self, capsys):
+        assert main([
+            "run", "--dataset", "taxis", "--scale", "0.02",
+            "--micro-batch", "32", "--max-in-flight", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "micro-batched" in out
+        assert "peak in-flight" in out
+
+    def test_checkpoint_and_resume_roundtrip(self, tmp_path, capsys):
+        path = self._write_feed(tmp_path)
+        checkpoint = tmp_path / "run.ckpt"
+        assert main([
+            "run", "--dataset", str(path), "--stream", "--micro-batch", "2",
+            "--limit", "2", "--checkpoint", str(checkpoint),
+        ]) == 0
+        assert checkpoint.exists()
+        assert main([
+            "run", "--dataset", str(path), "--stream", "--micro-batch", "2",
+            "--resume-from", str(checkpoint),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "processed 1 interactions" in out  # only the remainder
+
+    def test_follow_on_preset_is_rejected(self, capsys):
+        assert main(["run", "--dataset", "taxis", "--follow"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_hot_bytes_flag_requires_sqlite_store(self, capsys, monkeypatch):
+        # force the dict default so the test is independent of the
+        # REPRO_DEFAULT_STORE CI matrix leg
+        monkeypatch.delenv("REPRO_DEFAULT_STORE", raising=False)
+        assert main([
+            "run", "--dataset", "taxis", "--scale", "0.02", "--hot-bytes", "1024",
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_hot_bytes_flag_with_sqlite_store(self, capsys):
+        assert main([
+            "run", "--dataset", "taxis", "--scale", "0.02",
+            "--store", "sqlite", "--hot-capacity", "8",
+            "--hot-bytes", "4096", "--spill-batch", "4",
+        ]) == 0
+        assert "store backend 'sqlite'" in capsys.readouterr().out
