@@ -1,34 +1,41 @@
-"""Throughput benchmark: batched ``process_many`` vs. the seed per-interaction loop.
+"""Throughput benchmark: per-interaction vs batched vs columnar execution.
 
-Runs every policy family with a chunked ``process_many`` fast path — the
-no-provenance baseline, the dense proportional policy, and the four
-entry-based policies (lrb/mrb/fifo/lifo) — over preset datasets with
-``batch_size=1`` (equivalent to the seed engine loop) and with the default
-batch size, and writes a ``BENCH_batched_throughput.json`` record with
-interactions/second for both paths plus the speedup.  Each case is also
-measured through the explicit micro-batch scheduler
-(:class:`repro.sources.MicroBatchScheduler` over a ``SequenceSource``, the
-path streaming runs take), recording ``micro_batch_ips`` and the
-scheduler-vs-eager-batched ratio — the cost of source polling, the bounded
-in-flight queue and flush-trigger checks on top of the same batching.  The
-CI benchmark-smoke job runs this script; run it locally with::
+Runs every policy family with a fast path — the no-provenance baseline, the
+dense proportional policy, and the four entry-based policies (lrb/mrb/fifo/
+lifo) — over preset datasets in four configurations:
+
+* ``batch_size=1`` (equivalent to the seed engine loop),
+* the default batched ``process_many`` path,
+* the explicit micro-batch scheduler (the path streaming runs take),
+* the columnar block path (``columnar=True``: interned-id arrays driven
+  through ``process_block``).
+
+and writes a ``BENCH_batched_throughput.json`` record with interactions per
+second for each plus the speedups.  Configurations are measured in
+interleaved rounds (round-robin over configurations, best of ``--repeats``)
+with the garbage collector paused inside the timed region, so slow drift of
+the machine hits all columns equally instead of biasing the ratios.  The CI
+benchmark-smoke job runs this script; run it locally with::
 
     PYTHONPATH=src python benchmarks/bench_batched.py [--scale 0.5] [--output path.json]
 
 Pass ``--store sqlite`` to measure the spill backend instead of the
-in-memory dicts (the speedup gate is skipped there: the point of the spill
-backend is feasibility, not throughput).
+in-memory dicts (the speedup gates are skipped there: the point of the
+spill backend is feasibility, not throughput; columnar runs fall back to
+the materialising adapter on it).
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 from pathlib import Path
 
 from repro.datasets.catalog import load_preset
 from repro.runtime import DEFAULT_BATCH_SIZE, RunConfig, Runner
+
 from repro.stores import available_store_backends
 
 #: (policy, dataset) pairs measured by the benchmark.  The dense policy runs
@@ -46,31 +53,42 @@ CASES = (
     ("lifo", "taxis"),
 )
 
+#: Configuration name -> RunConfig overrides.  ``batch_size`` defaults are
+#: filled in by :func:`measure_case`.
+CONFIGURATIONS = ("per_interaction", "batched", "micro_batch_scheduler", "columnar")
 
-def best_of(
-    network,
-    policy_name: str,
-    batch_size: int,
-    repeats: int,
-    store: str = None,
-    scheduled: bool = False,
-) -> float:
-    """Best wall-clock seconds over ``repeats`` runs of one configuration.
 
-    ``scheduled=True`` routes the run through the explicit micro-batch
-    scheduler (the streaming path) instead of the eager batched loop.
-    """
-    best = float("inf")
+def timed_run(network, policy_name: str, store, batch_size: int, configuration: str) -> float:
+    """One run of one configuration; returns its wall-clock seconds."""
+    config = RunConfig(
+        dataset=network,
+        policy=policy_name,
+        batch_size=1 if configuration == "per_interaction" else batch_size,
+        micro_batch=batch_size if configuration == "micro_batch_scheduler" else None,
+        columnar=True if configuration == "columnar" else False,
+        store=store,
+    )
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        return Runner(config).run().statistics.elapsed_seconds
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def measure_case(network, policy_name: str, store, batch_size: int, repeats: int):
+    """Best seconds per configuration, measured in interleaved rounds."""
+    best = {name: float("inf") for name in CONFIGURATIONS}
+    # Warm the network's columnar cache outside every timed region so the
+    # one-off conversion does not land on an arbitrary configuration.
+    network.to_block()
     for _ in range(repeats):
-        config = RunConfig(
-            dataset=network,
-            policy=policy_name,
-            batch_size=batch_size,
-            micro_batch=batch_size if scheduled else None,
-            store=store,
-        )
-        statistics = Runner(config).run().statistics
-        best = min(best, statistics.elapsed_seconds)
+        for name in CONFIGURATIONS:
+            seconds = timed_run(network, policy_name, store, batch_size, name)
+            if seconds < best[name]:
+                best[name] = seconds
     return best
 
 
@@ -96,12 +114,11 @@ def main() -> int:
     records = []
     for policy_name, dataset in CASES:
         network = load_preset(dataset, scale=args.scale)
-        per_item = best_of(network, policy_name, 1, args.repeats, args.store)
-        batched = best_of(network, policy_name, args.batch_size, args.repeats, args.store)
-        scheduled = best_of(
-            network, policy_name, args.batch_size, args.repeats, args.store,
-            scheduled=True,
-        )
+        best = measure_case(network, policy_name, args.store, args.batch_size, args.repeats)
+        per_item = best["per_interaction"]
+        batched = best["batched"]
+        scheduled = best["micro_batch_scheduler"]
+        columnar = best["columnar"]
         interactions = network.num_interactions
         record = {
             "policy": policy_name,
@@ -110,21 +127,26 @@ def main() -> int:
             "per_interaction_seconds": per_item,
             "batched_seconds": batched,
             "micro_batch_scheduler_seconds": scheduled,
+            "columnar_seconds": columnar,
             "per_interaction_ips": interactions / per_item if per_item else 0.0,
             "batched_ips": interactions / batched if batched else 0.0,
             "micro_batch_scheduler_ips": interactions / scheduled if scheduled else 0.0,
+            "columnar_ips": interactions / columnar if columnar else 0.0,
             "speedup": per_item / batched if batched else 0.0,
             "micro_batch_speedup": per_item / scheduled if scheduled else 0.0,
+            "columnar_speedup": per_item / columnar if columnar else 0.0,
             "scheduler_vs_batched": batched / scheduled if scheduled else 0.0,
+            "columnar_vs_batched": batched / columnar if columnar else 0.0,
         }
         records.append(record)
         print(
             f"{policy_name:20s} on {dataset:8s}: "
             f"{record['per_interaction_ips']:>10,.0f} ips -> "
-            f"{record['batched_ips']:>10,.0f} ips batched "
-            f"({record['speedup']:.2f}x), "
-            f"{record['micro_batch_scheduler_ips']:>10,.0f} ips scheduled "
-            f"({record['micro_batch_speedup']:.2f}x)"
+            f"{record['batched_ips']:>10,.0f} batched ({record['speedup']:.2f}x), "
+            f"{record['micro_batch_scheduler_ips']:>10,.0f} scheduled "
+            f"({record['micro_batch_speedup']:.2f}x), "
+            f"{record['columnar_ips']:>10,.0f} columnar "
+            f"({record['columnar_speedup']:.2f}x)"
         )
 
     payload = {
@@ -141,23 +163,38 @@ def main() -> int:
 
     if args.store not in (None, "dict"):
         # Non-dict backends trade throughput for bounded memory; the batched
-        # path is still exercised above but not gated on being faster.
+        # and columnar paths are still exercised above but not gated on
+        # being faster.
         return 0
+    failures = []
     slower = [r for r in records if r["speedup"] <= 1.0]
     if slower:
-        print("WARNING: batched path not faster for:", [r["policy"] for r in slower])
-        return 1
+        print("FAIL: batched path not faster for:", [r["policy"] for r in slower])
+        failures.append("batched")
+    # CI gate: the columnar kernel must beat eager batching on noprov — the
+    # policy whose kernel is pure representation win, with no numpy-call
+    # floor to hide behind.
+    columnar_slower = [
+        r for r in records
+        if r["policy"] == "noprov" and r["columnar_vs_batched"] <= 1.0
+    ]
+    if columnar_slower:
+        print(
+            "FAIL: columnar path not faster than batched on noprov for:",
+            [r["dataset"] for r in columnar_slower],
+        )
+        failures.append("columnar")
     # The scheduler adds source polling and flush checks on top of the same
     # batching; it should track the eager batched path closely.  Warn-only:
     # single-run timing noise at small scales can dip one case below 1.0x,
-    # and the hard CI gate stays on the batched-vs-per-interaction speedup.
+    # and the hard CI gates stay on the speedup columns above.
     scheduler_slower = [r for r in records if r["micro_batch_speedup"] <= 1.0]
     if scheduler_slower:
         print(
             "WARNING: micro-batch scheduler not faster than per-interaction for:",
             [r["policy"] for r in scheduler_slower],
         )
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -40,6 +40,7 @@ from repro.stores import (
 )
 from repro.runtime import RunConfig, Runner, RunResult
 from repro.lazy.replay import ReplayProvenance
+from repro.core.blocks import InteractionBlock, VertexInterner
 from repro.core.interaction import Interaction, Vertex
 from repro.core.network import TemporalInteractionNetwork
 from repro.core.provenance import UNKNOWN_ORIGIN, OriginSet, ProvenanceSnapshot
@@ -73,6 +74,8 @@ __all__ = [
     "Interaction",
     "Vertex",
     "TemporalInteractionNetwork",
+    "InteractionBlock",
+    "VertexInterner",
     "ProvenanceEngine",
     "RunStatistics",
     # runtime (Runner pipeline)

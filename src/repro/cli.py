@@ -95,6 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="interactions per process_many() batch (0 or 1: per-interaction)",
     )
     run_parser.add_argument(
+        "--columnar", action=argparse.BooleanOptionalAction, default=None,
+        help="columnar fast path: drive the policy over interned-id array "
+        "blocks (--columnar forces it, --no-columnar disables it; default: "
+        "automatic whenever the policy has an array kernel for its store "
+        "backend). Results are bit-identical either way.",
+    )
+    run_parser.add_argument(
         "--stream", action="store_true",
         help="stream CSV datasets lazily instead of loading them into memory",
     )
@@ -215,6 +222,7 @@ def _command_run(args: argparse.Namespace) -> int:
     config = RunConfig(
         dataset=args.dataset,
         scale=args.scale,
+        columnar=args.columnar,
         stream=args.stream,
         follow=args.follow,
         micro_batch=args.micro_batch,
@@ -264,6 +272,13 @@ def _command_run(args: argparse.Namespace) -> int:
             f"(micro-batch {sched['micro_batch']}, "
             f"peak in-flight {sched['peak_in_flight']}/{sched['max_in_flight']}, "
             f"flushes: {flushes})"
+        )
+    if result.columnar_stats is not None:
+        col = result.columnar_stats
+        print(
+            f"columnar {col['mode']}: {col['interned_vertices']} interned "
+            f"vertices, {format_bytes(col['block_bytes'])} of column arrays"
+            + ("" if col["kernel"] else " (adapter: no array kernel)")
         )
     spec = config.store_spec
     if spec is not None:

@@ -1,5 +1,6 @@
 """Core TIN substrate: interactions, networks, buffers, engine, provenance."""
 
+from repro.core.blocks import InteractionBlock, VertexInterner
 from repro.core.buffer import BufferEntry, FifoBuffer, HeapBuffer, LifoBuffer, QuantityBuffer
 from repro.core.engine import ProvenanceEngine, RunStatistics
 from repro.core.interaction import Interaction, Vertex, sort_interactions, validate_interactions
@@ -17,6 +18,8 @@ from repro.core.serialization import (
 from repro.core.stream import InteractionStream, merge_streams, take_prefix, time_window
 
 __all__ = [
+    "InteractionBlock",
+    "VertexInterner",
     "load_engine",
     "load_policy",
     "save_engine",

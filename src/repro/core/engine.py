@@ -22,6 +22,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.core.blocks import InteractionBlock, VertexInterner
 from repro.core.interaction import Interaction, Vertex
 from repro.core.network import TemporalInteractionNetwork
 from repro.core.provenance import OriginSet, ProvenanceSnapshot
@@ -31,6 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sources import MicroBatchScheduler
 
 __all__ = ["ProvenanceEngine", "RunStatistics", "InteractionObserver"]
+
+#: Rows per kernel invocation on the columnar block path.  Array kernels
+#: amortise their per-slice setup (column ``tolist``, touched updates) over
+#: much larger slices than object batching needs; sampling, peak-check and
+#: checkpoint boundaries still clip slices exactly.
+_COLUMNAR_CHUNK = 8192
 
 #: Observers are called after every processed interaction with the engine,
 #: the interaction, and its zero-based position in the stream.
@@ -88,6 +95,7 @@ class ProvenanceEngine:
         self._interactions_processed = 0
         self._last_time: Optional[float] = None
         self._scheduler: Optional["MicroBatchScheduler"] = None
+        self._columnar_stats: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # observers
@@ -106,7 +114,9 @@ class ProvenanceEngine:
     # ------------------------------------------------------------------
     def run(
         self,
-        source: Union[TemporalInteractionNetwork, Iterable[Interaction]],
+        source: Union[
+            TemporalInteractionNetwork, InteractionBlock, Iterable[Interaction]
+        ],
         *,
         reset: bool = True,
         limit: Optional[int] = None,
@@ -115,6 +125,7 @@ class ProvenanceEngine:
         scheduler: Optional["MicroBatchScheduler"] = None,
         checkpoint_every: int = 0,
         on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
+        columnar: Optional[bool] = None,
     ) -> RunStatistics:
         """Process a whole interaction stream and return run statistics.
 
@@ -161,9 +172,66 @@ class ProvenanceEngine:
             is invoked there with the engine and the total interactions
             processed — periodic engine snapshots at exact stream offsets,
             without forcing per-interaction execution.
+        columnar:
+            Drive the policy through :meth:`SelectionPolicy.process_block`
+            over columnar :class:`~repro.core.blocks.InteractionBlock`
+            batches instead of object lists.  ``None`` (default) enables
+            the columnar path automatically for batched eager network runs
+            whenever the policy has a real array kernel for its current
+            store backend (the network's columnar form is built once and
+            cached); ``False`` disables it; ``True`` forces it everywhere —
+            scheduler/stream runs then columnarise each flushed batch, and
+            policies without a kernel stay correct through the
+            object-materialising adapter.  Results are bit-identical
+            either way.  Per-interaction runs and runs with observers
+            always take the object path.
         """
         from repro.sources import InteractionSource, MicroBatchScheduler
 
+        self._columnar_stats = None
+        if isinstance(source, InteractionBlock):
+            # A ready block is the columnar fast path by definition; the
+            # policy is reset with the interner's vertex universe, which
+            # matches the registration order of the network the block came
+            # from.
+            if reset:
+                self.policy.reset(source.interner.vertices)
+                self._interactions_processed = 0
+                self._last_time = None
+            if self._observers:
+                # Observers must see the policy after every interaction;
+                # materialise the block and step through it.  Periodic
+                # checkpoints ride the observer mechanism exactly like the
+                # non-block observer path, so they are never a silent no-op.
+                interactions = source.to_interactions()
+                if checkpoint_every and on_checkpoint is not None:
+
+                    def _checkpoint_observer(
+                        engine: "ProvenanceEngine",
+                        _interaction: Interaction,
+                        position: int,
+                    ) -> None:
+                        if (position + 1) % checkpoint_every == 0:
+                            on_checkpoint(engine, engine.interactions_processed)
+
+                    self.add_observer(_checkpoint_observer)
+                    try:
+                        return self._run_sequential(
+                            interactions, limit=limit, sample_every=sample_every
+                        )
+                    finally:
+                        self.remove_observer(_checkpoint_observer)
+                return self._run_sequential(
+                    interactions, limit=limit, sample_every=sample_every
+                )
+            return self._run_block(
+                source,
+                limit=limit,
+                sample_every=sample_every,
+                batch_size=batch_size,
+                checkpoint_every=checkpoint_every,
+                on_checkpoint=on_checkpoint,
+            )
         if isinstance(source, MicroBatchScheduler):
             scheduler, source = source, source.source
         clamped_max_pull = False
@@ -193,6 +261,37 @@ class ProvenanceEngine:
             self._last_time = None
 
         try:
+            if columnar is None:
+                # Auto mode only engages where the columnar form is (or
+                # becomes) cached: eager network runs.  Scheduler/stream
+                # runs would pay an object-to-array conversion per batch —
+                # roughly what the kernel saves — so there columnar stays
+                # opt-in (columnar=True).
+                use_columnar = (
+                    scheduler is None
+                    and batch_size > 1
+                    and isinstance(source, TemporalInteractionNetwork)
+                    and self.policy.has_columnar_kernel()
+                )
+            else:
+                use_columnar = columnar
+            use_columnar = use_columnar and not self._observers
+            if (
+                use_columnar
+                and scheduler is None
+                and batch_size > 1
+                and isinstance(source, TemporalInteractionNetwork)
+            ):
+                # Eager network run: columnarise once (cached on the
+                # network) and slice the block instead of chunking objects.
+                return self._run_block(
+                    source.to_block(),
+                    limit=limit,
+                    sample_every=sample_every,
+                    batch_size=batch_size,
+                    checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint,
+                )
             if scheduler is not None and not self._observers:
                 return self._run_scheduled(
                     scheduler,
@@ -200,6 +299,7 @@ class ProvenanceEngine:
                     sample_every=sample_every,
                     checkpoint_every=checkpoint_every,
                     on_checkpoint=on_checkpoint,
+                    columnar=use_columnar,
                 )
             if batch_size > 1 and not self._observers:
                 return self._run_batched(
@@ -209,6 +309,7 @@ class ProvenanceEngine:
                     batch_size=batch_size,
                     checkpoint_every=checkpoint_every,
                     on_checkpoint=on_checkpoint,
+                    columnar=use_columnar,
                 )
             if scheduler is not None:
                 # Observers force per-interaction stepping; drain the
@@ -289,6 +390,7 @@ class ProvenanceEngine:
         batch_size: int,
         checkpoint_every: int = 0,
         on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
+        columnar: bool = False,
     ) -> RunStatistics:
         """Batched drive loop behind :meth:`run` (no observers registered).
 
@@ -315,7 +417,82 @@ class ProvenanceEngine:
             sample_every=sample_every,
             checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint,
+            columnar=columnar,
         )
+
+    def _run_block(
+        self,
+        block: InteractionBlock,
+        *,
+        limit: Optional[int],
+        sample_every: int,
+        batch_size: int = 0,
+        checkpoint_every: int = 0,
+        on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
+    ) -> RunStatistics:
+        """Columnar drive loop over one materialised block (no observers).
+
+        Slices the block at exactly the positions the object paths clip
+        batches at — ``sample_every``, the geometric peak-check cadence and
+        ``checkpoint_every`` — so entry counts are sampled, and checkpoints
+        written, at identical stream offsets.  Kernel slices are much larger
+        than object batches (``_COLUMNAR_CHUNK``); slice size never affects
+        results, only amortisation.
+        """
+        policy = self.policy
+        process_block = policy.process_block
+        chunk = max(batch_size, _COLUMNAR_CHUNK)
+        total = len(block)
+        if limit is not None:
+            total = min(total, max(limit, 0))
+        self._columnar_stats = {
+            "mode": "block",
+            "interned_vertices": len(block.interner),
+            "block_bytes": block.nbytes,
+            "kernel": policy.has_columnar_kernel(),
+            "chunk": chunk,
+        }
+
+        stats = RunStatistics()
+        processed = 0
+        next_peak_check = _PEAK_CHECK_START if not sample_every else 0
+        start = _time.perf_counter()
+        while processed < total:
+            size = min(chunk, total - processed)
+            if sample_every:
+                size = min(size, sample_every - (processed % sample_every))
+            if next_peak_check:
+                size = min(size, next_peak_check - processed)
+            if checkpoint_every:
+                size = min(size, checkpoint_every - (processed % checkpoint_every))
+            piece = block.slice(processed, processed + size)
+            process_block(piece)
+            processed += size
+            self._interactions_processed += size
+            self._last_time = piece.last_time
+            stats.interactions += size
+            if sample_every and processed % sample_every == 0:
+                entry_count = policy.entry_count()
+                stats.samples.append(processed)
+                stats.sampled_entry_counts.append(entry_count)
+                stats.sampled_elapsed_seconds.append(_time.perf_counter() - start)
+                if entry_count > stats.peak_entry_count:
+                    stats.peak_entry_count = entry_count
+            elif next_peak_check and processed >= next_peak_check:
+                entry_count = policy.entry_count()
+                if entry_count > stats.peak_entry_count:
+                    stats.peak_entry_count = entry_count
+                next_peak_check *= 2
+            if (
+                checkpoint_every
+                and on_checkpoint is not None
+                and processed % checkpoint_every == 0
+            ):
+                on_checkpoint(self, self._interactions_processed)
+        stats.elapsed_seconds = _time.perf_counter() - start
+        stats.final_entry_count = policy.entry_count()
+        stats.peak_entry_count = max(stats.peak_entry_count, stats.final_entry_count)
+        return stats
 
     def _run_scheduled(
         self,
@@ -325,6 +502,7 @@ class ProvenanceEngine:
         sample_every: int,
         checkpoint_every: int = 0,
         on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
+        columnar: bool = False,
     ) -> RunStatistics:
         """The micro-batched drive loop every batched run goes through.
 
@@ -334,10 +512,26 @@ class ProvenanceEngine:
         per-interaction path.  The scheduler may flush smaller batches on
         its own time/window triggers; smaller never breaks equivalence,
         only the clipping ceilings matter.
+
+        With ``columnar=True`` every flushed batch is columnarised against
+        a run-local interner and handed to ``process_block`` — the array
+        kernels run on live streams too, at the cost of one object-to-array
+        conversion per batch.
         """
         policy = self.policy
         process_many = policy.process_many
         self._scheduler = scheduler
+        interner: Optional[VertexInterner] = None
+        if columnar:
+            interner = VertexInterner()
+            process_block = policy.process_block
+            self._columnar_stats = {
+                "mode": "stream",
+                "interned_vertices": 0,
+                "block_bytes": 0,
+                "kernel": policy.has_columnar_kernel(),
+                "chunk": scheduler.micro_batch,
+            }
 
         stats = RunStatistics()
         processed = 0
@@ -355,14 +549,26 @@ class ProvenanceEngine:
                 size = min(size, next_peak_check - processed)
             if checkpoint_every:
                 size = min(size, checkpoint_every - (processed % checkpoint_every))
-            batch = scheduler.next_batch(size)
-            if batch is None:
-                break
-            process_many(batch)
-            processed += len(batch)
-            self._interactions_processed += len(batch)
-            self._last_time = batch[-1].time
-            stats.interactions += len(batch)
+            if interner is not None:
+                block = scheduler.next_block(size, interner=interner)
+                if block is None:
+                    break
+                process_block(block)
+                self._columnar_stats["interned_vertices"] = len(interner)
+                self._columnar_stats["block_bytes"] += block.nbytes
+                produced = len(block)
+                last_time = block.last_time
+            else:
+                batch = scheduler.next_batch(size)
+                if batch is None:
+                    break
+                process_many(batch)
+                produced = len(batch)
+                last_time = batch[-1].time
+            processed += produced
+            self._interactions_processed += produced
+            self._last_time = last_time
+            stats.interactions += produced
             if sample_every and processed % sample_every == 0:
                 entry_count = policy.entry_count()
                 stats.samples.append(processed)
@@ -444,6 +650,19 @@ class ProvenanceEngine:
         if self._scheduler is None:
             return None
         return self._scheduler.stats()
+
+    def columnar_stats(self) -> Optional[Dict[str, object]]:
+        """Columnar-path accounting of the last run, or ``None``.
+
+        Reports whether the run was block-native (``mode="block"``: one
+        cached block sliced per kernel call) or stream-converted
+        (``mode="stream"``: scheduler batches columnarised on the fly),
+        the interned-vertex count, the ingest footprint of the column
+        arrays in bytes, and whether the policy ran a real array kernel
+        (``kernel=False`` means the materialising adapter kept a
+        kernel-less policy or a spilling store backend correct).
+        """
+        return self._columnar_stats
 
     def store_stats(self):
         """Accounting of the policy's provenance stores, keyed by role.

@@ -73,6 +73,7 @@ class TemporalInteractionNetwork:
         self._out_neighbors: Dict[Vertex, Set[Vertex]] = defaultdict(set)
         self._in_neighbors: Dict[Vertex, Set[Vertex]] = defaultdict(set)
         self._sorted = True
+        self._block_cache = None
 
     # ------------------------------------------------------------------
     # construction
@@ -117,6 +118,7 @@ class TemporalInteractionNetwork:
         """Append one interaction, registering its endpoints as vertices."""
         self.add_vertex(interaction.source)
         self.add_vertex(interaction.destination)
+        self._block_cache = None
         if self._interactions and interaction.time < self._interactions[-1].time:
             self._sorted = False
         self._interactions.append(interaction)
@@ -161,6 +163,24 @@ class TemporalInteractionNetwork:
             self._interactions = sort_interactions(self._interactions)
             self._sorted = True
         return list(self._interactions)
+
+    def to_block(self):
+        """The whole interaction stream as one columnar block (cached).
+
+        Interns every registered vertex first (so interner ids equal the
+        network's registration indices) and columnarises the time-ordered
+        interactions.  The block is cached — repeated runs over the same
+        network pay the conversion once — and invalidated whenever an
+        interaction is added.
+        """
+        if self._block_cache is None:
+            from repro.core.blocks import InteractionBlock, VertexInterner
+
+            interner = VertexInterner(self._vertices)
+            self._block_cache = InteractionBlock.from_interactions(
+                self.interactions, interner
+            )
+        return self._block_cache
 
     def __iter__(self) -> Iterator[Interaction]:
         return iter(self.interactions)

@@ -27,11 +27,14 @@ numpy matrices, or an SQLite spill store — with bit-identical results.
 from __future__ import annotations
 
 import abc
-from typing import ClassVar, Dict, Iterable, Iterator, Optional, Sequence, Union
+from typing import TYPE_CHECKING, ClassVar, Dict, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
 from repro.stores import ProvenanceStore, StoreSpec, StoreStats, resolve_store_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.blocks import InteractionBlock
 
 __all__ = ["SelectionPolicy"]
 
@@ -87,7 +90,14 @@ class SelectionPolicy(abc.ABC):
         return store
 
     def stores(self) -> Dict[str, ProvenanceStore]:
-        """The policy's provenance stores, keyed by state-component role."""
+        """The policy's provenance stores, keyed by state-component role.
+
+        Any columnar mirror state is flushed first, so the returned stores
+        are always authoritative (checkpoints, store statistics and
+        cross-backend migration see identical state no matter how the
+        policy was driven).
+        """
+        self._decolumnarise()
         return dict(getattr(self, "_stores", {}))
 
     def store_stats(self) -> Dict[str, StoreStats]:
@@ -126,6 +136,68 @@ class SelectionPolicy(abc.ABC):
         process = self.process
         for interaction in interactions:
             process(interaction)
+
+    # ------------------------------------------------------------------
+    # columnar execution
+    # ------------------------------------------------------------------
+    def process_block(self, block: "InteractionBlock") -> None:
+        """Apply one columnar block of interactions, in order.
+
+        Semantically equivalent to :meth:`process_many` over the block's
+        rows.  The default adapter materialises the interaction objects so
+        every policy works under columnar runs; the hot policies (noprov,
+        proportional-dense, the entry-buffer family) override it with
+        array kernels that never box a row — bit-identical to the object
+        path, enforced by the equivalence suite under ``tests/columnar/``.
+        """
+        self.process_many(block.to_interactions())
+
+    def has_columnar_kernel(self) -> bool:
+        """Whether :meth:`process_block` runs a real array kernel *right now*.
+
+        Instance-level because kernels require direct access to the state
+        (a dict-backed store): a policy whose annotation state lives in a
+        spilling backend answers False and keeps the object fast paths.
+        The engine's automatic columnar mode only engages when this is
+        True; forcing ``columnar=True`` still works through the
+        materialising adapter.
+        """
+        return False
+
+    def _kernel_consistent(self, owner: type) -> bool:
+        """Whether ``owner``'s columnar kernel is safe for this instance.
+
+        A subclass that overrides ``process``/``process_many`` without also
+        overriding ``process_block`` would be silently bypassed by the
+        inherited kernel; in that case the kernel must report itself
+        unavailable so such subclasses keep their object semantics (the
+        materialising adapter calls the overridden methods).
+        """
+        cls = type(self)
+        if cls.process_block is not owner.process_block:
+            # The subclass ships its own kernel; nothing is bypassed.
+            return True
+        return cls.process is owner.process and cls.process_many is owner.process_many
+
+    def _decolumnarise(self) -> None:
+        """Flush any columnar mirror state back into the stores (no-op here).
+
+        Kernel policies keep parts of their state in id-indexed arrays
+        while blocks are flowing; every object-level entry point (``process``,
+        ``process_many``, store access, pickling) calls this first so the
+        dict-backed stores are always authoritative once object-level code
+        looks at them.
+        """
+
+    def __getstate__(self):
+        """Pickle the object-form state only (columnar mirrors are flushed).
+
+        Checkpoints taken mid-columnar-run are therefore identical to
+        checkpoints of an object run; transient array mirrors are rebuilt
+        from the stores when the next block arrives.
+        """
+        self._decolumnarise()
+        return dict(self.__dict__)
 
     def process_all(self, interactions: Iterable[Interaction]) -> int:
         """Apply every interaction of an iterable; returns the count processed.

@@ -15,14 +15,37 @@ it has travelled through, starting at its origin.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.blocks import InteractionBlock, VertexInterner
 from repro.core.buffer import BufferEntry, QuantityBuffer
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
 from repro.policies.base import SelectionPolicy, StoreArgument
 
 __all__ = ["EntryBufferPolicy"]
+
+
+class _ColumnarBuffers:
+    """Id-indexed view of the per-vertex buffers during columnar runs.
+
+    Unlike the scalar policies, no values are mirrored: ``buffers[i]`` is
+    the *same* :class:`QuantityBuffer` object the store holds for the
+    vertex with interner id ``i`` (buffers are mutated in place, so the
+    store stays authoritative at all times).  The list only replaces the
+    per-interaction dict hashing with integer indexing.
+    """
+
+    __slots__ = ("interner", "buffers")
+
+    def __init__(self, interner: VertexInterner) -> None:
+        self.interner = interner
+        self.buffers: List[Optional[QuantityBuffer]] = [None] * len(interner)
+
+    def grow(self, size: int) -> None:
+        shortfall = size - len(self.buffers)
+        if shortfall > 0:
+            self.buffers.extend([None] * shortfall)
 
 
 class EntryBufferPolicy(SelectionPolicy):
@@ -42,6 +65,7 @@ class EntryBufferPolicy(SelectionPolicy):
         super().__init__(store=store)
         self.track_paths = track_paths
         self._buffers = self._make_store("buffers")
+        self._col: Optional[_ColumnarBuffers] = None
 
     # ------------------------------------------------------------------
     # to implement
@@ -54,6 +78,7 @@ class EntryBufferPolicy(SelectionPolicy):
     # lifecycle
     # ------------------------------------------------------------------
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._col = None
         self._buffers = self._make_store("buffers")
         for vertex in vertices:
             self._buffers.put(vertex, self.make_buffer())
@@ -62,6 +87,7 @@ class EntryBufferPolicy(SelectionPolicy):
         return self._buffers.get_or_create(vertex, self.make_buffer)
 
     def process(self, interaction: Interaction) -> None:
+        self._decolumnarise()
         source_buffer = self._buffer(interaction.source)
         destination_buffer = self._buffer(interaction.destination)
 
@@ -93,6 +119,7 @@ class EntryBufferPolicy(SelectionPolicy):
         against the raw dict; spilling backends run the same loop through
         the store interface.
         """
+        self._decolumnarise()
         raw = self._buffers.raw_dict()
         make_buffer = self.make_buffer
         track_paths = self.track_paths
@@ -154,6 +181,110 @@ class EntryBufferPolicy(SelectionPolicy):
                         quantity=residue,
                         birth_time=interaction.time,
                         path=(source,) if track_paths else None,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # columnar execution
+    # ------------------------------------------------------------------
+    def has_columnar_kernel(self) -> bool:
+        return (
+            self._kernel_consistent(EntryBufferPolicy)
+            and self._buffers.raw_dict() is not None
+        )
+
+    def _ensure_columnar(self, interner: VertexInterner) -> _ColumnarBuffers:
+        col = self._col
+        if col is not None and col.interner is interner:
+            col.grow(len(interner))
+            return col
+        # Seeding is lazy: the kernel consults the store dict on a list
+        # miss before creating a buffer, so a large pre-registered universe
+        # costs one lookup per *touched* vertex instead of an upfront
+        # interning pass over every store key.
+        col = _ColumnarBuffers(interner)
+        self._col = col
+        return col
+
+    def _decolumnarise(self) -> None:
+        # The store holds the same live buffer objects the id-list points
+        # at (new buffers are registered on creation), so there is nothing
+        # to flush — only the id-indexed view to drop.
+        self._col = None
+
+    def process_block(self, block: InteractionBlock) -> None:
+        """Columnar Algorithm 2: id-keyed buffer list, run-grouped lookups.
+
+        Bit-identical to the batched object path; the representation-level
+        savings are interned ids instead of vertex hashing and a cached
+        source buffer across runs of consecutive interactions sharing a
+        source (common in edge-reuse-heavy streams).  Falls back to the
+        object adapter when the buffer store is not dict-backed.
+        """
+        if not self.has_columnar_kernel():
+            super().process_block(block)
+            return
+        col = self._ensure_columnar(block.interner)
+        buffers = col.buffers
+        raw = self._buffers.raw_dict()
+        raw_get = raw.get
+        vertices = block.interner.vertices
+        make_buffer = self.make_buffer
+        track_paths = self.track_paths
+        extend_path = self._extend_path
+        sources, destinations, times, quantities = block.column_lists()
+        previous_source = -1
+        source_buffer: Optional[QuantityBuffer] = None
+        for source, destination, quantity, time in zip(
+            sources, destinations, quantities, times
+        ):
+            if source != previous_source:
+                source_buffer = buffers[source]
+                if source_buffer is None:
+                    vertex = vertices[source]
+                    source_buffer = raw_get(vertex)
+                    if source_buffer is None:
+                        source_buffer = make_buffer()
+                        raw[vertex] = source_buffer
+                    buffers[source] = source_buffer
+                previous_source = source
+            destination_buffer = buffers[destination]
+            if destination_buffer is None:
+                vertex = vertices[destination]
+                destination_buffer = raw_get(vertex)
+                if destination_buffer is None:
+                    destination_buffer = make_buffer()
+                    raw[vertex] = destination_buffer
+                buffers[destination] = destination_buffer
+
+            # An empty source buffer (zero total and no entries) relays
+            # nothing; skipping its drain call is branch-for-branch what
+            # drain() itself would decide.
+            if source_buffer._total > 0.0 or len(source_buffer) > 0:
+                transferred = source_buffer.drain(quantity)
+                push = destination_buffer.push
+                relayed_quantity = 0.0
+                if track_paths:
+                    source_vertex = vertices[source]
+                    for entry in transferred:
+                        relayed_quantity += entry.quantity
+                        entry.path = extend_path(entry.path, source_vertex)
+                        push(entry)
+                else:
+                    for entry in transferred:
+                        relayed_quantity += entry.quantity
+                        push(entry)
+                residue = quantity - relayed_quantity
+            else:
+                residue = quantity
+            if residue > 1e-12:
+                source_vertex = vertices[source]
+                destination_buffer.push(
+                    BufferEntry(
+                        origin=source_vertex,
+                        quantity=residue,
+                        birth_time=time,
+                        path=(source_vertex,) if track_paths else None,
                     )
                 )
 

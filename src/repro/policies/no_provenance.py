@@ -8,18 +8,54 @@ invariant checked by the test suite.
 
 Both scalar maps (buffer totals and generated quantities) live in
 :mod:`repro.stores` backends; the batched path keeps its raw-dict fast loop
-whenever the configured backend is dict-based.
+whenever the configured backend is dict-based, and the columnar path
+(:meth:`NoProvenancePolicy.process_block`) replaces the dicts entirely with
+id-indexed total arrays while blocks are flowing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
+import numpy as np
+
+from repro.core.blocks import InteractionBlock, VertexInterner
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
 from repro.policies.base import SelectionPolicy, StoreArgument
 
 __all__ = ["NoProvenancePolicy"]
+
+
+class _ColumnarTotals:
+    """Id-indexed mirror of the two scalar stores during columnar runs.
+
+    ``buffers``/``generated`` are plain Python lists indexed by interner id
+    (list indexing by int is the cheapest keyed access in CPython — faster
+    than dict hashing and much faster than boxing numpy scalars).
+    ``touched`` marks ids that the object path would have inserted into the
+    buffer dict; ``generated_order`` records the first-newborn order so the
+    flush reproduces the object path's dict insertion order exactly.
+    """
+
+    __slots__ = ("interner", "buffers", "generated", "touched", "generated_order")
+
+    def __init__(self, interner: VertexInterner) -> None:
+        self.interner = interner
+        size = len(interner)
+        self.buffers: List[float] = [0.0] * size
+        self.generated: List[float] = [0.0] * size
+        self.touched = np.zeros(size, dtype=bool)
+        self.generated_order: List[int] = []
+
+    def grow(self, size: int) -> None:
+        shortfall = size - len(self.buffers)
+        if shortfall > 0:
+            self.buffers.extend([0.0] * shortfall)
+            self.generated.extend([0.0] * shortfall)
+            touched = np.zeros(size, dtype=bool)
+            touched[: len(self.touched)] = self.touched
+            self.touched = touched
 
 
 class NoProvenancePolicy(SelectionPolicy):
@@ -33,17 +69,20 @@ class NoProvenancePolicy(SelectionPolicy):
         super().__init__(store=store)
         self._buffers = self._make_store("buffers")
         self._generated = self._make_store("generated")
+        self._col: Optional[_ColumnarTotals] = None
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._col = None
         self._buffers = self._make_store("buffers")
         self._generated = self._make_store("generated")
         for vertex in vertices:
             self._buffers.put(vertex, 0.0)
 
     def process(self, interaction: Interaction) -> None:
+        self._decolumnarise()
         buffers = self._buffers
         source = interaction.source
         quantity = interaction.quantity
@@ -66,6 +105,7 @@ class NoProvenancePolicy(SelectionPolicy):
         dict-backed store the loop runs against the raw dicts; other
         backends run the same arithmetic through the store interface.
         """
+        self._decolumnarise()
         buffers = self._buffers.raw_dict()
         generated = self._generated.raw_dict()
         if buffers is None or generated is None:
@@ -99,9 +139,97 @@ class NoProvenancePolicy(SelectionPolicy):
                 generated[source] = generated.get(source, 0.0) + newborn
 
     # ------------------------------------------------------------------
+    # columnar execution
+    # ------------------------------------------------------------------
+    def has_columnar_kernel(self) -> bool:
+        return (
+            self._kernel_consistent(NoProvenancePolicy)
+            and self._buffers.raw_dict() is not None
+            and self._generated.raw_dict() is not None
+        )
+
+    def _ensure_columnar(self, interner: VertexInterner) -> _ColumnarTotals:
+        col = self._col
+        if col is not None and col.interner is interner:
+            col.grow(len(interner))
+            return col
+        if col is not None:
+            self._decolumnarise()
+        intern = interner.intern
+        # Interning the existing store keys (reset universe, resumed state)
+        # may grow the table; size the arrays afterwards.
+        buffer_items = [(intern(v), value) for v, value in self._buffers.raw_dict().items()]
+        generated_items = [
+            (intern(v), value) for v, value in self._generated.raw_dict().items()
+        ]
+        col = _ColumnarTotals(interner)
+        for vertex_id, value in buffer_items:
+            col.buffers[vertex_id] = value
+            col.touched[vertex_id] = True
+        for vertex_id, value in generated_items:
+            col.generated[vertex_id] = value
+            col.generated_order.append(vertex_id)
+        self._col = col
+        return col
+
+    def _decolumnarise(self) -> None:
+        col = self._col
+        if col is None:
+            return
+        self._col = None
+        vertices = col.interner.vertices
+        raw = self._buffers.raw_dict()
+        buffers = col.buffers
+        # Ascending id order equals first-appearance order (sources before
+        # destinations, row by row), which is exactly the insertion order of
+        # the object path's dict — iteration-order-sensitive consumers see
+        # identical state.
+        for vertex_id in np.flatnonzero(col.touched).tolist():
+            raw[vertices[vertex_id]] = buffers[vertex_id]
+        raw_generated = self._generated.raw_dict()
+        generated = col.generated
+        for vertex_id in col.generated_order:
+            raw_generated[vertices[vertex_id]] = generated[vertex_id]
+
+    def process_block(self, block: InteractionBlock) -> None:
+        """Columnar Algorithm 1: id-indexed total arrays, no dict hashing.
+
+        Bit-identical to :meth:`process` (same arithmetic in the same
+        order); only the representation changes — vertex keys become
+        interned ids, the two dicts become flat lists.  Falls back to the
+        object adapter when the stores are not dict-backed (spilling
+        backends own their state).
+        """
+        if not self.has_columnar_kernel():
+            super().process_block(block)
+            return
+        col = self._ensure_columnar(block.interner)
+        buffers = col.buffers
+        generated = col.generated
+        generated_order = col.generated_order
+        col.touched[block.src_ids] = True
+        col.touched[block.dst_ids] = True
+        sources, destinations, _times, quantities = block.column_lists()
+        for source, destination, quantity in zip(sources, destinations, quantities):
+            available = buffers[source]
+            if quantity < available:
+                buffers[source] = available - quantity
+            else:
+                buffers[source] = 0.0
+                if quantity > available:
+                    if generated[source] == 0.0:
+                        generated_order.append(source)
+                    generated[source] += quantity - available
+            buffers[destination] += quantity
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def buffer_total(self, vertex: Vertex) -> float:
+        col = self._col
+        if col is not None:
+            vertex_id = col.interner.get_id(vertex)
+            return col.buffers[vertex_id] if vertex_id >= 0 else 0.0
         return self._buffers.get(vertex, 0.0)
 
     def origins(self, vertex: Vertex) -> OriginSet:
@@ -109,22 +237,31 @@ class NoProvenancePolicy(SelectionPolicy):
         return OriginSet()
 
     def tracked_vertices(self) -> Iterator[Vertex]:
+        self._decolumnarise()
         return (vertex for vertex, total in self._buffers.items() if total > 0)
 
     def generated_quantity(self, vertex: Vertex) -> float:
-        """Total newborn quantity generated at ``vertex`` so far."""
+        col = self._col
+        if col is not None:
+            vertex_id = col.interner.get_id(vertex)
+            return col.generated[vertex_id] if vertex_id >= 0 else 0.0
         return self._generated.get(vertex, 0.0)
 
     def generated_quantities(self) -> Dict[Vertex, float]:
         """Mapping of every generating vertex to its total newborn quantity."""
+        self._decolumnarise()
         return self._generated.snapshot()
 
     def total_generated(self) -> float:
         """Total newborn quantity injected into the network so far."""
+        self._decolumnarise()
         return sum(self._generated.values())
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def entry_count(self) -> int:
+        col = self._col
+        if col is not None:
+            return int(np.count_nonzero(col.touched))
         return len(self._buffers)

@@ -26,10 +26,11 @@ liquids in tanks, indistinguishable financial units in account balances.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.blocks import InteractionBlock, VertexInterner
 from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
 from repro.exceptions import PolicyConfigurationError, UnknownVertexError
@@ -41,6 +42,50 @@ __all__ = ["ProportionalDensePolicy", "ProportionalSparsePolicy"]
 # vectors; proportional splits otherwise accumulate microscopic residues
 # that bloat the provenance lists without carrying information.
 _PRUNE_EPSILON = 1e-12
+
+
+class _ColumnarVectors:
+    """Position-indexed mirror of the dense policy state during columnar runs.
+
+    ``vectors[p]`` is the *same* numpy array the vector store holds for the
+    vertex at universe position ``p`` (mutations flow through, so the store
+    stays live); ``totals`` mirrors the scalar totals store and is flushed
+    back lazily.  ``id_to_position`` translates interner ids into universe
+    positions — identical for network-derived interners, but kept explicit
+    so any interner works.
+    """
+
+    __slots__ = (
+        "interner",
+        "id_to_position",
+        "identity",
+        "vectors",
+        "totals",
+        "scratch",
+        "fraction",
+    )
+
+    def __init__(
+        self,
+        interner: VertexInterner,
+        id_to_position: np.ndarray,
+        universe: int,
+    ) -> None:
+        self.interner = interner
+        self.id_to_position = id_to_position
+        # Interners derived from the same network as the universe map id i
+        # to position i; the kernel then uses the block's id arrays as
+        # positions directly, skipping translation and validation.
+        self.identity = bool(
+            len(id_to_position) <= universe
+            and np.array_equal(id_to_position, np.arange(len(id_to_position)))
+        )
+        self.vectors: List[Optional[np.ndarray]] = [None] * universe
+        self.totals: List[float] = [0.0] * universe
+        self.scratch = np.empty(universe, dtype=np.float64)
+        # 0-d staging cell for the split fraction: refilling it and passing
+        # the array to multiply() skips the per-call Python-float boxing.
+        self.fraction = np.empty((), dtype=np.float64)
 
 
 class ProportionalDensePolicy(SelectionPolicy):
@@ -66,6 +111,7 @@ class ProportionalDensePolicy(SelectionPolicy):
         self._order: list = []
         self._vectors = self._make_store("vectors")
         self._totals = self._make_store("totals")
+        self._col: Optional[_ColumnarVectors] = None
         if vertices is not None:
             self.reset(vertices)
 
@@ -73,6 +119,7 @@ class ProportionalDensePolicy(SelectionPolicy):
     # lifecycle
     # ------------------------------------------------------------------
     def reset(self, vertices: Sequence[Vertex] = ()) -> None:
+        self._col = None
         self._index = {vertex: position for position, vertex in enumerate(vertices)}
         self._order = list(vertices)
         if not self._index:
@@ -99,6 +146,7 @@ class ProportionalDensePolicy(SelectionPolicy):
             ) from None
 
     def process(self, interaction: Interaction) -> None:
+        self._decolumnarise()
         source = interaction.source
         destination = interaction.destination
         quantity = interaction.quantity
@@ -141,6 +189,7 @@ class ProportionalDensePolicy(SelectionPolicy):
         and sqlite backends run the same arithmetic through the store
         interface.
         """
+        self._decolumnarise()
         index = self._index
         vectors = self._vectors.raw_dict()
         totals = self._totals.raw_dict()
@@ -216,9 +265,159 @@ class ProportionalDensePolicy(SelectionPolicy):
                 totals[destination] = totals.get(destination, 0.0) + quantity
 
     # ------------------------------------------------------------------
+    # columnar execution
+    # ------------------------------------------------------------------
+    def has_columnar_kernel(self) -> bool:
+        return (
+            self._kernel_consistent(ProportionalDensePolicy)
+            and self._vectors.raw_dict() is not None
+            and self._totals.raw_dict() is not None
+        )
+
+    def _ensure_columnar(self, interner: VertexInterner) -> _ColumnarVectors:
+        col = self._col
+        if col is not None and col.interner is interner:
+            if len(col.id_to_position) < len(interner):
+                # The interner grew mid-run (stream discovery); vertices
+                # outside the fixed universe map to -1, which also voids
+                # the identity shortcut so validation sees them.
+                col.id_to_position = self._id_to_position(interner)
+                col.identity = False
+            return col
+        if col is not None:
+            self._decolumnarise()
+        col = _ColumnarVectors(
+            interner, self._id_to_position(interner), len(self._index)
+        )
+        index = self._index
+        for vertex, vector in self._vectors.raw_dict().items():
+            col.vectors[index[vertex]] = vector
+        for vertex, total in self._totals.raw_dict().items():
+            col.totals[index[vertex]] = total
+        self._col = col
+        return col
+
+    def _id_to_position(self, interner: VertexInterner) -> np.ndarray:
+        index_get = self._index.get
+        return np.fromiter(
+            (index_get(vertex, -1) for vertex in interner.vertices),
+            dtype=np.int64,
+            count=len(interner),
+        )
+
+    def _decolumnarise(self) -> None:
+        col = self._col
+        if col is None:
+            return
+        self._col = None
+        # The vector arrays in the store are the very arrays the kernel
+        # mutated (live), so only the scalar totals need flushing.  Flushing
+        # in ascending position order inserts any new keys as a permutation
+        # of the object path's first-touch order: every per-key value is
+        # bit-identical, only the dict's iteration order may differ (nothing
+        # in the library accumulates floats over totals iteration).
+        raw_totals = self._totals.raw_dict()
+        order = self._order
+        totals = col.totals
+        for position, vector in enumerate(col.vectors):
+            if vector is not None:
+                raw_totals[order[position]] = totals[position]
+
+    def process_block(self, block: InteractionBlock) -> None:
+        """Columnar Algorithm 3: id-indexed matrix-row arithmetic.
+
+        Replays the exact numpy operations of :meth:`process` in the same
+        order (bit-identical vectors), with three representation-level
+        savings: vertex hashing becomes array translation done once per
+        block, an all-zero source vector (``|B_s| == 0``) skips its
+        bitwise-no-op row operations entirely, and the proportional split
+        reuses one scratch row instead of allocating per interaction.
+        Falls back to the object adapter on non-dict store backends.
+        """
+        if not self.has_columnar_kernel():
+            super().process_block(block)
+            return
+        col = self._ensure_columnar(block.interner)
+        if col.identity:
+            source_positions = block.src_ids
+            destination_positions = block.dst_ids
+        else:
+            id_to_position = col.id_to_position
+            source_positions = id_to_position[block.src_ids]
+            destination_positions = id_to_position[block.dst_ids]
+            unknown = np.flatnonzero(
+                (source_positions < 0) | (destination_positions < 0)
+            )
+            if len(unknown):
+                # Unlike the object path, which raises mid-stream, the block
+                # is validated up front; the reported vertex is the same.
+                row = int(unknown[0])
+                bad_id = int(
+                    block.src_ids[row]
+                    if source_positions[row] < 0
+                    else block.dst_ids[row]
+                )
+                raise UnknownVertexError(
+                    f"vertex {block.interner.vertex_of(bad_id)!r} was not part "
+                    f"of the universe given to reset()"
+                )
+        vectors = col.vectors
+        totals = col.totals
+        scratch = col.scratch
+        fraction = col.fraction
+        raw_vectors = self._vectors.raw_dict()
+        order = self._order
+        universe = len(order)
+        zeros = np.zeros
+        add = np.add
+        subtract = np.subtract
+        multiply = np.multiply
+        quantities = block.quantities.tolist()
+        for source, destination, quantity in zip(
+            source_positions.tolist(), destination_positions.tolist(), quantities
+        ):
+            source_vector = vectors[source]
+            if source_vector is None:
+                source_vector = vectors[source] = zeros(universe, dtype=np.float64)
+                raw_vectors[order[source]] = source_vector
+            destination_vector = vectors[destination]
+            if destination_vector is None:
+                destination_vector = vectors[destination] = zeros(
+                    universe, dtype=np.float64
+                )
+                raw_vectors[order[destination]] = destination_vector
+            source_total = totals[source]
+            if source_total == 0.0:
+                # Zero total implies an all-zero vector: the relay's row
+                # operations would add and zero out nothing — only the
+                # newborn component is a real write.
+                if quantity > 0.0:
+                    destination_vector[source] += quantity
+                totals[destination] += quantity
+            elif quantity >= source_total:
+                add(destination_vector, source_vector, destination_vector)
+                newborn = quantity - source_total
+                if newborn > 0.0:
+                    destination_vector[source] += newborn
+                source_vector.fill(0.0)
+                totals[source] = 0.0
+                totals[destination] += quantity
+            else:
+                fraction[()] = quantity / source_total
+                multiply(source_vector, fraction, scratch)
+                add(destination_vector, scratch, destination_vector)
+                subtract(source_vector, scratch, source_vector)
+                totals[source] = source_total - quantity
+                totals[destination] += quantity
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def buffer_total(self, vertex: Vertex) -> float:
+        col = self._col
+        if col is not None:
+            position = self._index.get(vertex)
+            return col.totals[position] if position is not None else 0.0
         return self._totals.get(vertex, 0.0)
 
     def origins(self, vertex: Vertex) -> OriginSet:
@@ -226,24 +425,43 @@ class ProportionalDensePolicy(SelectionPolicy):
         origin_set = OriginSet()
         if vector is None:
             return origin_set
-        for position in np.nonzero(vector > _PRUNE_EPSILON)[0]:
-            origin_set.add(self._order[position], float(vector[position]))
+        positions = np.flatnonzero(vector > _PRUNE_EPSILON)
+        if not len(positions):
+            return origin_set
+        # One fancy-indexed slice pulls every contributing amount at once;
+        # only the (cheap) origin-set insertion remains per position.
+        order = self._order
+        add = origin_set.add
+        for position, amount in zip(positions.tolist(), vector[positions].tolist()):
+            add(order[position], amount)
         return origin_set
 
     def tracked_vertices(self) -> Iterator[Vertex]:
+        self._decolumnarise()
         return (vertex for vertex, total in self._totals.items() if total > 0)
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def entry_count(self) -> int:
-        """Allocated vector cells (each touched vertex costs ``|V|`` cells)."""
+        """Allocated vector cells (each touched vertex costs ``|V|`` cells).
+
+        Valid mid-columnar-run too: the kernel registers new vectors in the
+        store the moment it creates them, so the store's key count is always
+        current.
+        """
         return len(self._vectors) * len(self._index)
 
     def nonzero_entry_count(self) -> int:
-        """Number of non-zero vector components over all vertices."""
+        """Number of non-zero vector components over all vertices.
+
+        One vectorised count per stored vector; deliberately not stacked
+        into a single matrix, which would transiently double the policy's
+        resident memory.
+        """
+        count_nonzero = np.count_nonzero
         return int(
-            sum(int(np.count_nonzero(vector > _PRUNE_EPSILON)) for vector in self._vectors.values())
+            sum(count_nonzero(vector > _PRUNE_EPSILON) for vector in self._vectors.values())
         )
 
 

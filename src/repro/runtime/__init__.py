@@ -13,12 +13,14 @@ from repro.runtime.partition import (
     PartitionPlan,
     Shard,
     ShardRun,
+    attach_shard_blocks,
     connected_components,
     merge_snapshots,
     merge_statistics,
     partition_network,
     run_shards,
     stable_shard_index,
+    stable_shard_indices,
 )
 from repro.runtime.runner import Runner, RunResult, build_policy, run
 
@@ -32,9 +34,11 @@ __all__ = [
     "Shard",
     "PartitionPlan",
     "ShardRun",
+    "attach_shard_blocks",
     "connected_components",
     "partition_network",
     "stable_shard_index",
+    "stable_shard_indices",
     "run_shards",
     "merge_statistics",
     "merge_snapshots",

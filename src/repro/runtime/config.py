@@ -92,6 +92,22 @@ class RunConfig:
         exactly where the checkpoint was taken.
     vertex_type:
         Converter for the vertex columns of CSV datasets (e.g. ``int``).
+    columnar:
+        Columnar fast path: drive the policy over struct-of-array
+        :class:`~repro.core.blocks.InteractionBlock` batches with interned
+        vertex ids instead of boxed interaction objects.  ``None``
+        (default) engages automatically for batched eager network runs —
+        including sharded ones — whenever the policy has an array kernel
+        for its store backend (noprov, proportional-dense and the
+        entry-based policies on dict-backed stores); the columnar form is
+        built once per network and cached.  ``False`` keeps the object
+        path.  ``True`` forces block-driven execution everywhere:
+        scheduler/stream runs columnarise each flushed batch (conversion
+        roughly cancels the kernel win, hence opt-in), policies without a
+        kernel run through a materialising adapter, and CSV datasets are
+        parsed straight into column arrays without ever building
+        interaction objects.  Results are bit-identical either way;
+        observers and per-interaction runs always use the object path.
     policy:
         Registry name (``"fifo"``, ``"proportional-sparse"``, ...) or a
         ready :class:`SelectionPolicy` instance.
@@ -157,6 +173,7 @@ class RunConfig:
     idle_timeout: Optional[float] = None
     resume_from: Optional[Union[str, Path]] = None
     vertex_type: type = str
+    columnar: Optional[bool] = None
     policy: PolicySpec = "fifo"
     policy_options: Dict[str, Any] = field(default_factory=dict)
     store: Union[str, StoreSpec, None] = None

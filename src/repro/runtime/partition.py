@@ -32,6 +32,9 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.core.blocks import InteractionBlock
 from repro.core.engine import ProvenanceEngine, RunStatistics
 from repro.core.interaction import Interaction, Vertex
 from repro.core.network import TemporalInteractionNetwork
@@ -46,7 +49,9 @@ __all__ = [
     "ShardRun",
     "connected_components",
     "stable_shard_index",
+    "stable_shard_indices",
     "partition_network",
+    "attach_shard_blocks",
     "run_shards",
     "merge_statistics",
     "merge_snapshots",
@@ -60,6 +65,11 @@ class Shard:
     index: int
     vertices: Tuple[Vertex, ...]
     interactions: List[Interaction]
+    #: The shard's interactions in columnar form (same rows, same order as
+    #: :attr:`interactions`), present when the plan was built with a block.
+    #: Columnar sharded runs drive the shard engines with this instead of
+    #: the object list.
+    block: Optional[InteractionBlock] = None
 
     @property
     def num_interactions(self) -> int:
@@ -159,12 +169,29 @@ def stable_shard_index(vertex: Vertex, num_shards: int) -> int:
     return zlib.crc32(repr(vertex).encode("utf-8")) % num_shards
 
 
+def stable_shard_indices(vertices: Sequence[Vertex], num_shards: int) -> np.ndarray:
+    """Shard assignments for a whole vertex table, as an ``int64`` array.
+
+    One CRC per *unique* vertex; routing a stream then costs a single
+    fancy-index over its id arrays (``assignments[block.src_ids]``) instead
+    of a hash per interaction.  Bit-compatible with
+    :func:`stable_shard_index` entry by entry.
+    """
+    crc32 = zlib.crc32
+    return np.fromiter(
+        (crc32(repr(vertex).encode("utf-8")) % num_shards for vertex in vertices),
+        dtype=np.int64,
+        count=len(vertices),
+    )
+
+
 def partition_network(
     network: TemporalInteractionNetwork,
     num_shards: int,
     *,
     mode: str = "components",
     limit: Optional[int] = None,
+    block: Optional[InteractionBlock] = None,
 ) -> PartitionPlan:
     """Split a network into at most ``num_shards`` vertex shards.
 
@@ -176,12 +203,20 @@ def partition_network(
     ``limit`` interactions of the *global* time order — the sharded
     equivalent of the engine's ``limit``, applied before assignment so the
     total processed count matches an unsharded limited run.
+
+    With ``block`` (the network's columnar form), interaction routing is
+    vectorised: membership is computed once per *vertex*, the stream is
+    assigned with one fancy-index over the id arrays, and every shard also
+    carries its rows as a :class:`~repro.core.blocks.InteractionBlock` for
+    columnar shard engines.  Assignments are identical to the object loop.
     """
     if num_shards < 1:
         raise RunConfigurationError(f"num_shards must be >= 1, got {num_shards}")
     interactions = network.interactions
     if limit is not None:
         interactions = interactions[: max(limit, 0)]
+    if block is not None and limit is not None:
+        block = block.slice(0, max(limit, 0))
 
     if mode == "components":
         components = connected_components(network)
@@ -203,29 +238,67 @@ def partition_network(
             loads[lightest] += component_weight[position]
             for vertex in components[position]:
                 membership[vertex] = lightest
-        cross = 0
     elif mode == "hash":
-        membership = {
-            vertex: stable_shard_index(vertex, num_shards)
-            for vertex in network.vertices
-        }
-        cross = sum(
-            1
-            for interaction in interactions
-            if membership[interaction.source] != membership[interaction.destination]
-        )
+        if block is not None:
+            assignments = stable_shard_indices(block.interner.vertices, num_shards)
+            membership = {
+                vertex: int(shard)
+                for vertex, shard in zip(block.interner.vertices, assignments)
+            }
+        else:
+            membership = {
+                vertex: stable_shard_index(vertex, num_shards)
+                for vertex in network.vertices
+            }
     else:
         raise RunConfigurationError(f"unknown partition mode {mode!r}")
 
     shard_vertices: List[List[Vertex]] = [[] for _ in range(num_shards)]
     for vertex in network.vertices:  # registration order keeps dense indices stable
         shard_vertices[membership[vertex]].append(vertex)
-    shard_interactions: List[List[Interaction]] = [[] for _ in range(num_shards)]
-    for interaction in interactions:
-        shard_interactions[membership[interaction.source]].append(interaction)
+
+    shard_blocks: List[Optional[InteractionBlock]] = [None] * num_shards
+    if block is not None:
+        # Vectorised routing: per-vertex membership, one fancy-index per
+        # stream column.  flatnonzero yields ascending positions, so shard
+        # streams keep global time order exactly like the object loop.
+        member_of_id = np.fromiter(
+            (membership[vertex] for vertex in block.interner.vertices),
+            dtype=np.int64,
+            count=len(block.interner),
+        )
+        assigned = member_of_id[block.src_ids]
+        cross = (
+            int(np.count_nonzero(assigned != member_of_id[block.dst_ids]))
+            if mode == "hash"
+            else 0
+        )
+        shard_interactions = []
+        for index in range(num_shards):
+            positions = np.flatnonzero(assigned == index)
+            shard_blocks[index] = block.take(positions)
+            shard_interactions.append([interactions[p] for p in positions.tolist()])
+    else:
+        cross = (
+            sum(
+                1
+                for interaction in interactions
+                if membership[interaction.source] != membership[interaction.destination]
+            )
+            if mode == "hash"
+            else 0
+        )
+        shard_interactions = [[] for _ in range(num_shards)]
+        for interaction in interactions:
+            shard_interactions[membership[interaction.source]].append(interaction)
 
     shards = [
-        Shard(index=i, vertices=tuple(shard_vertices[i]), interactions=shard_interactions[i])
+        Shard(
+            index=i,
+            vertices=tuple(shard_vertices[i]),
+            interactions=shard_interactions[i],
+            block=shard_blocks[i],
+        )
         for i in range(num_shards)
     ]
     return PartitionPlan(
@@ -236,22 +309,58 @@ def partition_network(
     )
 
 
+def attach_shard_blocks(
+    plan: PartitionPlan,
+    block: InteractionBlock,
+    *,
+    limit: Optional[int] = None,
+) -> None:
+    """Route a network's columnar block onto an existing partition plan.
+
+    Used when the columnar decision is made after planning (the Runner's
+    auto mode): shard membership is recovered from the plan's vertex lists
+    and the rows are assigned with one fancy-index, exactly like planning
+    with ``block=`` up front would have.
+    """
+    if limit is not None:
+        block = block.slice(0, max(limit, 0))
+    membership = {
+        vertex: shard.index for shard in plan.shards for vertex in shard.vertices
+    }
+    member_of_id = np.fromiter(
+        (membership[vertex] for vertex in block.interner.vertices),
+        dtype=np.int64,
+        count=len(block.interner),
+    )
+    assigned = member_of_id[block.src_ids]
+    for shard in plan.shards:
+        shard.block = block.take(np.flatnonzero(assigned == shard.index))
+
+
 def _run_one_shard(
-    payload: Tuple[Shard, SelectionPolicy, int, int]
+    payload: Tuple[Shard, SelectionPolicy, int, int, Optional[bool]]
 ) -> ShardRun:
     """Drive one shard's interactions through its own engine.
 
     Module-level so process pools can pickle it; the policy travels with the
-    payload and returns carrying its final state.
+    payload and returns carrying its final state.  When the shard carries a
+    columnar block and the run is batched, the engine is fed the block —
+    the shard-level counterpart of the single-engine columnar path.
     """
-    shard, policy, batch_size, sample_every = payload
+    shard, policy, batch_size, sample_every, columnar = payload
     engine = ProvenanceEngine(policy)
     policy.reset(shard.universe())
+    use_block = (
+        shard.block is not None
+        and batch_size > 1
+        and (columnar if columnar is not None else policy.has_columnar_kernel())
+    )
     statistics = engine.run(
-        shard.interactions,
+        shard.block if use_block else shard.interactions,
         reset=False,
         sample_every=sample_every,
         batch_size=batch_size,
+        columnar=columnar,
     )
     return ShardRun(
         shard=shard,
@@ -270,6 +379,7 @@ def run_shards(
     sample_every: int = 0,
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    columnar: Optional[bool] = None,
 ) -> Tuple[List[ShardRun], RunStatistics]:
     """Run one engine per shard and merge the statistics.
 
@@ -288,7 +398,7 @@ def run_shards(
             f"{len(policies)} policies"
         )
     payloads = [
-        (shard, policy, batch_size, sample_every)
+        (shard, policy, batch_size, sample_every, columnar)
         for shard, policy in zip(plan.shards, policies)
     ]
     start = _time.perf_counter()

@@ -45,7 +45,11 @@ from repro.core.interaction import Interaction, Vertex
 from repro.core.network import TemporalInteractionNetwork
 from repro.core.provenance import OriginSet, ProvenanceSnapshot
 from repro.datasets.catalog import available_presets, load_preset
-from repro.datasets.io import read_interactions_csv, read_network_csv
+from repro.datasets.io import (
+    read_interaction_block,
+    read_interactions_csv,
+    read_network_csv,
+)
 from repro.exceptions import (
     MemoryBudgetExceededError,
     RunConfigurationError,
@@ -57,6 +61,7 @@ from repro.runtime.config import RunConfig
 from repro.runtime.partition import (
     PartitionPlan,
     ShardRun,
+    attach_shard_blocks,
     merge_snapshots,
     partition_network,
     run_shards,
@@ -75,6 +80,7 @@ __all__ = ["Runner", "RunResult", "run", "build_policy"]
 def build_policy(
     config: RunConfig,
     network: Optional[TemporalInteractionNetwork],
+    universe: Optional[Sequence[Vertex]] = None,
 ) -> SelectionPolicy:
     """Construct the policy a config describes, resolving dataset context.
 
@@ -88,6 +94,10 @@ def build_policy(
       (``k`` option, default 5),
     * ``proportional-grouped`` uses ``num_groups`` round-robin groups
       (default 5).
+
+    ``universe`` supplies the vertex universe when there is no network —
+    block-native CSV runs pass the interner's vertex table, which matches
+    the registration order a network built from the same file would have.
     """
     spec = config.policy
     if isinstance(spec, SelectionPolicy):
@@ -96,8 +106,10 @@ def build_policy(
     store_spec = config.store_spec
     if store_spec is not None:
         options.setdefault("store", store_spec)
-    if spec == "proportional-dense" and network is not None:
-        options.setdefault("vertices", network.vertices)
+    if spec == "proportional-dense" and (network is not None or universe is not None):
+        options.setdefault(
+            "vertices", network.vertices if network is not None else universe
+        )
         return make_policy(spec, **options)
     if spec == "proportional-selective" and "tracked" not in options:
         if network is None:
@@ -153,6 +165,11 @@ class RunResult:
     #: in-flight) of batched runs; ``None`` for per-interaction runs and
     #: sharded runs (each shard drives its own scheduler).
     scheduler_stats: Optional[Dict[str, Any]] = None
+    #: Columnar-path accounting (mode, interned vertices, ingest bytes of
+    #: the column arrays, whether a real array kernel ran); ``None`` when
+    #: the run took the object path.  See
+    #: :meth:`repro.core.engine.ProvenanceEngine.columnar_stats`.
+    columnar_stats: Optional[Dict[str, Any]] = None
 
     @property
     def sharded(self) -> bool:
@@ -267,6 +284,10 @@ class RunResult:
                 "scheduled": self.scheduler_stats is not None,
                 "scheduler": self.scheduler_stats,
             },
+            "columnar": {
+                "enabled": self.columnar_stats is not None,
+                **(self.columnar_stats or {}),
+            },
         }
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -332,6 +353,8 @@ class Runner:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the configured run and return its result."""
+        if self._block_native_ingest():
+            return self._run_block_native()
         network, stream = self.resolve_dataset()
         if self.config.shards > 1:
             if network is None:
@@ -343,6 +366,82 @@ class Runner:
                 )
             return self._run_sharded(network)
         return self._run_single(network, stream)
+
+    def _block_native_ingest(self) -> bool:
+        """Whether the run should parse its CSV straight into column arrays.
+
+        Only for explicitly requested columnar runs over a plain CSV path:
+        the whole file becomes one block (24 bytes per row) and no network,
+        object list or interaction object is ever built.  Follow/tail,
+        sharded, resumed, observer-driven and memory-ceiling runs keep the
+        object ingest (ceilings need the object path's mid-run/feasibility
+        machinery).
+        """
+        config = self.config
+        if config.columnar is not True or config.source is not None:
+            return False
+        if not isinstance(config.dataset, (str, Path)):
+            return False
+        if str(config.dataset) in available_presets():
+            return False
+        return not (
+            config.follow
+            # stream=True is an explicit lazy-consumption request; the
+            # forced-columnar scheduler path keeps it lazy instead.
+            or config.stream
+            or config.shards > 1
+            or config.resume_from is not None
+            or config.observers
+            or config.uses_scheduler
+            or config.memory_ceiling_bytes is not None
+        )
+
+    def _run_block_native(self) -> RunResult:
+        """Columnar CSV run: parse into one block, drive the engine with it."""
+        config = self.config
+        block = read_interaction_block(
+            str(config.dataset), vertex_type=config.vertex_type, limit=config.limit
+        )
+        policy = build_policy(config, None, universe=block.interner.vertices)
+        engine = ProvenanceEngine(policy)
+        on_checkpoint = None
+        if config.checkpoint_every:
+            if config.checkpoint_path is None:
+                raise RunConfigurationError(
+                    "checkpoint_every needs a checkpoint_path to write to"
+                )
+            checkpoint_path = Path(config.checkpoint_path)
+
+            def on_checkpoint(eng: ProvenanceEngine, _processed: int) -> None:
+                save_engine(eng, checkpoint_path)
+
+        statistics = engine.run(
+            block,
+            limit=config.limit,
+            sample_every=config.sample_every,
+            batch_size=config.effective_batch_size,
+            checkpoint_every=config.checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
+        memory_bytes: Optional[int] = None
+        if config.measure_memory:
+            # stores() flushes any transient columnar mirror first, so the
+            # measured footprint matches the object path's.
+            policy.stores()
+            memory_bytes = policy_memory_bytes(policy)
+        if config.checkpoint_path is not None:
+            save_engine(engine, config.checkpoint_path)
+        return RunResult(
+            config=config,
+            statistics=statistics,
+            policy=policy,
+            network=None,
+            engine=engine,
+            memory_bytes=memory_bytes,
+            store_stats=policy.store_stats(),
+            scheduler_stats=engine.scheduler_stats(),
+            columnar_stats=engine.columnar_stats(),
+        )
 
     def _run_single(
         self,
@@ -456,6 +555,7 @@ class Runner:
                 scheduler=scheduler,
                 checkpoint_every=config.checkpoint_every if checkpoint_in_loop else 0,
                 on_checkpoint=on_checkpoint,
+                columnar=config.columnar,
             )
         except MemoryBudgetExceededError as error:
             return RunResult(
@@ -469,6 +569,7 @@ class Runner:
                 note=str(error),
                 store_stats=policy.store_stats(),
                 scheduler_stats=engine.scheduler_stats(),
+                columnar_stats=engine.columnar_stats(),
             )
         finally:
             if scheduler is not None and owns_stream:
@@ -476,6 +577,10 @@ class Runner:
 
         memory_bytes: Optional[int] = None
         if config.measure_memory or config.memory_ceiling_bytes is not None:
+            # stores() flushes any transient columnar mirror first, so the
+            # measured footprint (and the ceiling verdict) matches the
+            # object path's.
+            policy.stores()
             memory_bytes = policy_memory_bytes(policy)
             if ceiling is not None:
                 memory_bytes = max(memory_bytes, ceiling.peak_bytes)
@@ -498,6 +603,7 @@ class Runner:
                 ),
                 store_stats=policy.store_stats(),
                 scheduler_stats=engine.scheduler_stats(),
+                columnar_stats=engine.columnar_stats(),
             )
 
         if config.checkpoint_path is not None:
@@ -512,14 +618,28 @@ class Runner:
             memory_bytes=memory_bytes,
             store_stats=policy.store_stats(),
             scheduler_stats=engine.scheduler_stats(),
+            columnar_stats=engine.columnar_stats(),
         )
 
     def _run_sharded(self, network: TemporalInteractionNetwork) -> RunResult:
         config = self.config
         plan = partition_network(
-            network, config.shards, mode=config.shard_by, limit=config.limit
+            network,
+            config.shards,
+            mode=config.shard_by,
+            limit=config.limit,
+            block=network.to_block() if config.columnar else None,
         )
         policies = self._shard_policies(network, plan)
+        if (
+            config.columnar is None
+            and config.effective_batch_size > 1
+            and policies
+            and policies[0].has_columnar_kernel()
+        ):
+            # Auto mode: the policies decide after the plan exists; route
+            # the cached block onto the already-built shards.
+            attach_shard_blocks(plan, network.to_block(), limit=config.limit)
         runs, statistics = run_shards(
             plan,
             policies,
@@ -527,6 +647,7 @@ class Runner:
             sample_every=config.sample_every,
             executor=config.shard_executor,
             max_workers=config.max_workers,
+            columnar=config.columnar,
         )
 
         memory_bytes: Optional[int] = None

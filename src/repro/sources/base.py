@@ -45,6 +45,13 @@ _ITER_POLL_INTERVAL = 0.01
 class InteractionSource(abc.ABC):
     """Pull-based handle on a (possibly unbounded) interaction stream."""
 
+    #: Whether the source is *eager*: every poll either returns data or
+    #: exhausts it, never "nothing yet".  Schedulers skip read-ahead
+    #: buffering for eager sources (hand the polled batch straight to the
+    #: policy); live sources keep the bounded read-ahead that
+    #: ``max_in_flight`` buys.
+    eager: bool = False
+
     def __init__(self) -> None:
         self._watermark: Optional[float] = None
         self._emitted = 0

@@ -38,6 +38,7 @@ import time as _time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
+from repro.core.blocks import InteractionBlock, VertexInterner
 from repro.core.interaction import Interaction
 from repro.exceptions import RunConfigurationError
 from repro.sources.base import InteractionSource
@@ -190,6 +191,31 @@ class MicroBatchScheduler:
         if target < 1:
             raise RunConfigurationError(f"max_items must be >= 1, got {max_items!r}")
         windowed = self.event_time_window is not None
+        if not self._pending and not windowed and self.source.eager:
+            # Poll-through fast path: with nothing pending and no event-time
+            # windowing, an eager source that can fill the batch right now
+            # hands it to the policy directly — no per-item round-trip
+            # through the pending deque.  Every batched network run takes
+            # this path on almost every batch; partial polls fall back to
+            # the buffered loop below.  Live sources never take it: for
+            # them the read-ahead buffering is the backpressure contract.
+            room = target
+            if self.max_pull is not None:
+                room = min(room, self.max_pull - self._pulled)
+            if room == target and not self.source.exhausted:
+                batch = self.source.poll(target)
+                if len(batch) == target:
+                    self._pulled += target
+                    self._flushes["size"] += 1
+                    self._batches += 1
+                    self._interactions += target
+                    return batch
+                if batch:
+                    self._pulled += len(batch)
+                    self._oldest_arrival = self._clock()
+                    self._pending.extend(batch)
+                    if len(self._pending) > self._peak_pending:
+                        self._peak_pending = len(self._pending)
         while True:
             if len(self._pending) < target:
                 self._pull()
@@ -218,6 +244,23 @@ class MicroBatchScheduler:
             # Live source, nothing flushable yet: wait a poll tick.
             self._waits += 1
             self._sleep(self.poll_interval)
+
+    def next_block(
+        self,
+        max_items: Optional[int] = None,
+        *,
+        interner: VertexInterner,
+    ) -> Optional[InteractionBlock]:
+        """The next micro-batch as a columnar block, or ``None`` at the end.
+
+        Same flush semantics as :meth:`next_batch`; the flushed objects are
+        columnarised against ``interner`` (typically one table per run), so
+        array-kernel policies can consume live streams.
+        """
+        batch = self.next_batch(max_items)
+        if batch is None:
+            return None
+        return InteractionBlock.from_interactions(batch, interner)
 
     def __iter__(self):
         while True:

@@ -28,6 +28,8 @@ class SequenceSource(InteractionSource):
     engine's eager path always has.
     """
 
+    eager = True
+
     def __init__(
         self,
         interactions: Iterable[Interaction],

@@ -1,0 +1,271 @@
+"""Acceptance suite of the columnar fast path: bit-identical to object runs.
+
+The equivalence bar of the columnar refactor: a run driven over
+struct-of-array :class:`InteractionBlock` batches — eager, sharded or
+streaming, forced (``columnar=True``) or automatic — must produce origin
+sets, buffer totals and entry-count samples identical (float for float,
+position for position) to the object run on the same stream, for EVERY
+registered policy, on the dict store and on the SQLite spill store (where
+the materialising adapter carries the blocks).  The interner must survive
+checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.catalog import load_preset
+from repro.datasets.io import read_interaction_block, write_interactions_csv
+from repro.policies.registry import available_policies
+from repro.runtime import RunConfig, Runner
+from repro.stores import StoreSpec
+
+#: Structural parameters for the policies whose constructors require them.
+STRUCTURAL_OPTIONS = {
+    "proportional-budget": {"capacity": 20},
+    "proportional-windowed": {"window": 150},
+    "proportional-time-windowed": {"window": 50.0},
+}
+
+#: A tiny hot capacity forces heavy spilling; on the sqlite leg the columnar
+#: run exercises the adapter fallback (kernels need dict-backed state).
+STORES = {
+    "dict": None,
+    "sqlite": StoreSpec("sqlite", {"hot_capacity": 8}),
+}
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load_preset("taxis", scale=0.05)
+
+
+def snapshot_dict(result):
+    snapshot = result.snapshot()
+    return {vertex: snapshot[vertex].as_dict() for vertex in snapshot}
+
+
+def run_config(network, policy_name, store, **extra):
+    return RunConfig(
+        dataset=network,
+        policy=policy_name,
+        policy_options=STRUCTURAL_OPTIONS.get(policy_name, {}),
+        store=STORES[store],
+        **extra,
+    )
+
+
+def assert_equivalent(object_run, columnar_run, *, check_samples=True):
+    assert object_run.statistics.interactions == columnar_run.statistics.interactions
+    assert snapshot_dict(object_run) == snapshot_dict(columnar_run)
+    assert dict(object_run.buffer_totals()) == dict(columnar_run.buffer_totals())
+    assert (
+        object_run.statistics.final_entry_count
+        == columnar_run.statistics.final_entry_count
+    )
+    if check_samples:
+        assert object_run.statistics.samples == columnar_run.statistics.samples
+        assert (
+            object_run.statistics.sampled_entry_counts
+            == columnar_run.statistics.sampled_entry_counts
+        )
+        assert (
+            object_run.statistics.peak_entry_count
+            == columnar_run.statistics.peak_entry_count
+        )
+
+
+@pytest.mark.parametrize("store", sorted(STORES))
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_eager_columnar_identical_to_object(network, policy_name, store):
+    object_run = Runner(run_config(
+        network, policy_name, store, columnar=False, sample_every=97
+    )).run()
+    columnar_run = Runner(run_config(
+        network, policy_name, store, columnar=True, sample_every=97
+    )).run()
+    assert_equivalent(object_run, columnar_run)
+    assert columnar_run.columnar_stats is not None
+    assert columnar_run.columnar_stats["mode"] == "block"
+
+
+@pytest.mark.parametrize("store", sorted(STORES))
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_streaming_columnar_identical_to_object(network, policy_name, store):
+    object_run = Runner(run_config(
+        network, policy_name, store, columnar=False, micro_batch=61
+    )).run()
+    columnar_run = Runner(run_config(
+        network, policy_name, store, columnar=True, micro_batch=61
+    )).run()
+    assert_equivalent(object_run, columnar_run)
+    assert columnar_run.columnar_stats["mode"] == "stream"
+
+
+@pytest.mark.parametrize("store", sorted(STORES))
+@pytest.mark.parametrize("shard_by", ["components", "hash"])
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_sharded_columnar_identical_to_object(network, policy_name, store, shard_by):
+    object_run = Runner(run_config(
+        network, policy_name, store, columnar=False, shards=3, shard_by=shard_by
+    )).run()
+    columnar_run = Runner(run_config(
+        network, policy_name, store, columnar=True, shards=3, shard_by=shard_by
+    )).run()
+    assert_equivalent(object_run, columnar_run, check_samples=False)
+
+
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_auto_columnar_identical_to_object(network, policy_name):
+    """The default (columnar=None) must be bit-identical to columnar=False."""
+    object_run = Runner(run_config(
+        network, policy_name, "dict", columnar=False, sample_every=103
+    )).run()
+    auto_run = Runner(run_config(
+        network, policy_name, "dict", sample_every=103
+    )).run()
+    assert_equivalent(object_run, auto_run)
+
+
+def test_block_native_csv_identical_to_object(network, tmp_path):
+    path = tmp_path / "stream.csv"
+    write_interactions_csv(network.interactions, path)
+    for policy_name in ("noprov", "fifo", "proportional-dense", "proportional-sparse"):
+        object_run = Runner(RunConfig(
+            dataset=str(path), vertex_type=int, policy=policy_name, columnar=False
+        )).run()
+        columnar_run = Runner(RunConfig(
+            dataset=str(path), vertex_type=int, policy=policy_name, columnar=True
+        )).run()
+        assert_equivalent(object_run, columnar_run)
+        # The block-native path never built a network or an object list.
+        assert columnar_run.network is None
+        assert columnar_run.columnar_stats["block_bytes"] > 0
+
+
+def test_block_native_ingest_matches_object_parsing(network, tmp_path):
+    from repro.datasets.io import read_network_csv
+
+    path = tmp_path / "stream.csv"
+    write_interactions_csv(network.interactions, path)
+    block = read_interaction_block(path, vertex_type=int)
+    assert block.to_interactions() == network.interactions
+    # Interner order equals the registration order of a network built from
+    # the same file (first appearance, source before destination).
+    assert block.interner.vertices == list(read_network_csv(path, vertex_type=int).vertices)
+
+
+@pytest.mark.parametrize("store", sorted(STORES))
+def test_columnar_resume_identical_to_uninterrupted(network, store, tmp_path):
+    """Interner and kernel state survive the checkpoint/resume round trip."""
+    checkpoint = tmp_path / "columnar.ckpt"
+    uninterrupted = Runner(run_config(
+        network, "fifo", store, columnar=True, micro_batch=64
+    )).run()
+    Runner(run_config(
+        network, "fifo", store, columnar=True, micro_batch=64,
+        limit=network.num_interactions // 2, checkpoint_path=checkpoint,
+    )).run()
+    resumed = Runner(run_config(
+        network, "fifo", store, columnar=True, micro_batch=64,
+        resume_from=checkpoint,
+    )).run()
+    assert snapshot_dict(uninterrupted) == snapshot_dict(resumed)
+    assert dict(uninterrupted.buffer_totals()) == dict(resumed.buffer_totals())
+
+
+def test_mixed_columnar_and_object_driving(network):
+    """Alternating process_block and process_many stays consistent."""
+    from repro.core.engine import ProvenanceEngine
+    from repro.policies.registry import make_policy
+
+    block = network.to_block()
+    half = len(block) // 2
+
+    reference = make_policy("fifo")
+    reference.reset(network.vertices)
+    reference.process_many(network.interactions)
+
+    mixed = make_policy("fifo")
+    mixed.reset(network.vertices)
+    mixed.process_block(block.slice(0, half))
+    mixed.process_many(network.interactions[half:])
+
+    vertices = set(reference.tracked_vertices())
+    assert vertices == set(mixed.tracked_vertices())
+    for vertex in vertices:
+        assert reference.buffer_total(vertex) == mixed.buffer_total(vertex)
+        assert reference.origins(vertex).as_dict() == mixed.origins(vertex).as_dict()
+    assert reference.entry_count() == mixed.entry_count()
+
+
+def test_block_native_keeps_memory_ceiling_semantics(network, tmp_path):
+    """Ceiling runs fall back to the object ingest so feasibility still works."""
+    path = tmp_path / "stream.csv"
+    write_interactions_csv(network.interactions, path)
+    kwargs = dict(dataset=str(path), vertex_type=int, policy="noprov",
+                  memory_ceiling_bytes=10)
+    object_run = Runner(RunConfig(columnar=False, **kwargs)).run()
+    columnar_run = Runner(RunConfig(columnar=True, **kwargs)).run()
+    assert not object_run.feasible
+    assert not columnar_run.feasible
+    assert columnar_run.memory_bytes is not None
+
+
+def test_block_native_periodic_checkpoints(network, tmp_path):
+    """checkpoint_every is honoured (and validated) on the block-native path."""
+    from repro.exceptions import RunConfigurationError
+
+    path = tmp_path / "stream.csv"
+    write_interactions_csv(network.interactions, path)
+    with pytest.raises(RunConfigurationError):
+        Runner(RunConfig(
+            dataset=str(path), vertex_type=int, policy="fifo",
+            columnar=True, checkpoint_every=100,
+        )).run()
+    checkpoint = tmp_path / "periodic.ckpt"
+    Runner(RunConfig(
+        dataset=str(path), vertex_type=int, policy="fifo", columnar=True,
+        checkpoint_every=100, checkpoint_path=checkpoint,
+        limit=150, batch_size=64,
+    )).run()
+    from repro.core.checkpoint import load_engine
+
+    restored = load_engine(checkpoint)
+    # The final save lands on the limit; a mid-run save happened at 100.
+    assert restored.interactions_processed == 150
+
+
+def test_auto_columnar_only_on_eager_network_runs(network):
+    """Scheduler/stream runs keep the object path unless columnar is forced."""
+    # Pin the dict store: auto mode depends on a kernel being available,
+    # which the REPRO_DEFAULT_STORE=sqlite CI leg would otherwise disable.
+    store = StoreSpec("dict")
+    eager = Runner(RunConfig(dataset=network, policy="noprov", store=store)).run()
+    assert eager.columnar_stats is not None
+    streamed = Runner(RunConfig(
+        dataset=network, policy="noprov", store=store, micro_batch=64
+    )).run()
+    assert streamed.columnar_stats is None
+    forced = Runner(RunConfig(
+        dataset=network, policy="noprov", store=store, micro_batch=64, columnar=True
+    )).run()
+    assert forced.columnar_stats is not None and forced.columnar_stats["mode"] == "stream"
+
+
+def test_forced_columnar_respects_subclass_overrides(network):
+    """A subclass overriding process_many never has its override bypassed."""
+    from repro.policies.receipt_order import FifoPolicy
+
+    calls = []
+
+    class CountingFifo(FifoPolicy):
+        def process_many(self, interactions):
+            calls.append(len(interactions))
+            super().process_many(interactions)
+
+    policy = CountingFifo()
+    assert not policy.has_columnar_kernel()
+    result = Runner(RunConfig(dataset=network, policy=policy, columnar=True)).run()
+    assert result.statistics.interactions == network.num_interactions
+    assert sum(calls) == network.num_interactions

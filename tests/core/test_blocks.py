@@ -1,0 +1,121 @@
+"""Unit tests for the columnar substrate: VertexInterner and InteractionBlock."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import InteractionBlock, VertexInterner
+from repro.core.interaction import Interaction
+from repro.datasets.catalog import load_preset
+
+
+class TestVertexInterner:
+    def test_ids_are_dense_and_stable(self):
+        interner = VertexInterner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0
+        assert len(interner) == 2
+        assert interner.vertex_of(1) == "b"
+        assert interner.id_of("b") == 1
+        assert "a" in interner and "c" not in interner
+        assert interner.get_id("c") == -1
+
+    def test_seeding_preserves_order(self):
+        interner = VertexInterner(["x", "y", "z"])
+        assert [interner.id_of(v) for v in ("x", "y", "z")] == [0, 1, 2]
+        assert interner.vertices == ["x", "y", "z"]
+
+    def test_snapshot_restore_round_trip(self):
+        interner = VertexInterner(["a", "b", "c"])
+        snapshot = interner.snapshot()
+        restored = VertexInterner()
+        restored.restore(snapshot)
+        assert len(restored) == 3
+        assert restored.id_of("b") == 1
+        assert restored.vertex_of(2) == "c"
+        # The restored table keeps interning consistently past the snapshot.
+        assert restored.intern("d") == 3
+
+    def test_pickle_round_trip(self):
+        interner = VertexInterner(["a", "b"])
+        clone = pickle.loads(pickle.dumps(interner))
+        assert clone.id_of("b") == 1
+        assert clone.intern("c") == 2
+
+
+class TestInteractionBlock:
+    def _interactions(self):
+        return [
+            Interaction("v1", "v2", 1.0, 3.0),
+            Interaction("v2", "v0", 3.0, 5.0),
+            Interaction("v0", "v1", 4.0, 3.0),
+        ]
+
+    def test_from_interactions_round_trip(self):
+        interactions = self._interactions()
+        block = InteractionBlock.from_interactions(interactions)
+        assert len(block) == 3
+        assert block.to_interactions() == interactions
+        assert list(block) == interactions
+        assert block.last_time == 4.0
+        assert block.src_ids.dtype == np.int32
+        assert block.quantities.dtype == np.float64
+
+    def test_interning_order_is_source_then_destination(self):
+        block = InteractionBlock.from_interactions(self._interactions())
+        # v1 (source of row 0) before v2 (destination of row 0) before v0.
+        assert block.interner.vertices == ["v1", "v2", "v0"]
+
+    def test_interning_order_matches_network_registration(self):
+        network = load_preset("taxis", scale=0.05)
+        block = network.to_block()
+        assert block.interner.vertices == list(network.vertices)
+        assert block.to_interactions() == network.interactions
+
+    def test_network_block_is_cached_and_invalidated(self):
+        network = load_preset("taxis", scale=0.02)
+        block = network.to_block()
+        assert network.to_block() is block
+        network.add_interaction(Interaction("new", "vertex", 1e9, 1.0))
+        fresh = network.to_block()
+        assert fresh is not block
+        assert len(fresh) == len(block) + 1
+
+    def test_slice_is_zero_copy_view(self):
+        block = InteractionBlock.from_interactions(self._interactions())
+        piece = block.slice(1, 3)
+        assert len(piece) == 2
+        assert piece.to_interactions() == self._interactions()[1:]
+        assert piece.src_ids.base is not None  # a view, not a copy
+        assert piece.interner is block.interner
+
+    def test_take_preserves_order(self):
+        block = InteractionBlock.from_interactions(self._interactions())
+        taken = block.take(np.array([0, 2]))
+        assert taken.to_interactions() == [self._interactions()[0], self._interactions()[2]]
+
+    def test_column_lists_are_plain_python(self):
+        block = InteractionBlock.from_interactions(self._interactions())
+        sources, destinations, times, quantities = block.column_lists()
+        assert sources == [0, 1, 2]
+        assert destinations == [1, 2, 0]
+        assert times == [1.0, 3.0, 4.0]
+        assert all(type(value) is float for value in quantities)
+
+    def test_nbytes_counts_the_four_columns(self):
+        block = InteractionBlock.from_interactions(self._interactions())
+        # 2 int32 + 2 float64 columns over 3 rows.
+        assert block.nbytes == 3 * (4 + 4 + 8 + 8)
+
+    def test_shared_interner_across_blocks(self):
+        interner = VertexInterner()
+        first = InteractionBlock.from_interactions(self._interactions(), interner)
+        second = InteractionBlock.from_interactions(
+            [Interaction("v2", "v9", 9.0, 1.0)], interner
+        )
+        assert second.src_ids[0] == first.interner.id_of("v2")
+        assert interner.vertex_of(int(second.dst_ids[0])) == "v9"
