@@ -180,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial", help="how shard engines are executed",
     )
     run_parser.add_argument(
+        "--shared-memory", action=argparse.BooleanOptionalAction, default=None,
+        help="zero-copy shard fabric for --shard-executor processes: shard "
+        "columns live in shared-memory segments and a persistent worker "
+        "pool receives (segment, offset, length, dtype) handles instead of "
+        "pickled shard payloads; results are bit-identical",
+    )
+    run_parser.add_argument(
         "--workers", type=int, default=None,
         help="worker count for parallel shard executors",
     )
@@ -241,6 +248,7 @@ def _command_run(args: argparse.Namespace) -> int:
         shards=args.shards,
         shard_by=args.shard_by,
         shard_executor=args.shard_executor,
+        shared_memory=args.shared_memory,
         max_workers=args.workers,
     )
     result = Runner(config).run()
@@ -301,6 +309,21 @@ def _command_run(args: argparse.Namespace) -> int:
         print(
             f"sharded over {len(result.shard_runs)} {result.partition.mode} "
             f"shards ({exactness}; per-shard interactions: {shard_sizes})"
+        )
+    if result.shm_stats is not None:
+        fabric = result.shm_stats
+        print(
+            f"shared-memory fabric ({fabric['backend']}): "
+            f"{fabric['workers']} persistent workers, "
+            f"{format_bytes(fabric['segment_bytes'])} of shard columns in "
+            f"segments, {format_bytes(fabric['dispatch_bytes'])} dispatched "
+            f"across the fork boundary"
+            + (
+                f", {format_bytes(fabric['state_bytes'])} of state adopted "
+                f"zero-copy"
+                if fabric["state_bytes"]
+                else ""
+            )
         )
     rows = []
     for vertex, total in result.top_buffers(args.top):

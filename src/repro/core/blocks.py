@@ -119,9 +119,16 @@ class InteractionBlock:
     ``times[i]``; the shared :class:`VertexInterner` resolves ids back to
     vertex objects.  Blocks are immutable by convention — slices share the
     underlying arrays.
+
+    ``owner`` is an opaque object kept alive for as long as the block (or
+    any slice of it) exists.  Blocks over plain heap arrays leave it
+    ``None``; zero-copy views over externally managed memory — the shared
+    segments of :mod:`repro.runtime.shm` — pass the segment lease here, so
+    plain Python refcounting keeps the mapping open until the last view
+    dies.
     """
 
-    __slots__ = ("src_ids", "dst_ids", "times", "quantities", "interner")
+    __slots__ = ("src_ids", "dst_ids", "times", "quantities", "interner", "owner")
 
     def __init__(
         self,
@@ -130,12 +137,14 @@ class InteractionBlock:
         times: np.ndarray,
         quantities: np.ndarray,
         interner: VertexInterner,
+        owner: object = None,
     ) -> None:
         self.src_ids = src_ids
         self.dst_ids = dst_ids
         self.times = times
         self.quantities = quantities
         self.interner = interner
+        self.owner = owner
 
     # ------------------------------------------------------------------
     # construction
@@ -200,6 +209,7 @@ class InteractionBlock:
             self.times[start:stop],
             self.quantities[start:stop],
             self.interner,
+            owner=self.owner,
         )
 
     def take(self, positions: np.ndarray) -> "InteractionBlock":

@@ -15,10 +15,12 @@ from repro.runtime.partition import (
     ShardRun,
     attach_shard_blocks,
     connected_components,
+    fork_payload_bytes,
     merge_snapshots,
     merge_statistics,
     partition_network,
     run_shards,
+    shard_row_positions,
     stable_shard_index,
     stable_shard_indices,
 )
@@ -36,7 +38,9 @@ __all__ = [
     "ShardRun",
     "attach_shard_blocks",
     "connected_components",
+    "fork_payload_bytes",
     "partition_network",
+    "shard_row_positions",
     "stable_shard_index",
     "stable_shard_indices",
     "run_shards",

@@ -157,6 +157,18 @@ class RunConfig:
         (stable vertex hash; documented-approximate for cross-shard flows).
     shard_executor:
         ``"serial"``, ``"threads"`` or ``"processes"``.
+    shared_memory:
+        Zero-copy shard fabric for the ``"processes"`` executor: shard
+        column arrays (plus the interner's vertex table) are placed in
+        :mod:`multiprocessing.shared_memory` segments (mmap-backed temp
+        files where unavailable) and dispatched to a **persistent** worker
+        pool as ``(segment, offset, length, dtype)`` handles instead of
+        pickled payloads; dense result state travels back the same way.
+        Results are bit-identical to the pickled executor; only the
+        transport changes.  ``True`` enables it (requires
+        ``shard_executor="processes"`` and ``shards > 1``), ``False``/
+        ``None`` (default) keeps the pickled payloads.  See
+        :mod:`repro.runtime.shm`.
     max_workers:
         Worker count for the parallel executors (None: library default).
     """
@@ -190,6 +202,7 @@ class RunConfig:
     shards: int = 0
     shard_by: str = "components"
     shard_executor: str = "serial"
+    shared_memory: Optional[bool] = None
     max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -302,6 +315,28 @@ class RunConfig:
             raise RunConfigurationError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
+        if self.shared_memory:
+            if self.shards <= 1:
+                raise RunConfigurationError(
+                    "shared_memory applies to sharded runs; set shards > 1"
+                )
+            if self.shard_executor != "processes":
+                raise RunConfigurationError(
+                    "shared_memory shares segments across a process pool; "
+                    f"set shard_executor='processes' (got "
+                    f"{self.shard_executor!r})"
+                )
+            if self.columnar is False:
+                raise RunConfigurationError(
+                    "the shared-memory fabric executes shards block-natively "
+                    "(results stay bit-identical); columnar=False cannot be "
+                    "honoured — drop it or disable shared_memory"
+                )
+
+    @property
+    def uses_shared_memory(self) -> bool:
+        """Whether sharded execution rides the shared-memory shard fabric."""
+        return bool(self.shared_memory) and self.shards > 1
 
     @property
     def uses_scheduler(self) -> bool:

@@ -52,6 +52,8 @@ __all__ = [
     "stable_shard_indices",
     "partition_network",
     "attach_shard_blocks",
+    "shard_row_positions",
+    "fork_payload_bytes",
     "run_shards",
     "merge_statistics",
     "merge_snapshots",
@@ -309,6 +311,30 @@ def partition_network(
     )
 
 
+def shard_row_positions(
+    plan: PartitionPlan, block: InteractionBlock
+) -> List[np.ndarray]:
+    """Row positions of ``block`` belonging to each shard of ``plan``.
+
+    Membership is recovered from the plan's vertex lists and the stream is
+    assigned with one fancy-index over the source-id column — the
+    vectorised routing shared by :func:`attach_shard_blocks` and the
+    shared-memory fabric (which writes the routed rows straight into
+    pool-resident buffers).  ``flatnonzero`` yields ascending positions, so
+    each shard's rows keep global time order.
+    """
+    membership = {
+        vertex: shard.index for shard in plan.shards for vertex in shard.vertices
+    }
+    member_of_id = np.fromiter(
+        (membership[vertex] for vertex in block.interner.vertices),
+        dtype=np.int64,
+        count=len(block.interner),
+    )
+    assigned = member_of_id[block.src_ids]
+    return [np.flatnonzero(assigned == shard.index) for shard in plan.shards]
+
+
 def attach_shard_blocks(
     plan: PartitionPlan,
     block: InteractionBlock,
@@ -324,17 +350,36 @@ def attach_shard_blocks(
     """
     if limit is not None:
         block = block.slice(0, max(limit, 0))
-    membership = {
-        vertex: shard.index for shard in plan.shards for vertex in shard.vertices
-    }
-    member_of_id = np.fromiter(
-        (membership[vertex] for vertex in block.interner.vertices),
-        dtype=np.int64,
-        count=len(block.interner),
+    for shard, positions in zip(plan.shards, shard_row_positions(plan, block)):
+        shard.block = block.take(positions)
+
+
+def fork_payload_bytes(
+    plan: PartitionPlan,
+    policies: Sequence[SelectionPolicy],
+    *,
+    batch_size: int = 0,
+    sample_every: int = 0,
+    columnar: Optional[bool] = None,
+) -> int:
+    """Bytes the pickled process executor ships across the fork boundary.
+
+    Measures exactly the payload tuples :func:`run_shards` submits to its
+    :class:`~concurrent.futures.ProcessPoolExecutor` (same pickle
+    protocol), so the bench harness can contrast it with the shard fabric's
+    handle-sized dispatch without instrumenting the timed region.
+    """
+    import pickle
+
+    return sum(
+        len(
+            pickle.dumps(
+                (shard, policy, batch_size, sample_every, columnar),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        )
+        for shard, policy in zip(plan.shards, policies)
     )
-    assigned = member_of_id[block.src_ids]
-    for shard in plan.shards:
-        shard.block = block.take(np.flatnonzero(assigned == shard.index))
 
 
 def _run_one_shard(
@@ -380,6 +425,7 @@ def run_shards(
     executor: str = "serial",
     max_workers: Optional[int] = None,
     columnar: Optional[bool] = None,
+    shared_memory: bool = False,
 ) -> Tuple[List[ShardRun], RunStatistics]:
     """Run one engine per shard and merge the statistics.
 
@@ -391,7 +437,35 @@ def run_shards(
     ``elapsed_seconds`` is the wall-clock time of the whole sharded run
     (not the sum of per-shard times, which overcounts under parallel
     executors).
+
+    With ``shared_memory=True`` (processes executor only) the shards are
+    dispatched over the zero-copy shard fabric of :mod:`repro.runtime.shm`
+    — a persistent worker pool reading the shard columns from shared
+    segments instead of unpickling them per run.  Results are bit-identical
+    to the pickled executor.
     """
+    if shared_memory:
+        if executor != "processes":
+            raise RunConfigurationError(
+                "shared_memory=True requires the 'processes' executor; "
+                f"got {executor!r}"
+            )
+        if columnar is False:
+            raise RunConfigurationError(
+                "the shared-memory fabric executes shards block-natively; "
+                "columnar=False cannot be honoured — drop it or disable "
+                "shared_memory"
+            )
+        from repro.runtime import shm as _shm
+
+        runs, merged, _stats = _shm.run_shards_shared(
+            plan,
+            policies,
+            batch_size=batch_size,
+            sample_every=sample_every,
+            max_workers=max_workers,
+        )
+        return runs, merged
     if len(policies) != len(plan.shards):
         raise RunConfigurationError(
             f"need one policy per shard: {len(plan.shards)} shards, "

@@ -170,6 +170,10 @@ class RunResult:
     #: the run took the object path.  See
     #: :meth:`repro.core.engine.ProvenanceEngine.columnar_stats`.
     columnar_stats: Optional[Dict[str, Any]] = None
+    #: Shared-memory shard-fabric accounting (backend, workers, segment
+    #: bytes, exact dispatch bytes, adopted state bytes); ``None`` unless
+    #: the run used ``shared_memory=True``.  See :mod:`repro.runtime.shm`.
+    shm_stats: Optional[Dict[str, Any]] = None
 
     @property
     def sharded(self) -> bool:
@@ -279,6 +283,7 @@ class RunResult:
                     self.partition.cross_shard_interactions if self.partition else 0
                 ),
                 "shards": self.shard_timings,
+                "shared_memory": self.shm_stats,
             },
             "streaming": {
                 "scheduled": self.scheduler_stats is not None,
@@ -372,10 +377,12 @@ class Runner:
 
         Only for explicitly requested columnar runs over a plain CSV path:
         the whole file becomes one block (24 bytes per row) and no network,
-        object list or interaction object is ever built.  Follow/tail,
-        sharded, resumed, observer-driven and memory-ceiling runs keep the
-        object ingest (ceilings need the object path's mid-run/feasibility
-        machinery).
+        object list or interaction object is ever built.  Resumed runs stay
+        block-native too — the processed prefix is skipped with a single
+        zero-copy ``block.slice`` instead of replaying the source item by
+        item.  Follow/tail, sharded, observer-driven and memory-ceiling
+        runs keep the object ingest (ceilings need the object path's
+        mid-run/feasibility machinery).
         """
         config = self.config
         if config.columnar is not True or config.source is not None:
@@ -390,20 +397,42 @@ class Runner:
             # forced-columnar scheduler path keeps it lazy instead.
             or config.stream
             or config.shards > 1
-            or config.resume_from is not None
             or config.observers
-            or config.uses_scheduler
             or config.memory_ceiling_bytes is not None
+            # An explicit scheduler knob keeps the scheduled path; a bare
+            # resume_from (which also implies uses_scheduler) stays
+            # block-native and slices the prefix instead.
+            or config.micro_batch is not None
+            or config.max_in_flight is not None
+            or config.flush_interval is not None
         )
 
     def _run_block_native(self) -> RunResult:
-        """Columnar CSV run: parse into one block, drive the engine with it."""
+        """Columnar CSV run: parse into one block, drive the engine with it.
+
+        Resumed runs restore the engine from the checkpoint and skip the
+        processed prefix with a single zero-copy ``block.slice`` — no
+        source replay, no item-by-item draining.
+        """
         config = self.config
+        resumed: Optional[ProvenanceEngine] = None
+        skip = 0
+        if config.resume_from is not None:
+            resumed = load_engine(config.resume_from)
+            skip = resumed.interactions_processed
+        # The prefix still has to be parsed (vertex ids must intern in the
+        # original first-appearance order), but it is dropped as one slice.
+        read_limit = config.limit if config.limit is None else skip + max(config.limit, 0)
         block = read_interaction_block(
-            str(config.dataset), vertex_type=config.vertex_type, limit=config.limit
+            str(config.dataset), vertex_type=config.vertex_type, limit=read_limit
         )
-        policy = build_policy(config, None, universe=block.interner.vertices)
-        engine = ProvenanceEngine(policy)
+        if resumed is not None:
+            block = block.slice(min(skip, len(block)), len(block))
+            policy = resumed.policy
+            engine = resumed
+        else:
+            policy = build_policy(config, None, universe=block.interner.vertices)
+            engine = ProvenanceEngine(policy)
         on_checkpoint = None
         if config.checkpoint_every:
             if config.checkpoint_path is None:
@@ -417,6 +446,7 @@ class Runner:
 
         statistics = engine.run(
             block,
+            reset=resumed is None,
             limit=config.limit,
             sample_every=config.sample_every,
             batch_size=config.effective_batch_size,
@@ -621,18 +651,31 @@ class Runner:
             columnar_stats=engine.columnar_stats(),
         )
 
-    def _run_sharded(self, network: TemporalInteractionNetwork) -> RunResult:
+    def shard_plan(
+        self, network: TemporalInteractionNetwork
+    ) -> Tuple[PartitionPlan, List[SelectionPolicy]]:
+        """Partition plus per-shard policies, exactly as a sharded run ships.
+
+        Applies the same block-attachment rules ``_run_sharded`` executes
+        under — columnar/fabric runs partition with the network's block
+        (vectorised membership and routing, shards carry their columns),
+        and auto mode attaches blocks after the policies decide.  Public so
+        the bench harness can measure the fork payload of precisely the
+        plan a run would dispatch, without re-implementing this logic.
+        """
         config = self.config
+        columnar_plan = bool(config.columnar) or config.uses_shared_memory
         plan = partition_network(
             network,
             config.shards,
             mode=config.shard_by,
             limit=config.limit,
-            block=network.to_block() if config.columnar else None,
+            block=network.to_block() if columnar_plan else None,
         )
         policies = self._shard_policies(network, plan)
         if (
-            config.columnar is None
+            not columnar_plan
+            and config.columnar is None
             and config.effective_batch_size > 1
             and policies
             and policies[0].has_columnar_kernel()
@@ -640,15 +683,34 @@ class Runner:
             # Auto mode: the policies decide after the plan exists; route
             # the cached block onto the already-built shards.
             attach_shard_blocks(plan, network.to_block(), limit=config.limit)
-        runs, statistics = run_shards(
-            plan,
-            policies,
-            batch_size=config.effective_batch_size,
-            sample_every=config.sample_every,
-            executor=config.shard_executor,
-            max_workers=config.max_workers,
-            columnar=config.columnar,
-        )
+        return plan, policies
+
+    def _run_sharded(self, network: TemporalInteractionNetwork) -> RunResult:
+        config = self.config
+        plan, policies = self.shard_plan(network)
+        shm_stats: Optional[Dict[str, Any]] = None
+        if config.uses_shared_memory:
+            from repro.runtime import shm as _shm
+
+            # build_shared_plan copies the plan's routed shard columns
+            # straight into the fabric's shared segment.
+            runs, statistics, shm_stats = _shm.run_shards_shared(
+                plan,
+                policies,
+                batch_size=config.effective_batch_size,
+                sample_every=config.sample_every,
+                max_workers=config.max_workers,
+            )
+        else:
+            runs, statistics = run_shards(
+                plan,
+                policies,
+                batch_size=config.effective_batch_size,
+                sample_every=config.sample_every,
+                executor=config.shard_executor,
+                max_workers=config.max_workers,
+                columnar=config.columnar,
+            )
 
         memory_bytes: Optional[int] = None
         feasible = True
@@ -678,6 +740,7 @@ class Runner:
             memory_bytes=memory_bytes,
             note=note,
             store_stats=merge_store_stats(run.store_stats for run in runs),
+            shm_stats=shm_stats,
         )
 
     def _shard_policies(

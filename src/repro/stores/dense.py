@@ -20,7 +20,7 @@ rely on.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +53,16 @@ class DenseNumpyStore(ProvenanceStore):
         self._free: List[int] = []
         self._next_row = 0
         self._evictions = 0
+        #: Rows held by an adopted block 0 (see :meth:`adopt_packed`);
+        #: ``None`` for stores built locally.  The adopted matrix keeps its
+        #: exact size while growth past it appends ordinary
+        #: ``block_rows``-granularity blocks.
+        self._base_rows: Optional[int] = None
+        #: Opaque lifetime anchor for adopted zero-copy state: when the
+        #: blocks are views into a shared-memory segment (see
+        #: :meth:`adopt_packed`), this holds the segment lease so the
+        #: mapping outlives every row view handed out.
+        self._owner: object = None
 
     @property
     def dimension(self) -> int:
@@ -63,6 +73,12 @@ class DenseNumpyStore(ProvenanceStore):
     # row allocation
     # ------------------------------------------------------------------
     def _view(self, row: int) -> np.ndarray:
+        base = self._base_rows
+        if base is not None:
+            if row < base:
+                return self._blocks[0][row]
+            block, offset = divmod(row - base, self._block_rows)
+            return self._blocks[1 + block][offset]
         block, offset = divmod(row, self._block_rows)
         return self._blocks[block][offset]
 
@@ -73,7 +89,12 @@ class DenseNumpyStore(ProvenanceStore):
         else:
             row = self._next_row
             self._next_row += 1
-            if row // self._block_rows >= len(self._blocks):
+            base = self._base_rows
+            grown_blocks = (
+                len(self._blocks) if base is None else len(self._blocks) - 1
+            )
+            grown_row = row if base is None else row - base
+            if grown_row // self._block_rows >= grown_blocks:
                 # Blocks are only ever appended, never reallocated: views of
                 # existing rows stay valid across growth.
                 self._blocks.append(
@@ -152,6 +173,71 @@ class DenseNumpyStore(ProvenanceStore):
         self._rows = {}
         self._free = []
         self._next_row = 0
+        self._base_rows = None
+        self._owner = None
+
+    # ------------------------------------------------------------------
+    # zero-copy state transfer (shared-memory shard fabric)
+    # ------------------------------------------------------------------
+    def pack_rows(self, out: np.ndarray) -> List[Hashable]:
+        """Copy every stored vector into ``out`` row by row, densely packed.
+
+        ``out`` must be a float64 matrix of shape ``(len(self), dimension)``
+        — typically a view into a shared-memory segment.  Rows are written
+        in key-insertion order and the keys are returned in that same
+        order, so ``adopt_packed(keys, out)`` on another process's store
+        reproduces this store's contents exactly (free-list holes are
+        compacted away; only live rows travel).
+        """
+        for position, (key, row) in enumerate(self._rows.items()):
+            out[position] = self._view(row)
+        return list(self._rows)
+
+    def adopt_packed(
+        self, keys: List[Hashable], matrix: np.ndarray, owner: object = None
+    ) -> None:
+        """Install a packed ``(len(keys), dimension)`` matrix as the contents.
+
+        The matrix is adopted *as is* — no copy — so passing a view into a
+        shared-memory segment makes every subsequent ``get`` a zero-copy
+        view into that segment.  ``owner`` keeps the segment mapping alive
+        for the lifetime of the store (see :mod:`repro.runtime.shm`).
+        Growth past the adopted rows appends fresh heap blocks exactly like
+        a store built locally.
+        """
+        rows = len(keys)
+        if matrix.shape != (rows, self._dimension):
+            raise StoreConfigurationError(
+                f"packed matrix shape {matrix.shape} does not match "
+                f"{rows} keys of dimension {self._dimension}"
+            )
+        self.clear()
+        if rows == 0:
+            return
+        # Block 0 is the adopted matrix at its exact size (``_base_rows``);
+        # rows past it address ordinary ``block_rows``-granularity appended
+        # blocks, so growing an adopted store costs the same as growing a
+        # local one (not another matrix-sized allocation).
+        self._base_rows = rows
+        self._blocks = [matrix]
+        self._rows = {key: position for position, key in enumerate(keys)}
+        self._next_row = rows
+        self._owner = owner
+
+    def __getstate__(self):
+        """Detach from any shared segment before pickling.
+
+        Adopted blocks are views into memory another process manages;
+        pickling materialises them into ordinary heap arrays and drops the
+        (unpicklable) segment lease, so checkpoints of adopted state are
+        self-contained.  Locally built stores (no lease) pickle their
+        blocks as-is — no extra copy on the ordinary checkpoint paths.
+        """
+        state = dict(self.__dict__)
+        if state.get("_owner") is not None:
+            state["_owner"] = None
+            state["_blocks"] = [np.array(block) for block in self._blocks]
+        return state
 
     # ------------------------------------------------------------------
     # accounting

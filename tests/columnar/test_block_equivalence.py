@@ -143,6 +143,40 @@ def test_block_native_csv_identical_to_object(network, tmp_path):
         assert columnar_run.columnar_stats["block_bytes"] > 0
 
 
+def test_block_native_resume_slices_prefix(network, tmp_path):
+    """Resumed columnar CSV runs stay block-native: the processed prefix is
+    dropped with one zero-copy ``block.slice`` instead of replaying the
+    source through the scheduler item by item."""
+    path = tmp_path / "stream.csv"
+    checkpoint = tmp_path / "native.ckpt"
+    write_interactions_csv(network.interactions, path)
+    total = network.num_interactions
+    for policy_name in ("noprov", "fifo", "proportional-dense"):
+        uninterrupted = Runner(RunConfig(
+            dataset=str(path), vertex_type=int, policy=policy_name, columnar=True
+        )).run()
+        Runner(RunConfig(
+            dataset=str(path), vertex_type=int, policy=policy_name, columnar=True,
+            limit=total // 2, checkpoint_path=checkpoint,
+        )).run()
+        resumed = Runner(RunConfig(
+            dataset=str(path), vertex_type=int, policy=policy_name, columnar=True,
+            resume_from=checkpoint,
+        )).run()
+        # Block-native, not scheduler-driven: the fix under test.
+        assert resumed.columnar_stats is not None
+        assert resumed.columnar_stats["mode"] == "block"
+        assert resumed.statistics.interactions == total - total // 2
+        assert snapshot_dict(uninterrupted) == snapshot_dict(resumed)
+        assert dict(uninterrupted.buffer_totals()) == dict(resumed.buffer_totals())
+    # A resumed run with a limit processes exactly that many more rows.
+    limited = Runner(RunConfig(
+        dataset=str(path), vertex_type=int, policy="fifo", columnar=True,
+        resume_from=checkpoint, limit=7,
+    )).run()
+    assert limited.statistics.interactions == 7
+
+
 def test_block_native_ingest_matches_object_parsing(network, tmp_path):
     from repro.datasets.io import read_network_csv
 
