@@ -12,13 +12,19 @@ lifo) — over preset datasets in six configurations:
 * hash-sharded over a pickled process pool (``shard_executor=processes``),
 * hash-sharded over the zero-copy shared-memory shard fabric
   (``shared_memory=True``: shard columns live in shared segments, a
-  persistent worker pool receives handle-sized dispatch messages).
+  persistent worker pool receives handle-sized dispatch messages),
+* mincut-sharded over the same shm fabric (``shard_by="mincut"``: the
+  seeded multilevel min-cut partitioner of ``runtime.mincut`` — balanced
+  shards, minimal cross-shard interactions; plan build time is reported
+  separately and never inside the timed region).
 
 and writes a ``BENCH_batched_throughput.json`` record with interactions per
 second for each plus the speedups — including the bytes each sharded
 transport moves across the fork boundary (measured outside the timed
 region: the pickled payloads are re-pickled with the executor's protocol,
-the fabric reports its exact dispatch bytes).  Configurations are measured
+the fabric reports its exact dispatch bytes) and the partition quality of
+the hash vs mincut plans (cut edges, cut weight, imbalance, straggler
+ratio).  Configurations are measured
 in interleaved rounds (round-robin over configurations, best of
 ``--repeats``) with the garbage collector paused inside the timed region,
 so slow drift of the machine hits all columns equally instead of biasing
@@ -70,25 +76,30 @@ CONFIGURATIONS = (
     "columnar",
     "sharded_processes",
     "sharded_shm",
+    "sharded_shm_mincut",
 )
 
-#: Shards used by the two sharded configurations (hash mode, so every
-#: network splits regardless of its component structure).
+#: Shards used by the sharded configurations (hash and mincut modes, so
+#: every network splits regardless of its component structure).
 BENCH_SHARDS = 2
+
+#: Balance cap of the mincut configuration (the library default).
+MINCUT_IMBALANCE_CAP = 1.1
 
 
 def bench_config(network, policy_name: str, store, batch_size: int, configuration: str) -> RunConfig:
     """The RunConfig one benchmark configuration executes."""
-    if configuration in ("sharded_processes", "sharded_shm"):
+    if configuration in ("sharded_processes", "sharded_shm", "sharded_shm_mincut"):
         return RunConfig(
             dataset=network,
             policy=policy_name,
             batch_size=batch_size,
             store=store,
             shards=BENCH_SHARDS,
-            shard_by="hash",
+            shard_by="mincut" if configuration == "sharded_shm_mincut" else "hash",
+            shard_imbalance=MINCUT_IMBALANCE_CAP,
             shard_executor="processes",
-            shared_memory=configuration == "sharded_shm",
+            shared_memory=configuration != "sharded_processes",
         )
     return RunConfig(
         dataset=network,
@@ -100,37 +111,58 @@ def bench_config(network, policy_name: str, store, batch_size: int, configuratio
     )
 
 
-def timed_run(network, policy_name: str, store, batch_size: int, configuration: str) -> float:
-    """One run of one configuration; returns its wall-clock seconds."""
+def timed_run(network, policy_name: str, store, batch_size: int, configuration: str):
+    """One run of one configuration; returns ``(seconds, result)``.
+
+    Sharded results carry their partition stats and straggler ratio; the
+    partition plan is built before the timed region starts (the reported
+    ``elapsed_seconds`` covers shard execution only).
+    """
     config = bench_config(network, policy_name, store, batch_size, configuration)
     gc_was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
     try:
-        return Runner(config).run().statistics.elapsed_seconds
+        result = Runner(config).run()
+        return result.statistics.elapsed_seconds, result
     finally:
         if gc_was_enabled:
             gc.enable()
 
 
 def measure_case(network, policy_name: str, store, batch_size: int, repeats: int):
-    """Best seconds per configuration, measured in interleaved rounds.
+    """Best seconds (and the matching results) per configuration.
 
-    Call :func:`measure_fork_payloads` first: its instrumented fabric run
-    doubles as the warm-up that spawns the persistent shard pool, so the
-    one-off fork cost never lands on the first ``sharded_shm`` round (that
-    amortisation is the point of the persistent pool).
+    Measured in interleaved rounds.  Call :func:`measure_fork_payloads`
+    first: its instrumented fabric run doubles as the warm-up that spawns
+    the persistent shard pool, so the one-off fork cost never lands on the
+    first ``sharded_shm`` round (that amortisation is the point of the
+    persistent pool).
     """
     best = {name: float("inf") for name in CONFIGURATIONS}
+    best_results = {name: None for name in CONFIGURATIONS}
     # Warm the network's columnar cache outside every timed region so the
     # one-off conversion does not land on an arbitrary configuration.
     network.to_block()
     for _ in range(repeats):
         for name in CONFIGURATIONS:
-            seconds = timed_run(network, policy_name, store, batch_size, name)
+            seconds, result = timed_run(network, policy_name, store, batch_size, name)
             if seconds < best[name]:
                 best[name] = seconds
-    return best
+                best_results[name] = result
+    return best, best_results
+
+
+def partition_quality(result):
+    """The partition-quality columns of one sharded run's best round."""
+    stats = result.partition_stats or {}
+    return {
+        "cut_edges": stats.get("cut_edges"),
+        "cut_weight": stats.get("cut_weight"),
+        "imbalance": stats.get("imbalance"),
+        "build_seconds": stats.get("build_seconds"),
+        "straggler_ratio": result.straggler_ratio,
+    }
 
 
 def measure_fork_payloads(network, policy_name: str, store, batch_size: int):
@@ -181,13 +213,18 @@ def main() -> int:
         pickled_payload, shm_dispatch = measure_fork_payloads(
             network, policy_name, args.store, args.batch_size
         )
-        best = measure_case(network, policy_name, args.store, args.batch_size, args.repeats)
+        best, best_results = measure_case(
+            network, policy_name, args.store, args.batch_size, args.repeats
+        )
         per_item = best["per_interaction"]
         batched = best["batched"]
         scheduled = best["micro_batch_scheduler"]
         columnar = best["columnar"]
         sharded_processes = best["sharded_processes"]
         sharded_shm = best["sharded_shm"]
+        sharded_shm_mincut = best["sharded_shm_mincut"]
+        hash_quality = partition_quality(best_results["sharded_shm"])
+        mincut_quality = partition_quality(best_results["sharded_shm_mincut"])
         interactions = network.num_interactions
         record = {
             "policy": policy_name,
@@ -199,6 +236,7 @@ def main() -> int:
             "columnar_seconds": columnar,
             "sharded_processes_seconds": sharded_processes,
             "sharded_shm_seconds": sharded_shm,
+            "sharded_shm_mincut_seconds": sharded_shm_mincut,
             "per_interaction_ips": interactions / per_item if per_item else 0.0,
             "batched_ips": interactions / batched if batched else 0.0,
             "micro_batch_scheduler_ips": interactions / scheduled if scheduled else 0.0,
@@ -207,6 +245,9 @@ def main() -> int:
                 interactions / sharded_processes if sharded_processes else 0.0
             ),
             "sharded_shm_ips": interactions / sharded_shm if sharded_shm else 0.0,
+            "sharded_shm_mincut_ips": (
+                interactions / sharded_shm_mincut if sharded_shm_mincut else 0.0
+            ),
             "speedup": per_item / batched if batched else 0.0,
             "micro_batch_speedup": per_item / scheduled if scheduled else 0.0,
             "columnar_speedup": per_item / columnar if columnar else 0.0,
@@ -215,6 +256,18 @@ def main() -> int:
             "shm_vs_processes": (
                 sharded_processes / sharded_shm if sharded_shm else 0.0
             ),
+            "mincut_vs_hash_shm": (
+                sharded_shm / sharded_shm_mincut if sharded_shm_mincut else 0.0
+            ),
+            "hash_cut_edges": hash_quality["cut_edges"],
+            "hash_cut_weight": hash_quality["cut_weight"],
+            "hash_imbalance": hash_quality["imbalance"],
+            "hash_straggler_ratio": hash_quality["straggler_ratio"],
+            "mincut_cut_edges": mincut_quality["cut_edges"],
+            "mincut_cut_weight": mincut_quality["cut_weight"],
+            "mincut_imbalance": mincut_quality["imbalance"],
+            "mincut_straggler_ratio": mincut_quality["straggler_ratio"],
+            "mincut_partition_build_seconds": mincut_quality["build_seconds"],
             "fork_payload_bytes_pickled": pickled_payload,
             "fork_payload_bytes_shm": shm_dispatch,
             "fork_payload_reduction": (
@@ -238,6 +291,18 @@ def main() -> int:
             f"({record['shm_vs_processes']:.2f}x), fork payload "
             f"{pickled_payload:,} B -> {shm_dispatch:,} B "
             f"({record['fork_payload_reduction']:,.0f}x smaller)"
+        )
+        hash_straggler = hash_quality["straggler_ratio"] or 0.0
+        mincut_straggler = mincut_quality["straggler_ratio"] or 0.0
+        print(
+            f"{'':20s}    mincut x{BENCH_SHARDS}: "
+            f"{record['sharded_shm_mincut_ips']:>10,.0f} ips "
+            f"({record['mincut_vs_hash_shm']:.2f}x vs hash shm), cut weight "
+            f"{record['hash_cut_weight']:,} -> {record['mincut_cut_weight']:,}, "
+            f"imbalance {record['hash_imbalance']:.3f} -> "
+            f"{record['mincut_imbalance']:.3f}, straggler "
+            f"{hash_straggler:.2f} -> {mincut_straggler:.2f}, plan built in "
+            f"{record['mincut_partition_build_seconds']:.3f}s (untimed)"
         )
 
     payload = {
@@ -290,6 +355,29 @@ def main() -> int:
                 [(r["policy"], r["dataset"]) for r in payload_heavy],
             )
             failures.append("fork_payload")
+    # CI gate: the mincut partitioner must never cut more interaction weight
+    # than hash sharding, and must respect its balance cap.  Both are
+    # deterministic plan properties (seeded partitioner, fixed datasets), so
+    # they gate hard at every scale.
+    worse_cut = [
+        r for r in records if r["mincut_cut_weight"] > r["hash_cut_weight"]
+    ]
+    if worse_cut:
+        print(
+            "FAIL: mincut cut weight exceeds hash for:",
+            [(r["policy"], r["dataset"]) for r in worse_cut],
+        )
+        failures.append("mincut_cut_weight")
+    unbalanced = [
+        r for r in records
+        if r["mincut_imbalance"] > MINCUT_IMBALANCE_CAP + 1e-9
+    ]
+    if unbalanced:
+        print(
+            f"FAIL: mincut imbalance exceeds the {MINCUT_IMBALANCE_CAP}x cap for:",
+            [(r["policy"], r["dataset"]) for r in unbalanced],
+        )
+        failures.append("mincut_imbalance")
     # The scheduler adds source polling and flush checks on top of the same
     # batching; it should track the eager batched path closely.  Warn-only:
     # single-run timing noise at small scales can dip one case below 1.0x,
@@ -308,6 +396,15 @@ def main() -> int:
         print(
             "WARNING: shm fabric slower than pickled process pool for:",
             [(r["policy"], r["dataset"]) for r in shm_slower],
+        )
+    # Mincut shards are better balanced and share fewer cross-shard
+    # interactions, so end-to-end they should at least match hash shards on
+    # the same fabric.  Warn-only for the same wall-clock-noise reason.
+    mincut_slower = [r for r in records if r["mincut_vs_hash_shm"] < 1.0]
+    if mincut_slower:
+        print(
+            "WARNING: mincut shm sharding slower than hash shm sharding for:",
+            [(r["policy"], r["dataset"]) for r in mincut_slower],
         )
     return 1 if failures else 0
 

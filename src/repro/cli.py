@@ -171,9 +171,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition the network into this many vertex shards (0: no sharding)",
     )
     run_parser.add_argument(
-        "--shard-by", choices=("components", "hash"), default="components",
-        help="partitioning mode: weakly-connected components (exact) or "
-        "stable vertex hash (approximate)",
+        "--shard-by", choices=("components", "hash", "mincut"),
+        default="components",
+        help="partitioning mode: weakly-connected components (exact), "
+        "stable vertex hash (approximate) or seeded min-cut (balanced with "
+        "minimal cross-shard interactions)",
+    )
+    run_parser.add_argument(
+        "--shard-strategy", choices=("component", "hash", "mincut"),
+        default=None,
+        help="alias for --shard-by ('component' selects the exact "
+        "components mode); overrides it when both are given",
+    )
+    run_parser.add_argument(
+        "--shard-imbalance", type=float, default=1.1,
+        help="min-cut balance cap: the heaviest shard's interaction load "
+        "may exceed the ideal by at most this factor (default 1.1)",
+    )
+    run_parser.add_argument(
+        "--partition-seed", type=int, default=0,
+        help="seed of the min-cut partitioner; the same seed reproduces "
+        "the same plan bit for bit",
     )
     run_parser.add_argument(
         "--shard-executor", choices=("serial", "threads", "processes"),
@@ -247,6 +265,9 @@ def _command_run(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         shards=args.shards,
         shard_by=args.shard_by,
+        shard_strategy=args.shard_strategy,
+        shard_imbalance=args.shard_imbalance,
+        partition_seed=args.partition_seed,
         shard_executor=args.shard_executor,
         shared_memory=args.shared_memory,
         max_workers=args.workers,
@@ -306,10 +327,30 @@ def _command_run(args: argparse.Namespace) -> int:
             str(run.statistics.interactions) for run in result.shard_runs
         )
         exactness = "exact" if result.partition.exact else "approximate"
+        pruned = (
+            f", {result.partition.pruned_shards} empty pruned"
+            if result.partition.pruned_shards
+            else ""
+        )
         print(
             f"sharded over {len(result.shard_runs)} {result.partition.mode} "
-            f"shards ({exactness}; per-shard interactions: {shard_sizes})"
+            f"shards ({exactness}; per-shard interactions: {shard_sizes}"
+            f"{pruned})"
         )
+        quality = result.partition_stats
+        if quality is not None:
+            straggler = result.straggler_ratio
+            print(
+                f"partition quality: {quality['cut_edges']} cut edges, "
+                f"cut weight {quality['cut_weight']}, imbalance "
+                f"{quality['imbalance']:.3f}, built in "
+                f"{quality['build_seconds']:.3f}s (outside the timed region)"
+                + (
+                    f", straggler ratio {straggler:.2f}"
+                    if straggler is not None
+                    else ""
+                )
+            )
     if result.shm_stats is not None:
         fabric = result.shm_stats
         print(

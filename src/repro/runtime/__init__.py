@@ -9,6 +9,12 @@ pluggable provenance-store backends (``RunConfig(store=...)``, see
 """
 
 from repro.runtime.config import DEFAULT_BATCH_SIZE, RunConfig
+from repro.runtime.mincut import (
+    DEFAULT_IMBALANCE,
+    PartitionStats,
+    interaction_graph,
+    mincut_membership,
+)
 from repro.runtime.partition import (
     PartitionPlan,
     Shard,
@@ -35,7 +41,11 @@ __all__ = [
     "build_policy",
     "Shard",
     "PartitionPlan",
+    "PartitionStats",
+    "DEFAULT_IMBALANCE",
     "ShardRun",
+    "interaction_graph",
+    "mincut_membership",
     "attach_shard_blocks",
     "connected_components",
     "fork_payload_bytes",

@@ -39,8 +39,16 @@ DatasetSource = Union[
 #: A policy is referenced by registry name or passed as a ready instance.
 PolicySpec = Union[str, SelectionPolicy]
 
-_SHARD_MODES = ("components", "hash")
+_SHARD_MODES = ("components", "hash", "mincut")
 _EXECUTORS = ("serial", "threads", "processes")
+#: Accepted spellings of the ``shard_strategy`` alias (singular forms are
+#: normalised onto the canonical ``_SHARD_MODES`` entries).
+_STRATEGY_ALIASES = {
+    "component": "components",
+    "components": "components",
+    "hash": "hash",
+    "mincut": "mincut",
+}
 
 
 @dataclass
@@ -153,8 +161,23 @@ class RunConfig:
         When > 1, partition the network into vertex shards and run one
         engine per shard (see :mod:`repro.runtime.partition`).
     shard_by:
-        ``"components"`` (weakly-connected components; exact) or ``"hash"``
-        (stable vertex hash; documented-approximate for cross-shard flows).
+        ``"components"`` (weakly-connected components; exact), ``"hash"``
+        (stable vertex hash; documented-approximate for cross-shard flows)
+        or ``"mincut"`` (seeded multilevel min-cut partitioner; balanced
+        like hash, with far fewer cross-shard flows — see
+        :mod:`repro.runtime.mincut`).
+    shard_strategy:
+        Alias for ``shard_by`` accepting the CLI spellings
+        (``"component"``/``"components"``, ``"hash"``, ``"mincut"``); when
+        set it overrides ``shard_by``.
+    shard_imbalance:
+        Hard balance cap of the min-cut partitioner: the heaviest shard's
+        interaction load may exceed the ideal (total / shards) by at most
+        this factor (default 1.1, i.e. ≤ 1.1×).  Ignored by the other
+        strategies.
+    partition_seed:
+        Seed of the min-cut partitioner's tie-breaking orders; the same
+        seed reproduces the same plan bit for bit.
     shard_executor:
         ``"serial"``, ``"threads"`` or ``"processes"``.
     shared_memory:
@@ -201,6 +224,9 @@ class RunConfig:
     measure_memory: bool = False
     shards: int = 0
     shard_by: str = "components"
+    shard_strategy: Optional[str] = None
+    shard_imbalance: float = 1.1
+    partition_seed: int = 0
     shard_executor: str = "serial"
     shared_memory: Optional[bool] = None
     max_workers: Optional[int] = None
@@ -216,9 +242,22 @@ class RunConfig:
             raise RunConfigurationError(f"sample_every must be >= 0, got {self.sample_every}")
         if self.shards < 0:
             raise RunConfigurationError(f"shards must be >= 0, got {self.shards}")
+        if self.shard_strategy is not None:
+            normalized = _STRATEGY_ALIASES.get(self.shard_strategy)
+            if normalized is None:
+                raise RunConfigurationError(
+                    f"shard_strategy must be one of "
+                    f"{tuple(sorted(set(_STRATEGY_ALIASES)))}, got "
+                    f"{self.shard_strategy!r}"
+                )
+            self.shard_by = normalized
         if self.shard_by not in _SHARD_MODES:
             raise RunConfigurationError(
                 f"shard_by must be one of {_SHARD_MODES}, got {self.shard_by!r}"
+            )
+        if self.shard_imbalance < 1.0:
+            raise RunConfigurationError(
+                f"shard_imbalance must be >= 1.0, got {self.shard_imbalance}"
             )
         if self.shard_executor not in _EXECUTORS:
             raise RunConfigurationError(

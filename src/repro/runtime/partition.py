@@ -19,6 +19,13 @@ processed exactly once, and networks whose components fit inside single
 shards incur no error at all.  Use hash shards when a network is dominated
 by one giant component and throughput matters more than exact attribution.
 
+Min-cut shards (:mod:`repro.runtime.mincut`) keep the hash mode's
+source-routing but choose the vertex assignment to *minimise* cross-shard
+interactions under a hard balance cap, shrinking both the newborn
+overestimate and the straggler gap at once.  Every plan carries a
+:class:`~repro.runtime.mincut.PartitionStats` so the three strategies are
+comparable on cut edges, cut weight and load imbalance.
+
 Shards run sequentially or via :mod:`concurrent.futures` (threads or
 processes — policies and interactions are picklable, so process pools work
 out of the box).
@@ -41,11 +48,19 @@ from repro.core.network import TemporalInteractionNetwork
 from repro.core.provenance import OriginSet, ProvenanceSnapshot
 from repro.exceptions import RunConfigurationError
 from repro.policies.base import SelectionPolicy
+from repro.runtime.mincut import (
+    DEFAULT_IMBALANCE,
+    PartitionStats,
+    interaction_graph,
+    membership_stats,
+    mincut_membership,
+)
 from repro.stores import StoreStats
 
 __all__ = [
     "Shard",
     "PartitionPlan",
+    "PartitionStats",
     "ShardRun",
     "connected_components",
     "stable_shard_index",
@@ -105,6 +120,13 @@ class PartitionPlan:
     #: Number of interactions whose endpoints land on different shards
     #: (always 0 for component shards).
     cross_shard_interactions: int = 0
+    #: Measured partition quality (cut edges/weight, imbalance, build time),
+    #: present for every strategy so plans are comparable.
+    stats: Optional[PartitionStats] = None
+    #: Shards dropped because they carried zero interactions; their vertices
+    #: were folded into the lightest surviving shard, so no pool task is
+    #: dispatched for work that does not exist.
+    pruned_shards: int = 0
 
 
 @dataclass
@@ -194,6 +216,8 @@ def partition_network(
     mode: str = "components",
     limit: Optional[int] = None,
     block: Optional[InteractionBlock] = None,
+    imbalance: float = DEFAULT_IMBALANCE,
+    seed: int = 0,
 ) -> PartitionPlan:
     """Split a network into at most ``num_shards`` vertex shards.
 
@@ -201,17 +225,29 @@ def partition_network(
     (greedy largest-first by interaction count, so shard workloads balance);
     the result is exact.  ``mode="hash"`` assigns vertices by stable hash
     and interactions by their source vertex; the result is approximate (see
-    the module docstring).  ``limit`` restricts the plan to the first
-    ``limit`` interactions of the *global* time order — the sharded
-    equivalent of the engine's ``limit``, applied before assignment so the
-    total processed count matches an unsharded limited run.
+    the module docstring).  ``mode="mincut"`` runs the seeded multilevel
+    partitioner of :mod:`repro.runtime.mincut` on the weighted
+    vertex-interaction graph — same source-routing as hash, but the
+    assignment minimises cross-shard interactions under the hard balance
+    cap ``imbalance`` (max shard load over the ideal); ``seed`` makes the
+    plan reproducible.  ``limit`` restricts the plan to the first ``limit``
+    interactions of the *global* time order — the sharded equivalent of the
+    engine's ``limit``, applied before assignment so the total processed
+    count matches an unsharded limited run.
 
     With ``block`` (the network's columnar form), interaction routing is
     vectorised: membership is computed once per *vertex*, the stream is
     assigned with one fancy-index over the id arrays, and every shard also
     carries its rows as a :class:`~repro.core.blocks.InteractionBlock` for
     columnar shard engines.  Assignments are identical to the object loop.
+
+    Shards that end up with zero interactions are pruned from the plan
+    (their vertices fold into the lightest surviving shard), and every plan
+    carries :class:`~repro.runtime.mincut.PartitionStats` measuring its cut
+    and balance; the stats' ``build_seconds`` covers this whole function,
+    which runs before any timed region.
     """
+    build_start = _time.perf_counter()
     if num_shards < 1:
         raise RunConfigurationError(f"num_shards must be >= 1, got {num_shards}")
     interactions = network.interactions
@@ -219,7 +255,13 @@ def partition_network(
         interactions = interactions[: max(limit, 0)]
     if block is not None and limit is not None:
         block = block.slice(0, max(limit, 0))
+    # The quality stats (and the mincut graph) read the id columns of the
+    # columnar form; the network caches it, so this is free on reuse.
+    stats_block = block if block is not None else network.to_block()
+    if block is None and limit is not None:
+        stats_block = stats_block.slice(0, max(limit, 0))
 
+    exact_build = False
     if mode == "components":
         components = connected_components(network)
         num_shards = min(num_shards, len(components)) or 1
@@ -252,6 +294,22 @@ def partition_network(
                 vertex: stable_shard_index(vertex, num_shards)
                 for vertex in network.vertices
             }
+    elif mode == "mincut":
+        n, edge_u, edge_v, edge_weight, load = interaction_graph(stats_block)
+        assignments, exact_build = mincut_membership(
+            n,
+            edge_u,
+            edge_v,
+            edge_weight,
+            load,
+            num_shards,
+            imbalance=imbalance,
+            seed=seed,
+        )
+        membership = {
+            vertex: int(shard)
+            for vertex, shard in zip(stats_block.interner.vertices, assignments)
+        }
     else:
         raise RunConfigurationError(f"unknown partition mode {mode!r}")
 
@@ -272,7 +330,7 @@ def partition_network(
         assigned = member_of_id[block.src_ids]
         cross = (
             int(np.count_nonzero(assigned != member_of_id[block.dst_ids]))
-            if mode == "hash"
+            if mode != "components"
             else 0
         )
         shard_interactions = []
@@ -287,7 +345,7 @@ def partition_network(
                 for interaction in interactions
                 if membership[interaction.source] != membership[interaction.destination]
             )
-            if mode == "hash"
+            if mode != "components"
             else 0
         )
         shard_interactions = [[] for _ in range(num_shards)]
@@ -303,11 +361,60 @@ def partition_network(
         )
         for i in range(num_shards)
     ]
+
+    # Prune zero-interaction shards: they would still cost a pool task (and
+    # a worker fork on the pickled executor).  Their vertices fold into the
+    # lightest surviving shard so every vertex keeps an owner — dense-store
+    # universes and merged snapshots stay identical to the unpruned plan.
+    kept = [shard for shard in shards if shard.num_interactions > 0]
+    if not kept:
+        kept = shards[:1]
+    pruned = len(shards) - len(kept)
+    if pruned:
+        kept_ids = {id(shard) for shard in kept}
+        orphans = tuple(
+            vertex
+            for shard in shards
+            if id(shard) not in kept_ids
+            for vertex in shard.vertices
+        )
+        if orphans:
+            lightest = min(kept, key=lambda s: (s.num_interactions, s.index))
+            lightest.vertices = lightest.vertices + orphans
+        for position, shard in enumerate(kept):
+            shard.index = position
+
+    # Quality stats over the *assignment* (pre-prune memberships: pruning
+    # never changes which interactions cross shards), with imbalance
+    # measured against the surviving shard count — the straggler predictor
+    # for the pool that actually runs.
+    n, edge_u, edge_v, edge_weight, load = interaction_graph(stats_block)
+    member_of_all = np.fromiter(
+        (membership[vertex] for vertex in stats_block.interner.vertices),
+        dtype=np.int64,
+        count=len(stats_block.interner),
+    )
+    cut_edges, cut_weight, measured_imbalance = membership_stats(
+        member_of_all, edge_u, edge_v, edge_weight, load, len(kept)
+    )
+    stats = PartitionStats(
+        strategy=mode,
+        shards=len(kept),
+        cut_edges=cut_edges,
+        cut_weight=cut_weight,
+        imbalance=measured_imbalance,
+        build_seconds=_time.perf_counter() - build_start,
+        balance_cap=imbalance if mode == "mincut" else None,
+        seed=seed if mode == "mincut" else None,
+        exact=exact_build,
+    )
     return PartitionPlan(
         mode=mode,
-        shards=shards,
-        exact=(mode == "components"),
+        shards=kept,
+        exact=(mode == "components") or (mode == "mincut" and cross == 0),
         cross_shard_interactions=cross,
+        stats=stats,
+        pruned_shards=pruned,
     )
 
 
@@ -326,8 +433,10 @@ def shard_row_positions(
     membership = {
         vertex: shard.index for shard in plan.shards for vertex in shard.vertices
     }
+    # ``get`` with a -1 sentinel: a vertex outside every shard (possible
+    # only for vertices that never source an interaction) routes nowhere.
     member_of_id = np.fromiter(
-        (membership[vertex] for vertex in block.interner.vertices),
+        (membership.get(vertex, -1) for vertex in block.interner.vertices),
         dtype=np.int64,
         count=len(block.interner),
     )

@@ -180,6 +180,32 @@ class RunResult:
         return bool(self.shard_runs)
 
     @property
+    def partition_stats(self) -> Optional[Dict[str, Any]]:
+        """Quality of the partition plan (cut edges/weight, imbalance,
+        build seconds), or ``None`` for unsharded runs.  The build time is
+        measured inside :func:`~repro.runtime.partition.partition_network`,
+        before the timed region of the run starts."""
+        if self.partition is None or self.partition.stats is None:
+            return None
+        return self.partition.stats.to_dict()
+
+    @property
+    def straggler_ratio(self) -> Optional[float]:
+        """Max over min per-shard wall time — the load-balance skew.
+
+        1.0 means perfectly even shards; large values mean the pool idles
+        waiting for one straggler.  ``None`` for unsharded runs and when a
+        shard finished too fast to time (min elapsed is zero).
+        """
+        if not self.shard_runs:
+            return None
+        times = [run.statistics.elapsed_seconds for run in self.shard_runs]
+        slowest, fastest = max(times), min(times)
+        if fastest <= 0.0:
+            return None
+        return slowest / fastest
+
+    @property
     def dataset_name(self) -> str:
         """Human-readable name of what was run."""
         if self.network is not None:
@@ -282,6 +308,11 @@ class RunResult:
                 "cross_shard_interactions": (
                     self.partition.cross_shard_interactions if self.partition else 0
                 ),
+                "partition": self.partition_stats,
+                "pruned_shards": (
+                    self.partition.pruned_shards if self.partition else 0
+                ),
+                "straggler_ratio": self.straggler_ratio,
                 "shards": self.shard_timings,
                 "shared_memory": self.shm_stats,
             },
@@ -664,13 +695,22 @@ class Runner:
         plan a run would dispatch, without re-implementing this logic.
         """
         config = self.config
-        columnar_plan = bool(config.columnar) or config.uses_shared_memory
+        # Min-cut plans partition with the block up front: the partitioner
+        # reads the id columns anyway (cached on the network), and routing
+        # is then one fancy-index instead of an object loop.
+        columnar_plan = (
+            bool(config.columnar)
+            or config.uses_shared_memory
+            or config.shard_by == "mincut"
+        )
         plan = partition_network(
             network,
             config.shards,
             mode=config.shard_by,
             limit=config.limit,
             block=network.to_block() if columnar_plan else None,
+            imbalance=config.shard_imbalance,
+            seed=config.partition_seed,
         )
         policies = self._shard_policies(network, plan)
         if (
@@ -715,8 +755,8 @@ class Runner:
         memory_bytes: Optional[int] = None
         feasible = True
         note = "" if plan.exact else (
-            f"hash-sharded run: origin decompositions are approximate for "
-            f"{plan.cross_shard_interactions} cross-shard interactions"
+            f"{plan.mode}-sharded run: origin decompositions are approximate "
+            f"for {plan.cross_shard_interactions} cross-shard interactions"
         )
         if config.measure_memory or config.memory_ceiling_bytes is not None:
             memory_bytes = sum(policy_memory_bytes(run.policy) for run in runs)

@@ -1,0 +1,387 @@
+"""Acceptance suite of the min-cut balanced partitioner.
+
+Three bars, mirroring the tentpole's claims:
+
+* **determinism** — the same seed reproduces the same plan, bit for bit;
+* **balance** — across random graphs and seeds the measured imbalance stays
+  under the configured cap (the property the straggler win rests on);
+* **equivalence** — a mincut plan that happens to respect connected
+  components is provably exact, so its merged results must be identical —
+  float for float — to component-exact runs for EVERY registered policy, on
+  the dict store and the dense store, over the pickled process executor and
+  the shared-memory fabric.
+
+Plus the satellites that live at the partition layer: empty shards are
+pruned from every plan before dispatch, and sharded results report the
+``straggler_ratio`` wall-time skew.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.interaction import Interaction
+from repro.core.network import TemporalInteractionNetwork
+from repro.exceptions import RunConfigurationError
+from repro.policies.registry import available_policies
+from repro.runtime import (
+    RunConfig,
+    Runner,
+    interaction_graph,
+    mincut_membership,
+    partition_network,
+    run,
+)
+from repro.stores import StoreSpec
+
+#: Structural parameters for the policies whose constructors require them.
+STRUCTURAL_OPTIONS = {
+    "proportional-budget": {"capacity": 20},
+    "proportional-windowed": {"window": 150},
+    "proportional-time-windowed": {"window": 50.0},
+}
+
+#: The dense backend applies to fixed-dimension vector roles and falls back
+#: to dicts elsewhere, so it is safe for every policy.
+STORES = {
+    "dict": None,
+    "dense": StoreSpec("dense"),
+}
+
+
+def component_network(num_components=4, chain=6, name="chains"):
+    """Disjoint equal chains: component c is c0 -> c1 -> ... -> c{chain}."""
+    interactions = []
+    for component in range(num_components):
+        for step in range(chain):
+            interactions.append(
+                Interaction(
+                    f"c{component}n{step}",
+                    f"c{component}n{step + 1}",
+                    float(step) + component / 100.0,
+                    2.0 + step,
+                )
+            )
+    interactions.sort(key=lambda i: i.time)
+    return TemporalInteractionNetwork.from_interactions(interactions, name=name)
+
+
+def random_network(rng, num_vertices=60, num_interactions=600):
+    """One connected-ish random network with near-equal vertex loads.
+
+    Sources cycle round-robin so every vertex sources the same number of
+    interactions (up to one) — the balance cap is then feasible at vertex
+    granularity and the cap property must hold exactly.
+    """
+    vertices = [f"v{i}" for i in range(num_vertices)]
+    interactions = []
+    for position in range(num_interactions):
+        source = vertices[position % num_vertices]
+        destination = vertices[int(rng.integers(num_vertices))]
+        if destination == source:
+            destination = vertices[(position + 1) % num_vertices]
+        interactions.append(
+            Interaction(source, destination, float(position), 1.0 + position % 3)
+        )
+    return TemporalInteractionNetwork.from_interactions(interactions, name="random")
+
+
+class TestInteractionGraph:
+    def test_weights_coalesce_both_directions(self):
+        interactions = [
+            Interaction("a", "b", 1.0, 1.0),
+            Interaction("b", "a", 2.0, 1.0),
+            Interaction("a", "b", 3.0, 1.0),
+            Interaction("a", "a", 4.0, 1.0),  # self-loop: never cut, dropped
+            Interaction("b", "c", 5.0, 1.0),
+        ]
+        network = TemporalInteractionNetwork.from_interactions(interactions)
+        n, edge_u, edge_v, edge_weight, load = interaction_graph(network.to_block())
+        assert n == 3
+        edges = {
+            (int(u), int(v)): int(w)
+            for u, v, w in zip(edge_u, edge_v, edge_weight)
+        }
+        # ids follow registration order: a=0, b=1, c=2
+        assert edges == {(0, 1): 3, (1, 2): 1}
+        assert load.tolist() == [3, 2, 0]  # interactions *sourced* per vertex
+
+    def test_load_drives_shard_work(self):
+        network = component_network()
+        block = network.to_block()
+        _, _, _, _, load = interaction_graph(block)
+        assert int(load.sum()) == network.num_interactions
+
+
+class TestDeterminism:
+    def test_same_seed_identical_plan(self):
+        network = random_network(np.random.default_rng(0))
+        plans = [
+            partition_network(network, 3, mode="mincut", seed=11)
+            for _ in range(2)
+        ]
+        assert [s.vertices for s in plans[0].shards] == [
+            s.vertices for s in plans[1].shards
+        ]
+        assert plans[0].stats.cut_weight == plans[1].stats.cut_weight
+        assert plans[0].cross_shard_interactions == plans[1].cross_shard_interactions
+
+    def test_membership_identical_across_calls(self):
+        network = random_network(np.random.default_rng(1))
+        n, eu, ev, ew, load = interaction_graph(network.to_block())
+        first, exact_first = mincut_membership(n, eu, ev, ew, load, 4, seed=3)
+        second, exact_second = mincut_membership(n, eu, ev, ew, load, 4, seed=3)
+        assert exact_first == exact_second
+        assert np.array_equal(first, second)
+
+    def test_seed_reaches_partitioner_from_config(self):
+        network = random_network(np.random.default_rng(2))
+        results = [
+            Runner(
+                RunConfig(
+                    dataset=network,
+                    policy="noprov",
+                    shards=3,
+                    shard_strategy="mincut",
+                    partition_seed=5,
+                )
+            ).run()
+            for _ in range(2)
+        ]
+        assert [s.vertices for s in results[0].partition.shards] == [
+            s.vertices for s in results[1].partition.shards
+        ]
+
+
+class TestBalanceCap:
+    @pytest.mark.parametrize("graph_seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("partition_seed", [0, 7])
+    @pytest.mark.parametrize("num_shards", [2, 3])
+    @pytest.mark.parametrize("cap", [1.1, 1.3])
+    def test_imbalance_within_cap(self, graph_seed, partition_seed, num_shards, cap):
+        network = random_network(np.random.default_rng(graph_seed))
+        plan = partition_network(
+            network,
+            num_shards,
+            mode="mincut",
+            imbalance=cap,
+            seed=partition_seed,
+        )
+        assert plan.stats.imbalance <= cap + 1e-9
+        # the measured imbalance is consistent with the shard loads
+        loads = [shard.num_interactions for shard in plan.shards]
+        ideal = sum(loads) / len(plan.shards)
+        assert plan.stats.imbalance == pytest.approx(max(loads) / ideal)
+
+    def test_cap_below_one_rejected(self):
+        network = component_network()
+        with pytest.raises(RunConfigurationError):
+            partition_network(network, 2, mode="mincut", imbalance=0.9)
+        with pytest.raises(RunConfigurationError):
+            RunConfig(dataset=network, shards=2, shard_imbalance=0.9)
+
+    def test_mincut_beats_hash_on_preset(self):
+        from repro.datasets.catalog import load_preset
+
+        network = load_preset("taxis", scale=0.2)
+        block = network.to_block()
+        hashed = partition_network(network, 2, mode="hash", block=block)
+        mincut = partition_network(network, 2, mode="mincut", block=block)
+        assert mincut.stats.cut_weight < hashed.stats.cut_weight
+        assert mincut.stats.imbalance <= 1.1 + 1e-9
+
+
+class TestExactMode:
+    def test_tiny_component_graph_reaches_zero_cut(self):
+        plan = partition_network(component_network(), 2, mode="mincut")
+        assert plan.stats.exact
+        assert plan.exact  # zero cross-shard interactions => provably exact
+        assert plan.cross_shard_interactions == 0
+        assert plan.stats.cut_weight == 0
+
+    def test_tiny_single_component_searched_by_vertex(self):
+        # A 6-vertex ring is one component with 15 movable vertices at most:
+        # the branch-and-bound runs vertex by vertex and balances the ring.
+        interactions = [
+            Interaction(f"v{i}", f"v{(i + 1) % 6}", float(t), 1.0)
+            for t, i in enumerate(list(range(6)) * 3)
+        ]
+        network = TemporalInteractionNetwork.from_interactions(interactions)
+        plan = partition_network(network, 2, mode="mincut")
+        assert plan.stats.exact
+        loads = sorted(shard.num_interactions for shard in plan.shards)
+        assert loads == [9, 9]
+        # a balanced 2-cut of a uniform ring cuts exactly two pair-edges
+        assert plan.stats.cut_edges == 2
+
+    def test_large_graphs_stay_heuristic(self):
+        network = random_network(np.random.default_rng(4))
+        plan = partition_network(network, 2, mode="mincut")
+        assert not plan.stats.exact
+
+
+class TestEmptyShardPruning:
+    def test_hash_plan_with_shards_beyond_vertices(self):
+        network = component_network(num_components=2, chain=4)  # 10 vertices
+        plan = partition_network(network, 64, mode="hash")
+        assert plan.pruned_shards > 0
+        assert all(shard.num_interactions > 0 for shard in plan.shards)
+        assert [shard.index for shard in plan.shards] == list(
+            range(len(plan.shards))
+        )
+        # no interaction or vertex is lost to pruning
+        assert (
+            sum(shard.num_interactions for shard in plan.shards)
+            == network.num_interactions
+        )
+        owned = [v for shard in plan.shards for v in shard.vertices]
+        assert sorted(owned) == sorted(network.vertices)
+
+    @pytest.mark.parametrize("shared_memory", [False, True])
+    def test_pruned_plan_runs_end_to_end(self, shared_memory):
+        network = component_network(num_components=2, chain=4)
+        baseline = run(dataset=network, policy="fifo")
+        sharded = run(
+            dataset=network,
+            policy="fifo",
+            shards=64,
+            shard_by="hash",
+            shard_executor="processes" if shared_memory else "serial",
+            shared_memory=shared_memory or None,
+        )
+        assert sharded.statistics.interactions == baseline.statistics.interactions
+        assert len(sharded.shard_runs) == len(sharded.partition.shards)
+        assert sharded.partition.pruned_shards > 0
+        document = json.loads(sharded.to_json())
+        assert document["sharding"]["pruned_shards"] == (
+            sharded.partition.pruned_shards
+        )
+
+    def test_mincut_plans_carry_no_empty_shards(self):
+        network = component_network(num_components=2, chain=4)
+        plan = partition_network(network, 16, mode="mincut")
+        assert all(shard.num_interactions > 0 for shard in plan.shards)
+
+
+class TestStragglerRatio:
+    def test_reported_for_sharded_runs(self):
+        sharded = run(
+            dataset=component_network(), policy="fifo", shards=2
+        )
+        ratio = sharded.straggler_ratio
+        if ratio is not None:  # None when a shard timed at exactly zero
+            assert ratio >= 1.0
+        document = json.loads(sharded.to_json())
+        assert "straggler_ratio" in document["sharding"]
+
+    def test_none_for_single_runs(self):
+        result = run(dataset=component_network(), policy="fifo")
+        assert result.straggler_ratio is None
+        assert result.partition_stats is None
+
+
+class TestPartitionStatsExport:
+    def test_all_strategies_carry_stats(self):
+        network = component_network()
+        for mode in ("components", "hash", "mincut"):
+            plan = partition_network(network, 2, mode=mode)
+            assert plan.stats is not None
+            assert plan.stats.strategy == mode
+            assert plan.stats.shards == len(plan.shards)
+            assert plan.stats.build_seconds >= 0.0
+
+    def test_run_result_surfaces_partition_stats(self):
+        sharded = run(
+            dataset=component_network(),
+            policy="noprov",
+            shards=2,
+            shard_strategy="mincut",
+        )
+        stats = sharded.partition_stats
+        assert stats["strategy"] == "mincut"
+        assert stats["cut_weight"] == 0
+        assert stats["balance_cap"] == 1.1
+        document = json.loads(sharded.to_json())
+        assert document["sharding"]["partition"] == stats
+
+    def test_strategy_alias_normalises(self):
+        config = RunConfig(dataset="taxis", shards=2, shard_strategy="component")
+        assert config.shard_by == "components"
+        with pytest.raises(RunConfigurationError):
+            RunConfig(dataset="taxis", shards=2, shard_strategy="astrology")
+
+
+def snapshot_dict(result):
+    snapshot = result.snapshot()
+    return {vertex: origins.as_dict() for vertex, origins in snapshot.items()}
+
+
+def assert_equivalent(reference, candidate):
+    assert reference.statistics.interactions == candidate.statistics.interactions
+    assert snapshot_dict(reference) == snapshot_dict(candidate)
+    assert dict(reference.buffer_totals()) == dict(candidate.buffer_totals())
+    assert (
+        reference.statistics.final_entry_count
+        == candidate.statistics.final_entry_count
+    )
+
+
+@pytest.fixture(scope="module")
+def equivalence_network():
+    return component_network(num_components=4, chain=6, name="equivalence")
+
+
+class TestComponentRespectingEquivalence:
+    """Mincut plans that respect components are bit-identical to exact runs.
+
+    On a network of equal disjoint components the exact mode reaches cut 0,
+    so the plan provably reproduces the global provenance — results must
+    match component-exact runs float for float, for every registered policy
+    x dict/dense store x pickled/shm executor.
+    """
+
+    @pytest.mark.parametrize("store", sorted(STORES))
+    @pytest.mark.parametrize("policy_name", available_policies())
+    def test_pickled_executor(self, equivalence_network, policy_name, store):
+        reference, candidate = self._pair(
+            equivalence_network, policy_name, store, shared_memory=None,
+            shard_executor="processes",
+        )
+        assert candidate.partition.exact
+        assert_equivalent(reference, candidate)
+
+    @pytest.mark.parametrize("store", sorted(STORES))
+    @pytest.mark.parametrize("policy_name", available_policies())
+    def test_shm_fabric(self, equivalence_network, policy_name, store):
+        reference, candidate = self._pair(
+            equivalence_network, policy_name, store, shared_memory=True,
+            shard_executor="processes",
+        )
+        assert candidate.partition.exact
+        assert_equivalent(reference, candidate)
+
+    @staticmethod
+    def _pair(network, policy_name, store, *, shared_memory, shard_executor):
+        common = dict(
+            dataset=network,
+            policy=policy_name,
+            policy_options=STRUCTURAL_OPTIONS.get(policy_name, {}),
+            store=STORES[store],
+            shards=2,
+            batch_size=64,
+        )
+        reference = Runner(
+            RunConfig(**common, shard_by="components")
+        ).run()
+        candidate = Runner(
+            RunConfig(
+                **common,
+                shard_strategy="mincut",
+                shard_executor=shard_executor,
+                shared_memory=shared_memory,
+            )
+        ).run()
+        return reference, candidate
