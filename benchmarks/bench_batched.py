@@ -2,13 +2,17 @@
 
 Runs every policy family with a fast path — the no-provenance baseline, the
 dense proportional policy, and the four entry-based policies (lrb/mrb/fifo/
-lifo) — over preset datasets in six configurations:
+lifo) — over preset datasets in eight configurations:
 
 * ``batch_size=1`` (equivalent to the seed engine loop),
 * the default batched ``process_many`` path,
 * the explicit micro-batch scheduler (the path streaming runs take),
-* the columnar block path (``columnar=True``: interned-id arrays driven
-  through ``process_block``),
+* the columnar block path (``columnar=True, kernel="batch"``: interned-id
+  arrays driven through ``process_block`` in fixed-size chunks),
+* the fused kernel tier (``columnar=True, kernel="fused"``: whole clip
+  spans through ``process_run`` — compiled backend when one resolves,
+  pure-numpy fused otherwise; backend compilation happens outside the
+  timed region),
 * hash-sharded over a pickled process pool (``shard_executor=processes``),
 * hash-sharded over the zero-copy shared-memory shard fabric
   (``shared_memory=True``: shard columns live in shared segments, a
@@ -74,6 +78,7 @@ CONFIGURATIONS = (
     "batched",
     "micro_batch_scheduler",
     "columnar",
+    "fused",
     "sharded_processes",
     "sharded_shm",
     "sharded_shm_mincut",
@@ -106,7 +111,10 @@ def bench_config(network, policy_name: str, store, batch_size: int, configuratio
         policy=policy_name,
         batch_size=1 if configuration == "per_interaction" else batch_size,
         micro_batch=batch_size if configuration == "micro_batch_scheduler" else None,
-        columnar=True if configuration == "columnar" else False,
+        columnar=configuration in ("columnar", "fused"),
+        # "columnar" keeps the historical per-chunk loop so its column's
+        # meaning is stable across bench records; "fused" is the new tier.
+        kernel="fused" if configuration == "fused" else "batch",
         store=store,
     )
 
@@ -220,6 +228,8 @@ def main() -> int:
         batched = best["batched"]
         scheduled = best["micro_batch_scheduler"]
         columnar = best["columnar"]
+        fused = best["fused"]
+        fused_stats = best_results["fused"].kernel_stats or {}
         sharded_processes = best["sharded_processes"]
         sharded_shm = best["sharded_shm"]
         sharded_shm_mincut = best["sharded_shm_mincut"]
@@ -234,6 +244,7 @@ def main() -> int:
             "batched_seconds": batched,
             "micro_batch_scheduler_seconds": scheduled,
             "columnar_seconds": columnar,
+            "fused_seconds": fused,
             "sharded_processes_seconds": sharded_processes,
             "sharded_shm_seconds": sharded_shm,
             "sharded_shm_mincut_seconds": sharded_shm_mincut,
@@ -241,6 +252,7 @@ def main() -> int:
             "batched_ips": interactions / batched if batched else 0.0,
             "micro_batch_scheduler_ips": interactions / scheduled if scheduled else 0.0,
             "columnar_ips": interactions / columnar if columnar else 0.0,
+            "fused_ips": interactions / fused if fused else 0.0,
             "sharded_processes_ips": (
                 interactions / sharded_processes if sharded_processes else 0.0
             ),
@@ -251,8 +263,13 @@ def main() -> int:
             "speedup": per_item / batched if batched else 0.0,
             "micro_batch_speedup": per_item / scheduled if scheduled else 0.0,
             "columnar_speedup": per_item / columnar if columnar else 0.0,
+            "fused_speedup": per_item / fused if fused else 0.0,
             "scheduler_vs_batched": batched / scheduled if scheduled else 0.0,
             "columnar_vs_batched": batched / columnar if columnar else 0.0,
+            "fused_vs_columnar": columnar / fused if fused else 0.0,
+            "fused_backend": fused_stats.get("backend"),
+            "fused_chunks": fused_stats.get("chunks"),
+            "fused_compile_seconds": fused_stats.get("compile_seconds"),
             "shm_vs_processes": (
                 sharded_processes / sharded_shm if sharded_shm else 0.0
             ),
@@ -282,7 +299,9 @@ def main() -> int:
             f"{record['micro_batch_scheduler_ips']:>10,.0f} scheduled "
             f"({record['micro_batch_speedup']:.2f}x), "
             f"{record['columnar_ips']:>10,.0f} columnar "
-            f"({record['columnar_speedup']:.2f}x)"
+            f"({record['columnar_speedup']:.2f}x), "
+            f"{record['fused_ips']:>10,.0f} fused[{record['fused_backend']}] "
+            f"({record['fused_vs_columnar']:.2f}x vs columnar)"
         )
         print(
             f"{'':20s}    sharded x{BENCH_SHARDS}: "
@@ -340,6 +359,19 @@ def main() -> int:
             [r["dataset"] for r in columnar_slower],
         )
         failures.append("columnar")
+    # CI gate: the fused tier must beat the per-chunk columnar loop on
+    # noprov — whatever backend resolved (compiled or pure), fusing the
+    # drive loop must never cost throughput.
+    fused_slower = [
+        r for r in records
+        if r["policy"] == "noprov" and r["fused_vs_columnar"] <= 1.0
+    ]
+    if fused_slower:
+        print(
+            "FAIL: fused kernel not faster than columnar on noprov for:",
+            [r["dataset"] for r in fused_slower],
+        )
+        failures.append("fused")
     # CI gate: the shard fabric must move at least two orders of magnitude
     # fewer bytes across the fork boundary than the pickled process pool.
     # At reduced scales the pickled payload shrinks with the network while

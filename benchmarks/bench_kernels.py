@@ -1,0 +1,182 @@
+"""Fused-kernel benchmark: whole-run kernels vs the per-chunk columnar loop.
+
+Measures, per policy family with a columnar kernel, three execution tiers
+over preset datasets:
+
+* ``batched`` — the eager ``process_many`` path (``columnar=False``),
+* ``columnar`` — the per-chunk columnar loop (``columnar=True,
+  kernel="batch"``: fixed-size ``process_block`` chunks),
+* ``fused`` — the whole-run kernel tier (``columnar=True,
+  kernel="fused"``: the entire clip span runs inside one
+  ``process_run`` call; compiled backend when one resolves, pure-numpy
+  fused otherwise).
+
+and writes a ``BENCH_kernel_fusion.json`` record with seconds,
+interactions per second and the fused-vs-columnar / fused-vs-batched
+ratios, plus the backend that actually served each fused run and its
+compile time (always measured outside the timed region — the engine calls
+``prepare_fused`` before its run timer starts, and this harness resolves
+every kernel once before any timed round).  Tiers are measured in
+interleaved rounds (round-robin over tiers, best of ``--repeats``) with
+the garbage collector paused inside the timed region.  The CI
+benchmark-smoke job runs this script; run it locally with::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--scale 0.5] [--output path.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+from pathlib import Path
+
+from repro.core import kernels
+from repro.datasets.catalog import load_preset
+from repro.runtime import DEFAULT_BATCH_SIZE, RunConfig, Runner
+
+#: (policy, dataset) pairs measured.  The compiled-kernel policies run on
+#: every preset where they are feasible; the entry-based families ride on
+#: the pure fused tier (their fusion is the whole-span Python loop).
+CASES = (
+    ("noprov", "bitcoin"),
+    ("noprov", "taxis"),
+    ("noprov", "flights"),
+    ("proportional-dense", "taxis"),
+    ("proportional-dense", "flights"),
+    ("fifo", "bitcoin"),
+    ("lrb", "taxis"),
+)
+
+TIERS = ("batched", "columnar", "fused")
+
+
+def tier_config(network, policy_name: str, batch_size: int, tier: str) -> RunConfig:
+    if tier == "batched":
+        return RunConfig(
+            dataset=network, policy=policy_name, batch_size=batch_size,
+            columnar=False,
+        )
+    return RunConfig(
+        dataset=network, policy=policy_name, batch_size=batch_size,
+        columnar=True, kernel="fused" if tier == "fused" else "batch",
+    )
+
+
+def timed_run(network, policy_name: str, batch_size: int, tier: str):
+    """One run of one tier with the collector paused; ``(seconds, result)``."""
+    config = tier_config(network, policy_name, batch_size, tier)
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        result = Runner(config).run()
+        return result.statistics.elapsed_seconds, result
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def measure_case(network, policy_name: str, batch_size: int, repeats: int):
+    """Best seconds (and matching results) per tier, interleaved rounds."""
+    best = {tier: float("inf") for tier in TIERS}
+    best_results = {tier: None for tier in TIERS}
+    network.to_block()  # columnar conversion happens outside every round
+    for _ in range(repeats):
+        for tier in TIERS:
+            seconds, result = timed_run(network, policy_name, batch_size, tier)
+            if seconds < best[tier]:
+                best[tier] = seconds
+                best_results[tier] = result
+    return best, best_results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("--repeats", type=int, default=5, help="runs per tier")
+    parser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="batch size of the batched/columnar tiers",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_kernel_fusion.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args()
+
+    # Resolve (and possibly compile) every kernel once, before any timed
+    # round; the engine additionally keeps prepare_fused outside its timer.
+    for name in kernels.KERNEL_NAMES:
+        kernels.get_kernel(name)
+    compile_warmup = kernels.compile_seconds()
+
+    records = []
+    for policy_name, dataset in CASES:
+        network = load_preset(dataset, scale=args.scale)
+        best, best_results = measure_case(
+            network, policy_name, args.batch_size, args.repeats
+        )
+        batched, columnar, fused = best["batched"], best["columnar"], best["fused"]
+        fused_stats = best_results["fused"].kernel_stats or {}
+        interactions = network.num_interactions
+        record = {
+            "policy": policy_name,
+            "dataset": dataset,
+            "interactions": interactions,
+            "batched_seconds": batched,
+            "columnar_seconds": columnar,
+            "fused_seconds": fused,
+            "batched_ips": interactions / batched if batched else 0.0,
+            "columnar_ips": interactions / columnar if columnar else 0.0,
+            "fused_ips": interactions / fused if fused else 0.0,
+            "fused_vs_columnar": columnar / fused if fused else 0.0,
+            "fused_vs_batched": batched / fused if fused else 0.0,
+            "fused_backend": fused_stats.get("backend"),
+            "fused_chunks": fused_stats.get("chunks"),
+            "fused_compile_seconds": fused_stats.get("compile_seconds"),
+        }
+        records.append(record)
+        print(
+            f"{policy_name:20s} on {dataset:8s}: "
+            f"{record['batched_ips']:>10,.0f} batched ips -> "
+            f"{record['columnar_ips']:>10,.0f} columnar -> "
+            f"{record['fused_ips']:>10,.0f} fused[{record['fused_backend']}] "
+            f"({record['fused_vs_columnar']:.2f}x vs columnar, "
+            f"{record['fused_vs_batched']:.2f}x vs batched)"
+        )
+
+    payload = {
+        "benchmark": "fused_kernel_throughput",
+        "scale": args.scale,
+        "batch_size": args.batch_size,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "jit_enabled": kernels.jit_enabled(),
+        "backends": {name: kernels.backend_of(name) for name in kernels.KERNEL_NAMES},
+        "backend_failures": kernels.backend_failures(),
+        "compile_seconds_untimed": compile_warmup,
+        "results": records,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    # CI gate: fusing the drive loop must never cost throughput on noprov,
+    # whatever backend resolved.
+    fused_slower = [
+        r for r in records
+        if r["policy"] == "noprov" and r["fused_vs_columnar"] <= 1.0
+    ]
+    if fused_slower:
+        print(
+            "FAIL: fused tier not faster than columnar on noprov for:",
+            [r["dataset"] for r in fused_slower],
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -102,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         "backend). Results are bit-identical either way.",
     )
     run_parser.add_argument(
+        "--kernel", choices=("auto", "fused", "batch"), default="auto",
+        help="columnar execution tier: 'auto'/'fused' run whole-run fused "
+        "kernels (compiled backend when available, pure numpy otherwise), "
+        "'batch' keeps the per-chunk columnar loop. Results are "
+        "bit-identical across tiers.",
+    )
+    run_parser.add_argument(
         "--stream", action="store_true",
         help="stream CSV datasets lazily instead of loading them into memory",
     )
@@ -248,6 +255,7 @@ def _command_run(args: argparse.Namespace) -> int:
         dataset=args.dataset,
         scale=args.scale,
         columnar=args.columnar,
+        kernel=args.kernel,
         stream=args.stream,
         follow=args.follow,
         micro_batch=args.micro_batch,
@@ -309,6 +317,15 @@ def _command_run(args: argparse.Namespace) -> int:
             f"vertices, {format_bytes(col['block_bytes'])} of column arrays"
             + ("" if col["kernel"] else " (adapter: no array kernel)")
         )
+    if result.kernel_stats is not None:
+        kern = result.kernel_stats
+        line = (
+            f"kernel {kern['mode']}: backend {kern['backend']}, "
+            f"{kern['chunks']} chunk{'s' if kern['chunks'] != 1 else ''}"
+        )
+        if kern["compile_seconds"]:
+            line += f", compile {kern['compile_seconds']:.3f}s (outside timed region)"
+        print(line)
     spec = config.store_spec
     if spec is not None:
         entries = sum(stats.entries for stats in result.store_stats.values())

@@ -22,6 +22,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.core import kernels as _kernels
 from repro.core.blocks import InteractionBlock, VertexInterner
 from repro.core.interaction import Interaction, Vertex
 from repro.core.network import TemporalInteractionNetwork
@@ -96,6 +97,7 @@ class ProvenanceEngine:
         self._last_time: Optional[float] = None
         self._scheduler: Optional["MicroBatchScheduler"] = None
         self._columnar_stats: Optional[Dict[str, object]] = None
+        self._kernel_stats: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # observers
@@ -126,6 +128,7 @@ class ProvenanceEngine:
         checkpoint_every: int = 0,
         on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
         columnar: Optional[bool] = None,
+        kernel: str = "auto",
     ) -> RunStatistics:
         """Process a whole interaction stream and return run statistics.
 
@@ -185,10 +188,25 @@ class ProvenanceEngine:
             object-materialising adapter.  Results are bit-identical
             either way.  Per-interaction runs and runs with observers
             always take the object path.
+        kernel:
+            How columnar spans are driven.  ``"auto"`` / ``"fused"``
+            (default) hand whole clip spans — bounded only by the exact
+            sample/peak/checkpoint offsets — to
+            :meth:`SelectionPolicy.process_run`, so compiled kernels (or
+            the pure fused path) run without returning to Python between
+            batches; ``"batch"`` keeps the fixed-size
+            :meth:`SelectionPolicy.process_block` chunking.  Results are
+            bit-identical either way; any backend compilation happens
+            before the run timer starts (see :meth:`kernel_stats`).
         """
         from repro.sources import InteractionSource, MicroBatchScheduler
 
+        if kernel not in ("auto", "fused", "batch"):
+            raise ValueError(
+                f"kernel must be 'auto', 'fused' or 'batch', got {kernel!r}"
+            )
         self._columnar_stats = None
+        self._kernel_stats = None
         if isinstance(source, InteractionBlock):
             # A ready block is the columnar fast path by definition; the
             # policy is reset with the interner's vertex universe, which
@@ -231,6 +249,7 @@ class ProvenanceEngine:
                 batch_size=batch_size,
                 checkpoint_every=checkpoint_every,
                 on_checkpoint=on_checkpoint,
+                kernel=kernel,
             )
         if isinstance(source, MicroBatchScheduler):
             scheduler, source = source, source.source
@@ -291,6 +310,7 @@ class ProvenanceEngine:
                     batch_size=batch_size,
                     checkpoint_every=checkpoint_every,
                     on_checkpoint=on_checkpoint,
+                    kernel=kernel,
                 )
             if scheduler is not None and not self._observers:
                 return self._run_scheduled(
@@ -300,6 +320,7 @@ class ProvenanceEngine:
                     checkpoint_every=checkpoint_every,
                     on_checkpoint=on_checkpoint,
                     columnar=use_columnar,
+                    kernel=kernel,
                 )
             if batch_size > 1 and not self._observers:
                 return self._run_batched(
@@ -310,6 +331,7 @@ class ProvenanceEngine:
                     checkpoint_every=checkpoint_every,
                     on_checkpoint=on_checkpoint,
                     columnar=use_columnar,
+                    kernel=kernel,
                 )
             if scheduler is not None:
                 # Observers force per-interaction stepping; drain the
@@ -391,6 +413,7 @@ class ProvenanceEngine:
         checkpoint_every: int = 0,
         on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
         columnar: bool = False,
+        kernel: str = "auto",
     ) -> RunStatistics:
         """Batched drive loop behind :meth:`run` (no observers registered).
 
@@ -418,6 +441,7 @@ class ProvenanceEngine:
             checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint,
             columnar=columnar,
+            kernel=kernel,
         )
 
     def _run_block(
@@ -429,22 +453,37 @@ class ProvenanceEngine:
         batch_size: int = 0,
         checkpoint_every: int = 0,
         on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
+        kernel: str = "auto",
     ) -> RunStatistics:
         """Columnar drive loop over one materialised block (no observers).
 
         Slices the block at exactly the positions the object paths clip
         batches at — ``sample_every``, the geometric peak-check cadence and
         ``checkpoint_every`` — so entry counts are sampled, and checkpoints
-        written, at identical stream offsets.  Kernel slices are much larger
-        than object batches (``_COLUMNAR_CHUNK``); slice size never affects
-        results, only amortisation.
+        written, at identical stream offsets.  Slice size never affects
+        results, only amortisation: in fused mode (the default) slices are
+        bounded *only* by those clip offsets and handed to
+        ``process_run``, so the policy's inner loop covers whole spans
+        without returning to Python between batches; ``kernel="batch"``
+        keeps the fixed-size ``_COLUMNAR_CHUNK`` slicing through
+        ``process_block``.
         """
         policy = self.policy
-        process_block = policy.process_block
-        chunk = max(batch_size, _COLUMNAR_CHUNK)
         total = len(block)
         if limit is not None:
             total = min(total, max(limit, 0))
+        fused = kernel != "batch"
+        if fused:
+            compile_before = _kernels.compile_seconds()
+            # Resolve (and compile) any backend before the timer starts.
+            policy.prepare_fused(block)
+            compile_delta = _kernels.compile_seconds() - compile_before
+            process_block = policy.process_run
+            chunk = max(total, 1)
+        else:
+            compile_delta = 0.0
+            process_block = policy.process_block
+            chunk = max(batch_size, _COLUMNAR_CHUNK)
         self._columnar_stats = {
             "mode": "block",
             "interned_vertices": len(block.interner),
@@ -452,6 +491,13 @@ class ProvenanceEngine:
             "kernel": policy.has_columnar_kernel(),
             "chunk": chunk,
         }
+        self._kernel_stats = {
+            "mode": "fused" if fused else "batch",
+            "backend": policy.fused_backend() if fused else "batch",
+            "chunks": 0,
+            "compile_seconds": compile_delta,
+        }
+        kernel_stats = self._kernel_stats
 
         stats = RunStatistics()
         processed = 0
@@ -467,6 +513,7 @@ class ProvenanceEngine:
                 size = min(size, checkpoint_every - (processed % checkpoint_every))
             piece = block.slice(processed, processed + size)
             process_block(piece)
+            kernel_stats["chunks"] += 1
             processed += size
             self._interactions_processed += size
             self._last_time = piece.last_time
@@ -503,6 +550,7 @@ class ProvenanceEngine:
         checkpoint_every: int = 0,
         on_checkpoint: Optional[Callable[["ProvenanceEngine", int], None]] = None,
         columnar: bool = False,
+        kernel: str = "auto",
     ) -> RunStatistics:
         """The micro-batched drive loop every batched run goes through.
 
@@ -522,15 +570,31 @@ class ProvenanceEngine:
         process_many = policy.process_many
         self._scheduler = scheduler
         interner: Optional[VertexInterner] = None
+        kernel_stats: Optional[Dict[str, object]] = None
         if columnar:
             interner = VertexInterner()
-            process_block = policy.process_block
+            fused = kernel != "batch"
+            if fused:
+                compile_before = _kernels.compile_seconds()
+                # Resolve (and compile) any backend before the timer starts.
+                policy.prepare_fused()
+                compile_delta = _kernels.compile_seconds() - compile_before
+                process_block = policy.process_run
+            else:
+                compile_delta = 0.0
+                process_block = policy.process_block
             self._columnar_stats = {
                 "mode": "stream",
                 "interned_vertices": 0,
                 "block_bytes": 0,
                 "kernel": policy.has_columnar_kernel(),
                 "chunk": scheduler.micro_batch,
+            }
+            self._kernel_stats = kernel_stats = {
+                "mode": "fused" if fused else "batch",
+                "backend": policy.fused_backend() if fused else "batch",
+                "chunks": 0,
+                "compile_seconds": compile_delta,
             }
 
         stats = RunStatistics()
@@ -554,6 +618,7 @@ class ProvenanceEngine:
                 if block is None:
                     break
                 process_block(block)
+                kernel_stats["chunks"] += 1
                 self._columnar_stats["interned_vertices"] = len(interner)
                 self._columnar_stats["block_bytes"] += block.nbytes
                 produced = len(block)
@@ -663,6 +728,21 @@ class ProvenanceEngine:
         kernel-less policy or a spilling store backend correct).
         """
         return self._columnar_stats
+
+    def kernel_stats(self) -> Optional[Dict[str, object]]:
+        """Fused-kernel accounting of the last columnar run, or ``None``.
+
+        Reports the drive mode (``"fused"``: whole clip spans through
+        ``process_run``; ``"batch"``: fixed-size ``process_block``
+        chunking), the backend that served the spans (``"numba"`` /
+        ``"cc"`` for compiled kernels, ``"numpy"`` for the pure fused
+        path, ``"object"`` for the materialising adapter, ``"batch"`` in
+        batch mode), the number of span/chunk invocations, and the
+        seconds spent resolving/compiling backends — always outside the
+        timed region (``prepare_fused`` runs before the run timer
+        starts).  ``None`` for per-interaction and non-columnar runs.
+        """
+        return self._kernel_stats
 
     def store_stats(self):
         """Accounting of the policy's provenance stores, keyed by role.

@@ -1,0 +1,153 @@
+"""Pure reference implementations of the fused kernels, plus the
+bit-identity check every compiled backend must pass before being served.
+
+The references mirror, operation for operation, the columnar
+``process_block`` loops in :mod:`repro.policies.no_provenance` and
+:mod:`repro.policies.proportional` — the same reads, the same branch
+structure, the same IEEE double arithmetic in the same order.  A
+compiled candidate that disagrees on a single bit of any output is
+rejected by :func:`verify` and the dispatcher demotes to the next
+backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["noprov_reference", "propdense_reference", "verify"]
+
+
+def noprov_reference(src, dst, qty, buffers, generated, gen_order):
+    """Algorithm 1 without provenance: scalar totals, newborn bookkeeping.
+
+    Mutates ``buffers`` / ``generated`` in place, writes first-newborn
+    vertex ids into ``gen_order`` and returns how many were appended —
+    the exact contract of the compiled kernels.
+    """
+    appended = 0
+    for i in range(len(src)):
+        source = int(src[i])
+        quantity = float(qty[i])
+        available = float(buffers[source])
+        if quantity < available:
+            buffers[source] = available - quantity
+        else:
+            buffers[source] = 0.0
+            if quantity > available:
+                if float(generated[source]) == 0.0:
+                    gen_order[appended] = source
+                    appended += 1
+                generated[source] += quantity - available
+        buffers[int(dst[i])] += quantity
+    return appended
+
+
+def propdense_reference(src, dst, qty, vectors, totals):
+    """Algorithm 3 dense proportional selection over whole vectors.
+
+    ``vectors`` is the position-indexed list of ``(universe,)`` float64
+    provenance rows; ``totals`` the position-indexed buffer totals.  The
+    three branches (zero-source shortcut, full relay, proportional
+    split) replicate the columnar loop element for element, including
+    the self-loop aliasing behaviour when source == destination.
+    """
+    universe = len(totals)
+    for i in range(len(src)):
+        source = int(src[i])
+        destination = int(dst[i])
+        quantity = float(qty[i])
+        source_vector = vectors[source]
+        destination_vector = vectors[destination]
+        source_total = float(totals[source])
+        if source_total == 0.0:
+            if quantity > 0.0:
+                destination_vector[source] += quantity
+            totals[destination] += quantity
+        elif quantity >= source_total:
+            for j in range(universe):
+                destination_vector[j] += source_vector[j]
+            newborn = quantity - source_total
+            if newborn > 0.0:
+                destination_vector[source] += newborn
+            for j in range(universe):
+                source_vector[j] = 0.0
+            totals[source] = 0.0
+            totals[destination] += quantity
+        else:
+            fraction = quantity / source_total
+            for j in range(universe):
+                moved = source_vector[j] * fraction
+                destination_vector[j] += moved
+                source_vector[j] -= moved
+            totals[source] = source_total - quantity
+            totals[destination] += quantity
+    return None
+
+
+# A tiny deterministic case exercising every branch: q < available,
+# q == available (zeroes without newborn), q > available (newborn, both
+# first and repeat), self-loops, zero-quantity rows, and fractional
+# splits with non-terminating binary expansions (0.1, 0.3, ...) that
+# would expose any reassociation or contraction in a compiled build.
+_SRC = np.array([0, 1, 0, 2, 1, 0, 3, 2, 2, 1, 0, 3], dtype=np.int32)
+_DST = np.array([1, 2, 2, 0, 0, 3, 3, 1, 2, 1, 0, 0], dtype=np.int32)
+_QTY = np.array(
+    [7.7, 0.1, 3.3, 12.25, 0.3, 4.9, 0.0, 2.2, 5.5, 1.1, 6.6, 0.7],
+    dtype=np.float64,
+)
+_UNIVERSE = 4
+
+
+def _noprov_case():
+    buffers = np.array([2.5, 0.0, 1.1, 0.0], dtype=np.float64)
+    generated = np.zeros(_UNIVERSE, dtype=np.float64)
+    gen_order = np.full(_UNIVERSE, -1, dtype=np.int64)
+    return buffers, generated, gen_order
+
+
+def _propdense_case():
+    vectors = [np.zeros(_UNIVERSE, dtype=np.float64) for _ in range(_UNIVERSE)]
+    vectors[0][0] = 2.5
+    vectors[2][2] = 1.1
+    totals = np.array([2.5, 0.0, 1.1, 0.0], dtype=np.float64)
+    return vectors, totals
+
+
+def verify(name: str, fn) -> None:
+    """Run ``fn`` against the pure reference on the branch-complete case
+    and raise ``ValueError`` on any non-bit-identical output."""
+    src, dst, qty = _SRC, _DST, _QTY
+    if name == "noprov":
+        buffers, generated, gen_order = _noprov_case()
+        ref_buffers, ref_generated, ref_order = _noprov_case()
+        count = fn(src, dst, qty, buffers, generated, gen_order)
+        ref_count = noprov_reference(src, dst, qty, ref_buffers, ref_generated, ref_order)
+        # Empty spans must be a no-op returning zero.
+        if fn(src[:0], dst[:0], qty[:0], buffers, generated, gen_order[:0]) != 0:
+            raise ValueError("noprov kernel mishandles an empty span")
+        identical = (
+            count == ref_count
+            and np.array_equal(buffers, ref_buffers)
+            and np.array_equal(generated, ref_generated)
+            and np.array_equal(gen_order[:count], ref_order[:ref_count])
+        )
+        if not identical:
+            raise ValueError("noprov kernel output is not bit-identical to the reference")
+    elif name == "proportional-dense":
+        vectors, totals = _propdense_case()
+        ref_vectors, ref_totals = _propdense_case()
+        addresses = np.array([v.ctypes.data for v in vectors], dtype=np.int64)
+        src64 = src.astype(np.int64)
+        dst64 = dst.astype(np.int64)
+        fn(src64, dst64, qty, addresses, totals, _UNIVERSE)
+        fn(src64[:0], dst64[:0], qty[:0], addresses, totals, _UNIVERSE)
+        propdense_reference(src64, dst64, qty, ref_vectors, ref_totals)
+        identical = np.array_equal(totals, ref_totals) and all(
+            np.array_equal(vectors[p], ref_vectors[p]) for p in range(_UNIVERSE)
+        )
+        if not identical:
+            raise ValueError(
+                "proportional-dense kernel output is not bit-identical to the reference"
+            )
+    else:  # pragma: no cover - guarded by get_kernel
+        raise KeyError(name)

@@ -1,0 +1,252 @@
+"""Compiled-C kernel backend: a tiny translation unit built on first use
+with the system C compiler and loaded through :mod:`ctypes`.
+
+Nothing is installed: the source below is written to a per-user cache
+directory (``REPRO_KERNEL_CACHE``, else ``~/.cache/repro-kernels``,
+else a temp dir), compiled once per source hash with strict IEEE flags
+(``-ffp-contract=off``, no fast-math — bit-identical doubles, no FMA
+contraction) and reused across processes via an atomic rename.  Any
+compiler absence or failure surfaces as an exception that the
+dispatcher treats as "backend unavailable".
+
+The exported functions replicate the columnar ``process_block`` loops
+operation for operation; :func:`repro.core.kernels._reference.verify`
+confirms bit-identity before a build is ever served.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Callable, Optional
+
+__all__ = ["BACKEND", "available", "build"]
+
+BACKEND = "cc"
+
+_CANDIDATE_COMPILERS = ("cc", "gcc", "clang")
+
+#: Strict IEEE semantics: optimise, but never contract a*b+c into an FMA
+#: and never reassociate — the kernels must match Python float for float.
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-unsafe-math-optimizations")
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Algorithm 1 without provenance: scalar totals and newborn bookkeeping.
+ * Mirrors NoProvenancePolicy.process_block row for row.  Returns how many
+ * first-newborn vertex ids were appended to gen_order. */
+int64_t noprov_run(const int32_t *src, const int32_t *dst, const double *qty,
+                   int64_t n, double *buffers, double *generated,
+                   int64_t *gen_order)
+{
+    int64_t appended = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int32_t source = src[i];
+        double quantity = qty[i];
+        double available = buffers[source];
+        if (quantity < available) {
+            buffers[source] = available - quantity;
+        } else {
+            buffers[source] = 0.0;
+            if (quantity > available) {
+                if (generated[source] == 0.0) {
+                    gen_order[appended++] = (int64_t)source;
+                }
+                generated[source] += quantity - available;
+            }
+        }
+        buffers[dst[i]] += quantity;
+    }
+    return appended;
+}
+
+/* Algorithm 3 dense proportional selection over whole vectors.  vectors
+ * is a position-indexed table of pointers to (universe,) double rows;
+ * totals the position-indexed buffer totals.  The three branches (zero
+ * source shortcut, full relay, proportional split) replicate
+ * ProportionalDensePolicy.process_block element for element, including
+ * the self-loop aliasing behaviour when source == destination. */
+void propdense_run(const int64_t *src, const int64_t *dst, const double *qty,
+                   int64_t n, int64_t universe, double **vectors,
+                   double *totals)
+{
+    for (int64_t i = 0; i < n; i++) {
+        int64_t source = src[i];
+        int64_t destination = dst[i];
+        double quantity = qty[i];
+        double *source_vector = vectors[source];
+        double *destination_vector = vectors[destination];
+        double source_total = totals[source];
+        if (source_total == 0.0) {
+            if (quantity > 0.0) {
+                destination_vector[source] += quantity;
+            }
+            totals[destination] += quantity;
+        } else if (quantity >= source_total) {
+            for (int64_t j = 0; j < universe; j++) {
+                destination_vector[j] += source_vector[j];
+            }
+            double newborn = quantity - source_total;
+            if (newborn > 0.0) {
+                destination_vector[source] += newborn;
+            }
+            for (int64_t j = 0; j < universe; j++) {
+                source_vector[j] = 0.0;
+            }
+            totals[source] = 0.0;
+            totals[destination] += quantity;
+        } else {
+            double fraction = quantity / source_total;
+            for (int64_t j = 0; j < universe; j++) {
+                double moved = source_vector[j] * fraction;
+                destination_vector[j] += moved;
+                source_vector[j] -= moved;
+            }
+            totals[source] = source_total - quantity;
+            totals[destination] += quantity;
+        }
+    }
+}
+"""
+
+_library: Optional[ctypes.CDLL] = None
+
+
+def _compiler() -> Optional[str]:
+    override = os.environ.get("CC")
+    if override:
+        return override if shutil.which(override) else None
+    for candidate in _CANDIDATE_COMPILERS:
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def available() -> bool:
+    """True when a usable C compiler is on PATH (``CC`` overrides)."""
+    return _compiler() is not None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    home = Path.home()
+    if os.access(home, os.W_OK):
+        return home / ".cache" / "repro-kernels"
+    return Path(tempfile.gettempdir()) / f"repro-kernels-{os.getuid()}"
+
+
+def _compile_and_load() -> ctypes.CDLL:
+    compiler = _compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler found on PATH")
+    digest = hashlib.sha256(
+        "\x00".join((_SOURCE, compiler, " ".join(_CFLAGS))).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    library_path = cache / f"repro_kernels_{digest}.so"
+    if not library_path.exists():
+        source_path = cache / f"repro_kernels_{digest}.c"
+        source_path.write_text(_SOURCE)
+        scratch_path = cache / f".build_{digest}_{os.getpid()}.so"
+        try:
+            completed = subprocess.run(
+                [compiler, *_CFLAGS, "-o", str(scratch_path), str(source_path)],
+                capture_output=True,
+                text=True,
+            )
+            if completed.returncode != 0:
+                raise RuntimeError(
+                    f"{compiler} failed ({completed.returncode}): "
+                    f"{completed.stderr.strip()[:500]}"
+                )
+            os.replace(scratch_path, library_path)  # atomic publish
+        finally:
+            if scratch_path.exists():  # pragma: no cover - failed build residue
+                scratch_path.unlink()
+    return ctypes.CDLL(str(library_path))
+
+
+def _load() -> ctypes.CDLL:
+    global _library
+    if _library is None:
+        library = _compile_and_load()
+        library.noprov_run.restype = ctypes.c_int64
+        library.noprov_run.argtypes = [
+            ctypes.c_void_p,  # src int32*
+            ctypes.c_void_p,  # dst int32*
+            ctypes.c_void_p,  # qty double*
+            ctypes.c_int64,  # n
+            ctypes.c_void_p,  # buffers double*
+            ctypes.c_void_p,  # generated double*
+            ctypes.c_void_p,  # gen_order int64*
+        ]
+        library.propdense_run.restype = None
+        library.propdense_run.argtypes = [
+            ctypes.c_void_p,  # src int64*
+            ctypes.c_void_p,  # dst int64*
+            ctypes.c_void_p,  # qty double*
+            ctypes.c_int64,  # n
+            ctypes.c_int64,  # universe
+            ctypes.c_void_p,  # vectors double**
+            ctypes.c_void_p,  # totals double*
+        ]
+        _library = library
+    return _library
+
+
+def build(name: str) -> Callable:
+    """Build (or load from cache) the kernel for ``name``.
+
+    Callers guarantee contiguous arrays of the documented dtypes; the
+    wrappers only forward raw data pointers.
+    """
+    library = _load()
+    if name == "noprov":
+        run = library.noprov_run
+
+        def noprov(src, dst, qty, buffers, generated, gen_order):
+            n = len(src)
+            if n == 0:
+                return 0
+            return int(
+                run(
+                    src.ctypes.data,
+                    dst.ctypes.data,
+                    qty.ctypes.data,
+                    n,
+                    buffers.ctypes.data,
+                    generated.ctypes.data,
+                    gen_order.ctypes.data,
+                )
+            )
+
+        return noprov
+    if name == "proportional-dense":
+        run = library.propdense_run
+
+        def propdense(src, dst, qty, addresses, totals, universe):
+            n = len(src)
+            if n == 0:
+                return None
+            run(
+                src.ctypes.data,
+                dst.ctypes.data,
+                qty.ctypes.data,
+                n,
+                universe,
+                addresses.ctypes.data,
+                totals.ctypes.data,
+            )
+            return None
+
+        return propdense
+    raise KeyError(name)

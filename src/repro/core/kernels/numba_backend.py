@@ -1,0 +1,65 @@
+"""Optional ``numba.njit`` kernel backend, auto-detected at resolution.
+
+numba is an optional extra: when it is importable the no-provenance
+whole-run kernel is JIT-compiled here (and verified bit-for-bit before
+use); when it is absent — the normal case for a minimal install —
+:func:`available` reports False and the dispatcher moves on to the
+compiled-C backend without noise.
+
+Only the ``"noprov"`` kernel is served: the proportional-dense kernel
+indexes a table of raw row pointers, which maps naturally onto C but
+not onto nopython-mode numba; requesting it raises so the dispatcher
+demotes to :mod:`repro.core.kernels.cc_backend` for that name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["BACKEND", "available", "build"]
+
+BACKEND = "numba"
+
+try:  # pragma: no cover - exercised only when numba is installed
+    import numba  # type: ignore
+
+    _HAS_NUMBA = True
+except Exception:  # ImportError, or a broken install raising anything else
+    numba = None  # type: ignore[assignment]
+    _HAS_NUMBA = False
+
+
+def available() -> bool:
+    """True when numba imported cleanly."""
+    return _HAS_NUMBA
+
+
+def build(name: str) -> Callable:  # pragma: no cover - requires numba
+    if not _HAS_NUMBA:
+        raise RuntimeError("numba is not installed")
+    if name != "noprov":
+        raise KeyError(f"numba backend does not serve {name!r}")
+
+    @numba.njit(cache=True, fastmath=False)
+    def _noprov(src, dst, qty, buffers, generated, gen_order):
+        appended = 0
+        for i in range(src.shape[0]):
+            source = src[i]
+            quantity = qty[i]
+            available_quantity = buffers[source]
+            if quantity < available_quantity:
+                buffers[source] = available_quantity - quantity
+            else:
+                buffers[source] = 0.0
+                if quantity > available_quantity:
+                    if generated[source] == 0.0:
+                        gen_order[appended] = source
+                        appended += 1
+                    generated[source] += quantity - available_quantity
+            buffers[dst[i]] += quantity
+        return appended
+
+    def noprov(src, dst, qty, buffers, generated, gen_order):
+        return int(_noprov(src, dst, qty, buffers, generated, gen_order))
+
+    return noprov

@@ -152,6 +152,41 @@ class SelectionPolicy(abc.ABC):
         """
         self.process_many(block.to_interactions())
 
+    def process_run(self, block: "InteractionBlock") -> None:
+        """Apply one whole-run (or large-chunk) columnar span, in order.
+
+        The fused tier: the engine hands over the entire clip span between
+        two sample/peak/checkpoint boundaries and the policy runs its inner
+        loop without returning to Python between batches.  Semantically
+        equivalent — bit for bit — to :meth:`process_block` over the same
+        span; the default simply delegates there, which already *is* the
+        pure fused backend (whole-span array kernels, preallocated
+        scratch, no per-batch allocation).  Policies with compiled kernels
+        (:mod:`repro.core.kernels`) override this to run the span through
+        a numba- or C-compiled loop when one resolved, falling back to
+        ``process_block`` otherwise.
+        """
+        self.process_block(block)
+
+    def prepare_fused(self, block: "InteractionBlock" = None) -> None:
+        """Resolve (and compile) any fused kernel backend ahead of time.
+
+        The engine calls this before starting its run timer so backend
+        compilation is measured outside the timed region.  The default is
+        a no-op; kernel policies trigger :func:`repro.core.kernels.get_kernel`
+        here.
+        """
+
+    def fused_backend(self) -> str:
+        """Which backend :meth:`process_run` would use *right now*.
+
+        ``"numba"`` / ``"cc"`` when a compiled kernel resolved, ``"numpy"``
+        for the always-available pure fused path (array kernels driven over
+        whole spans), ``"object"`` when the policy has no columnar kernel
+        and spans go through the materialising adapter.
+        """
+        return "numpy" if self.has_columnar_kernel() else "object"
+
     def has_columnar_kernel(self) -> bool:
         """Whether :meth:`process_block` runs a real array kernel *right now*.
 

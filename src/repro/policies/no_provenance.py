@@ -38,7 +38,16 @@ class _ColumnarTotals:
     flush reproduces the object path's dict insertion order exactly.
     """
 
-    __slots__ = ("interner", "buffers", "generated", "touched", "generated_order")
+    __slots__ = (
+        "interner",
+        "buffers",
+        "generated",
+        "touched",
+        "generated_order",
+        "buffers_arr",
+        "generated_arr",
+        "array_mode",
+    )
 
     def __init__(self, interner: VertexInterner) -> None:
         self.interner = interner
@@ -47,10 +56,39 @@ class _ColumnarTotals:
         self.generated: List[float] = [0.0] * size
         self.touched = np.zeros(size, dtype=bool)
         self.generated_order: List[int] = []
+        # Compiled fused kernels operate on float64 arrays instead of the
+        # Python lists; the mirror converts once per representation switch
+        # (not per chunk) and tracks which side is authoritative.
+        self.buffers_arr: Optional[np.ndarray] = None
+        self.generated_arr: Optional[np.ndarray] = None
+        self.array_mode = False
+
+    def to_arrays(self) -> tuple:
+        """Make the float64 array representation authoritative (idempotent)."""
+        if not self.array_mode:
+            self.buffers_arr = np.array(self.buffers, dtype=np.float64)
+            self.generated_arr = np.array(self.generated, dtype=np.float64)
+            self.array_mode = True
+        return self.buffers_arr, self.generated_arr
+
+    def to_lists(self) -> None:
+        """Make the Python-list representation authoritative (idempotent).
+
+        ``tolist()`` round-trips float64 values exactly, so switching
+        representations never perturbs a bit.
+        """
+        if self.array_mode:
+            self.buffers = self.buffers_arr.tolist()
+            self.generated = self.generated_arr.tolist()
+            self.buffers_arr = None
+            self.generated_arr = None
+            self.array_mode = False
 
     def grow(self, size: int) -> None:
-        shortfall = size - len(self.buffers)
+        current = len(self.buffers_arr) if self.array_mode else len(self.buffers)
+        shortfall = size - current
         if shortfall > 0:
+            self.to_lists()
             self.buffers.extend([0.0] * shortfall)
             self.generated.extend([0.0] * shortfall)
             touched = np.zeros(size, dtype=bool)
@@ -177,6 +215,7 @@ class NoProvenancePolicy(SelectionPolicy):
         if col is None:
             return
         self._col = None
+        col.to_lists()
         vertices = col.interner.vertices
         raw = self._buffers.raw_dict()
         buffers = col.buffers
@@ -204,6 +243,7 @@ class NoProvenancePolicy(SelectionPolicy):
             super().process_block(block)
             return
         col = self._ensure_columnar(block.interner)
+        col.to_lists()
         buffers = col.buffers
         generated = col.generated
         generated_order = col.generated_order
@@ -223,13 +263,74 @@ class NoProvenancePolicy(SelectionPolicy):
             buffers[destination] += quantity
 
     # ------------------------------------------------------------------
+    # fused execution
+    # ------------------------------------------------------------------
+    def _fused_handle(self):
+        """The compiled whole-run kernel, or ``None`` for the pure path.
+
+        ``None`` also when a subclass ships its own ``process_block``: the
+        compiled loop replicates *this class's* kernel, and bypassing an
+        override would silently change subclass semantics — the fused
+        drive then routes through ``self.process_block`` instead.
+        """
+        if type(self).process_block is not NoProvenancePolicy.process_block:
+            return None
+        if not self.has_columnar_kernel():
+            return None
+        from repro.core import kernels
+
+        return kernels.get_kernel("noprov")
+
+    def prepare_fused(self, block: Optional[InteractionBlock] = None) -> None:
+        self._fused_handle()
+
+    def fused_backend(self) -> str:
+        if not self.has_columnar_kernel():
+            return "object"
+        handle = self._fused_handle()
+        return "numpy" if handle is None else handle.backend
+
+    def process_run(self, block: InteractionBlock) -> None:
+        """Fused Algorithm 1: the whole clip span in one compiled call.
+
+        Bit-identical to :meth:`process_block` over the same span — the
+        compiled loop replicates its arithmetic operation for operation
+        (verified against a pure reference at build time).  Falls back to
+        the per-block kernel when no compiled backend resolved or the
+        stores are not dict-backed.
+        """
+        handle = self._fused_handle()
+        if handle is None:
+            self.process_block(block)
+            return
+        col = self._ensure_columnar(block.interner)
+        src_ids = np.ascontiguousarray(block.src_ids, dtype=np.int32)
+        dst_ids = np.ascontiguousarray(block.dst_ids, dtype=np.int32)
+        quantities = np.ascontiguousarray(block.quantities, dtype=np.float64)
+        col.touched[src_ids] = True
+        col.touched[dst_ids] = True
+        buffers_arr, generated_arr = col.to_arrays()
+        # Every vertex enters generated_order at most once, so the span can
+        # append at most the whole universe.
+        order_out = np.empty(len(buffers_arr), dtype=np.int64)
+        appended = handle.fn(
+            src_ids, dst_ids, quantities, buffers_arr, generated_arr, order_out
+        )
+        if appended:
+            col.generated_order.extend(order_out[:appended].tolist())
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def buffer_total(self, vertex: Vertex) -> float:
         col = self._col
         if col is not None:
             vertex_id = col.interner.get_id(vertex)
-            return col.buffers[vertex_id] if vertex_id >= 0 else 0.0
+            if vertex_id < 0:
+                return 0.0
+            if col.array_mode:
+                return float(col.buffers_arr[vertex_id])
+            return col.buffers[vertex_id]
         return self._buffers.get(vertex, 0.0)
 
     def origins(self, vertex: Vertex) -> OriginSet:
@@ -244,7 +345,11 @@ class NoProvenancePolicy(SelectionPolicy):
         col = self._col
         if col is not None:
             vertex_id = col.interner.get_id(vertex)
-            return col.generated[vertex_id] if vertex_id >= 0 else 0.0
+            if vertex_id < 0:
+                return 0.0
+            if col.array_mode:
+                return float(col.generated_arr[vertex_id])
+            return col.generated[vertex_id]
         return self._generated.get(vertex, 0.0)
 
     def generated_quantities(self) -> Dict[Vertex, float]:

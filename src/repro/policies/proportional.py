@@ -63,6 +63,9 @@ class _ColumnarVectors:
         "totals",
         "scratch",
         "fraction",
+        "addresses",
+        "totals_arr",
+        "array_mode",
     )
 
     def __init__(
@@ -86,6 +89,28 @@ class _ColumnarVectors:
         # 0-d staging cell for the split fraction: refilling it and passing
         # the array to multiply() skips the per-call Python-float boxing.
         self.fraction = np.empty((), dtype=np.float64)
+        # Raw data pointer of each live vector row, for the compiled fused
+        # kernel; kept current at every vector-creation site.  The vectors
+        # list holds the owning references, so the addresses stay valid.
+        self.addresses = np.zeros(universe, dtype=np.int64)
+        # Compiled kernels mutate totals as a float64 array; converted once
+        # per representation switch, not per chunk.
+        self.totals_arr: Optional[np.ndarray] = None
+        self.array_mode = False
+
+    def to_arrays(self) -> np.ndarray:
+        """Make the float64 totals array authoritative (idempotent)."""
+        if not self.array_mode:
+            self.totals_arr = np.array(self.totals, dtype=np.float64)
+            self.array_mode = True
+        return self.totals_arr
+
+    def to_lists(self) -> None:
+        """Make the Python-list totals authoritative (idempotent; exact)."""
+        if self.array_mode:
+            self.totals = self.totals_arr.tolist()
+            self.totals_arr = None
+            self.array_mode = False
 
 
 class ProportionalDensePolicy(SelectionPolicy):
@@ -112,6 +137,7 @@ class ProportionalDensePolicy(SelectionPolicy):
         self._vectors = self._make_store("vectors")
         self._totals = self._make_store("totals")
         self._col: Optional[_ColumnarVectors] = None
+        self._moved_scratch: Optional[np.ndarray] = None
         if vertices is not None:
             self.reset(vertices)
 
@@ -130,9 +156,33 @@ class ProportionalDensePolicy(SelectionPolicy):
             )
         self._vectors = self._make_store("vectors", dimension=len(self._index))
         self._totals = self._make_store("totals")
+        self._moved_scratch = None
 
     def _zero_vector(self) -> np.ndarray:
         return np.zeros(len(self._index), dtype=np.float64)
+
+    def _split_scratch(self) -> np.ndarray:
+        """Reusable ``(|V|,)`` row staging the proportional split's moved
+        amounts — store-owned when the backend offers one, policy-owned
+        otherwise — so the object paths stop allocating per interaction."""
+        scratch_row = getattr(self._vectors, "scratch_row", None)
+        if scratch_row is not None:
+            scratch = scratch_row()
+            if len(scratch) == len(self._index):
+                return scratch
+        scratch = self._moved_scratch
+        if scratch is None or len(scratch) != len(self._index):
+            scratch = self._moved_scratch = np.empty(
+                len(self._index), dtype=np.float64
+            )
+        return scratch
+
+    def __getstate__(self):
+        # The scratch row's contents are garbage between splits; dropping it
+        # keeps checkpoints deterministic and lean.
+        state = super().__getstate__()
+        state["_moved_scratch"] = None
+        return state
 
     def _vector(self, vertex: Vertex) -> np.ndarray:
         return self._vectors.get_or_create(vertex, self._zero_vector)
@@ -170,9 +220,10 @@ class ProportionalDensePolicy(SelectionPolicy):
             totals.put(source, 0.0)
             totals.merge(destination, quantity)
         else:
-            # Proportional split (lines 9-10).
+            # Proportional split (lines 9-10); the moved amounts stage in a
+            # reusable scratch row instead of a per-interaction allocation.
             fraction = quantity / source_total
-            moved = source_vector * fraction
+            moved = np.multiply(source_vector, fraction, out=self._split_scratch())
             destination_vector += moved
             source_vector -= moved
             totals.put(source, source_total - quantity)
@@ -195,6 +246,8 @@ class ProportionalDensePolicy(SelectionPolicy):
         totals = self._totals.raw_dict()
         universe = len(index)
         zeros = np.zeros
+        scratch = self._split_scratch()
+        multiply = np.multiply
         if vectors is None or totals is None:
             vector_of = self._vector
             totals_get = self._totals.get
@@ -223,7 +276,7 @@ class ProportionalDensePolicy(SelectionPolicy):
                     totals_merge(destination, quantity)
                 else:
                     fraction = quantity / source_total
-                    moved = source_vector * fraction
+                    moved = multiply(source_vector, fraction, out=scratch)
                     destination_vector += moved
                     source_vector -= moved
                     totals_put(source, source_total - quantity)
@@ -258,7 +311,7 @@ class ProportionalDensePolicy(SelectionPolicy):
                 totals[destination] = totals.get(destination, 0.0) + quantity
             else:
                 fraction = quantity / source_total
-                moved = source_vector * fraction
+                moved = multiply(source_vector, fraction, out=scratch)
                 destination_vector += moved
                 source_vector -= moved
                 totals[source] = source_total - quantity
@@ -291,7 +344,9 @@ class ProportionalDensePolicy(SelectionPolicy):
         )
         index = self._index
         for vertex, vector in self._vectors.raw_dict().items():
-            col.vectors[index[vertex]] = vector
+            position = index[vertex]
+            col.vectors[position] = vector
+            col.addresses[position] = vector.ctypes.data
         for vertex, total in self._totals.raw_dict().items():
             col.totals[index[vertex]] = total
         self._col = col
@@ -310,6 +365,7 @@ class ProportionalDensePolicy(SelectionPolicy):
         if col is None:
             return
         self._col = None
+        col.to_lists()
         # The vector arrays in the store are the very arrays the kernel
         # mutated (live), so only the scalar totals need flushing.  Flushing
         # in ascending position order inserts any new keys as a permutation
@@ -338,30 +394,10 @@ class ProportionalDensePolicy(SelectionPolicy):
             super().process_block(block)
             return
         col = self._ensure_columnar(block.interner)
-        if col.identity:
-            source_positions = block.src_ids
-            destination_positions = block.dst_ids
-        else:
-            id_to_position = col.id_to_position
-            source_positions = id_to_position[block.src_ids]
-            destination_positions = id_to_position[block.dst_ids]
-            unknown = np.flatnonzero(
-                (source_positions < 0) | (destination_positions < 0)
-            )
-            if len(unknown):
-                # Unlike the object path, which raises mid-stream, the block
-                # is validated up front; the reported vertex is the same.
-                row = int(unknown[0])
-                bad_id = int(
-                    block.src_ids[row]
-                    if source_positions[row] < 0
-                    else block.dst_ids[row]
-                )
-                raise UnknownVertexError(
-                    f"vertex {block.interner.vertex_of(bad_id)!r} was not part "
-                    f"of the universe given to reset()"
-                )
+        col.to_lists()
+        source_positions, destination_positions = self._block_positions(col, block)
         vectors = col.vectors
+        addresses = col.addresses
         totals = col.totals
         scratch = col.scratch
         fraction = col.fraction
@@ -380,12 +416,14 @@ class ProportionalDensePolicy(SelectionPolicy):
             if source_vector is None:
                 source_vector = vectors[source] = zeros(universe, dtype=np.float64)
                 raw_vectors[order[source]] = source_vector
+                addresses[source] = source_vector.ctypes.data
             destination_vector = vectors[destination]
             if destination_vector is None:
                 destination_vector = vectors[destination] = zeros(
                     universe, dtype=np.float64
                 )
                 raw_vectors[order[destination]] = destination_vector
+                addresses[destination] = destination_vector.ctypes.data
             source_total = totals[source]
             if source_total == 0.0:
                 # Zero total implies an all-zero vector: the relay's row
@@ -410,6 +448,109 @@ class ProportionalDensePolicy(SelectionPolicy):
                 totals[source] = source_total - quantity
                 totals[destination] += quantity
 
+    def _block_positions(self, col: _ColumnarVectors, block: InteractionBlock):
+        """Translate the block's interner ids into universe positions.
+
+        Identity interners pass through untouched; otherwise the ids are
+        mapped and validated up front (unlike the object path, which raises
+        mid-stream — the reported vertex is the same).
+        """
+        if col.identity:
+            return block.src_ids, block.dst_ids
+        id_to_position = col.id_to_position
+        source_positions = id_to_position[block.src_ids]
+        destination_positions = id_to_position[block.dst_ids]
+        unknown = np.flatnonzero((source_positions < 0) | (destination_positions < 0))
+        if len(unknown):
+            row = int(unknown[0])
+            bad_id = int(
+                block.src_ids[row]
+                if source_positions[row] < 0
+                else block.dst_ids[row]
+            )
+            raise UnknownVertexError(
+                f"vertex {block.interner.vertex_of(bad_id)!r} was not part "
+                f"of the universe given to reset()"
+            )
+        return source_positions, destination_positions
+
+    # ------------------------------------------------------------------
+    # fused execution
+    # ------------------------------------------------------------------
+    def _fused_handle(self):
+        """The compiled whole-run kernel, or ``None`` for the pure path.
+
+        ``None`` also when a subclass ships its own ``process_block``: the
+        compiled loop replicates *this class's* kernel, and bypassing an
+        override would silently change subclass semantics — the fused
+        drive then routes through ``self.process_block`` instead.
+        """
+        if type(self).process_block is not ProportionalDensePolicy.process_block:
+            return None
+        if not self.has_columnar_kernel():
+            return None
+        from repro.core import kernels
+
+        return kernels.get_kernel("proportional-dense")
+
+    def prepare_fused(self, block: Optional[InteractionBlock] = None) -> None:
+        self._fused_handle()
+
+    def fused_backend(self) -> str:
+        if not self.has_columnar_kernel():
+            return "object"
+        handle = self._fused_handle()
+        return "numpy" if handle is None else handle.backend
+
+    def _materialise_vectors(
+        self, col: _ColumnarVectors, src: np.ndarray, dst: np.ndarray
+    ) -> None:
+        """Create every missing endpoint vector, in first-touch order.
+
+        The compiled kernel dereferences raw row pointers, so rows must
+        exist before the call; creating them in interleaved first-appearance
+        order (sources before destinations, row by row) reproduces the
+        vector store's dict insertion order of the per-block loop exactly.
+        """
+        vectors = col.vectors
+        interleaved = np.empty(len(src) * 2, dtype=np.int64)
+        interleaved[0::2] = src
+        interleaved[1::2] = dst
+        unique, first_rows = np.unique(interleaved, return_index=True)
+        raw_vectors = self._vectors.raw_dict()
+        order = self._order
+        universe = len(order)
+        addresses = col.addresses
+        for position in unique[np.argsort(first_rows, kind="stable")].tolist():
+            if vectors[position] is None:
+                vector = np.zeros(universe, dtype=np.float64)
+                vectors[position] = vector
+                raw_vectors[order[position]] = vector
+                addresses[position] = vector.ctypes.data
+
+    def process_run(self, block: InteractionBlock) -> None:
+        """Fused Algorithm 3: the whole clip span in one compiled call.
+
+        Bit-identical to :meth:`process_block` over the same span — the
+        compiled loop replicates its three branches element for element,
+        including the self-loop aliasing behaviour (verified against a
+        pure reference at build time).  Falls back to the per-block kernel
+        when no compiled backend resolved or the stores are not
+        dict-backed.
+        """
+        handle = self._fused_handle()
+        if handle is None:
+            self.process_block(block)
+            return
+        col = self._ensure_columnar(block.interner)
+        source_positions, destination_positions = self._block_positions(col, block)
+        src = np.ascontiguousarray(source_positions, dtype=np.int64)
+        dst = np.ascontiguousarray(destination_positions, dtype=np.int64)
+        quantities = np.ascontiguousarray(block.quantities, dtype=np.float64)
+        self._materialise_vectors(col, src, dst)
+        totals_arr = col.to_arrays()
+        handle.fn(src, dst, quantities, col.addresses, totals_arr, len(self._order))
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -417,7 +558,11 @@ class ProportionalDensePolicy(SelectionPolicy):
         col = self._col
         if col is not None:
             position = self._index.get(vertex)
-            return col.totals[position] if position is not None else 0.0
+            if position is None:
+                return 0.0
+            if col.array_mode:
+                return float(col.totals_arr[position])
+            return col.totals[position]
         return self._totals.get(vertex, 0.0)
 
     def origins(self, vertex: Vertex) -> OriginSet:

@@ -116,6 +116,21 @@ class RunConfig:
         parsed straight into column arrays without ever building
         interaction objects.  Results are bit-identical either way;
         observers and per-interaction runs always use the object path.
+    kernel:
+        How columnar spans are driven (see
+        :func:`repro.core.kernels.get_kernel`).  ``"auto"`` / ``"fused"``
+        (default) hand whole clip spans — bounded only by the exact
+        sample/peak/checkpoint offsets — to
+        :meth:`SelectionPolicy.process_run`, routing hot policies through
+        a compiled kernel (numba when installed, else a cached
+        compiled-C library) with a pure-numpy fused fallback when neither
+        resolves (``REPRO_JIT=0`` forces the fallback); ``"batch"``
+        keeps the fixed-size per-chunk ``process_block`` tier.  Results
+        are bit-identical in every mode; backend compile time is spent
+        before the run timer starts and reported in
+        :attr:`RunResult.kernel_stats`.  ``"fused"`` only differs from
+        ``"auto"`` in intent: it documents that the caller wants the
+        fused tier and rejects ``columnar=False``.
     policy:
         Registry name (``"fifo"``, ``"proportional-sparse"``, ...) or a
         ready :class:`SelectionPolicy` instance.
@@ -209,6 +224,7 @@ class RunConfig:
     resume_from: Optional[Union[str, Path]] = None
     vertex_type: type = str
     columnar: Optional[bool] = None
+    kernel: str = "auto"
     policy: PolicySpec = "fifo"
     policy_options: Dict[str, Any] = field(default_factory=dict)
     store: Union[str, StoreSpec, None] = None
@@ -238,6 +254,15 @@ class RunConfig:
             resolve_store_spec(self.store, options=self.store_options)
         if self.batch_size < 0:
             raise RunConfigurationError(f"batch_size must be >= 0, got {self.batch_size}")
+        if self.kernel not in ("auto", "fused", "batch"):
+            raise RunConfigurationError(
+                f"kernel must be 'auto', 'fused' or 'batch', got {self.kernel!r}"
+            )
+        if self.kernel == "fused" and self.columnar is False:
+            raise RunConfigurationError(
+                "kernel='fused' drives columnar spans; it cannot be combined "
+                "with columnar=False — drop one of the two"
+            )
         if self.sample_every < 0:
             raise RunConfigurationError(f"sample_every must be >= 0, got {self.sample_every}")
         if self.shards < 0:

@@ -140,10 +140,13 @@ class ShardRun:
     #: Store accounting captured inside the shard worker (before any
     #: pickling back to the parent), keyed by state-component role.
     store_stats: Dict[str, StoreStats] = field(default_factory=dict)
+    #: Kernel dispatch report from the shard's engine (mode, backend,
+    #: chunk count, compile seconds); ``None`` for per-interaction runs.
+    kernel_stats: Optional[Dict[str, object]] = None
 
     def timing_row(self) -> Dict[str, object]:
         """Flat per-shard breakdown row used by ``RunResult.to_dict``."""
-        return {
+        row = {
             "shard": self.shard.index,
             "vertices": len(self.shard.vertices),
             "interactions": self.statistics.interactions,
@@ -155,6 +158,9 @@ class ShardRun:
                 role: stats.to_dict() for role, stats in self.store_stats.items()
             },
         }
+        if self.kernel_stats is not None:
+            row["kernel"] = dict(self.kernel_stats)
+        return row
 
 
 def connected_components(network: TemporalInteractionNetwork) -> List[Set[Vertex]]:
@@ -470,6 +476,7 @@ def fork_payload_bytes(
     batch_size: int = 0,
     sample_every: int = 0,
     columnar: Optional[bool] = None,
+    kernel: str = "auto",
 ) -> int:
     """Bytes the pickled process executor ships across the fork boundary.
 
@@ -483,7 +490,7 @@ def fork_payload_bytes(
     return sum(
         len(
             pickle.dumps(
-                (shard, policy, batch_size, sample_every, columnar),
+                (shard, policy, batch_size, sample_every, columnar, kernel),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         )
@@ -492,7 +499,7 @@ def fork_payload_bytes(
 
 
 def _run_one_shard(
-    payload: Tuple[Shard, SelectionPolicy, int, int, Optional[bool]]
+    payload: Tuple[Shard, SelectionPolicy, int, int, Optional[bool], str]
 ) -> ShardRun:
     """Drive one shard's interactions through its own engine.
 
@@ -501,7 +508,7 @@ def _run_one_shard(
     columnar block and the run is batched, the engine is fed the block —
     the shard-level counterpart of the single-engine columnar path.
     """
-    shard, policy, batch_size, sample_every, columnar = payload
+    shard, policy, batch_size, sample_every, columnar, kernel = payload
     engine = ProvenanceEngine(policy)
     policy.reset(shard.universe())
     use_block = (
@@ -515,6 +522,7 @@ def _run_one_shard(
         sample_every=sample_every,
         batch_size=batch_size,
         columnar=columnar,
+        kernel=kernel,
     )
     return ShardRun(
         shard=shard,
@@ -522,6 +530,7 @@ def _run_one_shard(
         statistics=statistics,
         last_time=engine.current_time,
         store_stats=engine.policy.store_stats(),
+        kernel_stats=engine.kernel_stats(),
     )
 
 
@@ -535,6 +544,7 @@ def run_shards(
     max_workers: Optional[int] = None,
     columnar: Optional[bool] = None,
     shared_memory: bool = False,
+    kernel: str = "auto",
 ) -> Tuple[List[ShardRun], RunStatistics]:
     """Run one engine per shard and merge the statistics.
 
@@ -573,6 +583,7 @@ def run_shards(
             batch_size=batch_size,
             sample_every=sample_every,
             max_workers=max_workers,
+            kernel=kernel,
         )
         return runs, merged
     if len(policies) != len(plan.shards):
@@ -581,7 +592,7 @@ def run_shards(
             f"{len(policies)} policies"
         )
     payloads = [
-        (shard, policy, batch_size, sample_every, columnar)
+        (shard, policy, batch_size, sample_every, columnar, kernel)
         for shard, policy in zip(plan.shards, policies)
     ]
     start = _time.perf_counter()

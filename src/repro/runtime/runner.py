@@ -170,6 +170,13 @@ class RunResult:
     #: the run took the object path.  See
     #: :meth:`repro.core.engine.ProvenanceEngine.columnar_stats`.
     columnar_stats: Optional[Dict[str, Any]] = None
+    #: Fused-kernel accounting (drive mode, backend, span/chunk count,
+    #: compile seconds spent outside the timed region); ``None`` when the
+    #: run took the object path.  Sharded runs report the first shard's
+    #: mode/backend with chunk counts summed and compile seconds maxed
+    #: (shards compile concurrently at worst).  See
+    #: :meth:`repro.core.engine.ProvenanceEngine.kernel_stats`.
+    kernel_stats: Optional[Dict[str, Any]] = None
     #: Shared-memory shard-fabric accounting (backend, workers, segment
     #: bytes, exact dispatch bytes, adopted state bytes); ``None`` unless
     #: the run used ``shared_memory=True``.  See :mod:`repro.runtime.shm`.
@@ -323,6 +330,10 @@ class RunResult:
             "columnar": {
                 "enabled": self.columnar_stats is not None,
                 **(self.columnar_stats or {}),
+            },
+            "kernel": {
+                "enabled": self.kernel_stats is not None,
+                **(self.kernel_stats or {}),
             },
         }
 
@@ -483,6 +494,7 @@ class Runner:
             batch_size=config.effective_batch_size,
             checkpoint_every=config.checkpoint_every,
             on_checkpoint=on_checkpoint,
+            kernel=config.kernel,
         )
         memory_bytes: Optional[int] = None
         if config.measure_memory:
@@ -502,6 +514,7 @@ class Runner:
             store_stats=policy.store_stats(),
             scheduler_stats=engine.scheduler_stats(),
             columnar_stats=engine.columnar_stats(),
+            kernel_stats=engine.kernel_stats(),
         )
 
     def _run_single(
@@ -617,6 +630,7 @@ class Runner:
                 checkpoint_every=config.checkpoint_every if checkpoint_in_loop else 0,
                 on_checkpoint=on_checkpoint,
                 columnar=config.columnar,
+                kernel=config.kernel,
             )
         except MemoryBudgetExceededError as error:
             return RunResult(
@@ -631,6 +645,7 @@ class Runner:
                 store_stats=policy.store_stats(),
                 scheduler_stats=engine.scheduler_stats(),
                 columnar_stats=engine.columnar_stats(),
+                kernel_stats=engine.kernel_stats(),
             )
         finally:
             if scheduler is not None and owns_stream:
@@ -665,6 +680,7 @@ class Runner:
                 store_stats=policy.store_stats(),
                 scheduler_stats=engine.scheduler_stats(),
                 columnar_stats=engine.columnar_stats(),
+                kernel_stats=engine.kernel_stats(),
             )
 
         if config.checkpoint_path is not None:
@@ -680,6 +696,7 @@ class Runner:
             store_stats=policy.store_stats(),
             scheduler_stats=engine.scheduler_stats(),
             columnar_stats=engine.columnar_stats(),
+            kernel_stats=engine.kernel_stats(),
         )
 
     def shard_plan(
@@ -740,6 +757,7 @@ class Runner:
                 batch_size=config.effective_batch_size,
                 sample_every=config.sample_every,
                 max_workers=config.max_workers,
+                kernel=config.kernel,
             )
         else:
             runs, statistics = run_shards(
@@ -750,6 +768,7 @@ class Runner:
                 executor=config.shard_executor,
                 max_workers=config.max_workers,
                 columnar=config.columnar,
+                kernel=config.kernel,
             )
 
         memory_bytes: Optional[int] = None
@@ -780,6 +799,7 @@ class Runner:
             memory_bytes=memory_bytes,
             note=note,
             store_stats=merge_store_stats(run.store_stats for run in runs),
+            kernel_stats=_merge_kernel_stats(runs),
             shm_stats=shm_stats,
         )
 
@@ -814,6 +834,25 @@ class Runner:
         # resources; every shard rebuilds fresh stores in its own reset()
         # (spill files included), so shards spill independently.
         return [copy.deepcopy(template) for _ in plan.shards]
+
+
+def _merge_kernel_stats(runs: Iterable[ShardRun]) -> Optional[Dict[str, Any]]:
+    """One representative kernel-stats dict for a sharded run.
+
+    Mode and backend come from the first shard that reports them (shards
+    share the policy/store configuration, so backends agree); chunk counts
+    sum; compile seconds take the max — shards resolve against the same
+    process-wide kernel cache, so at worst one shard paid the compile.
+    """
+    per_shard = [run.kernel_stats for run in runs if run.kernel_stats]
+    if not per_shard:
+        return None
+    return {
+        "mode": per_shard[0]["mode"],
+        "backend": per_shard[0]["backend"],
+        "chunks": sum(stats["chunks"] for stats in per_shard),
+        "compile_seconds": max(stats["compile_seconds"] for stats in per_shard),
+    }
 
 
 def _drain_source(source: InteractionSource, count: int) -> None:

@@ -63,6 +63,22 @@ class DenseNumpyStore(ProvenanceStore):
         #: :meth:`adopt_packed`), this holds the segment lease so the
         #: mapping outlives every row view handed out.
         self._owner: object = None
+        #: Store-owned reusable ``(dimension,)`` scratch row (see
+        #: :meth:`scratch_row`); allocated on first use.
+        self._scratch: Optional[np.ndarray] = None
+
+    def scratch_row(self) -> np.ndarray:
+        """A reusable ``(dimension,)`` float64 scratch row.
+
+        The dense proportional policy stages its per-split moved amounts
+        here instead of allocating a fresh array per interaction.  The
+        contents are garbage between uses; the buffer never aliases a
+        stored row.
+        """
+        scratch = self._scratch
+        if scratch is None:
+            scratch = self._scratch = np.empty(self._dimension, dtype=np.float64)
+        return scratch
 
     @property
     def dimension(self) -> int:
@@ -175,6 +191,7 @@ class DenseNumpyStore(ProvenanceStore):
         self._next_row = 0
         self._base_rows = None
         self._owner = None
+        self._scratch = None
 
     # ------------------------------------------------------------------
     # zero-copy state transfer (shared-memory shard fabric)
@@ -237,6 +254,9 @@ class DenseNumpyStore(ProvenanceStore):
         if state.get("_owner") is not None:
             state["_owner"] = None
             state["_blocks"] = [np.array(block) for block in self._blocks]
+        # The scratch row's contents are garbage between uses; dropping it
+        # keeps checkpoints deterministic and lean.
+        state["_scratch"] = None
         return state
 
     # ------------------------------------------------------------------
