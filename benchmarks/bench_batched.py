@@ -2,11 +2,12 @@
 
 Runs every policy family with a fast path — the no-provenance baseline, the
 dense proportional policy, and the four entry-based policies (lrb/mrb/fifo/
-lifo) — over preset datasets in eight configurations:
+lifo) — over preset datasets in nine configurations:
 
 * ``batch_size=1`` (equivalent to the seed engine loop),
 * the default batched ``process_many`` path,
-* the explicit micro-batch scheduler (the path streaming runs take),
+* the explicit micro-batch scheduler (the path single-consumer streaming
+  runs take),
 * the columnar block path (``columnar=True, kernel="batch"``: interned-id
   arrays driven through ``process_block`` in fixed-size chunks),
 * the fused kernel tier (``columnar=True, kernel="fused"``: whole clip
@@ -20,7 +21,12 @@ lifo) — over preset datasets in eight configurations:
 * mincut-sharded over the same shm fabric (``shard_by="mincut"``: the
   seeded multilevel min-cut partitioner of ``runtime.mincut`` — balanced
   shards, minimal cross-shard interactions; plan build time is reported
-  separately and never inside the timed region).
+  separately and never inside the timed region),
+* partitioned streaming over rolling segment rings
+  (``streaming_shards=STREAM_SHARDS``: interactions are routed to their
+  shard as a stream of micro-batches appended into per-shard segment
+  rings, processed incrementally by the persistent worker pool — the
+  parallel analogue of the single-consumer micro-batch scheduler).
 
 and writes a ``BENCH_batched_throughput.json`` record with interactions per
 second for each plus the speedups — including the bytes each sharded
@@ -62,6 +68,7 @@ from repro.stores import available_store_backends
 CASES = (
     ("noprov", "bitcoin"),
     ("noprov", "taxis"),
+    ("noprov", "flights"),
     ("proportional-dense", "taxis"),
     ("proportional-dense", "flights"),
     ("lrb", "bitcoin"),
@@ -82,6 +89,7 @@ CONFIGURATIONS = (
     "sharded_processes",
     "sharded_shm",
     "sharded_shm_mincut",
+    "streaming_shm",
 )
 
 #: Shards used by the sharded configurations (hash and mincut modes, so
@@ -90,6 +98,19 @@ BENCH_SHARDS = 2
 
 #: Balance cap of the mincut configuration (the library default).
 MINCUT_IMBALANCE_CAP = 1.1
+
+#: Shards of the partitioned-streaming configuration.  Wider than the eager
+#: sharded columns on purpose: segment rings bound each shard's resident
+#: batch memory, so streaming parallelism scales past the point where eager
+#: sharding would duplicate the whole network per fork.
+STREAM_SHARDS = 4
+
+#: Micro-batch capacity of the streaming segment rings.  Deliberately much
+#: larger than the scheduler column's batch size: the scheduler amortises a
+#: Python dispatch loop, while a streaming flush pays one queue round-trip
+#: per micro-batch — ring slots are sized so a whole shard's typical backlog
+#: ships in a handful of flushes.
+STREAM_MICRO_BATCH = 8192
 
 
 def bench_config(network, policy_name: str, store, batch_size: int, configuration: str) -> RunConfig:
@@ -105,6 +126,15 @@ def bench_config(network, policy_name: str, store, batch_size: int, configuratio
             shard_imbalance=MINCUT_IMBALANCE_CAP,
             shard_executor="processes",
             shared_memory=configuration != "sharded_processes",
+        )
+    if configuration == "streaming_shm":
+        return RunConfig(
+            dataset=network,
+            policy=policy_name,
+            store=store,
+            streaming_shards=STREAM_SHARDS,
+            shard_by="hash",
+            micro_batch=STREAM_MICRO_BATCH,
         )
     return RunConfig(
         dataset=network,
@@ -233,6 +263,8 @@ def main() -> int:
         sharded_processes = best["sharded_processes"]
         sharded_shm = best["sharded_shm"]
         sharded_shm_mincut = best["sharded_shm_mincut"]
+        streaming_shm = best["streaming_shm"]
+        streaming_fabric = best_results["streaming_shm"].stream_stats["fabric"]
         hash_quality = partition_quality(best_results["sharded_shm"])
         mincut_quality = partition_quality(best_results["sharded_shm_mincut"])
         interactions = network.num_interactions
@@ -248,6 +280,7 @@ def main() -> int:
             "sharded_processes_seconds": sharded_processes,
             "sharded_shm_seconds": sharded_shm,
             "sharded_shm_mincut_seconds": sharded_shm_mincut,
+            "streaming_shm_seconds": streaming_shm,
             "per_interaction_ips": interactions / per_item if per_item else 0.0,
             "batched_ips": interactions / batched if batched else 0.0,
             "micro_batch_scheduler_ips": interactions / scheduled if scheduled else 0.0,
@@ -260,6 +293,7 @@ def main() -> int:
             "sharded_shm_mincut_ips": (
                 interactions / sharded_shm_mincut if sharded_shm_mincut else 0.0
             ),
+            "streaming_shm_ips": interactions / streaming_shm if streaming_shm else 0.0,
             "speedup": per_item / batched if batched else 0.0,
             "micro_batch_speedup": per_item / scheduled if scheduled else 0.0,
             "columnar_speedup": per_item / columnar if columnar else 0.0,
@@ -276,6 +310,18 @@ def main() -> int:
             "mincut_vs_hash_shm": (
                 sharded_shm / sharded_shm_mincut if sharded_shm_mincut else 0.0
             ),
+            "streaming_shm_shards": STREAM_SHARDS,
+            "streaming_shm_vs_scheduler": (
+                scheduled / streaming_shm if streaming_shm else 0.0
+            ),
+            "streaming_shm_vs_sharded_shm": (
+                sharded_shm / streaming_shm if streaming_shm else 0.0
+            ),
+            "streaming_shm_batches": streaming_fabric["batches"],
+            "streaming_shm_segment_reuses": streaming_fabric["segment_reuses"],
+            "streaming_shm_backpressure_stalls": streaming_fabric[
+                "backpressure_stalls"
+            ],
             "hash_cut_edges": hash_quality["cut_edges"],
             "hash_cut_weight": hash_quality["cut_weight"],
             "hash_imbalance": hash_quality["imbalance"],
@@ -322,6 +368,15 @@ def main() -> int:
             f"{record['mincut_imbalance']:.3f}, straggler "
             f"{hash_straggler:.2f} -> {mincut_straggler:.2f}, plan built in "
             f"{record['mincut_partition_build_seconds']:.3f}s (untimed)"
+        )
+        print(
+            f"{'':20s}    streaming x{STREAM_SHARDS}: "
+            f"{record['streaming_shm_ips']:>10,.0f} ips "
+            f"({record['streaming_shm_vs_scheduler']:.2f}x vs single-consumer "
+            f"scheduler, {record['streaming_shm_vs_sharded_shm']:.2f}x vs eager "
+            f"shm), {record['streaming_shm_batches']} micro-batches, "
+            f"{record['streaming_shm_segment_reuses']} segment reuses, "
+            f"{record['streaming_shm_backpressure_stalls']} stalls"
         )
 
     payload = {
@@ -428,6 +483,20 @@ def main() -> int:
         print(
             "WARNING: shm fabric slower than pickled process pool for:",
             [(r["policy"], r["dataset"]) for r in shm_slower],
+        )
+    # Partitioned streaming routes blocks once and appends columns straight
+    # into segment rings, while the single-consumer scheduler re-packs every
+    # polled batch object by object — streaming should win on noprov, the
+    # policy where packing dominates.  Warn-only: process wall clocks again.
+    streaming_slower = [
+        r for r in records
+        if r["policy"] == "noprov" and r["streaming_shm_vs_scheduler"] < 1.0
+    ]
+    if streaming_slower:
+        print(
+            "WARNING: partitioned streaming slower than the single-consumer "
+            "scheduler on noprov for:",
+            [r["dataset"] for r in streaming_slower],
         )
     # Mincut shards are better balanced and share fewer cross-shard
     # interactions, so end-to-end they should at least match hash shards on

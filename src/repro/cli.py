@@ -215,6 +215,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker count for parallel shard executors",
     )
+    run_parser.add_argument(
+        "--streaming-shards", type=int, default=0,
+        help="partitioned streaming: route the stream to this many vertex "
+        "shards and dispatch micro-batches through rolling shared-memory "
+        "segments into resident worker engines (0: single consumer); "
+        "--shard-by selects the routing (hash, or mincut frozen from a "
+        "warm-up prefix); results are bit-identical to eager sharded runs",
+    )
+    run_parser.add_argument(
+        "--streaming-ring", type=int, default=4,
+        help="reusable shared-memory segments per shard; a shard with every "
+        "slot in flight backpressures the producer (default 4)",
+    )
+    run_parser.add_argument(
+        "--streaming-warmup", type=int, default=None,
+        help="warm-up prefix length used to freeze a min-cut membership for "
+        "source-fed runs with --shard-by mincut (default 4096)",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -279,6 +297,9 @@ def _command_run(args: argparse.Namespace) -> int:
         shard_executor=args.shard_executor,
         shared_memory=args.shared_memory,
         max_workers=args.workers,
+        streaming_shards=args.streaming_shards,
+        streaming_ring=args.streaming_ring,
+        streaming_warmup=args.streaming_warmup,
     )
     result = Runner(config).run()
     statistics = result.statistics
@@ -339,7 +360,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 f"({spill_reads} faults back in)"
             )
         print(line)
-    if result.sharded:
+    if result.sharded and result.partition is not None:
         shard_sizes = ", ".join(
             str(run.statistics.interactions) for run in result.shard_runs
         )
@@ -368,6 +389,20 @@ def _command_run(args: argparse.Namespace) -> int:
                     else ""
                 )
             )
+    if result.stream_stats is not None:
+        stream = result.stream_stats
+        fabric = stream["fabric"]
+        stalls = fabric["backpressure_stalls"]
+        straggler = result.straggler_ratio
+        print(
+            f"partitioned streaming ({stream['routing']} routing): "
+            f"{stream['shards']} shards x ring {fabric['ring']}, "
+            f"{fabric['batches']} micro-batches, "
+            f"{fabric['segment_reuses']} segment reuses, "
+            f"{stalls} backpressure stall{'s' if stalls != 1 else ''}"
+            + (f", {stream['checkpoints']} checkpoints" if stream["checkpoints"] else "")
+            + (f", straggler ratio {straggler:.2f}" if straggler is not None else "")
+        )
     if result.shm_stats is not None:
         fabric = result.shm_stats
         print(

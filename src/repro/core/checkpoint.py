@@ -35,6 +35,9 @@ __all__ = [
     "load_policy",
     "save_engine",
     "load_engine",
+    "engine_from_checkpoint",
+    "read_checkpoint",
+    "save_checkpoint_state",
     "policy_store_snapshot",
     "restore_policy_stores",
 ]
@@ -69,11 +72,18 @@ def load_policy(path: Union[str, Path]) -> SelectionPolicy:
     return policy
 
 
-def save_engine(engine: ProvenanceEngine, path: Union[str, Path]) -> None:
+def save_engine(
+    engine: ProvenanceEngine,
+    path: Union[str, Path],
+    *,
+    source_resume: Union[dict, None] = None,
+) -> None:
     """Serialize an engine (policy state plus stream counters) to ``path``.
 
     Observers are not saved: they usually hold references to callbacks or
-    open resources; re-register them after loading.
+    open resources; re-register them after loading.  ``source_resume``
+    optionally embeds an :meth:`InteractionSource.resume_token` so a resumed
+    run can seek its source instead of replaying the processed prefix.
     """
     path = Path(path)
     state = {
@@ -81,21 +91,57 @@ def save_engine(engine: ProvenanceEngine, path: Union[str, Path]) -> None:
         "interactions_processed": engine.interactions_processed,
         "current_time": engine.current_time,
     }
+    if source_resume is not None:
+        state["source_resume"] = source_resume
     with path.open("wb") as handle:
         pickle.dump(state, handle, protocol=_PROTOCOL)
 
 
-def load_engine(path: Union[str, Path]) -> ProvenanceEngine:
-    """Restore an engine previously saved with :func:`save_engine`."""
+def save_checkpoint_state(state: dict, path: Union[str, Path]) -> None:
+    """Write a raw checkpoint dictionary (read back by :func:`read_checkpoint`).
+
+    The partitioned-streaming manifest writer uses this: its checkpoints
+    carry per-shard engine states, a membership table and a source offset
+    rather than one engine, but share the container format (and protocol)
+    with :func:`save_engine` so :func:`read_checkpoint` reads both.
+    """
+    path = Path(path)
+    with path.open("wb") as handle:
+        pickle.dump(state, handle, protocol=_PROTOCOL)
+
+
+def read_checkpoint(path: Union[str, Path]) -> dict:
+    """The raw checkpoint dictionary stored at ``path``.
+
+    Engine checkpoints carry ``"policy"`` (see :func:`save_engine`);
+    partitioned-streaming checkpoints carry per-shard engine states instead
+    (see :mod:`repro.runtime.runner`).  Both are plain dicts so callers can
+    dispatch on the keys present.
+    """
     path = Path(path)
     with path.open("rb") as handle:
         state = pickle.load(handle)
-    if not isinstance(state, dict) or "policy" not in state:
-        raise TypeError(f"{path} does not contain an engine checkpoint")
+    if not isinstance(state, dict):
+        raise TypeError(f"{path} does not contain a checkpoint dictionary")
+    return state
+
+
+def engine_from_checkpoint(state: dict) -> ProvenanceEngine:
+    """Rebuild an engine from a :func:`read_checkpoint` dictionary."""
+    if "policy" not in state:
+        raise TypeError("checkpoint state does not contain an engine checkpoint")
     engine = ProvenanceEngine(state["policy"])
     engine._interactions_processed = int(state.get("interactions_processed", 0))
     engine._last_time = state.get("current_time")
     return engine
+
+
+def load_engine(path: Union[str, Path]) -> ProvenanceEngine:
+    """Restore an engine previously saved with :func:`save_engine`."""
+    state = read_checkpoint(path)
+    if "policy" not in state:
+        raise TypeError(f"{path} does not contain an engine checkpoint")
+    return engine_from_checkpoint(state)
 
 
 def policy_store_snapshot(policy: SelectionPolicy) -> Dict[str, Dict[Hashable, object]]:

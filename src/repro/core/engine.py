@@ -32,7 +32,12 @@ from repro.policies.base import SelectionPolicy
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sources import MicroBatchScheduler
 
-__all__ = ["ProvenanceEngine", "RunStatistics", "InteractionObserver"]
+__all__ = [
+    "ProvenanceEngine",
+    "EngineStreamRun",
+    "RunStatistics",
+    "InteractionObserver",
+]
 
 #: Rows per kernel invocation on the columnar block path.  Array kernels
 #: amortise their per-slice setup (column ``tolist``, touched updates) over
@@ -657,6 +662,30 @@ class ProvenanceEngine:
         stats.peak_entry_count = max(stats.peak_entry_count, stats.final_entry_count)
         return stats
 
+    def stream_run(
+        self,
+        *,
+        sample_every: int = 0,
+        kernel: str = "auto",
+    ) -> "EngineStreamRun":
+        """Open a resident streaming run fed one columnar batch at a time.
+
+        The engine's drive loops clip at sample/peak/checkpoint offsets
+        measured from the start of each :meth:`run` call; a consumer that
+        calls ``run`` once per arriving micro-batch would therefore restart
+        the sampling and peak-check cadence on every batch.  A
+        :class:`EngineStreamRun` keeps those counters (and the accumulated
+        :class:`RunStatistics`) alive *across* fed batches, so a partitioned
+        streaming worker that stays resident between micro-batches samples
+        at exactly the per-shard positions of one eager whole-shard run.
+        The caller resets the policy (with its universe) before opening.
+        """
+        if kernel not in ("auto", "fused", "batch"):
+            raise ValueError(
+                f"kernel must be 'auto', 'fused' or 'batch', got {kernel!r}"
+            )
+        return EngineStreamRun(self, sample_every=sample_every, kernel=kernel)
+
     def step(self, interaction: Interaction) -> None:
         """Process a single interaction and notify observers."""
         self.policy.process(interaction)
@@ -752,3 +781,123 @@ class ProvenanceEngine:
         here (see :class:`repro.stores.StoreStats`).
         """
         return self.policy.store_stats()
+
+
+class EngineStreamRun:
+    """One logical engine run spread over many fed micro-batches.
+
+    Created by :meth:`ProvenanceEngine.stream_run`.  Each :meth:`feed`
+    processes one columnar :class:`InteractionBlock` through the policy's
+    fused path, clipping internally at the *cumulative* ``sample_every``
+    and geometric peak-check offsets — the positions an eager run over the
+    concatenation of all fed blocks would clip at.  ``elapsed_seconds`` of
+    the final statistics is the accumulated busy time inside :meth:`feed`
+    (the per-shard straggler measure), not wall-clock span of the stream.
+    """
+
+    def __init__(
+        self,
+        engine: ProvenanceEngine,
+        *,
+        sample_every: int = 0,
+        kernel: str = "auto",
+    ) -> None:
+        self._engine = engine
+        self._policy = policy = engine.policy
+        self._sample_every = sample_every
+        fused = kernel != "batch"
+        compile_before = _kernels.compile_seconds()
+        if fused:
+            # Resolve (and compile) any backend before the first batch, the
+            # stream analogue of compiling before the run timer starts.
+            policy.prepare_fused()
+            self._process_block = policy.process_run
+        else:
+            self._process_block = policy.process_block
+        compile_delta = _kernels.compile_seconds() - compile_before
+        self._stats = RunStatistics()
+        self._processed = 0
+        self._next_peak_check = _PEAK_CHECK_START if not sample_every else 0
+        self._busy = 0.0
+        self._finished = False
+        engine._columnar_stats = self._columnar_stats = {
+            "mode": "stream",
+            "interned_vertices": 0,
+            "block_bytes": 0,
+            "kernel": policy.has_columnar_kernel(),
+            "chunk": 0,
+        }
+        engine._kernel_stats = self._kernel_stats = {
+            "mode": "fused" if fused else "batch",
+            "backend": policy.fused_backend() if fused else "batch",
+            "chunks": 0,
+            "compile_seconds": compile_delta,
+        }
+
+    @property
+    def interactions(self) -> int:
+        """Interactions processed by this stream run so far."""
+        return self._processed
+
+    def feed(self, block: InteractionBlock) -> int:
+        """Process one micro-batch; returns its row count.
+
+        Internally slices the batch at the run's cumulative sample and
+        peak-check boundaries, so batch sizing never moves a sampling
+        position.
+        """
+        if self._finished:
+            raise RuntimeError("stream run already finished")
+        engine = self._engine
+        policy = self._policy
+        process_block = self._process_block
+        stats = self._stats
+        sample_every = self._sample_every
+        kernel_stats = self._kernel_stats
+        total = len(block)
+        self._columnar_stats["interned_vertices"] = len(block.interner)
+        self._columnar_stats["block_bytes"] += block.nbytes
+        offset = 0
+        start = _time.perf_counter()
+        while offset < total:
+            size = total - offset
+            if sample_every:
+                size = min(size, sample_every - (self._processed % sample_every))
+            if self._next_peak_check:
+                size = min(size, self._next_peak_check - self._processed)
+            piece = block.slice(offset, offset + size)
+            process_block(piece)
+            kernel_stats["chunks"] += 1
+            offset += size
+            self._processed += size
+            engine._interactions_processed += size
+            engine._last_time = piece.last_time
+            stats.interactions += size
+            if sample_every and self._processed % sample_every == 0:
+                entry_count = policy.entry_count()
+                stats.samples.append(self._processed)
+                stats.sampled_entry_counts.append(entry_count)
+                stats.sampled_elapsed_seconds.append(
+                    self._busy + (_time.perf_counter() - start)
+                )
+                if entry_count > stats.peak_entry_count:
+                    stats.peak_entry_count = entry_count
+            elif self._next_peak_check and self._processed >= self._next_peak_check:
+                entry_count = policy.entry_count()
+                if entry_count > stats.peak_entry_count:
+                    stats.peak_entry_count = entry_count
+                self._next_peak_check *= 2
+        self._busy += _time.perf_counter() - start
+        return total
+
+    def finish(self) -> RunStatistics:
+        """Close the stream run and return its accumulated statistics."""
+        if not self._finished:
+            self._finished = True
+            stats = self._stats
+            stats.elapsed_seconds = self._busy
+            stats.final_entry_count = self._policy.entry_count()
+            stats.peak_entry_count = max(
+                stats.peak_entry_count, stats.final_entry_count
+            )
+        return self._stats

@@ -33,7 +33,17 @@ _CANDIDATE_COMPILERS = ("cc", "gcc", "clang")
 
 #: Strict IEEE semantics: optimise, but never contract a*b+c into an FMA
 #: and never reassociate — the kernels must match Python float for float.
-_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-unsafe-math-optimizations")
+#: ``-ftree-vectorize`` is safe under these rules: the relay/split loops
+#: below are element-wise independent, so SIMD lanes never reorder the
+#: operations *within* an element, only run distinct elements together.
+_CFLAGS = (
+    "-O2",
+    "-fPIC",
+    "-shared",
+    "-ffp-contract=off",
+    "-fno-unsafe-math-optimizations",
+    "-ftree-vectorize",
+)
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -71,7 +81,71 @@ int64_t noprov_run(const int32_t *src, const int32_t *dst, const double *qty,
  * totals the position-indexed buffer totals.  The three branches (zero
  * source shortcut, full relay, proportional split) replicate
  * ProportionalDensePolicy.process_block element for element, including
- * the self-loop aliasing behaviour when source == destination. */
+ * the self-loop aliasing behaviour when source == destination.
+ *
+ * The relay/split inner loops walk the universe in blocked strides of
+ * RELAY_BLOCK with a fully unrolled body, then a scalar tail.  Every
+ * element's arithmetic is independent of every other's and keeps its
+ * exact per-element operation order, so the compiler can keep whole
+ * blocks in SIMD registers while results stay bit-identical to the
+ * scalar loop — including when source == destination aliases the two
+ * vectors (distinct indices never interact within a block). */
+#define RELAY_BLOCK 4
+
+static void relay_add(double *destination_vector, const double *source_vector,
+                      int64_t universe)
+{
+    int64_t j = 0;
+    for (; j + RELAY_BLOCK <= universe; j += RELAY_BLOCK) {
+        destination_vector[j]     += source_vector[j];
+        destination_vector[j + 1] += source_vector[j + 1];
+        destination_vector[j + 2] += source_vector[j + 2];
+        destination_vector[j + 3] += source_vector[j + 3];
+    }
+    for (; j < universe; j++) {
+        destination_vector[j] += source_vector[j];
+    }
+}
+
+static void relay_clear(double *source_vector, int64_t universe)
+{
+    int64_t j = 0;
+    for (; j + RELAY_BLOCK <= universe; j += RELAY_BLOCK) {
+        source_vector[j]     = 0.0;
+        source_vector[j + 1] = 0.0;
+        source_vector[j + 2] = 0.0;
+        source_vector[j + 3] = 0.0;
+    }
+    for (; j < universe; j++) {
+        source_vector[j] = 0.0;
+    }
+}
+
+static void split_move(double *destination_vector, double *source_vector,
+                       double fraction, int64_t universe)
+{
+    int64_t j = 0;
+    for (; j + RELAY_BLOCK <= universe; j += RELAY_BLOCK) {
+        double moved0 = source_vector[j]     * fraction;
+        double moved1 = source_vector[j + 1] * fraction;
+        double moved2 = source_vector[j + 2] * fraction;
+        double moved3 = source_vector[j + 3] * fraction;
+        destination_vector[j]     += moved0;
+        destination_vector[j + 1] += moved1;
+        destination_vector[j + 2] += moved2;
+        destination_vector[j + 3] += moved3;
+        source_vector[j]     -= moved0;
+        source_vector[j + 1] -= moved1;
+        source_vector[j + 2] -= moved2;
+        source_vector[j + 3] -= moved3;
+    }
+    for (; j < universe; j++) {
+        double moved = source_vector[j] * fraction;
+        destination_vector[j] += moved;
+        source_vector[j] -= moved;
+    }
+}
+
 void propdense_run(const int64_t *src, const int64_t *dst, const double *qty,
                    int64_t n, int64_t universe, double **vectors,
                    double *totals)
@@ -89,25 +163,17 @@ void propdense_run(const int64_t *src, const int64_t *dst, const double *qty,
             }
             totals[destination] += quantity;
         } else if (quantity >= source_total) {
-            for (int64_t j = 0; j < universe; j++) {
-                destination_vector[j] += source_vector[j];
-            }
+            relay_add(destination_vector, source_vector, universe);
             double newborn = quantity - source_total;
             if (newborn > 0.0) {
                 destination_vector[source] += newborn;
             }
-            for (int64_t j = 0; j < universe; j++) {
-                source_vector[j] = 0.0;
-            }
+            relay_clear(source_vector, universe);
             totals[source] = 0.0;
             totals[destination] += quantity;
         } else {
             double fraction = quantity / source_total;
-            for (int64_t j = 0; j < universe; j++) {
-                double moved = source_vector[j] * fraction;
-                destination_vector[j] += moved;
-                source_vector[j] -= moved;
-            }
+            split_move(destination_vector, source_vector, fraction, universe);
             totals[source] = source_total - quantity;
             totals[destination] += quantity;
         }

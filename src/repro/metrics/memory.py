@@ -23,49 +23,93 @@ from repro.exceptions import MemoryBudgetExceededError
 __all__ = ["deep_sizeof", "policy_memory_bytes", "MemoryCeiling", "format_bytes"]
 
 
+#: Leaf types whose size is just ``sys.getsizeof``: handled inline in the
+#: container loops below so the million-float provenance dicts never pay a
+#: per-element traversal frame.  ``bool`` is a subclass of ``int`` and
+#: needs no separate entry; subclasses of these fall through to the slow
+#: path, matching the old recursive ``isinstance`` behaviour.
+_SCALAR_TYPES = frozenset(
+    (str, bytes, bytearray, int, float, complex, bool, type(None))
+)
+
+
 def deep_sizeof(obj: Any, *, _seen: Optional[Set[int]] = None) -> int:
-    """Recursively estimate the memory footprint of ``obj`` in bytes.
+    """Estimate the memory footprint of ``obj`` in bytes.
 
     Handles the container types used by the library (dict, list, tuple, set,
     deque, dataclass-like objects with ``__dict__`` or ``__slots__``) and
     numpy arrays (counted by ``nbytes`` plus object overhead).  Shared
-    objects are counted once.
+    containers and arrays are counted once; scalar leaves are sized per
+    reference (deduplicating interned ints or floats would shave noise-level
+    bytes at the cost of an id-set probe for every entry of every store).
+
+    The traversal is an explicit work stack, and containers holding only
+    scalars — provenance stores are overwhelmingly flat ``{vertex: float}``
+    dicts — are sized with C-level ``map``/``sum`` passes instead of a
+    Python-level loop per element.
     """
-    if _seen is None:
-        _seen = set()
-    object_id = id(obj)
-    if object_id in _seen:
-        return 0
-    _seen.add(object_id)
+    seen = _seen if _seen is not None else set()
+    seen_add = seen.add
+    getsizeof = sys.getsizeof
+    scalar_types = _SCALAR_TYPES
+    total = 0
+    stack = [obj]
+    while stack:
+        current = stack.pop()
+        object_id = id(current)
+        if object_id in seen:
+            continue
+        seen_add(object_id)
 
-    if isinstance(obj, np.ndarray):
-        return int(obj.nbytes) + sys.getsizeof(obj, 0)
+        if isinstance(current, np.ndarray):
+            total += int(current.nbytes) + getsizeof(current, 0)
+            continue
 
-    size = sys.getsizeof(obj, 0)
+        total += getsizeof(current, 0)
 
-    if isinstance(obj, dict):
-        for key, value in obj.items():
-            size += deep_sizeof(key, _seen=_seen)
-            size += deep_sizeof(value, _seen=_seen)
-        return size
+        if isinstance(current, dict):
+            values = current.values()
+            if (
+                set(map(type, current)) <= scalar_types
+                and set(map(type, values)) <= scalar_types
+            ):
+                total += sum(map(getsizeof, current)) + sum(map(getsizeof, values))
+            else:
+                for key, value in current.items():
+                    if type(key) in scalar_types:
+                        total += getsizeof(key, 0)
+                    else:
+                        stack.append(key)
+                    if type(value) in scalar_types:
+                        total += getsizeof(value, 0)
+                    else:
+                        stack.append(value)
+            continue
 
-    if isinstance(obj, (list, tuple, set, frozenset, deque)):
-        for item in obj:
-            size += deep_sizeof(item, _seen=_seen)
-        return size
+        if isinstance(current, (list, tuple, set, frozenset, deque)):
+            if set(map(type, current)) <= scalar_types:
+                total += sum(map(getsizeof, current))
+            else:
+                for item in current:
+                    if type(item) in scalar_types:
+                        total += getsizeof(item, 0)
+                    else:
+                        stack.append(item)
+            continue
 
-    if isinstance(obj, (str, bytes, bytearray, int, float, complex, bool)) or obj is None:
-        return size
+        if isinstance(
+            current, (str, bytes, bytearray, int, float, complex, bool)
+        ) or current is None:
+            continue
 
-    # Generic objects: follow __dict__ and __slots__ attributes.
-    obj_dict = getattr(obj, "__dict__", None)
-    if obj_dict is not None:
-        size += deep_sizeof(obj_dict, _seen=_seen)
-    slots = _all_slots(type(obj))
-    for slot in slots:
-        if hasattr(obj, slot):
-            size += deep_sizeof(getattr(obj, slot), _seen=_seen)
-    return size
+        # Generic objects: follow __dict__ and __slots__ attributes.
+        obj_dict = getattr(current, "__dict__", None)
+        if obj_dict is not None:
+            stack.append(obj_dict)
+        for slot in _all_slots(type(current)):
+            if hasattr(current, slot):
+                stack.append(getattr(current, slot))
+    return total
 
 
 def _all_slots(cls: type) -> Iterable[str]:

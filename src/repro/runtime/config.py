@@ -209,6 +209,28 @@ class RunConfig:
         :mod:`repro.runtime.shm`.
     max_workers:
         Worker count for the parallel executors (None: library default).
+    streaming_shards:
+        When > 0, run **partitioned streaming**: interactions are polled
+        (from the dataset, a CSV path or a live ``source=``), routed to
+        this many vertex shards by the
+        :class:`~repro.sources.PartitionedScheduler`, and dispatched as
+        micro-batches through rolling shared-memory segments
+        (:class:`repro.runtime.shm.ShardStreamFabric`) to a persistent
+        worker pool whose engines stay resident across batches.  Results
+        are bit-identical to eager sharded and single-consumer streaming
+        runs.  Mutually exclusive with ``shards``; ``shard_by`` selects
+        the membership (``hash``, ``mincut`` — frozen from a warm-up
+        prefix when there is no network to partition up front — or
+        ``components`` for dataset-backed runs).
+    streaming_ring:
+        Reusable fixed-capacity segments per shard in the stream fabric's
+        ring (default 4).  Each slot holds one in-flight micro-batch;
+        more slots let the parent run further ahead of a slow shard
+        before backpressure stalls it.
+    streaming_warmup:
+        Interactions of a live stream to buffer before freezing a
+        ``mincut`` membership (source-only runs; default 4096).  The
+        warm-up prefix is processed normally afterwards.
     """
 
     dataset: DatasetSource = "taxis"
@@ -246,6 +268,9 @@ class RunConfig:
     shard_executor: str = "serial"
     shared_memory: Optional[bool] = None
     max_workers: Optional[int] = None
+    streaming_shards: int = 0
+    streaming_ring: int = 4
+    streaming_warmup: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.store is not None or self.store_options:
@@ -379,6 +404,54 @@ class RunConfig:
             raise RunConfigurationError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
+        if self.streaming_shards < 0:
+            raise RunConfigurationError(
+                f"streaming_shards must be >= 0, got {self.streaming_shards}"
+            )
+        if self.streaming_ring < 1:
+            raise RunConfigurationError(
+                f"streaming_ring must be >= 1, got {self.streaming_ring}"
+            )
+        if self.streaming_warmup is not None and self.streaming_warmup < 1:
+            raise RunConfigurationError(
+                f"streaming_warmup must be >= 1, got {self.streaming_warmup}"
+            )
+        if self.streaming_shards:
+            if self.shards > 1:
+                raise RunConfigurationError(
+                    "streaming_shards and shards are mutually exclusive: "
+                    "partitioned streaming is already a sharded run"
+                )
+            if self.observers:
+                raise RunConfigurationError(
+                    "observers are per-engine, per-interaction hooks; "
+                    "partitioned streaming runs shard engines in worker "
+                    "processes and cannot fire them"
+                )
+            if self.memory_ceiling_bytes is not None or self.memory_check_every:
+                raise RunConfigurationError(
+                    "memory ceilings are enforced through observers and are "
+                    "not supported with streaming_shards"
+                )
+            if self.shared_memory is not None:
+                raise RunConfigurationError(
+                    "streaming_shards always runs on the shared-memory stream "
+                    "fabric; drop the shared_memory flag"
+                )
+            if self.columnar is False:
+                raise RunConfigurationError(
+                    "partitioned streaming dispatches columnar micro-batches "
+                    "(results stay bit-identical); columnar=False cannot be "
+                    "honoured"
+                )
+            if self.shard_by == "components" and (
+                self.source is not None or self.follow or self.stream
+            ):
+                raise RunConfigurationError(
+                    "shard_by='components' needs the full network up front; "
+                    "live/streamed runs must use 'hash' or 'mincut' (frozen "
+                    "from a warm-up prefix)"
+                )
         if self.shared_memory:
             if self.shards <= 1:
                 raise RunConfigurationError(
@@ -401,6 +474,11 @@ class RunConfig:
     def uses_shared_memory(self) -> bool:
         """Whether sharded execution rides the shared-memory shard fabric."""
         return bool(self.shared_memory) and self.shards > 1
+
+    @property
+    def uses_partitioned_streaming(self) -> bool:
+        """Whether the run is a partitioned streaming run (stream fabric)."""
+        return self.streaming_shards > 0
 
     @property
     def uses_scheduler(self) -> bool:

@@ -62,12 +62,15 @@ __all__ = [
     "PartitionPlan",
     "PartitionStats",
     "ShardRun",
+    "block_universe",
     "connected_components",
     "stable_shard_index",
     "stable_shard_indices",
     "partition_network",
     "attach_shard_blocks",
     "shard_row_positions",
+    "plan_membership",
+    "warmup_membership",
     "fork_payload_bytes",
     "run_shards",
     "merge_statistics",
@@ -99,12 +102,52 @@ class Shard:
         the interactions follow their *source* vertex, so destinations from
         other shards appear too; policies with dense per-vertex state need
         them in their universe.
+
+        The order is the shard's own vertices in registration order, then
+        each remaining vertex at its first appearance (source before
+        destination, row by row).  When the shard carries a block the first
+        appearances come from one vectorised pass over the id columns
+        instead of a per-row Python loop — same tuple either way.
         """
+        if self.block is not None and len(self.block):
+            return block_universe(
+                self.vertices,
+                self.block.src_ids,
+                self.block.dst_ids,
+                self.block.interner.vertices,
+            )
         seen = dict.fromkeys(self.vertices)
         for interaction in self.interactions:
             seen.setdefault(interaction.source)
             seen.setdefault(interaction.destination)
         return tuple(seen)
+
+
+def block_universe(
+    vertices: Sequence[Vertex],
+    src_ids: np.ndarray,
+    dst_ids: np.ndarray,
+    table: Sequence[Vertex],
+) -> Tuple[Vertex, ...]:
+    """First-appearance vertex universe from columnar id rows.
+
+    Reproduces the ``setdefault`` walk of :meth:`Shard.universe` — the given
+    ``vertices`` first, then every other vertex at its first appearance with
+    each row's source before its destination — but finds the first
+    appearances with ``np.unique`` over the interleaved id columns, so the
+    Python-level work is one ``setdefault`` per *distinct* vertex rather
+    than two per row.
+    """
+    rows = len(src_ids)
+    interleaved = np.empty(2 * rows, dtype=np.int64)
+    interleaved[0::2] = src_ids
+    interleaved[1::2] = dst_ids
+    unique_ids, first_positions = np.unique(interleaved, return_index=True)
+    seen = dict.fromkeys(vertices)
+    setdefault = seen.setdefault
+    for vertex_id in unique_ids[np.argsort(first_positions)].tolist():
+        setdefault(table[vertex_id])
+    return tuple(seen)
 
 
 @dataclass
@@ -448,6 +491,47 @@ def shard_row_positions(
     )
     assigned = member_of_id[block.src_ids]
     return [np.flatnonzero(assigned == shard.index) for shard in plan.shards]
+
+
+def plan_membership(plan: PartitionPlan) -> Dict[Vertex, int]:
+    """The frozen vertex -> shard assignment of a partition plan.
+
+    The routing table partitioned *streaming* runs dispatch with: each
+    polled interaction follows its source vertex's plan assignment, so a
+    streamed run routes exactly like the eager sharded run over the same
+    plan.  Vertices the plan never saw fall back to the stable hash at the
+    consumer (:class:`repro.sources.PartitionedScheduler`).
+    """
+    return {
+        vertex: shard.index for shard in plan.shards for vertex in shard.vertices
+    }
+
+
+def warmup_membership(
+    interactions: Sequence[Interaction],
+    num_shards: int,
+    *,
+    mode: str = "mincut",
+    imbalance: float = DEFAULT_IMBALANCE,
+    seed: int = 0,
+) -> Dict[Vertex, int]:
+    """A frozen membership computed from a stream's warm-up prefix.
+
+    Live sources have no network to partition up front; instead the first
+    polled interactions form a temporary network that is partitioned once
+    (min-cut by default), and the resulting assignment is **frozen** for
+    the rest of the stream — vertices first seen later fall back to the
+    stable hash.  The shard *indices* here are plan-local; unlike
+    :func:`partition_network` no pruning/folding is applied beyond what the
+    plan builder already did, so the assignment is exactly the plan's.
+    """
+    network = TemporalInteractionNetwork.from_interactions(
+        interactions, name="stream-warmup"
+    )
+    plan = partition_network(
+        network, num_shards, mode=mode, imbalance=imbalance, seed=seed
+    )
+    return plan_membership(plan)
 
 
 def attach_shard_blocks(

@@ -34,12 +34,22 @@ from __future__ import annotations
 
 import copy
 import json
+import time
 from dataclasses import asdict, dataclass, field
 from itertools import islice
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.checkpoint import load_engine, save_engine
+import numpy as np
+
+from repro.core.blocks import VertexInterner
+from repro.core.checkpoint import (
+    engine_from_checkpoint,
+    load_engine,
+    read_checkpoint,
+    save_checkpoint_state,
+    save_engine,
+)
 from repro.core.engine import ProvenanceEngine, RunStatistics
 from repro.core.interaction import Interaction, Vertex
 from repro.core.network import TemporalInteractionNetwork
@@ -60,21 +70,31 @@ from repro.policies.registry import make_policy
 from repro.runtime.config import RunConfig
 from repro.runtime.partition import (
     PartitionPlan,
+    Shard,
     ShardRun,
     attach_shard_blocks,
     merge_snapshots,
+    merge_statistics,
     partition_network,
+    plan_membership,
     run_shards,
+    shard_row_positions,
+    warmup_membership,
 )
 from repro.sources import (
     CsvTailSource,
     InteractionSource,
     MicroBatchScheduler,
+    PartitionedScheduler,
     SequenceSource,
 )
 from repro.stores import StoreStats, merge_store_stats
 
 __all__ = ["Runner", "RunResult", "run", "build_policy"]
+
+#: Warm-up prefix pulled off a live source to freeze a min-cut membership
+#: when ``streaming_warmup`` is not set explicitly.
+DEFAULT_STREAM_WARMUP = 4096
 
 
 def build_policy(
@@ -181,6 +201,10 @@ class RunResult:
     #: bytes, exact dispatch bytes, adopted state bytes); ``None`` unless
     #: the run used ``shared_memory=True``.  See :mod:`repro.runtime.shm`.
     shm_stats: Optional[Dict[str, Any]] = None
+    #: Partitioned-streaming accounting (routing mode, per-shard batch and
+    #: segment-reuse counts, backpressure stalls, checkpoint barriers);
+    #: ``None`` unless the run used ``streaming_shards``.
+    stream_stats: Optional[Dict[str, Any]] = None
 
     @property
     def sharded(self) -> bool:
@@ -326,6 +350,8 @@ class RunResult:
             "streaming": {
                 "scheduled": self.scheduler_stats is not None,
                 "scheduler": self.scheduler_stats,
+                "partitioned": self.stream_stats is not None,
+                "stream": self.stream_stats,
             },
             "columnar": {
                 "enabled": self.columnar_stats is not None,
@@ -400,6 +426,8 @@ class Runner:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the configured run and return its result."""
+        if self.config.uses_partitioned_streaming:
+            return self._run_partitioned_streaming()
         if self._block_native_ingest():
             return self._run_block_native()
         network, stream = self.resolve_dataset()
@@ -527,9 +555,12 @@ class Runner:
         # Resumed runs restore the whole engine (policy state plus stream
         # offset) from the checkpoint and skip what it already processed.
         resumed: Optional[ProvenanceEngine] = None
+        resume_token: Optional[dict] = None
         skip = 0
         if config.resume_from is not None:
-            resumed = load_engine(config.resume_from)
+            checkpoint_state = read_checkpoint(config.resume_from)
+            resumed = engine_from_checkpoint(checkpoint_state)
+            resume_token = checkpoint_state.get("source_resume")
             skip = resumed.interactions_processed
             policy = resumed.policy
             engine = resumed
@@ -569,11 +600,18 @@ class Runner:
                 ))
 
         scheduler: Optional[MicroBatchScheduler] = None
+        seek_base: Optional[InteractionSource] = None
         if use_scheduler:
             if isinstance(stream, InteractionSource):
                 base = stream
+                seek_base = base
                 if skip:
-                    _drain_source(base, skip)
+                    # Prefer the committed offset: seek the source straight
+                    # to the checkpointed position.  Sources that cannot
+                    # seek (or tokens that no longer resolve) fall back to
+                    # replaying and discarding the processed prefix.
+                    if resume_token is None or not base.seek_resume(resume_token):
+                        _drain_source(base, skip)
             else:
                 iterable = stream if stream is not None else network.interactions
                 if skip:
@@ -600,7 +638,11 @@ class Runner:
             checkpoint_path = Path(config.checkpoint_path)
 
             def on_checkpoint(eng: ProvenanceEngine, _processed: int) -> None:
-                save_engine(eng, checkpoint_path)
+                save_engine(
+                    eng,
+                    checkpoint_path,
+                    source_resume=_source_resume_token(seek_base, eng),
+                )
 
         if network is not None:
             source: Union[TemporalInteractionNetwork, Iterable[Interaction]] = network
@@ -684,7 +726,11 @@ class Runner:
             )
 
         if config.checkpoint_path is not None:
-            save_engine(engine, config.checkpoint_path)
+            save_engine(
+                engine,
+                config.checkpoint_path,
+                source_resume=_source_resume_token(seek_base, engine),
+            )
 
         return RunResult(
             config=config,
@@ -803,6 +849,497 @@ class Runner:
             shm_stats=shm_stats,
         )
 
+    # ------------------------------------------------------------------
+    # partitioned streaming (streaming_shards > 0)
+    # ------------------------------------------------------------------
+    def _run_partitioned_streaming(self) -> RunResult:
+        """Partitioned streaming run over the shared-memory stream fabric.
+
+        Interactions are routed to vertex shards and dispatched as columnar
+        micro-batches through rolling shared-memory segments into resident
+        pool workers (one engine per shard, alive across batches).  Two
+        drivers share the machinery:
+
+        * **dataset-backed** — the network's cached block is routed with one
+          fancy-index per shard and dispatched in capacity-sized slices
+          (no per-interaction Python on the hot path);
+        * **source-fed** — a :class:`~repro.sources.PartitionedScheduler`
+          polls the live source, routes by frozen membership (a min-cut
+          warm-up prefix) or stable hash, and flushes per-shard queues
+          under the usual size/wall-time triggers.
+
+        Either way each shard's engine sees exactly the subsequence an
+        eager sharded run would hand it, with cumulative sample/peak/
+        checkpoint clipping — results are bit-identical.
+        """
+        network, stream = self.resolve_dataset()
+        if network is not None:
+            return self._stream_partitioned_network(network)
+        return self._stream_partitioned_source(stream)
+
+    def _read_partitioned_manifest(self) -> dict:
+        state = read_checkpoint(self.config.resume_from)
+        if state.get("kind") != "partitioned-stream":
+            raise RunConfigurationError(
+                "resume_from checkpoint is a single-engine checkpoint, not a "
+                "partitioned-streaming manifest; drop streaming_shards (or "
+                "re-checkpoint with it) to resume this file"
+            )
+        return state
+
+    def _stream_partitioned_network(self, network: TemporalInteractionNetwork) -> RunResult:
+        from repro.runtime.shm import ShardStreamFabric
+
+        config = self.config
+        capacity = config.effective_micro_batch
+        if config.checkpoint_every and config.checkpoint_path is None:
+            raise RunConfigurationError(
+                "checkpoint_every needs a checkpoint_path to write to"
+            )
+        manifest: Optional[dict] = None
+        skip = 0
+        if config.resume_from is not None:
+            manifest = self._read_partitioned_manifest()
+            skip = int(manifest.get("interactions_processed", 0))
+        block = network.to_block()
+        # The plan is built over the FULL network (no limit clip) so a
+        # resumed run reproduces the original membership regardless of what
+        # limit either invocation used; limits only clip dispatch below.
+        plan = partition_network(
+            network,
+            config.streaming_shards,
+            mode=config.shard_by,
+            block=block,
+            imbalance=config.shard_imbalance,
+            seed=config.partition_seed,
+        )
+        num_shards = len(plan.shards)
+        if manifest is not None:
+            states = manifest.get("shard_states") or []
+            if len(states) != num_shards:
+                raise RunConfigurationError(
+                    f"partitioned manifest has {len(states)} shard states but "
+                    f"the rebuilt plan has {num_shards} shards; resume with "
+                    "the same streaming_shards/shard_by/partition_seed"
+                )
+        total = len(block)
+        if config.limit is not None:
+            total = min(total, skip + max(config.limit, 0))
+        view = block.slice(0, total)
+        positions = shard_row_positions(plan, view)
+        table = block.interner.vertices
+        policies = (
+            None if manifest is not None else self._shard_policies(network, plan)
+        )
+        # Universes derive from the plan alone; build them with it, outside
+        # the timed region (elapsed_seconds covers streaming execution only,
+        # same convention as the eager sharded paths).
+        universes = (
+            None
+            if manifest is not None
+            else [plan_shard.universe() for plan_shard in plan.shards]
+        )
+
+        fabric = ShardStreamFabric(
+            num_shards,
+            capacity=capacity,
+            ring=config.streaming_ring,
+            sample_every=config.sample_every,
+            kernel=config.kernel,
+            max_workers=config.max_workers,
+        )
+        checkpoints = 0
+        wall_start = time.perf_counter()
+        try:
+            if manifest is not None:
+                for shard, state in enumerate(manifest["shard_states"]):
+                    fabric.open(
+                        shard,
+                        state["policy"],
+                        (),
+                        state["table"],
+                        resume={
+                            "interactions_processed": state["interactions_processed"],
+                            "current_time": state["current_time"],
+                        },
+                    )
+            else:
+                for shard, policy in enumerate(policies):
+                    fabric.open(shard, policy, universes[shard], table)
+
+            src_col, dst_col = view.src_ids, view.dst_ids
+            times_col, quantities_col = view.times, view.quantities
+            cursors = [int(np.searchsorted(pos, skip)) for pos in positions]
+            boundaries: List[int] = []
+            if config.checkpoint_every:
+                goal = skip + config.checkpoint_every
+                while goal < total:
+                    boundaries.append(goal)
+                    goal += config.checkpoint_every
+            boundaries.append(total)
+            for goal in boundaries:
+                for shard, pos in enumerate(positions):
+                    end = int(np.searchsorted(pos, goal))
+                    cursor = cursors[shard]
+                    while cursor < end:
+                        upper = min(cursor + capacity, end)
+                        rows = pos[cursor:upper]
+                        fabric.append(
+                            shard,
+                            src_col[rows],
+                            dst_col[rows],
+                            times_col[rows],
+                            quantities_col[rows],
+                            table,
+                        )
+                        cursor = upper
+                    cursors[shard] = cursor
+                if goal < total:
+                    states = fabric.checkpoint_states()
+                    _write_partitioned_manifest(
+                        Path(config.checkpoint_path),
+                        mode="dataset",
+                        num_shards=num_shards,
+                        membership=None,
+                        table=None,
+                        states=states,
+                        processed=goal,
+                    )
+                    checkpoints += 1
+
+            # The timed region matches the in-process convention: it ends
+            # when every interaction has been processed by its shard engine
+            # (the post-append barrier).  Outcome drain — store accounting,
+            # state export, unpickling — is result assembly and is reported
+            # separately as stream_stats["drain_seconds"].
+            fabric.barrier()
+            wall = time.perf_counter() - wall_start
+            final_states: Optional[List[Optional[dict]]] = None
+            if config.checkpoint_path is not None:
+                final_states = fabric.checkpoint_states()
+            outcomes, fabric_stats = fabric.finish()
+            drain_seconds = time.perf_counter() - wall_start - wall
+        except BaseException:
+            fabric.abort()
+            raise
+        if final_states is not None:
+            _write_partitioned_manifest(
+                Path(config.checkpoint_path),
+                mode="dataset",
+                num_shards=num_shards,
+                membership=None,
+                table=None,
+                states=final_states,
+                processed=total,
+            )
+
+        runs = [
+            ShardRun(
+                shard=plan.shards[outcome.shard_index],
+                policy=outcome.policy,
+                statistics=outcome.statistics,
+                last_time=outcome.last_time,
+                store_stats=outcome.store_stats,
+                kernel_stats=outcome.kernel_stats,
+            )
+            for outcome in outcomes
+        ]
+        statistics = merge_statistics(
+            [run.statistics for run in runs], elapsed_seconds=wall
+        )
+        memory_bytes: Optional[int] = None
+        if config.measure_memory:
+            memory_bytes = sum(policy_memory_bytes(run.policy) for run in runs)
+        note = "" if plan.exact else (
+            f"{plan.mode}-sharded run: origin decompositions are approximate "
+            f"for {plan.cross_shard_interactions} cross-shard interactions"
+        )
+        stream_stats = {
+            "mode": "dataset",
+            "routing": plan.mode,
+            "shards": num_shards,
+            "checkpoints": checkpoints,
+            "drain_seconds": drain_seconds,
+            "fabric": fabric_stats,
+        }
+        return RunResult(
+            config=config,
+            statistics=statistics,
+            network=network,
+            shard_runs=runs,
+            partition=plan,
+            memory_bytes=memory_bytes,
+            note=note,
+            store_stats=merge_store_stats(run.store_stats for run in runs),
+            kernel_stats=_merge_kernel_stats(runs),
+            shm_stats=fabric_stats,
+            stream_stats=stream_stats,
+        )
+
+    def _stream_partitioned_source(
+        self, stream: Optional[Iterable[Interaction]]
+    ) -> RunResult:
+        from repro.runtime.shm import ShardStreamFabric
+
+        config = self.config
+        num_shards = config.streaming_shards
+        capacity = config.effective_micro_batch
+        if config.shard_by == "components":
+            # __post_init__ rejects the declared live inputs; a raw
+            # interaction iterable also resolves to a stream.
+            raise RunConfigurationError(
+                "shard_by='components' needs the full network up front; "
+                "live/streamed runs must use 'hash' or 'mincut' (frozen "
+                "from a warm-up prefix)"
+            )
+        if config.checkpoint_every and config.checkpoint_path is None:
+            raise RunConfigurationError(
+                "checkpoint_every needs a checkpoint_path to write to"
+            )
+        manifest: Optional[dict] = None
+        skip = 0
+        if config.resume_from is not None:
+            manifest = self._read_partitioned_manifest()
+            skip = int(manifest.get("interactions_processed", 0))
+            states = manifest.get("shard_states") or []
+            if len(states) != num_shards:
+                raise RunConfigurationError(
+                    f"partitioned manifest has {len(states)} shard states but "
+                    f"streaming_shards={num_shards}; resume with the same "
+                    "shard count"
+                )
+
+        seek_base: Optional[InteractionSource] = None
+        if isinstance(stream, InteractionSource):
+            base = stream
+            seek_base = base
+            if skip:
+                token = manifest.get("source_resume")
+                if token is None or not base.seek_resume(token):
+                    _drain_source(base, skip)
+        else:
+            iterable: Iterable[Interaction] = stream
+            if skip:
+                iterable = islice(iter(iterable), skip, None)
+            base = SequenceSource(iterable, limit=config.limit)
+
+        # Routing: a resumed run reuses the manifest's frozen membership;
+        # a fresh min-cut run freezes one from a warm-up prefix; hash
+        # routing needs no table at all (the scheduler's stable fallback).
+        prefix: List[Interaction] = []
+        if manifest is not None:
+            membership: Dict[Vertex, int] = manifest.get("membership") or {}
+        elif config.shard_by == "mincut":
+            warmup = config.streaming_warmup or DEFAULT_STREAM_WARMUP
+            if config.limit is not None:
+                warmup = min(warmup, config.limit)
+            prefix = list(base.iter_limited(warmup)) if warmup > 0 else []
+            membership = (
+                warmup_membership(
+                    prefix,
+                    num_shards,
+                    imbalance=config.shard_imbalance,
+                    seed=config.partition_seed,
+                )
+                if prefix
+                else {}
+            )
+        else:
+            membership = {}
+
+        scheduler_options: Dict[str, Any] = {}
+        if config.max_in_flight is not None:
+            scheduler_options["max_in_flight"] = config.max_in_flight
+        scheduler = PartitionedScheduler(
+            base,
+            num_shards,
+            membership,
+            micro_batch=capacity,
+            flush_interval=config.flush_interval,
+            **scheduler_options,
+        )
+        if prefix:
+            scheduler.prefeed(prefix)
+
+        cap = config.limit  # run-local pull cap (None = until exhaustion)
+
+        def next_barrier(pulled: int) -> Optional[int]:
+            if not config.checkpoint_every:
+                return cap
+            goal = (pulled // config.checkpoint_every + 1) * config.checkpoint_every
+            return goal if cap is None else min(goal, cap)
+
+        scheduler.max_pull = next_barrier(scheduler.pulled)
+
+        interner = VertexInterner()
+        if manifest is not None and manifest.get("table"):
+            interner.restore(manifest["table"])
+        table = interner.vertices  # live list; grows as the stream interns
+        intern = interner.intern
+
+        owns_stream = (
+            config.source is None
+            and not isinstance(config.dataset, InteractionSource)
+            and isinstance(config.dataset, (str, Path))
+        )
+        fabric = ShardStreamFabric(
+            num_shards,
+            capacity=capacity,
+            ring=config.streaming_ring,
+            sample_every=config.sample_every,
+            kernel=config.kernel,
+            max_workers=config.max_workers,
+        )
+        checkpoints = 0
+        wall_start = time.perf_counter()
+        try:
+            try:
+                if manifest is not None:
+                    for shard, state in enumerate(manifest["shard_states"]):
+                        fabric.open(
+                            shard,
+                            state["policy"],
+                            (),
+                            state["table"],
+                            resume={
+                                "interactions_processed": state["interactions_processed"],
+                                "current_time": state["current_time"],
+                            },
+                        )
+                else:
+                    # Workers unpickle their own copies, so one template is
+                    # safe to send to every shard (mirrors _shard_policies
+                    # without a per-shard universe: live streams reset with
+                    # an empty universe, like the single-consumer path).
+                    template = build_policy(config, None)
+                    for shard in range(num_shards):
+                        fabric.open(shard, template, (), ())
+
+                while True:
+                    flushes = scheduler.next_flushes()
+                    if flushes is None:
+                        if scheduler.source.exhausted or (
+                            cap is not None and scheduler.pulled >= cap
+                        ):
+                            break
+                        # Checkpoint barrier: everything pulled so far has
+                        # been dispatched; sync the shards and write the
+                        # manifest, then raise the cap and keep going.
+                        states = fabric.checkpoint_states()
+                        processed = skip + scheduler.pulled
+                        _write_partitioned_manifest(
+                            Path(config.checkpoint_path),
+                            mode="source",
+                            num_shards=num_shards,
+                            membership=membership,
+                            table=interner.snapshot(),
+                            states=states,
+                            processed=processed,
+                            source=seek_base,
+                        )
+                        checkpoints += 1
+                        scheduler.max_pull = next_barrier(scheduler.pulled)
+                        continue
+                    for flush in flushes:
+                        batch = flush.batch
+                        rows = len(batch)
+                        fabric.append(
+                            flush.shard,
+                            np.fromiter(
+                                (intern(i.source) for i in batch), np.int32, count=rows
+                            ),
+                            np.fromiter(
+                                (intern(i.destination) for i in batch),
+                                np.int32,
+                                count=rows,
+                            ),
+                            np.fromiter(
+                                (i.time for i in batch), np.float64, count=rows
+                            ),
+                            np.fromiter(
+                                (i.quantity for i in batch), np.float64, count=rows
+                            ),
+                            table,
+                        )
+
+                # Same timed-region convention as the dataset path: the wall
+                # ends once every routed interaction has been processed by
+                # its shard engine; outcome drain is result assembly.
+                fabric.barrier()
+                wall = time.perf_counter() - wall_start
+                scheduler_stats = scheduler.stats()
+                final_states: Optional[List[Optional[dict]]] = None
+                if config.checkpoint_path is not None:
+                    final_states = fabric.checkpoint_states()
+                outcomes, fabric_stats = fabric.finish()
+                drain_seconds = time.perf_counter() - wall_start - wall
+            except BaseException:
+                fabric.abort()
+                raise
+        finally:
+            if owns_stream:
+                scheduler.close()
+        if final_states is not None:
+            _write_partitioned_manifest(
+                Path(config.checkpoint_path),
+                mode="source",
+                num_shards=num_shards,
+                membership=membership,
+                table=interner.snapshot(),
+                states=final_states,
+                processed=skip + scheduler.pulled,
+                source=seek_base,
+            )
+
+        shards = [
+            Shard(index=shard, vertices=(), interactions=[])
+            for shard in range(num_shards)
+        ]
+        runs = [
+            ShardRun(
+                shard=shards[outcome.shard_index],
+                policy=outcome.policy,
+                statistics=outcome.statistics,
+                last_time=outcome.last_time,
+                store_stats=outcome.store_stats,
+                kernel_stats=outcome.kernel_stats,
+            )
+            for outcome in outcomes
+        ]
+        statistics = merge_statistics(
+            [run.statistics for run in runs], elapsed_seconds=wall
+        )
+        memory_bytes: Optional[int] = None
+        if config.measure_memory:
+            memory_bytes = sum(policy_memory_bytes(run.policy) for run in runs)
+        note = (
+            "partitioned stream: origin decompositions are approximate for "
+            "vertices with cross-shard traffic"
+            if num_shards > 1
+            else ""
+        )
+        stream_stats = {
+            "mode": "source",
+            "routing": config.shard_by,
+            "shards": num_shards,
+            "checkpoints": checkpoints,
+            "drain_seconds": drain_seconds,
+            "scheduler": scheduler_stats,
+            "fabric": fabric_stats,
+        }
+        return RunResult(
+            config=config,
+            statistics=statistics,
+            shard_runs=runs,
+            memory_bytes=memory_bytes,
+            note=note,
+            store_stats=merge_store_stats(run.store_stats for run in runs),
+            scheduler_stats=scheduler_stats,
+            kernel_stats=_merge_kernel_stats(runs),
+            shm_stats=fabric_stats,
+            stream_stats=stream_stats,
+        )
+
     def _shard_policies(
         self, network: TemporalInteractionNetwork, plan: PartitionPlan
     ) -> List[SelectionPolicy]:
@@ -853,6 +1390,67 @@ def _merge_kernel_stats(runs: Iterable[ShardRun]) -> Optional[Dict[str, Any]]:
         "chunks": sum(stats["chunks"] for stats in per_shard),
         "compile_seconds": max(stats["compile_seconds"] for stats in per_shard),
     }
+
+
+def _write_partitioned_manifest(
+    path: Path,
+    *,
+    mode: str,
+    num_shards: int,
+    membership: Optional[Dict[Vertex, int]],
+    table: Optional[List[Vertex]],
+    states: List[Optional[dict]],
+    processed: int,
+    source: Optional[InteractionSource] = None,
+) -> None:
+    """Write a partitioned-streaming checkpoint manifest.
+
+    The manifest is the sharded counterpart of :func:`save_engine`'s state
+    dict: per-shard engine states (policy, counters, session vertex table)
+    at one consistent global stream offset, plus everything the resume path
+    needs to rebuild routing — the frozen membership and the parent's
+    global vertex table for source-fed runs (dataset runs rebuild both
+    deterministically from the dataset and store ``None``).  A committed
+    source offset rides along when the source can produce one, so resumes
+    seek instead of replaying.
+    """
+    current_time: Optional[float] = None
+    for state in states:
+        if state is None:
+            continue
+        shard_time = state.get("current_time")
+        if shard_time is not None and (current_time is None or shard_time > current_time):
+            current_time = shard_time
+    manifest: Dict[str, Any] = {
+        "kind": "partitioned-stream",
+        "mode": mode,
+        "streaming_shards": num_shards,
+        "interactions_processed": processed,
+        "current_time": current_time,
+        "membership": dict(membership) if membership is not None else None,
+        "table": list(table) if table is not None else None,
+        "shard_states": list(states),
+    }
+    if source is not None:
+        token = source.resume_token(processed, current_time)
+        if token is not None:
+            manifest["source_resume"] = token
+    save_checkpoint_state(manifest, path)
+
+
+def _source_resume_token(
+    base: Optional[InteractionSource], engine: ProvenanceEngine
+) -> Optional[dict]:
+    """The source offset matching the engine's processed count, if committed.
+
+    Only caller-passed sources get tokens: runs over networks/iterables
+    rebuild their stream from the config on resume, where the index skip is
+    already cheap.  ``None`` (source ahead of the engine with the position
+    forgotten, or a non-seekable source) leaves the replay fallback.
+    """
+    if base is None:
+        return None
+    return base.resume_token(engine.interactions_processed, engine.current_time)
 
 
 def _drain_source(source: InteractionSource, count: int) -> None:

@@ -25,7 +25,12 @@ from repro.sources.base import InteractionSource
 from repro.sources.csv_tail import CsvTailSource
 from repro.sources.generator import GeneratorSource
 from repro.sources.merge import MergeSource
-from repro.sources.scheduler import DEFAULT_MAX_IN_FLIGHT_FACTOR, MicroBatchScheduler
+from repro.sources.scheduler import (
+    DEFAULT_MAX_IN_FLIGHT_FACTOR,
+    MicroBatchScheduler,
+    PartitionedScheduler,
+    ShardFlush,
+)
 from repro.sources.sequence import SequenceSource
 
 __all__ = [
@@ -35,5 +40,7 @@ __all__ = [
     "GeneratorSource",
     "MergeSource",
     "MicroBatchScheduler",
+    "PartitionedScheduler",
+    "ShardFlush",
     "DEFAULT_MAX_IN_FLIGHT_FACTOR",
 ]

@@ -104,6 +104,38 @@ class InteractionSource(abc.ABC):
         return interaction
 
     # ------------------------------------------------------------------
+    # offset-committing resume (optional per source)
+    # ------------------------------------------------------------------
+    def resume_token(self, emitted: int, watermark: Optional[float]) -> Optional[dict]:
+        """An opaque token for resuming this stream after ``emitted`` items.
+
+        Checkpoints store the token so a later run can :meth:`seek_resume`
+        a *fresh* source of the same kind straight to the position after
+        the ``emitted``-th interaction instead of replaying and discarding
+        the processed prefix.  ``None`` means the source cannot produce a
+        token for that position (not seekable, or the position has been
+        forgotten) — resume then falls back to the replay-and-skip path.
+        """
+        return None
+
+    def seek_resume(self, token: dict) -> bool:
+        """Restore the read position from a :meth:`resume_token`.
+
+        Must be called on a fresh source before anything was polled.
+        Returns ``False`` when the token is not recognised (the caller
+        falls back to replaying); on success the source's emitted count
+        and watermark are restored from the token.
+        """
+        return False
+
+    def _restore_progress(self, token: dict) -> None:
+        """Adopt the emitted count / watermark recorded in a resume token."""
+        self._emitted = int(token.get("emitted", 0))
+        watermark = token.get("watermark")
+        if watermark is not None:
+            self._watermark = float(watermark)
+
+    # ------------------------------------------------------------------
     # lifecycle / convenience
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import csv
 import time as _time
+from collections import deque
 from pathlib import Path
-from typing import Callable, List, Optional, Union
+from typing import Callable, Deque, List, Optional, Tuple, Union
 
 from repro.core.interaction import Interaction
 from repro.datasets.io import is_header_row, parse_interaction_row
@@ -31,6 +32,12 @@ from repro.exceptions import DatasetError, RunConfigurationError
 from repro.sources.base import InteractionSource
 
 __all__ = ["CsvTailSource"]
+
+#: Upper bound on remembered (emitted-count -> byte offset) pairs.  The ring
+#: only needs to span the gap between two checkpoints; positions that fall
+#: off the front simply make :meth:`CsvTailSource.resume_token` return
+#: ``None`` for them, which degrades to the replay-and-skip resume path.
+_MAX_RESUME_POSITIONS = 1 << 17
 
 
 class CsvTailSource(InteractionSource):
@@ -86,6 +93,11 @@ class CsvTailSource(InteractionSource):
         self._line_number = 0
         self._done = False
         self._last_progress = clock()
+        #: Recent (emitted count, byte offset, line number) triples, one per
+        #: emitted interaction: the byte offset is the file position right
+        #: after that interaction's terminating newline, i.e. where a
+        #: resumed reader should start.
+        self._positions: Deque[Tuple[int, int, int]] = deque()
 
     # ------------------------------------------------------------------
     # file plumbing
@@ -152,6 +164,15 @@ class CsvTailSource(InteractionSource):
                 interaction = self._parse_line(line)
                 if interaction is not None:
                     batch.append(interaction)
+                    # A complete line was just consumed, so no partial bytes
+                    # are buffered: tell() is exactly the resume position
+                    # after this interaction.
+                    positions = self._positions
+                    positions.append(
+                        (self._emitted, self._handle.tell(), self._line_number)
+                    )
+                    if len(positions) > _MAX_RESUME_POSITIONS:
+                        positions.popleft()
         now = self._clock()
         if batch or self._progressed:
             self._progressed = False
@@ -196,6 +217,43 @@ class CsvTailSource(InteractionSource):
     @property
     def exhausted(self) -> bool:
         return self._done
+
+    # ------------------------------------------------------------------
+    # offset-committing resume: the offset is a byte position in the file
+    # ------------------------------------------------------------------
+    def resume_token(self, emitted: int, watermark: Optional[float]) -> Optional[dict]:
+        if emitted <= 0:
+            byte, line = 0, 0
+        else:
+            positions = self._positions
+            # Positions before the requested one can never be asked for
+            # again (checkpoints only move forward) — trim as we look up.
+            while positions and positions[0][0] < emitted:
+                positions.popleft()
+            if not positions or positions[0][0] != emitted:
+                return None
+            _, byte, line = positions[0]
+        return {
+            "kind": "csv-tail",
+            "byte": int(byte),
+            "line": int(line),
+            "emitted": int(emitted),
+            "watermark": watermark,
+        }
+
+    def seek_resume(self, token: dict) -> bool:
+        if not isinstance(token, dict) or token.get("kind") != "csv-tail":
+            return False
+        if self._done or self.interactions_emitted:
+            return False
+        if not self._ensure_handle():
+            return False
+        self._handle.seek(int(token.get("byte", 0)))
+        self._line_number = int(token.get("line", 0))
+        self._partial = ""
+        self._restore_progress(token)
+        self._last_progress = self._clock()
+        return True
 
     def close(self) -> None:
         self._finish()

@@ -39,6 +39,13 @@ class GeneratorSource(InteractionSource):
         spell.  Defaults to one second's worth of tokens (min 1).
     clock:
         Monotonic time function; injectable for deterministic tests.
+    max_wait:
+        Longest single sleep :meth:`poll` takes while waiting for the bucket
+        to refill.  Bounds the caller's latency when the rate is tiny; the
+        scheduler's own poll loop covers the remainder of the wait.
+    sleep:
+        Sleep function used while waiting on an empty bucket; injectable for
+        deterministic tests.
     """
 
     def __init__(
@@ -48,16 +55,22 @@ class GeneratorSource(InteractionSource):
         rate: Optional[float] = None,
         burst: Optional[int] = None,
         clock: Callable[[], float] = _time.monotonic,
+        max_wait: float = 0.5,
+        sleep: Callable[[float], None] = _time.sleep,
     ) -> None:
         super().__init__()
         if rate is not None and rate <= 0:
             raise RunConfigurationError(f"rate must be positive, got {rate!r}")
         if burst is not None and burst < 1:
             raise RunConfigurationError(f"burst must be >= 1, got {burst!r}")
+        if max_wait < 0:
+            raise RunConfigurationError(f"max_wait must be >= 0, got {max_wait!r}")
         self._iterator = iter(interactions)
         self._rate = rate
         self._burst = burst if burst is not None else max(1, int(rate)) if rate else 1
         self._clock = clock
+        self._max_wait = max_wait
+        self._sleep = sleep
         self._tokens = float(self._burst)
         self._last_refill = clock()
         self._done = False
@@ -79,7 +92,17 @@ class GeneratorSource(InteractionSource):
         allowance = self._allowance()
         size = max_items if allowance < 0 else min(max_items, allowance)
         if size <= 0:
-            return []
+            # Empty bucket: sleep until the next whole token accrues instead
+            # of returning [] immediately, which would make the scheduler
+            # hot-spin its poll loop against a deterministic refill instant.
+            # The wait is capped so a tiny rate cannot wedge the caller, and
+            # whatever accrued during the sleep is released in this call.
+            wait = min((1.0 - self._tokens) / self._rate, self._max_wait)
+            if wait > 0:
+                self._sleep(wait)
+            size = min(max_items, self._allowance())
+            if size <= 0:
+                return []
         batch = list(islice(self._iterator, size))
         if len(batch) < size:
             self._done = True

@@ -36,14 +36,19 @@ from __future__ import annotations
 
 import time as _time
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.blocks import InteractionBlock, VertexInterner
-from repro.core.interaction import Interaction
+from repro.core.interaction import Interaction, Vertex
 from repro.exceptions import RunConfigurationError
 from repro.sources.base import InteractionSource
 
-__all__ = ["MicroBatchScheduler", "DEFAULT_MAX_IN_FLIGHT_FACTOR"]
+__all__ = [
+    "MicroBatchScheduler",
+    "PartitionedScheduler",
+    "ShardFlush",
+    "DEFAULT_MAX_IN_FLIGHT_FACTOR",
+]
 
 #: Default bound on pending interactions, as a multiple of ``micro_batch``.
 DEFAULT_MAX_IN_FLIGHT_FACTOR = 4
@@ -297,4 +302,342 @@ class MicroBatchScheduler:
 
     def close(self) -> None:
         self._pending.clear()
+        self.source.close()
+
+
+class ShardFlush:
+    """One flushed micro-batch, addressed to a shard.
+
+    A tiny record rather than a dataclass: flushes are on the partitioned
+    hot path and ``__slots__`` keeps them allocation-cheap.
+    """
+
+    __slots__ = ("shard", "batch", "trigger")
+
+    def __init__(self, shard: int, batch: List[Interaction], trigger: str) -> None:
+        self.shard = shard
+        self.batch = batch
+        self.trigger = trigger
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardFlush(shard={self.shard}, n={len(self.batch)}, {self.trigger!r})"
+
+
+class PartitionedScheduler:
+    """Micro-batch scheduling fanned out over vertex shards.
+
+    The partitioned sibling of :class:`MicroBatchScheduler`: interactions
+    are polled from one source, routed to their shard by *source vertex*
+    (the same routing rule as :func:`repro.runtime.partition.partition_network`),
+    and buffered in one pending queue per shard.  Each shard flushes
+    independently under the same triggers as the single-consumer scheduler
+    — size, wall time, event-time span, end of stream — so a slow shard
+    never delays a busy one, while the **global** ``max_in_flight`` bound
+    keeps total read-ahead identical to the unpartitioned scheduler.
+
+    ``membership`` is either a mapping ``{vertex: shard}`` (a frozen
+    partition plan assignment) or a callable ``vertex -> shard``; vertices
+    absent from a mapping fall back to the stable hash, so live streams may
+    introduce vertices the plan never saw.  Routing is memoised per vertex
+    — after first sight a vertex costs one dict hit, the object-stream
+    analogue of the vectorised ``stable_shard_indices`` fancy-index.
+
+    Equivalence: per shard, the flushed batches concatenate to exactly the
+    subsequence of the stream whose source vertices map to that shard, in
+    stream order — the partitioned run processes what an eager sharded run
+    (:func:`repro.runtime.partition.partition_network`) would hand the same
+    shard.
+    """
+
+    def __init__(
+        self,
+        source: InteractionSource,
+        num_shards: int,
+        membership,
+        *,
+        micro_batch: int = 256,
+        max_in_flight: Optional[int] = None,
+        flush_interval: Optional[float] = None,
+        event_time_window: Optional[float] = None,
+        max_pull: Optional[int] = None,
+        poll_interval: float = 0.01,
+        clock: Callable[[], float] = _time.monotonic,
+        sleep: Callable[[float], None] = _time.sleep,
+    ) -> None:
+        if num_shards < 1:
+            raise RunConfigurationError(f"num_shards must be >= 1, got {num_shards!r}")
+        if micro_batch < 1:
+            raise RunConfigurationError(f"micro_batch must be >= 1, got {micro_batch!r}")
+        if max_in_flight is None:
+            max_in_flight = micro_batch * DEFAULT_MAX_IN_FLIGHT_FACTOR * num_shards
+        if max_in_flight < micro_batch:
+            raise RunConfigurationError(
+                f"max_in_flight ({max_in_flight}) must be >= micro_batch "
+                f"({micro_batch}) or no full batch could ever accumulate"
+            )
+        if flush_interval is not None and flush_interval <= 0:
+            raise RunConfigurationError(
+                f"flush_interval must be positive, got {flush_interval!r}"
+            )
+        if event_time_window is not None and event_time_window <= 0:
+            raise RunConfigurationError(
+                f"event_time_window must be positive, got {event_time_window!r}"
+            )
+        if max_pull is not None and max_pull < 0:
+            raise RunConfigurationError(f"max_pull must be >= 0, got {max_pull!r}")
+        from repro.runtime.partition import stable_shard_index
+
+        if callable(membership):
+            fallback = membership
+        elif isinstance(membership, Mapping):
+            table = membership
+
+            def fallback(vertex: Vertex, _table=table) -> int:
+                shard = _table.get(vertex)
+                if shard is None:
+                    shard = stable_shard_index(vertex, num_shards)
+                return shard
+
+        else:
+            raise RunConfigurationError(
+                "membership must be a mapping {vertex: shard} or a callable "
+                f"vertex -> shard, got {type(membership).__name__}"
+            )
+        self._fallback = fallback
+        #: Memoised vertex -> shard routing table (grows with the stream).
+        self._route_cache: Dict[Vertex, int] = (
+            dict(membership) if isinstance(membership, Mapping) else {}
+        )
+        self.max_pull = max_pull
+        self._pulled = 0
+        self.source = source
+        self.num_shards = num_shards
+        self.micro_batch = micro_batch
+        self.max_in_flight = max_in_flight
+        self.flush_interval = flush_interval
+        self.event_time_window = event_time_window
+        self.poll_interval = poll_interval
+        self._clock = clock
+        self._sleep = sleep
+        self._pending: List[Deque[Interaction]] = [deque() for _ in range(num_shards)]
+        self._total_pending = 0
+        self._oldest_arrival: List[Optional[float]] = [None] * num_shards
+        self._flushes: Dict[str, int] = {
+            "size": 0, "timer": 0, "window": 0, "final": 0, "barrier": 0,
+        }
+        self._batches = 0
+        self._interactions = 0
+        self._shard_batches = [0] * num_shards
+        self._shard_interactions = [0] * num_shards
+        self._peak_pending = 0
+        self._waits = 0
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, vertex: Vertex) -> int:
+        """The shard a given source vertex is assigned to."""
+        cache = self._route_cache
+        shard = cache.get(vertex)
+        if shard is None:
+            shard = int(self._fallback(vertex))
+            if not 0 <= shard < self.num_shards:
+                raise RunConfigurationError(
+                    f"membership routed {vertex!r} to shard {shard}, outside "
+                    f"[0, {self.num_shards})"
+                )
+            cache[vertex] = shard
+        return shard
+
+    def prefeed(self, interactions: List[Interaction]) -> None:
+        """Route already-consumed interactions (a warm-up prefix) first.
+
+        A frozen min-cut membership is computed from a prefix the caller has
+        already pulled off the source; those interactions still have to be
+        processed, ahead of anything polled later.  They enter the pending
+        queues directly (they are already consumed — the in-flight bound
+        governs *read-ahead*, not replay of a prefix the caller holds).
+        """
+        now = self._clock()
+        for interaction in interactions:
+            shard = self.route(interaction.source)
+            if self._oldest_arrival[shard] is None:
+                self._oldest_arrival[shard] = now
+            self._pending[shard].append(interaction)
+        self._total_pending += len(interactions)
+        self._pulled += len(interactions)
+        if self._total_pending > self._peak_pending:
+            self._peak_pending = self._total_pending
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def _pull(self) -> int:
+        room = self.max_in_flight - self._total_pending
+        if self.max_pull is not None:
+            room = min(room, self.max_pull - self._pulled)
+        if room <= 0 or self.source.exhausted:
+            return 0
+        got = self.source.poll(room)
+        if got:
+            self._pulled += len(got)
+            now = self._clock()
+            route = self.route
+            pending = self._pending
+            oldest = self._oldest_arrival
+            for interaction in got:
+                shard = route(interaction.source)
+                if oldest[shard] is None:
+                    oldest[shard] = now
+                pending[shard].append(interaction)
+            self._total_pending += len(got)
+            if self._total_pending > self._peak_pending:
+                self._peak_pending = self._total_pending
+        return len(got)
+
+    def _input_done(self) -> bool:
+        if self.source.exhausted:
+            return True
+        return self.max_pull is not None and self._pulled >= self.max_pull
+
+    def _flush(self, shard: int, size: int, trigger: str) -> ShardFlush:
+        pending = self._pending[shard]
+        size = min(size, len(pending))
+        batch = [pending.popleft() for _ in range(size)]
+        self._total_pending -= len(batch)
+        if not pending:
+            self._oldest_arrival[shard] = None
+        self._flushes[trigger] += 1
+        self._batches += 1
+        self._interactions += len(batch)
+        self._shard_batches[shard] += 1
+        self._shard_interactions[shard] += len(batch)
+        return ShardFlush(shard, batch, trigger)
+
+    def _window_prefix(self, shard: int, limit: int) -> int:
+        pending = self._pending[shard]
+        horizon = pending[0].time + self.event_time_window
+        count = 0
+        for interaction in pending:
+            if count >= limit or interaction.time > horizon:
+                break
+            count += 1
+        return max(count, 1)
+
+    def _ready_flushes(self) -> List[ShardFlush]:
+        """All flushes whose size/window trigger fires right now."""
+        windowed = self.event_time_window is not None
+        target = self.micro_batch
+        ready: List[ShardFlush] = []
+        for shard in range(self.num_shards):
+            pending = self._pending[shard]
+            while len(pending) >= target:
+                if windowed:
+                    prefix = self._window_prefix(shard, target)
+                    if prefix < target:
+                        ready.append(self._flush(shard, prefix, "window"))
+                        continue
+                ready.append(self._flush(shard, target, "size"))
+            if (
+                windowed
+                and len(pending) >= 2
+                and pending[-1].time - pending[0].time > self.event_time_window
+            ):
+                ready.append(self._flush(shard, self._window_prefix(shard, target), "window"))
+        return ready
+
+    def _drain_flushes(self, trigger: str) -> List[ShardFlush]:
+        """Flush every pending queue down to empty (end of stream/barrier)."""
+        drained: List[ShardFlush] = []
+        for shard in range(self.num_shards):
+            while self._pending[shard]:
+                drained.append(self._flush(shard, self.micro_batch, trigger))
+        return drained
+
+    def _timer_flushes(self) -> List[ShardFlush]:
+        if self.flush_interval is None:
+            return []
+        now = self._clock()
+        fired: List[ShardFlush] = []
+        for shard in range(self.num_shards):
+            oldest = self._oldest_arrival[shard]
+            if (
+                oldest is not None
+                and self._pending[shard]
+                and now - oldest >= self.flush_interval
+            ):
+                fired.append(self._flush(shard, self.micro_batch, "timer"))
+        return fired
+
+    def next_flushes(self) -> Optional[List[ShardFlush]]:
+        """The next group of per-shard micro-batches, or ``None`` at the end.
+
+        Each call returns at least one :class:`ShardFlush` (possibly several,
+        across shards or even for one busy shard) or ``None`` once the
+        stream is finished and every queue is drained.  Within one shard the
+        flushed batches preserve stream order; the caller dispatches them in
+        list order.  When ``max_pull`` caps consumption before the source
+        exhausts (a checkpoint barrier), the drain is tagged ``"barrier"``
+        and the scheduler can keep going after the cap is raised.
+        """
+        while True:
+            ready = self._ready_flushes()
+            if ready:
+                return ready
+            if self._input_done():
+                if self._total_pending:
+                    trigger = "final" if self.source.exhausted else "barrier"
+                    return self._drain_flushes(trigger)
+                if self.source.exhausted:
+                    return None
+                if self.max_pull is not None and self._pulled >= self.max_pull:
+                    return None  # barrier reached; caller raises max_pull
+            if self._pull():
+                continue
+            fired = self._timer_flushes()
+            if fired:
+                return fired
+            if self._input_done():
+                continue  # drain on the next iteration
+            self._waits += 1
+            self._sleep(self.poll_interval)
+
+    # ------------------------------------------------------------------
+    # accounting / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Interactions currently buffered across all shard queues."""
+        return self._total_pending
+
+    @property
+    def pulled(self) -> int:
+        return self._pulled
+
+    def stats(self) -> Dict[str, object]:
+        """Scheduler accounting for run reports and the bench record."""
+        return {
+            "shards": self.num_shards,
+            "micro_batch": self.micro_batch,
+            "max_in_flight": self.max_in_flight,
+            "batches": self._batches,
+            "interactions": self._interactions,
+            "peak_in_flight": self._peak_pending,
+            "waits": self._waits,
+            "flushes": dict(self._flushes),
+            "watermark": self.source.watermark,
+            "per_shard": [
+                {
+                    "shard": shard,
+                    "batches": self._shard_batches[shard],
+                    "interactions": self._shard_interactions[shard],
+                }
+                for shard in range(self.num_shards)
+            ],
+        }
+
+    def close(self) -> None:
+        for pending in self._pending:
+            pending.clear()
+        self._total_pending = 0
         self.source.close()

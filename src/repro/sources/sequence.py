@@ -10,6 +10,7 @@ so schedulers never wait on it.
 
 from __future__ import annotations
 
+from collections import deque
 from itertools import islice
 from typing import Iterable, List, Optional
 
@@ -65,6 +66,30 @@ class SequenceSource(InteractionSource):
     @property
     def exhausted(self) -> bool:
         return self._done
+
+    # ------------------------------------------------------------------
+    # offset-committing resume: the offset is simply the item index
+    # ------------------------------------------------------------------
+    def resume_token(self, emitted: int, watermark: Optional[float]) -> Optional[dict]:
+        return {
+            "kind": "sequence",
+            "index": int(emitted),
+            "emitted": int(emitted),
+            "watermark": watermark,
+        }
+
+    def seek_resume(self, token: dict) -> bool:
+        if not isinstance(token, dict) or token.get("kind") != "sequence":
+            return False
+        if self._done or self.interactions_emitted:
+            return False
+        index = max(int(token.get("index", 0)), 0)
+        # Fast-forward the iterator without materialising the prefix: for
+        # in-memory sequences this is a C-speed skip, for lazy iterables it
+        # still avoids re-validating/re-boxing the processed interactions.
+        deque(islice(self._iterator, index), maxlen=0)
+        self._restore_progress(token)
+        return True
 
     def close(self) -> None:
         self._done = True
