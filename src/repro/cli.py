@@ -233,6 +233,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm-up prefix length used to freeze a min-cut membership for "
         "source-fed runs with --shard-by mincut (default 4096)",
     )
+    run_parser.add_argument(
+        "--max-task-retries", type=int, default=1,
+        help="worker respawns per shard before the shard is quarantined "
+        "(shared-memory and partitioned-streaming runs; 0 disables "
+        "self-healing, default 1)",
+    )
+    run_parser.add_argument(
+        "--retry-backoff", type=float, default=0.05,
+        help="base seconds of the exponential backoff between a worker "
+        "crash and the shard's re-dispatch (default 0.05)",
+    )
+    run_parser.add_argument(
+        "--degradation", choices=("auto", "off"), default="auto",
+        help="'auto' falls back to slower executors when the shared-memory "
+        "fabric cannot run (segment allocation failure, respawn storm): "
+        "pickled processes, then serial; 'off' raises instead",
+    )
+    run_parser.add_argument(
+        "--on-bad-row", choices=("raise", "skip"), default="raise",
+        help="malformed rows in a tailed CSV (--follow): 'raise' aborts the "
+        "run (default), 'skip' drops the row, counts it and keeps tailing",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -300,6 +322,10 @@ def _command_run(args: argparse.Namespace) -> int:
         streaming_shards=args.streaming_shards,
         streaming_ring=args.streaming_ring,
         streaming_warmup=args.streaming_warmup,
+        max_task_retries=args.max_task_retries,
+        retry_backoff=args.retry_backoff,
+        degradation=args.degradation,
+        on_bad_row=args.on_bad_row,
     )
     result = Runner(config).run()
     statistics = result.statistics
@@ -418,6 +444,23 @@ def _command_run(args: argparse.Namespace) -> int:
                 else ""
             )
         )
+    if result.fault_stats is not None:
+        faults = result.fault_stats
+        parts = []
+        if faults.get("respawns"):
+            parts.append(f"{faults['respawns']} worker respawn(s)")
+        if faults.get("retries"):
+            parts.append(f"{faults['retries']} task retr{'y' if faults['retries'] == 1 else 'ies'}")
+        if faults.get("replayed_batches"):
+            parts.append(f"{faults['replayed_batches']} batches replayed")
+        if faults.get("recovery_seconds"):
+            parts.append(f"recovery {faults['recovery_seconds']:.3f}s")
+        for rung in faults.get("degradations", ()):
+            parts.append(f"degraded {rung['from']} -> {rung['to']} ({rung['reason']})")
+        if faults.get("bad_rows"):
+            parts.append(f"{faults['bad_rows']} malformed row(s) skipped")
+        if parts:
+            print("self-healing: " + ", ".join(parts))
     rows = []
     for vertex, total in result.top_buffers(args.top):
         origins = result.origins(vertex)

@@ -23,11 +23,13 @@ policy's state from one store backend to another.
 
 from __future__ import annotations
 
+import os
 import pickle
 from pathlib import Path
 from typing import Dict, Hashable, Mapping, Union
 
 from repro.core.engine import ProvenanceEngine
+from repro.exceptions import CheckpointCorruptedError
 from repro.policies.base import SelectionPolicy
 
 __all__ = [
@@ -47,11 +49,59 @@ __all__ = [
 _PROTOCOL = 4
 
 
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically: temp file, fsync, rename.
+
+    A crash at any point leaves either the previous checkpoint intact or a
+    stray ``.tmp`` sibling — never a truncated checkpoint under the real
+    name.  The temp file lives in the destination directory so the final
+    ``os.replace`` stays on one filesystem.
+    """
+    from repro.runtime import faults
+
+    torn = faults.torn_checkpoint_bytes(payload)
+    if torn is not None:
+        # Injected fault: leave exactly the torn file a non-atomic writer
+        # would have produced, so the read path's corruption handling is
+        # exercised against the real failure artifact.
+        path.write_bytes(torn)
+        return
+    tmp_path = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with tmp_path.open("wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            tmp_path.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def _load_pickle(path: Path) -> object:
+    """Unpickle ``path``, mapping truncation/garbage to a clear error."""
+    try:
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+    except (
+        EOFError,
+        pickle.UnpicklingError,
+        AttributeError,
+        ImportError,
+        IndexError,
+        ValueError,
+    ) as error:
+        raise CheckpointCorruptedError(
+            path, f"{type(error).__name__}: {error}"
+        ) from error
+
+
 def save_policy(policy: SelectionPolicy, path: Union[str, Path]) -> None:
-    """Serialize a policy's full state to ``path``."""
-    path = Path(path)
-    with path.open("wb") as handle:
-        pickle.dump(policy, handle, protocol=_PROTOCOL)
+    """Serialize a policy's full state to ``path`` (atomically)."""
+    _atomic_write(Path(path), pickle.dumps(policy, protocol=_PROTOCOL))
 
 
 def load_policy(path: Union[str, Path]) -> SelectionPolicy:
@@ -61,10 +111,11 @@ def load_policy(path: Union[str, Path]) -> SelectionPolicy:
     ------
     TypeError
         If the file does not contain a :class:`SelectionPolicy`.
+    CheckpointCorruptedError
+        If the file is truncated or not a pickle.
     """
     path = Path(path)
-    with path.open("rb") as handle:
-        policy = pickle.load(handle)
+    policy = _load_pickle(path)
     if not isinstance(policy, SelectionPolicy):
         raise TypeError(
             f"{path} does not contain a SelectionPolicy (got {type(policy).__name__})"
@@ -85,16 +136,10 @@ def save_engine(
     optionally embeds an :meth:`InteractionSource.resume_token` so a resumed
     run can seek its source instead of replaying the processed prefix.
     """
-    path = Path(path)
-    state = {
-        "policy": engine.policy,
-        "interactions_processed": engine.interactions_processed,
-        "current_time": engine.current_time,
-    }
+    state = engine.checkpoint_state()
     if source_resume is not None:
         state["source_resume"] = source_resume
-    with path.open("wb") as handle:
-        pickle.dump(state, handle, protocol=_PROTOCOL)
+    _atomic_write(Path(path), pickle.dumps(state, protocol=_PROTOCOL))
 
 
 def save_checkpoint_state(state: dict, path: Union[str, Path]) -> None:
@@ -105,9 +150,7 @@ def save_checkpoint_state(state: dict, path: Union[str, Path]) -> None:
     rather than one engine, but share the container format (and protocol)
     with :func:`save_engine` so :func:`read_checkpoint` reads both.
     """
-    path = Path(path)
-    with path.open("wb") as handle:
-        pickle.dump(state, handle, protocol=_PROTOCOL)
+    _atomic_write(Path(path), pickle.dumps(state, protocol=_PROTOCOL))
 
 
 def read_checkpoint(path: Union[str, Path]) -> dict:
@@ -117,10 +160,13 @@ def read_checkpoint(path: Union[str, Path]) -> dict:
     partitioned-streaming checkpoints carry per-shard engine states instead
     (see :mod:`repro.runtime.runner`).  Both are plain dicts so callers can
     dispatch on the keys present.
+
+    Raises :class:`~repro.exceptions.CheckpointCorruptedError` — with the
+    path and a hint to re-run without ``--resume-from`` — when the file is
+    truncated or unpicklable, instead of a raw ``EOFError``.
     """
     path = Path(path)
-    with path.open("rb") as handle:
-        state = pickle.load(handle)
+    state = _load_pickle(path)
     if not isinstance(state, dict):
         raise TypeError(f"{path} does not contain a checkpoint dictionary")
     return state

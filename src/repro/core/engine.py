@@ -708,6 +708,20 @@ class ProvenanceEngine:
         """Timestamp of the last processed interaction (None before any)."""
         return self._last_time
 
+    def checkpoint_state(self) -> Dict[str, object]:
+        """The canonical checkpoint dictionary for this engine.
+
+        Policy object plus stream counters — exactly what
+        :func:`repro.core.checkpoint.save_engine` pickles and what the
+        streaming fabric's per-shard state snapshots embed, so every
+        checkpoint shape in the library shares one source of truth.
+        """
+        return {
+            "policy": self.policy,
+            "interactions_processed": self._interactions_processed,
+            "current_time": self._last_time,
+        }
+
     def buffer_total(self, vertex: Vertex) -> float:
         """The buffered quantity ``|B_v|`` of ``vertex``."""
         return self.policy.buffer_total(vertex)

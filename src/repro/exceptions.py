@@ -18,6 +18,8 @@ __all__ = [
     "MemoryBudgetExceededError",
     "RunConfigurationError",
     "StoreConfigurationError",
+    "CheckpointCorruptedError",
+    "SegmentAllocationError",
 ]
 
 
@@ -56,6 +58,35 @@ class RunConfigurationError(ReproError, ValueError):
 
 class StoreConfigurationError(ReproError, ValueError):
     """A provenance store was requested with an unknown backend or options."""
+
+
+class CheckpointCorruptedError(ReproError, ValueError):
+    """A checkpoint file is truncated or not unpicklable as a checkpoint.
+
+    Raised by :func:`repro.core.checkpoint.read_checkpoint` instead of a raw
+    ``EOFError``/``UnpicklingError`` so a resume attempt against a torn file
+    fails with the offending path and a recovery hint.
+    """
+
+    def __init__(self, path, detail: str = ""):
+        self.path = str(path)
+        message = (
+            f"checkpoint file {self.path} is corrupted"
+            + (f" ({detail})" if detail else "")
+            + "; the file is truncated or is not a checkpoint written by this "
+            "library — re-run without --resume-from (or restore an intact "
+            "checkpoint file)"
+        )
+        super().__init__(message)
+
+
+class SegmentAllocationError(ReproError, OSError):
+    """A shared-memory segment could not be allocated (e.g. /dev/shm full).
+
+    Infrastructure failure, not a logic error: under
+    ``RunConfig(degradation="auto")`` the runner reacts by demoting the run
+    from the shm fabric to the pickled process pool (and ultimately serial).
+    """
 
 
 class MemoryBudgetExceededError(ReproError, MemoryError):

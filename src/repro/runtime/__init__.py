@@ -9,6 +9,7 @@ pluggable provenance-store backends (``RunConfig(store=...)``, see
 """
 
 from repro.runtime.config import DEFAULT_BATCH_SIZE, RunConfig
+from repro.runtime.faults import FaultPlan, fault_plan
 from repro.runtime.mincut import (
     DEFAULT_IMBALANCE,
     PartitionStats,
@@ -35,6 +36,8 @@ from repro.runtime.runner import Runner, RunResult, build_policy, run
 __all__ = [
     "RunConfig",
     "DEFAULT_BATCH_SIZE",
+    "FaultPlan",
+    "fault_plan",
     "Runner",
     "RunResult",
     "run",

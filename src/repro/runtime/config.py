@@ -231,6 +231,33 @@ class RunConfig:
         Interactions of a live stream to buffer before freezing a
         ``mincut`` membership (source-only runs; default 4096).  The
         warm-up prefix is processed normally afterwards.
+    max_task_retries:
+        Supervision budget of the shard fabric: how many times a crashed
+        worker's shard work is re-dispatched (batch) or replayed
+        (streaming) before the shard is quarantined and the run fails fast
+        with per-shard diagnostics.  Policies are deterministic over an
+        interaction prefix, so every recovery is bit-identical to an
+        uninterrupted run.  0 disables supervision (a crash aborts
+        immediately, pre-supervision behaviour).
+    retry_backoff:
+        Base of the exponential backoff (seconds) slept before each
+        re-dispatch; attempt ``n`` waits ``retry_backoff * 2**(n-1)``,
+        capped at 2 s.
+    degradation:
+        ``"auto"`` (default): infrastructure failures — segment allocation
+        ``ENOSPC`` on /dev/shm, worker respawn storms — demote the run one
+        transport at a time (shm fabric → pickled process pool → serial)
+        with a logged reason instead of failing, and the demotions are
+        recorded in ``RunResult.fault_stats``.  ``"off"``: fail on the
+        configured transport.  Quarantined shards never degrade — a shard
+        that deterministically crashes its worker would crash every
+        transport.
+    on_bad_row:
+        Streamed CSV rows that fail to parse: ``"raise"`` (default) aborts
+        the run with the offending path:line; ``"skip"`` drops the row,
+        counts it, and surfaces the count in ``RunResult.fault_stats`` —
+        so one torn/garbage row in a live feed no longer kills a follow
+        run.
     """
 
     dataset: DatasetSource = "taxis"
@@ -271,6 +298,10 @@ class RunConfig:
     streaming_shards: int = 0
     streaming_ring: int = 4
     streaming_warmup: Optional[int] = None
+    max_task_retries: int = 1
+    retry_backoff: float = 0.05
+    degradation: str = "auto"
+    on_bad_row: str = "raise"
 
     def __post_init__(self) -> None:
         if self.store is not None or self.store_options:
@@ -415,6 +446,22 @@ class RunConfig:
         if self.streaming_warmup is not None and self.streaming_warmup < 1:
             raise RunConfigurationError(
                 f"streaming_warmup must be >= 1, got {self.streaming_warmup}"
+            )
+        if self.max_task_retries < 0:
+            raise RunConfigurationError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise RunConfigurationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.degradation not in ("auto", "off"):
+            raise RunConfigurationError(
+                f"degradation must be 'auto' or 'off', got {self.degradation!r}"
+            )
+        if self.on_bad_row not in ("raise", "skip"):
+            raise RunConfigurationError(
+                f"on_bad_row must be 'raise' or 'skip', got {self.on_bad_row!r}"
             )
         if self.streaming_shards:
             if self.shards > 1:

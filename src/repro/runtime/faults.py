@@ -1,0 +1,215 @@
+"""Deterministic fault injection for the shard fabric.
+
+The supervision layer in :mod:`repro.runtime.shm` (worker respawn, bounded
+retry, quarantine, degradation) is only trustworthy if its recovery paths
+are *provably* bit-identical to an unfaulted run — which needs faults that
+fire at exactly the same point on every execution.  This module is that
+harness: a :class:`FaultPlan` describes *where* to inject (kill the worker
+handling shard K's Nth task, fail the Mth segment allocation, tear the Jth
+checkpoint write, delay a result), and a module-level hook — installed the
+same way as ``shm._FORCED_KIND`` — arms it for the duration of a test.
+
+Injection points are deliberately parent-side where possible: worker kills
+and delays are resolved by the *dispatcher* per attempt and shipped as a
+directive on the task message, so the parent always knows which attempt of
+which shard is about to die.  That makes ``kill_times`` exact: a plan with
+``kill_times=1`` produces one transient crash (recovered by the
+supervisor), while ``kill_times`` above the retry budget models a shard
+that deterministically crashes its worker (quarantined).
+
+Nothing in this module is imported on any hot path unless a plan is armed;
+with no plan installed every hook is a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import errno
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from repro.exceptions import SegmentAllocationError
+
+__all__ = ["FaultPlan", "FaultState", "install", "clear", "active", "fault_plan"]
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults to inject into one run.
+
+    All ordinals are 1-based and count *events since the plan was armed*
+    (dispatches, allocations, checkpoint writes), so the same plan against
+    the same run faults at the same point every time.
+    """
+
+    #: Kill the worker when it receives work for this shard (batch tasks or
+    #: streaming appends).  ``None`` disables shard-directed kills.
+    kill_shard: Optional[int] = None
+    #: Batch path: kill the worker handling the Nth dispatched task overall
+    #: (retries advance the counter too).  Independent of ``kill_shard``.
+    kill_at_task: Optional[int] = None
+    #: Streaming path: with ``kill_shard`` set, kill on that shard's Nth
+    #: appended batch (default 1 = the first batch).
+    kill_at_batch: int = 1
+    #: How many attempts die before the fault burns out.  1 models a
+    #: transient crash; a value above the retry budget models a
+    #: deterministically-crashing shard (quarantine).
+    kill_times: int = 1
+    #: Worker-side sleep (seconds) before replying on matched tasks —
+    #: exercises the dispatcher's patience rather than its recovery.
+    delay_result: float = 0.0
+    #: Fail the Nth shared-segment allocation with ENOSPC (as if /dev/shm
+    #: were full).  ``None`` disables.
+    fail_segment_alloc_at: Optional[int] = None
+    #: How many consecutive allocations fail from that point on.
+    fail_segment_alloc_times: int = 1
+    #: Tear the Nth checkpoint write: the file is left truncated mid-pickle,
+    #: simulating a crash between ``write`` and ``fsync`` on a non-atomic
+    #: writer.  ``None`` disables.
+    torn_checkpoint_at: Optional[int] = None
+    #: Seed recorded with the plan so chaos suites can log reproducible
+    #: scenarios; the plan itself is fully deterministic without it.
+    seed: int = 0
+
+
+@dataclass
+class FaultState:
+    """Mutable counters tracking an armed :class:`FaultPlan`."""
+
+    plan: FaultPlan
+    task_ordinal: int = 0
+    kills_fired: int = 0
+    alloc_ordinal: int = 0
+    allocs_failed: int = 0
+    checkpoint_ordinal: int = 0
+    checkpoints_torn: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+_ACTIVE: Optional[FaultState] = None
+
+
+def install(plan: FaultPlan) -> FaultState:
+    """Arm ``plan`` process-wide; returns its live counter state."""
+    global _ACTIVE
+    _ACTIVE = FaultState(plan)
+    return _ACTIVE
+
+
+def clear() -> None:
+    """Disarm any installed plan."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultState]:
+    """The armed fault state, or ``None`` when no plan is installed."""
+    return _ACTIVE
+
+
+@contextmanager
+def fault_plan(plan: FaultPlan) -> Iterator[FaultState]:
+    """Context manager arming ``plan`` for the enclosed block (tests)."""
+    state = install(plan)
+    try:
+        yield state
+    finally:
+        clear()
+
+
+# ---------------------------------------------------------------------------
+# Injection points.  Each is called by exactly one production seam and is a
+# no-op (single None check) unless a plan is armed.
+# ---------------------------------------------------------------------------
+
+
+def task_directive(shard_index: int) -> Optional[Tuple]:
+    """Fault directive for the next *batch task* dispatched to ``shard_index``.
+
+    Called by ``ShardWorkerPool`` once per dispatch attempt.  Returns a
+    tuple the worker executes on receipt — ``("kill",)`` or
+    ``("delay", seconds)`` — or ``None``.
+    """
+    state = _ACTIVE
+    if state is None:
+        return None
+    plan = state.plan
+    with state.lock:
+        state.task_ordinal += 1
+        matched = (
+            plan.kill_at_task is not None and state.task_ordinal == plan.kill_at_task
+        ) or (plan.kill_shard is not None and shard_index == plan.kill_shard)
+        if matched and state.kills_fired < plan.kill_times:
+            state.kills_fired += 1
+            return ("kill",)
+    if plan.delay_result > 0.0:
+        return ("delay", plan.delay_result)
+    return None
+
+
+def batch_directive(shard_index: int, batch_ordinal: int) -> Optional[Tuple]:
+    """Fault directive for a *streaming append* (``batch_ordinal`` 1-based).
+
+    Called by ``ShardStreamFabric`` per appended batch per attempt; replays
+    of already-committed batches re-enter here, which is what lets a
+    ``kill_times`` above the retry budget model a deterministic crasher.
+    """
+    state = _ACTIVE
+    if state is None:
+        return None
+    plan = state.plan
+    if plan.kill_shard is None or shard_index != plan.kill_shard:
+        return None
+    with state.lock:
+        if batch_ordinal >= plan.kill_at_batch and state.kills_fired < plan.kill_times:
+            state.kills_fired += 1
+            return ("kill",)
+    if plan.delay_result > 0.0:
+        return ("delay", plan.delay_result)
+    return None
+
+
+def check_segment_alloc(name: str) -> None:
+    """Raise ``SegmentAllocationError`` if this allocation is scheduled to fail.
+
+    Called by ``shm._create_segment`` before touching the backend, so the
+    failure looks exactly like the OS refusing the allocation.
+    """
+    state = _ACTIVE
+    if state is None:
+        return
+    plan = state.plan
+    if plan.fail_segment_alloc_at is None:
+        return
+    with state.lock:
+        state.alloc_ordinal += 1
+        start = plan.fail_segment_alloc_at
+        if start <= state.alloc_ordinal < start + plan.fail_segment_alloc_times:
+            state.allocs_failed += 1
+            raise SegmentAllocationError(
+                errno.ENOSPC,
+                f"injected allocation failure for segment {name!r} "
+                f"(allocation #{state.alloc_ordinal})",
+            )
+
+
+def torn_checkpoint_bytes(data: bytes) -> Optional[bytes]:
+    """Truncated payload if this checkpoint write should tear, else ``None``.
+
+    Called by the atomic checkpoint writer; a non-``None`` return is written
+    *directly* to the destination (bypassing the temp-file/rename dance) to
+    simulate the torn file a non-atomic writer would have left behind.
+    """
+    state = _ACTIVE
+    if state is None:
+        return None
+    plan = state.plan
+    if plan.torn_checkpoint_at is None:
+        return None
+    with state.lock:
+        state.checkpoint_ordinal += 1
+        if state.checkpoint_ordinal == plan.torn_checkpoint_at:
+            state.checkpoints_torn += 1
+            return data[: max(1, len(data) // 3)]
+    return None

@@ -629,6 +629,9 @@ def run_shards(
     columnar: Optional[bool] = None,
     shared_memory: bool = False,
     kernel: str = "auto",
+    max_task_retries: int = 1,
+    retry_backoff: float = 0.05,
+    fault_stats: Optional[Dict[str, object]] = None,
 ) -> Tuple[List[ShardRun], RunStatistics]:
     """Run one engine per shard and merge the statistics.
 
@@ -668,6 +671,9 @@ def run_shards(
             sample_every=sample_every,
             max_workers=max_workers,
             kernel=kernel,
+            max_retries=max_task_retries,
+            retry_backoff=retry_backoff,
+            fault_stats=fault_stats,
         )
         return runs, merged
     if len(policies) != len(plan.shards):

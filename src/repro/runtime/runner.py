@@ -34,8 +34,9 @@ from __future__ import annotations
 
 import copy
 import json
+import logging
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from itertools import islice
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -63,6 +64,7 @@ from repro.datasets.io import (
 from repro.exceptions import (
     MemoryBudgetExceededError,
     RunConfigurationError,
+    SegmentAllocationError,
 )
 from repro.metrics.memory import MemoryCeiling, policy_memory_bytes
 from repro.policies.base import SelectionPolicy
@@ -92,9 +94,27 @@ from repro.stores import StoreStats, merge_store_stats
 
 __all__ = ["Runner", "RunResult", "run", "build_policy"]
 
+_LOG = logging.getLogger(__name__)
+
 #: Warm-up prefix pulled off a live source to freeze a min-cut membership
 #: when ``streaming_warmup`` is not set explicitly.
 DEFAULT_STREAM_WARMUP = 4096
+
+
+def _record_degradation(
+    fault: Dict[str, Any], source: str, target: str, error: BaseException
+) -> None:
+    """Log and record one rung of the executor degradation ladder."""
+    reason = f"{type(error).__name__}: {error}"
+    _LOG.warning("degrading %s -> %s after %s", source, target, reason)
+    fault.setdefault("degradations", []).append(
+        {"from": source, "to": target, "reason": reason}
+    )
+
+
+def _fault_summary(fault: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The fault dict when anything actually went wrong, else ``None``."""
+    return fault if any(fault.values()) else None
 
 
 def build_policy(
@@ -205,6 +225,12 @@ class RunResult:
     #: segment-reuse counts, backpressure stalls, checkpoint barriers);
     #: ``None`` unless the run used ``streaming_shards``.
     stream_stats: Optional[Dict[str, Any]] = None
+    #: Self-healing accounting: worker respawns, task retries, quarantined
+    #: shards (with per-shard crash diagnostics), executor degradations and
+    #: recovery wall time, plus malformed rows skipped by the source under
+    #: ``on_bad_row="skip"``.  ``None`` when the run had nothing to heal —
+    #: a clean run reports no fault stats rather than a block of zeroes.
+    fault_stats: Optional[Dict[str, Any]] = None
 
     @property
     def sharded(self) -> bool:
@@ -361,6 +387,7 @@ class RunResult:
                 "enabled": self.kernel_stats is not None,
                 **(self.kernel_stats or {}),
             },
+            "faults": self.fault_stats,
         }
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -414,6 +441,7 @@ class Runner:
                     vertex_type=config.vertex_type,
                     follow=True,
                     idle_timeout=config.idle_timeout,
+                    on_bad_row=config.on_bad_row,
                 )
             if config.stream:
                 return None, read_interactions_csv(name, vertex_type=config.vertex_type)
@@ -732,6 +760,9 @@ class Runner:
                 source_resume=_source_resume_token(seek_base, engine),
             )
 
+        fault: Dict[str, Any] = {}
+        if seek_base is not None and getattr(seek_base, "bad_rows", 0):
+            fault["bad_rows"] = seek_base.bad_rows
         return RunResult(
             config=config,
             statistics=statistics,
@@ -743,6 +774,7 @@ class Runner:
             scheduler_stats=engine.scheduler_stats(),
             columnar_stats=engine.columnar_stats(),
             kernel_stats=engine.kernel_stats(),
+            fault_stats=_fault_summary(fault),
         )
 
     def shard_plan(
@@ -792,19 +824,37 @@ class Runner:
         config = self.config
         plan, policies = self.shard_plan(network)
         shm_stats: Optional[Dict[str, Any]] = None
+        fault: Dict[str, Any] = {}
         if config.uses_shared_memory:
             from repro.runtime import shm as _shm
 
-            # build_shared_plan copies the plan's routed shard columns
-            # straight into the fabric's shared segment.
-            runs, statistics, shm_stats = _shm.run_shards_shared(
-                plan,
-                policies,
-                batch_size=config.effective_batch_size,
-                sample_every=config.sample_every,
-                max_workers=config.max_workers,
-                kernel=config.kernel,
-            )
+            try:
+                # build_shared_plan copies the plan's routed shard columns
+                # straight into the fabric's shared segment.
+                runs, statistics, shm_stats = _shm.run_shards_shared(
+                    plan,
+                    policies,
+                    batch_size=config.effective_batch_size,
+                    sample_every=config.sample_every,
+                    max_workers=config.max_workers,
+                    kernel=config.kernel,
+                    max_retries=config.max_task_retries,
+                    retry_backoff=config.retry_backoff,
+                    fault_stats=fault,
+                )
+            except _shm.ShardQuarantinedError:
+                # A shard whose own work deterministically crashes its worker
+                # would crash ANY executor — degrading just re-runs the crash
+                # more slowly.  Fail fast with the per-shard diagnostics.
+                raise
+            except (SegmentAllocationError, _shm.WorkerCrashedError) as error:
+                # Infra failure (segment allocation, respawn storm, a crash
+                # with retries disabled): the work itself may be fine on a
+                # transport that does not need /dev/shm or a persistent pool.
+                if config.degradation != "auto":
+                    raise
+                _record_degradation(fault, "shared-memory", "processes", error)
+                runs, statistics = self._run_shards_degraded(plan, policies, fault)
         else:
             runs, statistics = run_shards(
                 plan,
@@ -847,7 +897,73 @@ class Runner:
             store_stats=merge_store_stats(run.store_stats for run in runs),
             kernel_stats=_merge_kernel_stats(runs),
             shm_stats=shm_stats,
+            fault_stats=_fault_summary(fault),
         )
+
+    def _run_shards_degraded(
+        self,
+        plan: PartitionPlan,
+        policies: List[SelectionPolicy],
+        fault: Dict[str, Any],
+    ) -> Tuple[List[ShardRun], RunStatistics]:
+        """Re-run a plan off the shared-memory fabric (degradation ladder).
+
+        First rung: the pickled process executor (no shared segments, fresh
+        pool per run).  If that pool cannot even start or breaks, last
+        rung: serial in-process execution, which needs nothing from the
+        environment.  The parent's ``policies`` were never mutated by the
+        failed attempt (workers run unpickled copies), so a re-run from
+        them is bit-identical to a clean run.
+        """
+        config = self.config
+        kwargs = dict(
+            batch_size=config.effective_batch_size,
+            sample_every=config.sample_every,
+            columnar=config.columnar,
+            kernel=config.kernel,
+        )
+        try:
+            return run_shards(
+                plan,
+                policies,
+                executor="processes",
+                max_workers=config.max_workers,
+                **kwargs,
+            )
+        except (OSError, RuntimeError) as error:
+            # concurrent.futures surfaces a dead pool as BrokenProcessPool
+            # (a RuntimeError subclass); fork/spawn failures as OSError.
+            _record_degradation(fault, "processes", "serial", error)
+            return run_shards(plan, policies, executor="serial", **kwargs)
+
+    def _degrade_streaming(
+        self, fault: Dict[str, Any], error: BaseException
+    ) -> Optional[RunResult]:
+        """Fall back to the single-consumer path when the fabric cannot start.
+
+        Segment allocation failing before anything streamed (ENOSPC on
+        /dev/shm, fd exhaustion) means the partitioned transport is
+        unavailable, not that the run is wrong — a single in-process engine
+        consumes the same stream without shared segments and produces the
+        provenance the merged shards would have.  Only for fresh runs under
+        ``degradation="auto"``: a partitioned manifest cannot be resumed by
+        the single-engine path, so resumed runs raise instead of silently
+        switching checkpoint formats.  Returns ``None`` when degrading is
+        not allowed (the caller re-raises).
+        """
+        config = self.config
+        if config.degradation != "auto" or config.resume_from is not None:
+            return None
+        _record_degradation(fault, "shm-stream", "single", error)
+        result = Runner(replace(config, streaming_shards=0)).run()
+        combined = dict(fault)
+        for key, value in (result.fault_stats or {}).items():
+            if key == "degradations":
+                combined.setdefault("degradations", []).extend(value)
+            else:
+                combined[key] = value
+        result.fault_stats = _fault_summary(combined)
+        return result
 
     # ------------------------------------------------------------------
     # partitioned streaming (streaming_shards > 0)
@@ -940,14 +1056,24 @@ class Runner:
             else [plan_shard.universe() for plan_shard in plan.shards]
         )
 
-        fabric = ShardStreamFabric(
-            num_shards,
-            capacity=capacity,
-            ring=config.streaming_ring,
-            sample_every=config.sample_every,
-            kernel=config.kernel,
-            max_workers=config.max_workers,
-        )
+        fault: Dict[str, Any] = {}
+        try:
+            fabric = ShardStreamFabric(
+                num_shards,
+                capacity=capacity,
+                ring=config.streaming_ring,
+                sample_every=config.sample_every,
+                kernel=config.kernel,
+                max_workers=config.max_workers,
+                max_retries=config.max_task_retries,
+                retry_backoff=config.retry_backoff,
+                fault_stats=fault,
+            )
+        except SegmentAllocationError as error:
+            degraded = self._degrade_streaming(fault, error)
+            if degraded is not None:
+                return degraded
+            raise
         checkpoints = 0
         wall_start = time.perf_counter()
         try:
@@ -1074,6 +1200,7 @@ class Runner:
             kernel_stats=_merge_kernel_stats(runs),
             shm_stats=fabric_stats,
             stream_stats=stream_stats,
+            fault_stats=_fault_summary(fault),
         )
 
     def _stream_partitioned_source(
@@ -1109,57 +1236,86 @@ class Runner:
                     "shard count"
                 )
 
-        seek_base: Optional[InteractionSource] = None
-        if isinstance(stream, InteractionSource):
-            base = stream
-            seek_base = base
-            if skip:
-                token = manifest.get("source_resume")
-                if token is None or not base.seek_resume(token):
-                    _drain_source(base, skip)
-        else:
-            iterable: Iterable[Interaction] = stream
-            if skip:
-                iterable = islice(iter(iterable), skip, None)
-            base = SequenceSource(iterable, limit=config.limit)
-
-        # Routing: a resumed run reuses the manifest's frozen membership;
-        # a fresh min-cut run freezes one from a warm-up prefix; hash
-        # routing needs no table at all (the scheduler's stable fallback).
-        prefix: List[Interaction] = []
-        if manifest is not None:
-            membership: Dict[Vertex, int] = manifest.get("membership") or {}
-        elif config.shard_by == "mincut":
-            warmup = config.streaming_warmup or DEFAULT_STREAM_WARMUP
-            if config.limit is not None:
-                warmup = min(warmup, config.limit)
-            prefix = list(base.iter_limited(warmup)) if warmup > 0 else []
-            membership = (
-                warmup_membership(
-                    prefix,
-                    num_shards,
-                    imbalance=config.shard_imbalance,
-                    seed=config.partition_seed,
-                )
-                if prefix
-                else {}
+        # The fabric allocates its segment rings BEFORE the source is
+        # touched: an allocation failure then degrades (or raises) with the
+        # stream fully intact — nothing consumed, nothing dropped.
+        fault: Dict[str, Any] = {}
+        try:
+            fabric = ShardStreamFabric(
+                num_shards,
+                capacity=capacity,
+                ring=config.streaming_ring,
+                sample_every=config.sample_every,
+                kernel=config.kernel,
+                max_workers=config.max_workers,
+                max_retries=config.max_task_retries,
+                retry_backoff=config.retry_backoff,
+                fault_stats=fault,
             )
-        else:
-            membership = {}
+        except SegmentAllocationError as error:
+            degraded = self._degrade_streaming(fault, error)
+            if degraded is not None:
+                return degraded
+            raise
 
-        scheduler_options: Dict[str, Any] = {}
-        if config.max_in_flight is not None:
-            scheduler_options["max_in_flight"] = config.max_in_flight
-        scheduler = PartitionedScheduler(
-            base,
-            num_shards,
-            membership,
-            micro_batch=capacity,
-            flush_interval=config.flush_interval,
-            **scheduler_options,
-        )
-        if prefix:
-            scheduler.prefeed(prefix)
+        try:
+            seek_base: Optional[InteractionSource] = None
+            if isinstance(stream, InteractionSource):
+                base = stream
+                seek_base = base
+                if skip:
+                    token = manifest.get("source_resume")
+                    if token is None or not base.seek_resume(token):
+                        _drain_source(base, skip)
+            else:
+                iterable: Iterable[Interaction] = stream
+                if skip:
+                    iterable = islice(iter(iterable), skip, None)
+                base = SequenceSource(iterable, limit=config.limit)
+
+            # Routing: a resumed run reuses the manifest's frozen membership;
+            # a fresh min-cut run freezes one from a warm-up prefix; hash
+            # routing needs no table at all (the scheduler's stable fallback).
+            prefix: List[Interaction] = []
+            if manifest is not None:
+                membership: Dict[Vertex, int] = manifest.get("membership") or {}
+            elif config.shard_by == "mincut":
+                warmup = config.streaming_warmup or DEFAULT_STREAM_WARMUP
+                if config.limit is not None:
+                    warmup = min(warmup, config.limit)
+                prefix = list(base.iter_limited(warmup)) if warmup > 0 else []
+                membership = (
+                    warmup_membership(
+                        prefix,
+                        num_shards,
+                        imbalance=config.shard_imbalance,
+                        seed=config.partition_seed,
+                    )
+                    if prefix
+                    else {}
+                )
+            else:
+                membership = {}
+
+            scheduler_options: Dict[str, Any] = {}
+            if config.max_in_flight is not None:
+                scheduler_options["max_in_flight"] = config.max_in_flight
+            scheduler = PartitionedScheduler(
+                base,
+                num_shards,
+                membership,
+                micro_batch=capacity,
+                flush_interval=config.flush_interval,
+                **scheduler_options,
+            )
+            if prefix:
+                scheduler.prefeed(prefix)
+        except BaseException:
+            # The fabric holds the pool's dispatch lock and its segment
+            # rings from construction; a source failure during the warm-up
+            # or resume seek must release them.
+            fabric.abort()
+            raise
 
         cap = config.limit  # run-local pull cap (None = until exhaustion)
 
@@ -1181,14 +1337,6 @@ class Runner:
             config.source is None
             and not isinstance(config.dataset, InteractionSource)
             and isinstance(config.dataset, (str, Path))
-        )
-        fabric = ShardStreamFabric(
-            num_shards,
-            capacity=capacity,
-            ring=config.streaming_ring,
-            sample_every=config.sample_every,
-            kernel=config.kernel,
-            max_workers=config.max_workers,
         )
         checkpoints = 0
         wall_start = time.perf_counter()
@@ -1327,6 +1475,8 @@ class Runner:
             "scheduler": scheduler_stats,
             "fabric": fabric_stats,
         }
+        if scheduler_stats.get("bad_rows"):
+            fault["bad_rows"] = scheduler_stats["bad_rows"]
         return RunResult(
             config=config,
             statistics=statistics,
@@ -1338,6 +1488,7 @@ class Runner:
             kernel_stats=_merge_kernel_stats(runs),
             shm_stats=fabric_stats,
             stream_stats=stream_stats,
+            fault_stats=_fault_summary(fault),
         )
 
     def _shard_policies(

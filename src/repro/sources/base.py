@@ -52,6 +52,11 @@ class InteractionSource(abc.ABC):
     #: ``max_in_flight`` buys.
     eager: bool = False
 
+    #: Number of malformed input rows skipped so far.  Stays 0 for sources
+    #: without a skip policy; :class:`repro.sources.CsvTailSource` counts
+    #: here under ``on_bad_row="skip"`` and run reports surface the total.
+    bad_rows: int = 0
+
     def __init__(self) -> None:
         self._watermark: Optional[float] = None
         self._emitted = 0

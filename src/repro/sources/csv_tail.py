@@ -57,6 +57,11 @@ class CsvTailSource(InteractionSource):
     idle_timeout:
         With ``follow=True``: exhaust after this many seconds without a new
         complete row.  ``None`` follows forever (stop via :meth:`close`).
+    on_bad_row:
+        ``"raise"`` (default) propagates the :class:`DatasetError` for a
+        malformed row; ``"skip"`` drops the row, counts it in
+        :attr:`bad_rows` and keeps tailing — the right policy for a live
+        feed where one corrupt line must not kill an unbounded run.
     clock:
         Monotonic time function; injectable for deterministic tests.
     """
@@ -69,9 +74,14 @@ class CsvTailSource(InteractionSource):
         follow: bool = False,
         idle_timeout: Optional[float] = None,
         must_exist: bool = True,
+        on_bad_row: str = "raise",
         clock: Callable[[], float] = _time.monotonic,
     ) -> None:
         super().__init__()
+        if on_bad_row not in ("raise", "skip"):
+            raise RunConfigurationError(
+                f"on_bad_row must be 'raise' or 'skip', got {on_bad_row!r}"
+            )
         self._path = Path(path)
         if must_exist and not self._path.exists():
             raise DatasetError(f"interaction file {self._path} does not exist")
@@ -84,6 +94,8 @@ class CsvTailSource(InteractionSource):
                 "cannot wait for the file to appear"
             )
         self._vertex_type = vertex_type
+        self._on_bad_row = on_bad_row
+        self.bad_rows = 0
         self._follow = bool(follow)
         self._idle_timeout = idle_timeout
         self._clock = clock
@@ -139,12 +151,18 @@ class CsvTailSource(InteractionSource):
             return None
         if self._line_number == 1 and is_header_row(row):
             return None
-        interaction = parse_interaction_row(
-            row,
-            vertex_type=self._vertex_type,
-            path=self._path,
-            line_number=self._line_number,
-        )
+        try:
+            interaction = parse_interaction_row(
+                row,
+                vertex_type=self._vertex_type,
+                path=self._path,
+                line_number=self._line_number,
+            )
+        except DatasetError:
+            if self._on_bad_row == "skip":
+                self.bad_rows += 1
+                return None
+            raise
         self._check_order(interaction)
         self._emit([interaction])
         return interaction

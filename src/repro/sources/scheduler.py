@@ -298,6 +298,7 @@ class MicroBatchScheduler:
             "waits": self._waits,
             "flushes": dict(self._flushes),
             "watermark": self.source.watermark,
+            "bad_rows": getattr(self.source, "bad_rows", 0),
         }
 
     def close(self) -> None:
@@ -626,6 +627,7 @@ class PartitionedScheduler:
             "waits": self._waits,
             "flushes": dict(self._flushes),
             "watermark": self.source.watermark,
+            "bad_rows": getattr(self.source, "bad_rows", 0),
             "per_shard": [
                 {
                     "shard": shard,
