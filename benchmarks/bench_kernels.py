@@ -18,8 +18,23 @@ compile time (always measured outside the timed region — the engine calls
 ``prepare_fused`` before its run timer starts, and this harness resolves
 every kernel once before any timed round).  Tiers are measured in
 interleaved rounds (round-robin over tiers, best of ``--repeats``) with
-the garbage collector paused inside the timed region.  The CI
-benchmark-smoke job runs this script; run it locally with::
+the garbage collector paused inside the timed region.
+
+The proportional-dense rows additionally measure:
+
+* the **store-arena tiers** (``fused@dense`` / ``fused@mmap``): the fused
+  kernel driven directly over a :class:`DenseNumpyStore` /
+  :class:`MmapDenseStore` arena — the configuration that used to demote
+  to the materialising adapter under the pointer-table layout;
+* the **arena-vs-pointer-table** ratio against the recorded fused seconds
+  of the pointer-table layout (the generation before the CSR arena, same
+  datasets, same cc backend, full scale) — only emitted at ``--scale 1.0``
+  where the baseline is comparable;
+
+and a ``checkpoint_write`` section times ``save_engine`` per store backend
+on the dense policy, showing the dense/mmap packed writers against the
+per-key dict pickling (the mmap column is the arena-sidecar write).  The
+CI benchmark-smoke job runs this script; run it locally with::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py [--scale 0.5] [--output path.json]
 """
@@ -30,9 +45,11 @@ import argparse
 import gc
 import json
 import platform
+import time
 from pathlib import Path
 
 from repro.core import kernels
+from repro.core.checkpoint import save_engine
 from repro.datasets.catalog import load_preset
 from repro.runtime import DEFAULT_BATCH_SIZE, RunConfig, Runner
 
@@ -51,22 +68,44 @@ CASES = (
 
 TIERS = ("batched", "columnar", "fused")
 
+#: Extra fused tiers measured for the policies whose kernels take a store
+#: arena directly: tier name -> store backend.
+STORE_TIERS = {"fused_dense_store": "dense", "fused_mmap_store": "mmap"}
+STORE_TIER_POLICIES = frozenset({"proportional-dense"})
 
-def tier_config(network, policy_name: str, batch_size: int, tier: str) -> RunConfig:
+#: Best fused seconds of the pointer-table generation (the layout before
+#: the CSR-flattened arena: per-row ndarrays behind a ctypes address
+#: table), recorded by this same harness at scale 1.0 on the cc backend.
+#: The arena-vs-pointer-table column divides these by the current fused
+#: seconds; at any other scale the ratio is omitted as incomparable.
+POINTER_TABLE_BASELINE = {
+    ("proportional-dense", "taxis"): 0.006049854000593768,
+    ("proportional-dense", "flights"): 0.00445064999985334,
+}
+
+#: save_engine timing: store backends compared on the dense policy.
+CHECKPOINT_STORES = ("dict", "dense", "mmap")
+CHECKPOINT_CASE = ("proportional-dense", "taxis")
+
+
+def tier_config(
+    network, policy_name: str, batch_size: int, tier: str, store=None
+) -> RunConfig:
     if tier == "batched":
         return RunConfig(
             dataset=network, policy=policy_name, batch_size=batch_size,
-            columnar=False,
+            columnar=False, store=store,
         )
     return RunConfig(
         dataset=network, policy=policy_name, batch_size=batch_size,
-        columnar=True, kernel="fused" if tier == "fused" else "batch",
+        columnar=True, kernel="batch" if tier == "columnar" else "fused",
+        store=store,
     )
 
 
-def timed_run(network, policy_name: str, batch_size: int, tier: str):
+def timed_run(network, policy_name: str, batch_size: int, tier: str, store=None):
     """One run of one tier with the collector paused; ``(seconds, result)``."""
-    config = tier_config(network, policy_name, batch_size, tier)
+    config = tier_config(network, policy_name, batch_size, tier, store)
     gc_was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
@@ -78,18 +117,72 @@ def timed_run(network, policy_name: str, batch_size: int, tier: str):
             gc.enable()
 
 
+def case_tiers(policy_name: str):
+    """Tier name -> store backend (None = dict) measured for one policy."""
+    tiers = {tier: None for tier in TIERS}
+    if policy_name in STORE_TIER_POLICIES:
+        tiers.update(STORE_TIERS)
+    return tiers
+
+
 def measure_case(network, policy_name: str, batch_size: int, repeats: int):
     """Best seconds (and matching results) per tier, interleaved rounds."""
-    best = {tier: float("inf") for tier in TIERS}
-    best_results = {tier: None for tier in TIERS}
+    tiers = case_tiers(policy_name)
+    best = {tier: float("inf") for tier in tiers}
+    best_results = {tier: None for tier in tiers}
     network.to_block()  # columnar conversion happens outside every round
     for _ in range(repeats):
-        for tier in TIERS:
-            seconds, result = timed_run(network, policy_name, batch_size, tier)
+        for tier, store in tiers.items():
+            seconds, result = timed_run(
+                network, policy_name, batch_size, tier, store
+            )
             if seconds < best[tier]:
                 best[tier] = seconds
                 best_results[tier] = result
     return best, best_results
+
+
+def measure_checkpoint_writes(scale: float, repeats: int, workdir: Path):
+    """``save_engine`` seconds and bytes per store backend, best of repeats.
+
+    One finished dense-policy run per backend; the timed region is the
+    checkpoint write alone (state pickling + any arena sidecar, fsync
+    included).  The dict column pays one pickled ndarray per vertex key,
+    the dense column pickles a single packed matrix, and the mmap column
+    routes the matrix through the arena-sidecar writer — which is what
+    decouples dense checkpoint cost from the key count.
+    """
+    policy_name, dataset = CHECKPOINT_CASE
+    network = load_preset(dataset, scale=scale)
+    rows = []
+    for store in CHECKPOINT_STORES:
+        result = Runner(
+            RunConfig(dataset=network, policy=policy_name, store=store)
+        ).run()
+        engine = result.engine
+        path = workdir / f"bench.{store}.ckpt"
+        best = float("inf")
+        for _ in range(max(repeats, 2)):
+            gc.collect()
+            started = time.perf_counter()
+            save_engine(engine, path)
+            best = min(best, time.perf_counter() - started)
+        sidecar_bytes = sum(
+            sidecar.stat().st_size for sidecar in workdir.glob(f"{path.name}.*.arena")
+        )
+        rows.append({
+            "store": store,
+            "entries": result.statistics.final_entry_count,
+            "save_seconds": best,
+            "state_bytes": path.stat().st_size,
+            "arena_sidecar_bytes": sidecar_bytes,
+        })
+        print(
+            f"checkpoint write [{store:5s}]: {best * 1e3:8.3f} ms, "
+            f"state {rows[-1]['state_bytes']:,} B, "
+            f"sidecar {sidecar_bytes:,} B"
+        )
+    return rows
 
 
 def main() -> int:
@@ -138,6 +231,18 @@ def main() -> int:
             "fused_chunks": fused_stats.get("chunks"),
             "fused_compile_seconds": fused_stats.get("compile_seconds"),
         }
+        baseline = POINTER_TABLE_BASELINE.get((policy_name, dataset))
+        if baseline is not None and args.scale == 1.0 and fused:
+            record["pointer_table_fused_seconds"] = baseline
+            record["arena_vs_pointer_table"] = baseline / fused
+        for tier, store in STORE_TIERS.items():
+            if best.get(tier, float("inf")) == float("inf"):
+                continue
+            seconds = best[tier]
+            stats = best_results[tier].kernel_stats or {}
+            record[f"{tier}_seconds"] = seconds
+            record[f"{tier}_ips"] = interactions / seconds if seconds else 0.0
+            record[f"{tier}_backend"] = stats.get("backend")
         records.append(record)
         print(
             f"{policy_name:20s} on {dataset:8s}: "
@@ -146,6 +251,25 @@ def main() -> int:
             f"{record['fused_ips']:>10,.0f} fused[{record['fused_backend']}] "
             f"({record['fused_vs_columnar']:.2f}x vs columnar, "
             f"{record['fused_vs_batched']:.2f}x vs batched)"
+        )
+        if "fused_dense_store_ips" in record:
+            arena_note = (
+                f", {record['arena_vs_pointer_table']:.2f}x vs pointer-table"
+                if "arena_vs_pointer_table" in record
+                else ""
+            )
+            print(
+                f"{'':20s}    store arenas: "
+                f"{record['fused_dense_store_ips']:>10,.0f} fused@dense ips, "
+                f"{record['fused_mmap_store_ips']:>10,.0f} fused@mmap ips"
+                f"{arena_note}"
+            )
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        checkpoint_rows = measure_checkpoint_writes(
+            args.scale, args.repeats, Path(scratch)
         )
 
     payload = {
@@ -159,10 +283,16 @@ def main() -> int:
         "backend_failures": kernels.backend_failures(),
         "compile_seconds_untimed": compile_warmup,
         "results": records,
+        "checkpoint_write": {
+            "policy": CHECKPOINT_CASE[0],
+            "dataset": CHECKPOINT_CASE[1],
+            "results": checkpoint_rows,
+        },
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 
+    failures = []
     # CI gate: fusing the drive loop must never cost throughput on noprov,
     # whatever backend resolved.
     fused_slower = [
@@ -174,8 +304,39 @@ def main() -> int:
             "FAIL: fused tier not faster than columnar on noprov for:",
             [r["dataset"] for r in fused_slower],
         )
-        return 1
-    return 0
+        failures.append("fused")
+    # CI gate: with numba installed, proportional-dense must resolve to the
+    # njit backend — the arena layout exists so the dispatcher no longer
+    # demotes it to a slower tier.
+    try:
+        import numba  # noqa: F401
+        have_numba = True
+    except ImportError:
+        have_numba = False
+    if have_numba and kernels.backend_of("proportional-dense") != "numba":
+        print(
+            "FAIL: numba installed but proportional-dense resolved to",
+            kernels.backend_of("proportional-dense"),
+            "— demotion is back:",
+            kernels.backend_failures(),
+        )
+        failures.append("numba_demotion")
+    # Raw-speed-floor gate (full scale only, where the recorded baseline is
+    # comparable): the CSR arena kernel must beat the pointer-table layout
+    # by >=1.5x on at least one bundled dataset.
+    arena_ratios = [
+        r["arena_vs_pointer_table"]
+        for r in records
+        if "arena_vs_pointer_table" in r
+    ]
+    if arena_ratios and max(arena_ratios) < 1.5:
+        print(
+            "FAIL: arena kernel not >=1.5x the pointer-table baseline on any "
+            "dataset:",
+            [f"{ratio:.2f}x" for ratio in arena_ratios],
+        )
+        failures.append("arena_floor")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -152,7 +152,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--store", choices=available_store_backends(), default=None,
         help="provenance-store backend for the policy state (default: "
-        "REPRO_DEFAULT_STORE env var, then in-memory dicts)",
+        "REPRO_DEFAULT_STORE env var, then in-memory dicts); 'mmap' is the "
+        "dense arena with zero-copy snapshot sidecars for checkpoint/resume",
     )
     run_parser.add_argument(
         "--hot-capacity", type=int, default=None,

@@ -123,6 +123,57 @@ def load_policy(path: Union[str, Path]) -> SelectionPolicy:
     return policy
 
 
+def _sidecar_name(checkpoint_name: str, role: str, crc: int) -> str:
+    """Content-addressed sidecar filename for one store role."""
+    return f"{checkpoint_name}.{role}.{crc:08x}.arena"
+
+
+def _write_arena_sidecars(
+    policy: SelectionPolicy, path: Path
+) -> Dict[str, Dict[str, object]]:
+    """Snapshot every mmap-tier store of ``policy`` next to ``path``.
+
+    Sidecars are content-addressed (the CRC token is part of the filename
+    and recorded in the checkpoint state), so a crash between the sidecar
+    write and the state write cannot pair a checkpoint with the wrong
+    arena generation: the previous checkpoint keeps referencing the
+    previous sidecar, which is only garbage-collected after the *next*
+    successful state write.
+    """
+    from repro.stores.mmap_store import MmapDenseStore
+
+    sidecars: Dict[str, Dict[str, object]] = {}
+    for role, store in policy.stores().items():
+        if not isinstance(store, MmapDenseStore):
+            continue
+        scratch = path.parent / f".{path.name}.{role}.arena.tmp.{os.getpid()}"
+        try:
+            info = store.snapshot_to(scratch)
+            name = _sidecar_name(path.name, role, info["crc"])
+            os.replace(scratch, path.parent / name)
+        except BaseException:
+            try:
+                scratch.unlink()
+            except OSError:
+                pass
+            raise
+        sidecars[role] = {"file": name, "crc": info["crc"], "rows": info["rows"]}
+        store._pickle_stub = True
+    return sidecars
+
+
+def _prune_stale_sidecars(path: Path, sidecars: Mapping[str, Mapping[str, object]]) -> None:
+    """Remove sidecar generations no checkpoint references anymore."""
+    live = {str(info["file"]) for info in sidecars.values()}
+    prefix = f"{path.name}."
+    for candidate in path.parent.glob(f"{path.name}.*.arena"):
+        if candidate.name.startswith(prefix) and candidate.name not in live:
+            try:
+                candidate.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+
+
 def save_engine(
     engine: ProvenanceEngine,
     path: Union[str, Path],
@@ -135,11 +186,31 @@ def save_engine(
     open resources; re-register them after loading.  ``source_resume``
     optionally embeds an :meth:`InteractionSource.resume_token` so a resumed
     run can seek its source instead of replaying the processed prefix.
+
+    Mmap-tier stores (:class:`~repro.stores.MmapDenseStore`) are not
+    pickled into the checkpoint: their arenas are written — one sequential
+    matrix write each, no per-key pickling — to content-addressed
+    ``<path>.<role>.<crc>.arena`` sidecar files that
+    :func:`engine_from_checkpoint` memory-maps back copy-on-write.
     """
     state = engine.checkpoint_state()
     if source_resume is not None:
         state["source_resume"] = source_resume
-    _atomic_write(Path(path), pickle.dumps(state, protocol=_PROTOCOL))
+    path = Path(path)
+    policy = engine.policy
+    sidecars = _write_arena_sidecars(policy, path)
+    try:
+        if sidecars:
+            state["arena_sidecars"] = sidecars
+        payload = pickle.dumps(state, protocol=_PROTOCOL)
+    finally:
+        if sidecars:
+            for store in policy.stores().values():
+                if getattr(store, "_pickle_stub", False):
+                    store._pickle_stub = False
+    _atomic_write(path, payload)
+    if sidecars:
+        _prune_stale_sidecars(path, sidecars)
 
 
 def save_checkpoint_state(state: dict, path: Union[str, Path]) -> None:
@@ -172,13 +243,44 @@ def read_checkpoint(path: Union[str, Path]) -> dict:
     return state
 
 
-def engine_from_checkpoint(state: dict) -> ProvenanceEngine:
-    """Rebuild an engine from a :func:`read_checkpoint` dictionary."""
+def engine_from_checkpoint(
+    state: dict, base_path: Union[str, Path, None] = None
+) -> ProvenanceEngine:
+    """Rebuild an engine from a :func:`read_checkpoint` dictionary.
+
+    ``base_path`` is the checkpoint file the state was read from; it is
+    required when the checkpoint references arena sidecar files (mmap-tier
+    stores), which are resolved relative to it and memory-mapped back
+    copy-on-write.  A missing, torn or generation-mismatched sidecar
+    raises :class:`~repro.exceptions.CheckpointCorruptedError`.
+    """
     if "policy" not in state:
         raise TypeError("checkpoint state does not contain an engine checkpoint")
     engine = ProvenanceEngine(state["policy"])
     engine._interactions_processed = int(state.get("interactions_processed", 0))
     engine._last_time = state.get("current_time")
+    sidecars = state.get("arena_sidecars")
+    if sidecars:
+        if base_path is None:
+            raise CheckpointCorruptedError(
+                "<memory>",
+                "checkpoint references arena sidecar files but no checkpoint "
+                "path was given to resolve them against",
+            )
+        base_path = Path(base_path)
+        stores = engine.policy.stores()
+        for role, info in sidecars.items():
+            store = stores.get(role)
+            if store is None or not hasattr(store, "restore_from"):
+                raise CheckpointCorruptedError(
+                    base_path,
+                    f"checkpoint references an arena sidecar for store role "
+                    f"{role!r} which the restored policy does not provide",
+                )
+            store.restore_from(
+                base_path.parent / str(info["file"]),
+                expected_crc=int(info["crc"]),
+            )
     return engine
 
 
@@ -187,7 +289,7 @@ def load_engine(path: Union[str, Path]) -> ProvenanceEngine:
     state = read_checkpoint(path)
     if "policy" not in state:
         raise TypeError(f"{path} does not contain an engine checkpoint")
-    return engine_from_checkpoint(state)
+    return engine_from_checkpoint(state, base_path=path)
 
 
 def policy_store_snapshot(policy: SelectionPolicy) -> Dict[str, Dict[Hashable, object]]:

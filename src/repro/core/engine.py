@@ -186,8 +186,11 @@ class ProvenanceEngine:
             batches instead of object lists.  ``None`` (default) enables
             the columnar path automatically for batched eager network runs
             whenever the policy has a real array kernel for its current
-            store backend (the network's columnar form is built once and
-            cached); ``False`` disables it; ``True`` forces it everywhere —
+            store backend — dict-backed stores are consolidated into a
+            policy-owned row arena, dense/mmap stores hand the kernels
+            their own arena directly — (the network's columnar form is
+            built once and cached); ``False`` disables it; ``True`` forces
+            it everywhere —
             scheduler/stream runs then columnarise each flushed batch, and
             policies without a kernel stay correct through the
             object-materialising adapter.  Results are bit-identical

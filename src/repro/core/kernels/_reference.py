@@ -8,6 +8,14 @@ structure, the same IEEE double arithmetic in the same order.  A
 compiled candidate that disagrees on a single bit of any output is
 rejected by :func:`verify` and the dispatcher demotes to the next
 backend.
+
+The proportional-dense reference works on the CSR-flattened arena layout
+of :class:`repro.stores.DenseNumpyStore`: one contiguous
+``(capacity, universe)`` float64 matrix plus an ``int32`` array mapping
+each universe position to its arena row.  Verification runs against an
+arena with spare capacity, a scattered (non-identity) row mapping and a
+sentinel guard row, so a kernel that confuses positions with rows — or
+writes outside its rows — cannot pass.
 """
 
 from __future__ import annotations
@@ -42,22 +50,23 @@ def noprov_reference(src, dst, qty, buffers, generated, gen_order):
     return appended
 
 
-def propdense_reference(src, dst, qty, vectors, totals):
-    """Algorithm 3 dense proportional selection over whole vectors.
+def propdense_reference(src, dst, qty, arena, rows, totals):
+    """Algorithm 3 dense proportional selection over arena rows.
 
-    ``vectors`` is the position-indexed list of ``(universe,)`` float64
-    provenance rows; ``totals`` the position-indexed buffer totals.  The
-    three branches (zero-source shortcut, full relay, proportional
-    split) replicate the columnar loop element for element, including
-    the self-loop aliasing behaviour when source == destination.
+    ``arena`` is the ``(capacity, universe)`` float64 vector arena,
+    ``rows`` the position → arena-row index (``int32``), ``totals`` the
+    position-indexed buffer totals.  The three branches (zero-source
+    shortcut, full relay, proportional split) replicate the columnar loop
+    element for element, including the self-loop aliasing behaviour when
+    source == destination (identical rows alias identical memory).
     """
     universe = len(totals)
     for i in range(len(src)):
         source = int(src[i])
         destination = int(dst[i])
         quantity = float(qty[i])
-        source_vector = vectors[source]
-        destination_vector = vectors[destination]
+        source_vector = arena[int(rows[source])]
+        destination_vector = arena[int(rows[destination])]
         source_total = float(totals[source])
         if source_total == 0.0:
             if quantity > 0.0:
@@ -106,11 +115,16 @@ def _noprov_case():
 
 
 def _propdense_case():
-    vectors = [np.zeros(_UNIVERSE, dtype=np.float64) for _ in range(_UNIVERSE)]
-    vectors[0][0] = 2.5
-    vectors[2][2] = 1.1
+    # Capacity 7 > universe 4, scattered rows and an unused guard row full
+    # of sentinel values: position/row confusion or out-of-row writes make
+    # the whole-arena comparison fail.
+    arena = np.zeros((7, _UNIVERSE), dtype=np.float64)
+    rows = np.array([3, 0, 5, 2], dtype=np.int32)
+    arena[6] = 123.456
+    arena[rows[0], 0] = 2.5
+    arena[rows[2], 2] = 1.1
     totals = np.array([2.5, 0.0, 1.1, 0.0], dtype=np.float64)
-    return vectors, totals
+    return arena, rows, totals
 
 
 def verify(name: str, fn) -> None:
@@ -134,16 +148,15 @@ def verify(name: str, fn) -> None:
         if not identical:
             raise ValueError("noprov kernel output is not bit-identical to the reference")
     elif name == "proportional-dense":
-        vectors, totals = _propdense_case()
-        ref_vectors, ref_totals = _propdense_case()
-        addresses = np.array([v.ctypes.data for v in vectors], dtype=np.int64)
-        src64 = src.astype(np.int64)
-        dst64 = dst.astype(np.int64)
-        fn(src64, dst64, qty, addresses, totals, _UNIVERSE)
-        fn(src64[:0], dst64[:0], qty[:0], addresses, totals, _UNIVERSE)
-        propdense_reference(src64, dst64, qty, ref_vectors, ref_totals)
-        identical = np.array_equal(totals, ref_totals) and all(
-            np.array_equal(vectors[p], ref_vectors[p]) for p in range(_UNIVERSE)
+        arena, rows, totals = _propdense_case()
+        ref_arena, ref_rows, ref_totals = _propdense_case()
+        fn(src, dst, qty, arena, rows, totals)
+        # Empty spans must be a no-op (the whole-arena comparison below
+        # catches any stray write they make).
+        fn(src[:0], dst[:0], qty[:0], arena, rows, totals)
+        propdense_reference(src, dst, qty, ref_arena, ref_rows, ref_totals)
+        identical = np.array_equal(totals, ref_totals) and np.array_equal(
+            arena, ref_arena
         )
         if not identical:
             raise ValueError(

@@ -76,10 +76,13 @@ int64_t noprov_run(const int32_t *src, const int32_t *dst, const double *qty,
     return appended;
 }
 
-/* Algorithm 3 dense proportional selection over whole vectors.  vectors
- * is a position-indexed table of pointers to (universe,) double rows;
- * totals the position-indexed buffer totals.  The three branches (zero
- * source shortcut, full relay, proportional split) replicate
+/* Algorithm 3 dense proportional selection over arena rows.  arena is
+ * the base of one contiguous row-major (capacity, universe) double
+ * matrix (the CSR-flattened layout of DenseNumpyStore); rows maps each
+ * universe position to its arena row; totals holds the position-indexed
+ * buffer totals.  Row addresses are computed by index arithmetic — no
+ * per-row pointer table to chase.  The three branches (zero source
+ * shortcut, full relay, proportional split) replicate
  * ProportionalDensePolicy.process_block element for element, including
  * the self-loop aliasing behaviour when source == destination.
  *
@@ -146,16 +149,16 @@ static void split_move(double *destination_vector, double *source_vector,
     }
 }
 
-void propdense_run(const int64_t *src, const int64_t *dst, const double *qty,
-                   int64_t n, int64_t universe, double **vectors,
-                   double *totals)
+void propdense_run(const int32_t *src, const int32_t *dst, const double *qty,
+                   int64_t n, int64_t universe, double *arena,
+                   const int32_t *rows, double *totals)
 {
     for (int64_t i = 0; i < n; i++) {
-        int64_t source = src[i];
-        int64_t destination = dst[i];
+        int32_t source = src[i];
+        int32_t destination = dst[i];
         double quantity = qty[i];
-        double *source_vector = vectors[source];
-        double *destination_vector = vectors[destination];
+        double *source_vector = arena + (int64_t)rows[source] * universe;
+        double *destination_vector = arena + (int64_t)rows[destination] * universe;
         double source_total = totals[source];
         if (source_total == 0.0) {
             if (quantity > 0.0) {
@@ -257,12 +260,13 @@ def _load() -> ctypes.CDLL:
         ]
         library.propdense_run.restype = None
         library.propdense_run.argtypes = [
-            ctypes.c_void_p,  # src int64*
-            ctypes.c_void_p,  # dst int64*
+            ctypes.c_void_p,  # src int32*
+            ctypes.c_void_p,  # dst int32*
             ctypes.c_void_p,  # qty double*
             ctypes.c_int64,  # n
             ctypes.c_int64,  # universe
-            ctypes.c_void_p,  # vectors double**
+            ctypes.c_void_p,  # arena double*
+            ctypes.c_void_p,  # rows int32*
             ctypes.c_void_p,  # totals double*
         ]
         _library = library
@@ -299,7 +303,7 @@ def build(name: str) -> Callable:
     if name == "proportional-dense":
         run = library.propdense_run
 
-        def propdense(src, dst, qty, addresses, totals, universe):
+        def propdense(src, dst, qty, arena, rows, totals):
             n = len(src)
             if n == 0:
                 return None
@@ -308,8 +312,9 @@ def build(name: str) -> Callable:
                 dst.ctypes.data,
                 qty.ctypes.data,
                 n,
-                universe,
-                addresses.ctypes.data,
+                arena.shape[1],
+                arena.ctypes.data,
+                rows.ctypes.data,
                 totals.ctypes.data,
             )
             return None

@@ -1,15 +1,21 @@
 """Optional ``numba.njit`` kernel backend, auto-detected at resolution.
 
-numba is an optional extra: when it is importable the no-provenance
-whole-run kernel is JIT-compiled here (and verified bit-for-bit before
-use); when it is absent — the normal case for a minimal install —
-:func:`available` reports False and the dispatcher moves on to the
-compiled-C backend without noise.
+numba is an optional extra: when it is importable both whole-run kernels
+are JIT-compiled here (and verified bit-for-bit before use); when it is
+absent — the normal case for a minimal install — :func:`available`
+reports False and the dispatcher moves on to the compiled-C backend
+without noise.
 
-Only the ``"noprov"`` kernel is served: the proportional-dense kernel
-indexes a table of raw row pointers, which maps naturally onto C but
-not onto nopython-mode numba; requesting it raises so the dispatcher
-demotes to :mod:`repro.core.kernels.cc_backend` for that name.
+The proportional-dense kernel operates on the CSR-flattened arena layout
+(one contiguous ``(capacity, universe)`` float64 matrix plus an ``int32``
+position → row index): plain typed-array indexing, which nopython mode
+compiles directly.  The old layout — a Python table of raw row pointers —
+could not be expressed in nopython mode, which is why this backend used
+to decline the kernel and demote to C.
+
+Both kernels are compiled with ``fastmath=False``: no reassociation, no
+FMA contraction — the build-time bit-identity gate
+(:func:`repro.core.kernels._reference.verify`) rejects anything less.
 """
 
 from __future__ import annotations
@@ -37,29 +43,70 @@ def available() -> bool:
 def build(name: str) -> Callable:  # pragma: no cover - requires numba
     if not _HAS_NUMBA:
         raise RuntimeError("numba is not installed")
-    if name != "noprov":
-        raise KeyError(f"numba backend does not serve {name!r}")
+    if name == "noprov":
 
-    @numba.njit(cache=True, fastmath=False)
-    def _noprov(src, dst, qty, buffers, generated, gen_order):
-        appended = 0
-        for i in range(src.shape[0]):
-            source = src[i]
-            quantity = qty[i]
-            available_quantity = buffers[source]
-            if quantity < available_quantity:
-                buffers[source] = available_quantity - quantity
-            else:
-                buffers[source] = 0.0
-                if quantity > available_quantity:
-                    if generated[source] == 0.0:
-                        gen_order[appended] = source
-                        appended += 1
-                    generated[source] += quantity - available_quantity
-            buffers[dst[i]] += quantity
-        return appended
+        @numba.njit(cache=True, fastmath=False)
+        def _noprov(src, dst, qty, buffers, generated, gen_order):
+            appended = 0
+            for i in range(src.shape[0]):
+                source = src[i]
+                quantity = qty[i]
+                available_quantity = buffers[source]
+                if quantity < available_quantity:
+                    buffers[source] = available_quantity - quantity
+                else:
+                    buffers[source] = 0.0
+                    if quantity > available_quantity:
+                        if generated[source] == 0.0:
+                            gen_order[appended] = source
+                            appended += 1
+                        generated[source] += quantity - available_quantity
+                buffers[dst[i]] += quantity
+            return appended
 
-    def noprov(src, dst, qty, buffers, generated, gen_order):
-        return int(_noprov(src, dst, qty, buffers, generated, gen_order))
+        def noprov(src, dst, qty, buffers, generated, gen_order):
+            return int(_noprov(src, dst, qty, buffers, generated, gen_order))
 
-    return noprov
+        return noprov
+    if name == "proportional-dense":
+
+        @numba.njit(cache=True, fastmath=False)
+        def _propdense(src, dst, qty, arena, rows, totals):
+            universe = arena.shape[1]
+            for i in range(src.shape[0]):
+                source = src[i]
+                destination = dst[i]
+                quantity = qty[i]
+                source_row = rows[source]
+                destination_row = rows[destination]
+                source_total = totals[source]
+                if source_total == 0.0:
+                    if quantity > 0.0:
+                        arena[destination_row, source] += quantity
+                    totals[destination] += quantity
+                elif quantity >= source_total:
+                    for j in range(universe):
+                        arena[destination_row, j] += arena[source_row, j]
+                    newborn = quantity - source_total
+                    if newborn > 0.0:
+                        arena[destination_row, source] += newborn
+                    for j in range(universe):
+                        arena[source_row, j] = 0.0
+                    totals[source] = 0.0
+                    totals[destination] += quantity
+                else:
+                    fraction = quantity / source_total
+                    for j in range(universe):
+                        moved = arena[source_row, j] * fraction
+                        arena[destination_row, j] += moved
+                        arena[source_row, j] -= moved
+                    totals[source] = source_total - quantity
+                    totals[destination] += quantity
+
+        def propdense(src, dst, qty, arena, rows, totals):
+            if len(src):
+                _propdense(src, dst, qty, arena, rows, totals)
+            return None
+
+        return propdense
+    raise KeyError(f"numba backend does not serve {name!r}")

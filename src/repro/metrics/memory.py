@@ -62,6 +62,24 @@ def deep_sizeof(obj: Any, *, _seen: Optional[Set[int]] = None) -> int:
         seen_add(object_id)
 
         if isinstance(current, np.ndarray):
+            base = current.base
+            if isinstance(base, np.ndarray):
+                # A view (e.g. an arena row, or thousands of them) owns no
+                # data: charge only the view object and push the backing
+                # buffer, which the seen-set counts exactly once however
+                # many views share it.  This is what keeps dense/mmap
+                # arena accounting linear instead of per-view quadratic.
+                total += getsizeof(current, 0)
+                stack.append(base)
+                continue
+            if isinstance(base, np.memmap) or isinstance(current, np.memmap):
+                # Memory-mapped buffers are file-backed pages, not heap:
+                # count the object overhead, not nbytes (copy-on-write
+                # pages that were actually dirtied are invisible from
+                # here; the conservative choice keeps mmap resume from
+                # instantly tripping memory ceilings sized for the heap).
+                total += getsizeof(current, 0)
+                continue
             total += int(current.nbytes) + getsizeof(current, 0)
             continue
 

@@ -35,6 +35,7 @@ from repro.core.interaction import Interaction, Vertex
 from repro.core.provenance import OriginSet
 from repro.exceptions import PolicyConfigurationError, UnknownVertexError
 from repro.policies.base import SelectionPolicy, StoreArgument
+from repro.stores.dense import DenseNumpyStore
 
 __all__ = ["ProportionalDensePolicy", "ProportionalSparsePolicy"]
 
@@ -43,27 +44,46 @@ __all__ = ["ProportionalDensePolicy", "ProportionalSparsePolicy"]
 # that bloat the provenance lists without carrying information.
 _PRUNE_EPSILON = 1e-12
 
+#: Initial capacity floor (in rows) of policy-owned columnar arenas; growth
+#: past it is geometric, capped at the universe size (each vertex owns at
+#: most one row).
+_ARENA_MIN_ROWS = 256
+
 
 class _ColumnarVectors:
     """Position-indexed mirror of the dense policy state during columnar runs.
 
-    ``vectors[p]`` is the *same* numpy array the vector store holds for the
-    vertex at universe position ``p`` (mutations flow through, so the store
-    stays live); ``totals`` mirrors the scalar totals store and is flushed
-    back lazily.  ``id_to_position`` translates interner ids into universe
-    positions — identical for network-derived interners, but kept explicit
-    so any interner works.
+    ``vectors[p]`` is a row *view* into ``arena`` — the one contiguous
+    ``(capacity, universe)`` float64 matrix every live provenance vector
+    lives in — for the vertex at universe position ``p``; ``rows[p]`` is
+    that row's arena index (``int32``, ``-1`` when absent).  The fused
+    kernels take ``(arena, rows)`` directly: row addressing is index
+    arithmetic on one base pointer, no per-row pointer table.
+
+    With a dict-backed vector store the policy owns the arena and the
+    store's dict values are rebound to its row views (mutations flow
+    through, so the store stays live); with a
+    :class:`~repro.stores.DenseNumpyStore` the store's own arena is
+    mirrored.  Either way the arena object can be replaced by growth
+    reallocation, so every consumer re-checks identity before trusting
+    cached views.  ``totals`` mirrors the scalar totals store and is
+    flushed back lazily; ``id_to_position`` translates interner ids into
+    universe positions — identical for network-derived interners, but kept
+    explicit so any interner works.
     """
 
     __slots__ = (
         "interner",
         "id_to_position",
         "identity",
+        "store_mode",
+        "arena",
+        "rows",
+        "count",
         "vectors",
         "totals",
         "scratch",
         "fraction",
-        "addresses",
         "totals_arr",
         "array_mode",
     )
@@ -83,16 +103,20 @@ class _ColumnarVectors:
             len(id_to_position) <= universe
             and np.array_equal(id_to_position, np.arange(len(id_to_position)))
         )
+        #: True when the vector store is a DenseNumpyStore whose arena is
+        #: mirrored directly; False when the policy owns the arena and the
+        #: store's dict values are views into it.
+        self.store_mode = False
+        self.arena: Optional[np.ndarray] = None
+        self.rows = np.full(universe, -1, dtype=np.int32)
+        #: Next free arena row (policy-owned arenas only).
+        self.count = 0
         self.vectors: List[Optional[np.ndarray]] = [None] * universe
         self.totals: List[float] = [0.0] * universe
         self.scratch = np.empty(universe, dtype=np.float64)
         # 0-d staging cell for the split fraction: refilling it and passing
         # the array to multiply() skips the per-call Python-float boxing.
         self.fraction = np.empty((), dtype=np.float64)
-        # Raw data pointer of each live vector row, for the compiled fused
-        # kernel; kept current at every vector-creation site.  The vectors
-        # list holds the owning references, so the addresses stay valid.
-        self.addresses = np.zeros(universe, dtype=np.int64)
         # Compiled kernels mutate totals as a float64 array; converted once
         # per representation switch, not per chunk.
         self.totals_arr: Optional[np.ndarray] = None
@@ -206,6 +230,11 @@ class ProportionalDensePolicy(SelectionPolicy):
         totals = self._totals
         source_total = totals.get(source, 0.0)
 
+        # Arena-backed stores may reallocate on row allocation: reserve both
+        # rows before fetching either view so neither can go stale.
+        ensure_rows = getattr(self._vectors, "ensure_rows", None)
+        if ensure_rows is not None:
+            ensure_rows((source, destination))
         source_vector = self._vector(source)
         destination_vector = self._vector(destination)
 
@@ -253,6 +282,7 @@ class ProportionalDensePolicy(SelectionPolicy):
             totals_get = self._totals.get
             totals_put = self._totals.put
             totals_merge = self._totals.merge
+            ensure_rows = getattr(self._vectors, "ensure_rows", None)
             for interaction in interactions:
                 source = interaction.source
                 destination = interaction.destination
@@ -263,6 +293,9 @@ class ProportionalDensePolicy(SelectionPolicy):
                     self._position(destination)
                 source_total = totals_get(source, 0.0)
 
+                # Reserve both arena rows before fetching either view.
+                if ensure_rows is not None:
+                    ensure_rows((source, destination))
                 source_vector = vector_of(source)
                 destination_vector = vector_of(destination)
 
@@ -323,8 +356,11 @@ class ProportionalDensePolicy(SelectionPolicy):
     def has_columnar_kernel(self) -> bool:
         return (
             self._kernel_consistent(ProportionalDensePolicy)
-            and self._vectors.raw_dict() is not None
             and self._totals.raw_dict() is not None
+            and (
+                self._vectors.raw_dict() is not None
+                or isinstance(self._vectors, DenseNumpyStore)
+            )
         )
 
     def _ensure_columnar(self, interner: VertexInterner) -> _ColumnarVectors:
@@ -336,6 +372,8 @@ class ProportionalDensePolicy(SelectionPolicy):
                 # the identity shortcut so validation sees them.
                 col.id_to_position = self._id_to_position(interner)
                 col.identity = False
+            if col.store_mode:
+                self._sync_store_arena(col)
             return col
         if col is not None:
             self._decolumnarise()
@@ -343,20 +381,120 @@ class ProportionalDensePolicy(SelectionPolicy):
             interner, self._id_to_position(interner), len(self._index)
         )
         index = self._index
-        for vertex, vector in self._vectors.raw_dict().items():
-            position = index[vertex]
-            col.vectors[position] = vector
-            col.addresses[position] = vector.ctypes.data
+        if isinstance(self._vectors, DenseNumpyStore):
+            col.store_mode = True
+            self._sync_store_arena(col, force=True)
+        else:
+            self._consolidate_dict_arena(col)
         for vertex, total in self._totals.raw_dict().items():
             col.totals[index[vertex]] = total
         self._col = col
         return col
 
+    def _sync_store_arena(self, col: _ColumnarVectors, force: bool = False) -> None:
+        """Mirror a DenseNumpyStore's arena into the columnar state.
+
+        Rebinds every row view and the position → row index whenever the
+        store's arena object changed identity (growth reallocation) — the
+        cached views would otherwise point at the detached old buffer.
+        """
+        store = self._vectors
+        arena = store.arena
+        if arena is col.arena and not force:
+            return
+        col.arena = arena
+        col.rows.fill(-1)
+        vectors = col.vectors
+        for position in range(len(vectors)):
+            vectors[position] = None
+        index = self._index
+        rows = col.rows
+        for vertex, row in store.row_items():
+            position = index[vertex]
+            rows[position] = row
+            vectors[position] = arena[row]
+
+    def _consolidate_dict_arena(self, col: _ColumnarVectors) -> None:
+        """Bind a dict-backed vector store to a policy-owned arena.
+
+        If every stored vector is already a row view of one shared arena
+        (the state a previous columnar run leaves behind), that arena is
+        recovered by pointer arithmetic — no copy.  Otherwise (first run,
+        or standalone arrays after a pickle round-trip) the live vectors
+        are consolidated into a fresh arena and the store's dict values are
+        rebound to its row views, so kernel writes flow through to the
+        store.
+        """
+        raw_vectors = self._vectors.raw_dict()
+        index = self._index
+        universe = len(index)
+        recovered = self._recover_dict_arena(col, raw_vectors, universe)
+        if recovered:
+            return
+        live = len(raw_vectors)
+        capacity = max(live, min(universe, _ARENA_MIN_ROWS))
+        arena = np.zeros((capacity, universe), dtype=np.float64)
+        rows = col.rows
+        vectors = col.vectors
+        for row, (vertex, vector) in enumerate(raw_vectors.items()):
+            arena[row] = vector
+            view = arena[row]
+            raw_vectors[vertex] = view
+            position = index[vertex]
+            rows[position] = row
+            vectors[position] = view
+        col.arena = arena
+        col.count = live
+
+    def _recover_dict_arena(
+        self,
+        col: _ColumnarVectors,
+        raw_vectors: Dict[Vertex, np.ndarray],
+        universe: int,
+    ) -> bool:
+        """Re-adopt a shared arena whose row views already fill the store."""
+        base: Optional[np.ndarray] = None
+        next_row = 0
+        bindings = []
+        index = self._index
+        for vertex, vector in raw_vectors.items():
+            candidate = vector.base
+            if base is None:
+                if (
+                    not isinstance(candidate, np.ndarray)
+                    or candidate.ndim != 2
+                    or candidate.shape[1] != universe
+                    or candidate.dtype != np.float64
+                    or not candidate.flags["C_CONTIGUOUS"]
+                ):
+                    return False
+                base = candidate
+            elif candidate is not base:
+                return False
+            offset = vector.ctypes.data - base.ctypes.data
+            stride = base.strides[0]
+            row, remainder = divmod(offset, stride)
+            if remainder or len(vector) != universe or row >= base.shape[0]:
+                return False
+            bindings.append((index[vertex], int(row)))
+            if row + 1 > next_row:
+                next_row = int(row) + 1
+        if base is None:
+            return False
+        col.arena = base
+        col.count = next_row
+        rows = col.rows
+        vectors = col.vectors
+        for position, row in bindings:
+            rows[position] = row
+            vectors[position] = base[row]
+        return True
+
     def _id_to_position(self, interner: VertexInterner) -> np.ndarray:
         index_get = self._index.get
         return np.fromiter(
             (index_get(vertex, -1) for vertex in interner.vertices),
-            dtype=np.int64,
+            dtype=np.int32,
             count=len(interner),
         )
 
@@ -380,7 +518,7 @@ class ProportionalDensePolicy(SelectionPolicy):
                 raw_totals[order[position]] = totals[position]
 
     def process_block(self, block: InteractionBlock) -> None:
-        """Columnar Algorithm 3: id-indexed matrix-row arithmetic.
+        """Columnar Algorithm 3: id-indexed arena-row arithmetic.
 
         Replays the exact numpy operations of :meth:`process` in the same
         order (bit-identical vectors), with three representation-level
@@ -388,7 +526,10 @@ class ProportionalDensePolicy(SelectionPolicy):
         block, an all-zero source vector (``|B_s| == 0``) skips its
         bitwise-no-op row operations entirely, and the proportional split
         reuses one scratch row instead of allocating per interaction.
-        Falls back to the object adapter on non-dict store backends.
+        Every endpoint row is materialised up front (any arena growth
+        happens before a single view is fetched), so the loop body only
+        ever touches valid views.  Falls back to the object adapter on
+        store backends with neither a raw dict nor an arena.
         """
         if not self.has_columnar_kernel():
             super().process_block(block)
@@ -396,15 +537,11 @@ class ProportionalDensePolicy(SelectionPolicy):
         col = self._ensure_columnar(block.interner)
         col.to_lists()
         source_positions, destination_positions = self._block_positions(col, block)
+        self._materialise_vectors(col, source_positions, destination_positions)
         vectors = col.vectors
-        addresses = col.addresses
         totals = col.totals
         scratch = col.scratch
         fraction = col.fraction
-        raw_vectors = self._vectors.raw_dict()
-        order = self._order
-        universe = len(order)
-        zeros = np.zeros
         add = np.add
         subtract = np.subtract
         multiply = np.multiply
@@ -413,17 +550,7 @@ class ProportionalDensePolicy(SelectionPolicy):
             source_positions.tolist(), destination_positions.tolist(), quantities
         ):
             source_vector = vectors[source]
-            if source_vector is None:
-                source_vector = vectors[source] = zeros(universe, dtype=np.float64)
-                raw_vectors[order[source]] = source_vector
-                addresses[source] = source_vector.ctypes.data
             destination_vector = vectors[destination]
-            if destination_vector is None:
-                destination_vector = vectors[destination] = zeros(
-                    universe, dtype=np.float64
-                )
-                raw_vectors[order[destination]] = destination_vector
-                addresses[destination] = destination_vector.ctypes.data
             source_total = totals[source]
             if source_total == 0.0:
                 # Zero total implies an all-zero vector: the relay's row
@@ -505,28 +632,95 @@ class ProportionalDensePolicy(SelectionPolicy):
     def _materialise_vectors(
         self, col: _ColumnarVectors, src: np.ndarray, dst: np.ndarray
     ) -> None:
-        """Create every missing endpoint vector, in first-touch order.
+        """Allocate every missing endpoint row, in first-touch order.
 
-        The compiled kernel dereferences raw row pointers, so rows must
-        exist before the call; creating them in interleaved first-appearance
-        order (sources before destinations, row by row) reproduces the
-        vector store's dict insertion order of the per-block loop exactly.
+        The kernels index arena rows, so rows must exist before the span
+        runs; creating them in interleaved first-appearance order (sources
+        before destinations, row by row) reproduces the vector store's
+        insertion order of the per-interaction loop exactly.  All growth —
+        store arena or policy arena — happens here, before any view of the
+        span is fetched, which is what makes holding ``col.vectors`` views
+        across the span safe.
         """
+        rows_index = col.rows
+        # Fast path for the steady state: one vectorised O(n) probe of the
+        # position->row index.  After the first few chunks every endpoint
+        # of a span usually has its row already, and the first-touch
+        # ordering pass below (unique + stable argsort, O(n log n)) would
+        # otherwise dominate the span's own kernel time.
+        if (
+            rows_index[src].min(initial=0) >= 0
+            and rows_index[dst].min(initial=0) >= 0
+        ):
+            return
         vectors = col.vectors
         interleaved = np.empty(len(src) * 2, dtype=np.int64)
         interleaved[0::2] = src
         interleaved[1::2] = dst
         unique, first_rows = np.unique(interleaved, return_index=True)
+        missing = [
+            position
+            for position in unique[np.argsort(first_rows, kind="stable")].tolist()
+            if vectors[position] is None
+        ]
+        if not missing:
+            return
+        order = self._order
+        if col.store_mode:
+            store = self._vectors
+            store.ensure_rows(order[position] for position in missing)
+            # Growth reallocates the store arena: rebind everything cached.
+            self._sync_store_arena(col)
+            arena = col.arena
+            rows = col.rows
+            for position in missing:
+                row = store.row_of(order[position])
+                rows[position] = row
+                vectors[position] = arena[row]
+            return
+        needed = col.count + len(missing)
+        arena = col.arena
+        if arena is None or needed > arena.shape[0]:
+            self._grow_dict_arena(col, needed)
+            arena = col.arena
+        raw_vectors = self._vectors.raw_dict()
+        rows = col.rows
+        count = col.count
+        for position in missing:
+            view = arena[count]
+            vectors[position] = view
+            raw_vectors[order[position]] = view
+            rows[position] = count
+            count += 1
+        col.count = count
+
+    def _grow_dict_arena(self, col: _ColumnarVectors, needed: int) -> None:
+        """Geometrically reallocate the policy-owned arena and rebind views.
+
+        Unlike the store-owned arena, every live view here is also a dict
+        value in the vector store, so both sides are rebound onto the grown
+        buffer (the store then keeps reflecting kernel writes).
+        """
+        universe = len(self._index)
+        arena = col.arena
+        capacity = 0 if arena is None else arena.shape[0]
+        # Geometric doubling capped at the universe size, but never below
+        # ``needed`` (eviction holes can push the row count past the number
+        # of live keys, so ``needed`` is the authority, not the cap).
+        new_capacity = max(needed, min(universe, max(capacity * 2, _ARENA_MIN_ROWS)))
+        grown = np.zeros((new_capacity, universe), dtype=np.float64)
+        if arena is not None and col.count:
+            grown[: col.count] = arena[: col.count]
+        col.arena = grown
         raw_vectors = self._vectors.raw_dict()
         order = self._order
-        universe = len(order)
-        addresses = col.addresses
-        for position in unique[np.argsort(first_rows, kind="stable")].tolist():
-            if vectors[position] is None:
-                vector = np.zeros(universe, dtype=np.float64)
-                vectors[position] = vector
-                raw_vectors[order[position]] = vector
-                addresses[position] = vector.ctypes.data
+        rows = col.rows
+        vectors = col.vectors
+        for position, vector in enumerate(vectors):
+            if vector is not None:
+                view = grown[rows[position]]
+                vectors[position] = view
+                raw_vectors[order[position]] = view
 
     def process_run(self, block: InteractionBlock) -> None:
         """Fused Algorithm 3: the whole clip span in one compiled call.
@@ -534,22 +728,26 @@ class ProportionalDensePolicy(SelectionPolicy):
         Bit-identical to :meth:`process_block` over the same span — the
         compiled loop replicates its three branches element for element,
         including the self-loop aliasing behaviour (verified against a
-        pure reference at build time).  Falls back to the per-block kernel
-        when no compiled backend resolved or the stores are not
-        dict-backed.
+        pure reference at build time).  The kernel reads the arena and the
+        ``int32`` position → row index directly — dict-backed stores are
+        consolidated into a policy-owned arena first, dense stores hand
+        over their own.  Falls back to the per-block kernel when no
+        compiled backend resolved or the totals store is not dict-backed.
         """
         handle = self._fused_handle()
         if handle is None:
             self.process_block(block)
             return
+        if not len(block.src_ids):
+            return
         col = self._ensure_columnar(block.interner)
         source_positions, destination_positions = self._block_positions(col, block)
-        src = np.ascontiguousarray(source_positions, dtype=np.int64)
-        dst = np.ascontiguousarray(destination_positions, dtype=np.int64)
+        src = np.ascontiguousarray(source_positions, dtype=np.int32)
+        dst = np.ascontiguousarray(destination_positions, dtype=np.int32)
         quantities = np.ascontiguousarray(block.quantities, dtype=np.float64)
         self._materialise_vectors(col, src, dst)
         totals_arr = col.to_arrays()
-        handle.fn(src, dst, quantities, col.addresses, totals_arr, len(self._order))
+        handle.fn(src, dst, quantities, col.arena, col.rows, totals_arr)
 
     # ------------------------------------------------------------------
     # queries

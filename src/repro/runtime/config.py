@@ -141,10 +141,14 @@ class RunConfig:
         (budget), ``window`` (windowed).
     store, store_options:
         Provenance-store backend the policy keeps its annotation state in:
-        ``"dict"`` (in-memory, default), ``"dense"`` (packed numpy matrix
-        for fixed-dimension vector state) or ``"sqlite"`` (bounded resident
-        entries with LRU spill to disk — see
-        :class:`repro.stores.SqliteStore`).  ``store_options`` forwards
+        ``"dict"`` (in-memory, default), ``"dense"`` (fixed-dimension
+        vector state packed as rows of one contiguous arena matrix, the
+        layout the fused kernels consume), ``"mmap"`` (the dense arena
+        plus zero-copy snapshot files: engine checkpoints write the arena
+        to a ``.arena`` sidecar and resume memory-maps it back
+        copy-on-write — see :class:`repro.stores.MmapDenseStore`) or
+        ``"sqlite"`` (bounded resident entries with LRU spill to disk —
+        see :class:`repro.stores.SqliteStore`).  ``store_options`` forwards
         backend options such as ``hot_capacity`` and ``directory``.  When
         both are left unset, policies fall back to the
         ``REPRO_DEFAULT_STORE`` environment variable, then to dicts.

@@ -587,7 +587,11 @@ class Runner:
         skip = 0
         if config.resume_from is not None:
             checkpoint_state = read_checkpoint(config.resume_from)
-            resumed = engine_from_checkpoint(checkpoint_state)
+            # base_path resolves any arena sidecar files (mmap store tier)
+            # living next to the checkpoint.
+            resumed = engine_from_checkpoint(
+                checkpoint_state, base_path=config.resume_from
+            )
             resume_token = checkpoint_state.get("source_resume")
             skip = resumed.interactions_processed
             policy = resumed.policy

@@ -86,6 +86,11 @@ class ReducedVectorPolicy(SelectionPolicy):
         totals = self._totals
         source_total = totals.get(source, 0.0)
 
+        # Arena-backed stores may reallocate on row allocation: reserve both
+        # rows before fetching either view so neither can go stale.
+        ensure_rows = getattr(self._vectors, "ensure_rows", None)
+        if ensure_rows is not None:
+            ensure_rows((source, destination))
         source_vector = self._vector(source)
         destination_vector = self._vector(destination)
 

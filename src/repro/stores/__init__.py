@@ -6,8 +6,12 @@ the policies through the :class:`ProvenanceStore` interface and three
 interchangeable backends:
 
 * :class:`DictStore` — plain in-memory dicts (the seed behaviour, default);
-* :class:`DenseNumpyStore` — fixed-dimension vectors packed into one
-  contiguous matrix (backs the dense proportional policy);
+* :class:`DenseNumpyStore` — fixed-dimension vectors packed as rows of one
+  contiguous arena matrix (backs the dense proportional policy and feeds
+  the fused kernels directly);
+* :class:`MmapDenseStore` — the dense arena plus zero-copy file snapshots:
+  checkpoints write the arena to a sidecar file, resume memory-maps it
+  back copy-on-write;
 * :class:`SqliteStore` — bounded resident entries with LRU spill to an
   SQLite file, enabling larger-than-memory runs.
 
@@ -20,6 +24,7 @@ with ``FifoPolicy(store="sqlite")``, or globally via the
 from repro.stores.base import ProvenanceStore, StoreStats, merge_store_stats
 from repro.stores.dense import DenseNumpyStore
 from repro.stores.dict_store import DictStore
+from repro.stores.mmap_store import MmapDenseStore
 from repro.stores.spec import (
     DEFAULT_STORE_ENV,
     StoreSpec,
@@ -34,6 +39,7 @@ __all__ = [
     "merge_store_stats",
     "DictStore",
     "DenseNumpyStore",
+    "MmapDenseStore",
     "SqliteStore",
     "StoreSpec",
     "resolve_store_spec",

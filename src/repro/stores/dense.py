@@ -1,20 +1,26 @@
-"""Dense numpy backend: fixed-dimension vectors packed into row blocks.
+"""Dense numpy backend: a CSR-style flattened vector arena.
 
 The dense proportional policy (Algorithm 3) and the reduced-vector policies
 (Sections 5.1/5.2) keep one fixed-length float64 vector per touched vertex.
 Storing each vector as an individual numpy array (the seed layout) pays an
 object header and an allocation per vertex; ``DenseNumpyStore`` instead
-packs them as rows of contiguous blocks — the layout the paper's C
-implementation uses for its SIMD-friendly vector operations.
+packs every live vector as a row of **one contiguous row-major
+``(capacity, dimension)`` float64 arena**, addressed through a key → row
+index.  This is the layout the paper's C implementation uses for its
+SIMD-friendly vector operations, and it is what the fused kernels
+(:mod:`repro.core.kernels`) consume directly: a base pointer plus an
+``int32`` row-position array, no per-row pointer chasing.
 
 ``get`` returns a *view* of the vector's row, so the in-place numpy
 arithmetic of the policies (``destination_vector += source_vector``,
-``source_vector[:] = 0.0``) operates directly on the block.  Growth
-*appends* a new block rather than reallocating storage, so row views handed
-out earlier remain valid for the lifetime of the store — policies may hold
-a view across an allocation of another key (every ``process()`` step does).
+``source_vector[:] = 0.0``) operates directly on the arena.  Growth
+*reallocates* the arena geometrically (one memcpy, amortised O(1) per
+row), which keeps the buffer contiguous but means a row view fetched
+before an allocation may go stale: callers that hold views across
+allocations must reserve every row first via :meth:`ensure_rows` and fetch
+the views afterwards — the pattern all library policies follow.
 Element-wise float64 operations are bit-identical whether operands are
-standalone arrays or block rows, which is what the store-equivalence tests
+standalone arrays or arena rows, which is what the store-equivalence tests
 rely on.
 """
 
@@ -29,13 +35,17 @@ from repro.stores.base import ProvenanceStore, StoreStats
 
 __all__ = ["DenseNumpyStore"]
 
-#: Rows per storage block.  A block is allocated whole, so this bounds both
-#: the allocation granularity and the slack after the final touched vertex.
+#: Initial arena capacity (and minimum growth quantum) in rows.  Growth is
+#: geometric past this, so the value bounds the slack of tiny stores, not
+#: the reallocation count of large ones.
 _BLOCK_ROWS = 256
 
 
 class DenseNumpyStore(ProvenanceStore):
-    """Row-per-key storage of fixed-dimension float64 vectors."""
+    """Row-per-key storage of fixed-dimension float64 vectors in one arena."""
+
+    #: Backend label reported by :meth:`stats` (subclasses override).
+    backend_name = "dense"
 
     def __init__(self, dimension: int, *, block_rows: int = _BLOCK_ROWS):
         if dimension < 0:
@@ -48,20 +58,19 @@ class DenseNumpyStore(ProvenanceStore):
             )
         self._dimension = int(dimension)
         self._block_rows = int(block_rows)
-        self._blocks: List[np.ndarray] = []
+        #: The flattened vector arena: ``(capacity, dimension)`` C-contiguous
+        #: float64, or ``None`` before the first allocation.  Live rows are
+        #: ``[0, _next_row)`` minus the free list.
+        self._arena: Optional[np.ndarray] = None
         self._rows: Dict[Hashable, int] = {}
         self._free: List[int] = []
         self._next_row = 0
         self._evictions = 0
-        #: Rows held by an adopted block 0 (see :meth:`adopt_packed`);
-        #: ``None`` for stores built locally.  The adopted matrix keeps its
-        #: exact size while growth past it appends ordinary
-        #: ``block_rows``-granularity blocks.
-        self._base_rows: Optional[int] = None
         #: Opaque lifetime anchor for adopted zero-copy state: when the
-        #: blocks are views into a shared-memory segment (see
+        #: arena is a view into a shared-memory segment (see
         #: :meth:`adopt_packed`), this holds the segment lease so the
-        #: mapping outlives every row view handed out.
+        #: mapping outlives every row view handed out — including views
+        #: fetched before a later growth detached the arena to the heap.
         self._owner: object = None
         #: Store-owned reusable ``(dimension,)`` scratch row (see
         #: :meth:`scratch_row`); allocated on first use.
@@ -85,39 +94,70 @@ class DenseNumpyStore(ProvenanceStore):
         """Length of every stored vector."""
         return self._dimension
 
+    @property
+    def arena(self) -> Optional[np.ndarray]:
+        """The backing ``(capacity, dimension)`` float64 arena (live object).
+
+        Fused kernels index rows of this buffer directly via
+        :meth:`row_of` positions.  The object identity changes on growth
+        reallocation — callers caching it must re-check identity after any
+        allocation (the columnar mirrors do).
+        """
+        return self._arena
+
+    def row_of(self, key: Hashable) -> int:
+        """The arena row index of ``key`` (``KeyError`` when absent)."""
+        return self._rows[key]
+
+    def row_items(self) -> Iterable[Tuple[Hashable, int]]:
+        """Live ``(key, arena row index)`` pairs in insertion order."""
+        return self._rows.items()
+
     # ------------------------------------------------------------------
     # row allocation
     # ------------------------------------------------------------------
-    def _view(self, row: int) -> np.ndarray:
-        base = self._base_rows
-        if base is not None:
-            if row < base:
-                return self._blocks[0][row]
-            block, offset = divmod(row - base, self._block_rows)
-            return self._blocks[1 + block][offset]
-        block, offset = divmod(row, self._block_rows)
-        return self._blocks[block][offset]
+    def _grow(self, rows: int) -> None:
+        """Reallocate the arena to hold at least ``rows`` rows.
+
+        Geometric doubling with a ``block_rows`` floor: one zeroed
+        allocation plus one memcpy of the live prefix.  Views of the old
+        arena stay readable (their buffer is kept alive by the views
+        themselves) but are detached from the store — hence the
+        :meth:`ensure_rows`-before-fetching discipline.
+        """
+        arena = self._arena
+        capacity = 0 if arena is None else arena.shape[0]
+        if rows <= capacity:
+            return
+        new_capacity = max(rows, capacity * 2, self._block_rows)
+        grown = np.zeros((new_capacity, self._dimension), dtype=np.float64)
+        if arena is not None and self._next_row:
+            grown[: self._next_row] = arena[: self._next_row]
+        self._arena = grown
 
     def _allocate(self, key: Hashable) -> int:
         if self._free:
             row = self._free.pop()
-            self._view(row)[:] = 0.0
+            self._arena[row] = 0.0
         else:
             row = self._next_row
-            self._next_row += 1
-            base = self._base_rows
-            grown_blocks = (
-                len(self._blocks) if base is None else len(self._blocks) - 1
-            )
-            grown_row = row if base is None else row - base
-            if grown_row // self._block_rows >= grown_blocks:
-                # Blocks are only ever appended, never reallocated: views of
-                # existing rows stay valid across growth.
-                self._blocks.append(
-                    np.zeros((self._block_rows, self._dimension), dtype=np.float64)
-                )
+            self._grow(row + 1)
+            self._next_row = row + 1
         self._rows[key] = row
         return row
+
+    def ensure_rows(self, keys: Iterable[Hashable]) -> None:
+        """Allocate a zeroed row for every missing key, fetching nothing.
+
+        The growth-safe prelude for callers that hold row views across
+        allocations: reserve *all* the rows an operation touches first
+        (growth, if any, happens here), then fetch the views — none of
+        them can be invalidated by the operation's own allocations.
+        """
+        rows = self._rows
+        for key in keys:
+            if key not in rows:
+                self._allocate(key)
 
     # ------------------------------------------------------------------
     # point access
@@ -126,7 +166,7 @@ class DenseNumpyStore(ProvenanceStore):
         row = self._rows.get(key)
         if row is None:
             return default
-        return self._view(row)
+        return self._arena[row]
 
     def get_or_create(self, key: Hashable, factory: Callable[[], Any] = None) -> Any:
         """The row view of ``key``, allocating a zeroed row on miss.
@@ -138,25 +178,25 @@ class DenseNumpyStore(ProvenanceStore):
         row = self._rows.get(key)
         if row is None:
             row = self._allocate(key)
-        return self._view(row)
+        return self._arena[row]
 
     def put(self, key: Hashable, value: Any) -> None:
         row = self._rows.get(key)
         if row is None:
             row = self._allocate(key)
-        self._view(row)[:] = value
+        self._arena[row] = value
 
     def merge(self, key: Hashable, amount: Any) -> None:
         row = self._rows.get(key)
         if row is None:
             row = self._allocate(key)
-        self._view(row)[:] += amount
+        self._arena[row] += amount
 
     def evict(self, key: Hashable) -> Any:
         row = self._rows.pop(key, None)
         if row is None:
             return None
-        value = self._view(row).copy()
+        value = self._arena[row].copy()
         self._free.append(row)
         self._evictions += 1
         return value
@@ -165,7 +205,8 @@ class DenseNumpyStore(ProvenanceStore):
     # iteration / bulk state
     # ------------------------------------------------------------------
     def items(self) -> Iterable[Tuple[Hashable, Any]]:
-        return ((key, self._view(row)) for key, row in self._rows.items())
+        arena = self._arena
+        return ((key, arena[row]) for key, row in self._rows.items())
 
     def keys(self) -> Iterable[Hashable]:
         return self._rows.keys()
@@ -176,8 +217,22 @@ class DenseNumpyStore(ProvenanceStore):
     def __contains__(self, key: Hashable) -> bool:
         return key in self._rows
 
+    def _packed(self) -> Tuple[List[Hashable], np.ndarray]:
+        """A freshly packed ``(keys, matrix)`` copy of the live contents."""
+        packed = np.empty((len(self._rows), self._dimension), dtype=np.float64)
+        keys = self.pack_rows(packed)
+        return keys, packed
+
     def snapshot(self) -> Dict[Hashable, Any]:
-        return {key: self._view(row).copy() for key, row in self._rows.items()}
+        """One vectorised arena gather instead of a copy per key.
+
+        The returned per-key values are rows of a single freshly packed
+        matrix — detached from the live arena, but sharing one allocation,
+        so checkpointing a dense run no longer allocates an ndarray per
+        vertex.
+        """
+        keys, packed = self._packed()
+        return {key: packed[position] for position, key in enumerate(keys)}
 
     def restore(self, mapping: Mapping[Hashable, Any]) -> None:
         self.clear()
@@ -185,42 +240,47 @@ class DenseNumpyStore(ProvenanceStore):
             self.put(key, value)
 
     def clear(self) -> None:
-        self._blocks = []
+        self._arena = None
         self._rows = {}
         self._free = []
         self._next_row = 0
-        self._base_rows = None
         self._owner = None
         self._scratch = None
 
     # ------------------------------------------------------------------
-    # zero-copy state transfer (shared-memory shard fabric)
+    # zero-copy state transfer (shared-memory shard fabric, snapshots)
     # ------------------------------------------------------------------
     def pack_rows(self, out: np.ndarray) -> List[Hashable]:
-        """Copy every stored vector into ``out`` row by row, densely packed.
+        """Gather every stored vector into ``out``, densely packed.
 
         ``out`` must be a float64 matrix of shape ``(len(self), dimension)``
         — typically a view into a shared-memory segment.  Rows are written
-        in key-insertion order and the keys are returned in that same
-        order, so ``adopt_packed(keys, out)`` on another process's store
-        reproduces this store's contents exactly (free-list holes are
-        compacted away; only live rows travel).
+        in key-insertion order with one fancy-indexed arena gather and the
+        keys are returned in that same order, so ``adopt_packed(keys, out)``
+        on another process's store reproduces this store's contents exactly
+        (free-list holes are compacted away; only live rows travel).
         """
-        for position, (key, row) in enumerate(self._rows.items()):
-            out[position] = self._view(row)
-        return list(self._rows)
+        keys = list(self._rows)
+        if keys:
+            index = np.fromiter(
+                self._rows.values(), dtype=np.intp, count=len(keys)
+            )
+            np.take(self._arena, index, axis=0, out=out)
+        return keys
 
     def adopt_packed(
         self, keys: List[Hashable], matrix: np.ndarray, owner: object = None
     ) -> None:
         """Install a packed ``(len(keys), dimension)`` matrix as the contents.
 
-        The matrix is adopted *as is* — no copy — so passing a view into a
-        shared-memory segment makes every subsequent ``get`` a zero-copy
-        view into that segment.  ``owner`` keeps the segment mapping alive
-        for the lifetime of the store (see :mod:`repro.runtime.shm`).
-        Growth past the adopted rows appends fresh heap blocks exactly like
-        a store built locally.
+        The matrix is adopted *as the arena* — an O(1) pointer swap, no
+        copy — so passing a view into a shared-memory segment (or a
+        memory-mapped snapshot) makes every subsequent ``get`` a zero-copy
+        view into that mapping.  ``owner`` keeps the mapping alive for the
+        lifetime of the store (see :mod:`repro.runtime.shm`).  Growth past
+        the adopted rows reallocates onto the heap like any other growth
+        (the adopted buffer is left untouched from then on); a non-float64
+        or non-contiguous matrix is copied once instead of adopted.
         """
         rows = len(keys)
         if matrix.shape != (rows, self._dimension):
@@ -231,29 +291,31 @@ class DenseNumpyStore(ProvenanceStore):
         self.clear()
         if rows == 0:
             return
-        # Block 0 is the adopted matrix at its exact size (``_base_rows``);
-        # rows past it address ordinary ``block_rows``-granularity appended
-        # blocks, so growing an adopted store costs the same as growing a
-        # local one (not another matrix-sized allocation).
-        self._base_rows = rows
-        self._blocks = [matrix]
+        if matrix.dtype != np.float64 or not matrix.flags["C_CONTIGUOUS"]:
+            matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+            owner = None
+        self._arena = matrix
         self._rows = {key: position for position, key in enumerate(keys)}
         self._next_row = rows
         self._owner = owner
 
     def __getstate__(self):
-        """Detach from any shared segment before pickling.
+        """Pickle a compact packed arena, detached from any shared segment.
 
-        Adopted blocks are views into memory another process manages;
-        pickling materialises them into ordinary heap arrays and drops the
-        (unpicklable) segment lease, so checkpoints of adopted state are
-        self-contained.  Locally built stores (no lease) pickle their
-        blocks as-is — no extra copy on the ordinary checkpoint paths.
+        The live arena may be a view into memory another process manages
+        (an adopted segment, a memory-mapped snapshot) and carries capacity
+        slack and free-list holes; pickling repacks the live rows into an
+        exact-size heap matrix with rows renumbered ``0..n-1`` and drops
+        the (unpicklable) segment lease, so checkpoints are self-contained
+        and hole-free regardless of the store's history.
         """
+        keys, packed = self._packed()
         state = dict(self.__dict__)
-        if state.get("_owner") is not None:
-            state["_owner"] = None
-            state["_blocks"] = [np.array(block) for block in self._blocks]
+        state["_arena"] = packed
+        state["_rows"] = {key: position for position, key in enumerate(keys)}
+        state["_free"] = []
+        state["_next_row"] = len(keys)
+        state["_owner"] = None
         # The scratch row's contents are garbage between uses; dropping it
         # keeps checkpoints deterministic and lean.
         state["_scratch"] = None
@@ -264,7 +326,7 @@ class DenseNumpyStore(ProvenanceStore):
     # ------------------------------------------------------------------
     def stats(self) -> StoreStats:
         return StoreStats(
-            backend="dense",
+            backend=self.backend_name,
             entries=len(self._rows),
             resident_entries=len(self._rows),
             evictions=self._evictions,

@@ -1,0 +1,242 @@
+"""Zero-copy mmap snapshot tier over the dense vector arena.
+
+:class:`MmapDenseStore` behaves exactly like
+:class:`~repro.stores.dense.DenseNumpyStore` while a run is live — same
+arena layout, same row views, bit-identical arithmetic — and adds a
+file-snapshot seam built on that layout:
+
+* :meth:`snapshot_to` writes the packed arena plus its key index to one
+  flat file (``tmp + fsync + os.replace``, the atomicity discipline of the
+  checkpoint writer), so persisting a dense store is a single sequential
+  matrix write instead of one pickled ndarray per key;
+* :meth:`restore_from` memory-maps the arena region back
+  **read-copy-on-write** (``numpy.memmap(mode="c")``) and adopts the
+  mapping as the live arena — resume touches no vector bytes until the
+  run actually writes them, and file pages are shared across concurrent
+  resumes of the same snapshot.
+
+The engine checkpointer (:mod:`repro.core.checkpoint`) routes stores of
+this class through sidecar files automatically: the pickled checkpoint
+carries only a content-addressed reference (CRC token) and the arena
+travels in ``<checkpoint>.<role>.<crc>.arena`` next to it.
+
+File layout (little-endian)::
+
+    0   8   magic  b"RPRARENA"
+    8   8   uint64 header length H
+    16  4   uint32 CRC-32 of the arena bytes
+    20  4   zero padding
+    24  H   pickled header {dimension, rows, keys}
+    -   -   zero padding to the next 64-byte boundary
+    ..      arena bytes: rows x dimension float64, C order
+
+Portability caveats: the arena is written in native float64/little-endian
+layout and the key index is a pickle — snapshots are a checkpoint format
+for same-platform resume, not an interchange format.  A mapped snapshot
+must outlive the store that adopted it; deleting the file while mapped is
+safe on POSIX (the mapping keeps the inode alive) but not portable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import zlib
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import CheckpointCorruptedError
+from repro.stores.dense import DenseNumpyStore
+
+__all__ = ["MmapDenseStore", "ARENA_MAGIC"]
+
+ARENA_MAGIC = b"RPRARENA"
+
+_HEADER_PREFIX = 24  # magic + header length + crc + padding
+_ARENA_ALIGN = 64
+
+#: Pickle protocol for the key-index header (matches the checkpoint writer).
+_PROTOCOL = 4
+
+
+def _arena_offset(header_len: int) -> int:
+    unaligned = _HEADER_PREFIX + header_len
+    return (unaligned + _ARENA_ALIGN - 1) // _ARENA_ALIGN * _ARENA_ALIGN
+
+
+class MmapDenseStore(DenseNumpyStore):
+    """Dense arena store with atomic file snapshots and mmap resume."""
+
+    backend_name = "mmap"
+
+    def __init__(self, dimension: int, *, block_rows: int = 256):
+        super().__init__(dimension, block_rows=block_rows)
+        #: When True, ``__getstate__`` pickles an *empty* store: the engine
+        #: checkpointer sets this transiently after writing the arena to a
+        #: sidecar file, so the pickled checkpoint stays small and the
+        #: vector payload travels in the snapshot format instead.
+        self._pickle_stub = False
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot_to(self, path: Union[str, Path]) -> dict:
+        """Write the packed live contents to ``path`` atomically.
+
+        Returns ``{"crc": <uint32>, "rows": <count>}`` — the CRC is the
+        content token a checkpoint records so :meth:`restore_from` can
+        reject a state/sidecar pairing broken by a crash between writes.
+        """
+        path = Path(path)
+        keys, packed = self._packed()
+        arena_bytes = packed.tobytes()
+        crc = zlib.crc32(arena_bytes)
+        header = pickle.dumps(
+            {"dimension": self._dimension, "rows": len(keys), "keys": keys},
+            protocol=_PROTOCOL,
+        )
+        offset = _arena_offset(len(header))
+        payload = bytearray(offset + len(arena_bytes))
+        payload[0:8] = ARENA_MAGIC
+        payload[8:16] = len(header).to_bytes(8, "little")
+        payload[16:20] = crc.to_bytes(4, "little")
+        payload[_HEADER_PREFIX : _HEADER_PREFIX + len(header)] = header
+        payload[offset:] = arena_bytes
+        self._atomic_write(path, bytes(payload))
+        return {"crc": crc, "rows": len(keys)}
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: bytes) -> None:
+        # Same discipline (and fault-injection seam) as the checkpoint
+        # writer: a crash leaves the previous snapshot intact or a stray
+        # temp sibling, never a torn file under the real name.
+        from repro.runtime import faults
+
+        torn = faults.torn_checkpoint_bytes(payload)
+        if torn is not None:
+            path.write_bytes(torn)
+            return
+        tmp_path = path.parent / f".{path.name}.tmp.{os.getpid()}"
+        try:
+            with tmp_path.open("wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            raise
+
+    def restore_from(
+        self,
+        path: Union[str, Path],
+        *,
+        expected_crc: Union[int, None] = None,
+        verify: bool = False,
+    ) -> None:
+        """Adopt the snapshot at ``path`` as the live contents (zero-copy).
+
+        The arena region is mapped read-copy-on-write: the file is never
+        modified, pages are faulted in on first touch, and writes land in
+        private memory.  ``expected_crc`` (the token :meth:`snapshot_to`
+        returned when the snapshot was written) guards against a checkpoint
+        paired with the wrong sidecar generation; ``verify=True``
+        additionally checksums the arena bytes themselves, trading a full
+        sequential read for bit-level certainty.
+
+        Raises :class:`~repro.exceptions.CheckpointCorruptedError` for a
+        missing, torn, truncated or mismatched snapshot.
+        """
+        path = Path(path)
+        try:
+            size = path.stat().st_size
+            with path.open("rb") as handle:
+                prefix = handle.read(_HEADER_PREFIX)
+                if len(prefix) < _HEADER_PREFIX or prefix[0:8] != ARENA_MAGIC:
+                    raise CheckpointCorruptedError(
+                        path, "not an arena snapshot (bad magic)"
+                    )
+                header_len = int.from_bytes(prefix[8:16], "little")
+                stored_crc = int.from_bytes(prefix[16:20], "little")
+                header_bytes = handle.read(header_len)
+        except OSError as error:
+            raise CheckpointCorruptedError(
+                path, f"{type(error).__name__}: {error}"
+            ) from error
+        if len(header_bytes) < header_len:
+            raise CheckpointCorruptedError(path, "truncated snapshot header")
+        try:
+            header = pickle.loads(header_bytes)
+            dimension = int(header["dimension"])
+            rows = int(header["rows"])
+            keys = header["keys"]
+        except Exception as error:
+            raise CheckpointCorruptedError(
+                path, f"unreadable snapshot header ({type(error).__name__}: {error})"
+            ) from error
+        if dimension != self._dimension:
+            raise CheckpointCorruptedError(
+                path,
+                f"snapshot dimension {dimension} does not match store "
+                f"dimension {self._dimension}",
+            )
+        if len(keys) != rows:
+            raise CheckpointCorruptedError(path, "snapshot key index is inconsistent")
+        offset = _arena_offset(header_len)
+        expected_size = offset + rows * dimension * 8
+        if size != expected_size:
+            raise CheckpointCorruptedError(
+                path,
+                f"truncated arena snapshot ({size} bytes, expected {expected_size})",
+            )
+        if expected_crc is not None and stored_crc != expected_crc:
+            raise CheckpointCorruptedError(
+                path,
+                "arena sidecar does not match the checkpoint that references "
+                f"it (crc {stored_crc:#010x}, expected {expected_crc:#010x})",
+            )
+        if rows == 0:
+            self.clear()
+            return
+        matrix = np.memmap(
+            path, dtype=np.float64, mode="c", offset=offset, shape=(rows, dimension)
+        )
+        if verify and zlib.crc32(matrix.tobytes()) != stored_crc:
+            raise CheckpointCorruptedError(path, "arena bytes fail their checksum")
+        # mode="c" keeps the file read-only while making the mapping
+        # writable, so the adopted arena supports in-place arithmetic; the
+        # memmap object itself is the arena, keeping the mapping alive.
+        self.adopt_packed(keys, matrix)
+
+    # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Self-contained by default; an empty stub in sidecar mode.
+
+        Outside the engine checkpointer this store pickles exactly like
+        its parent (full packed arena — shard workers and streaming
+        manifests stay self-contained).  While ``_pickle_stub`` is set the
+        vector payload is omitted entirely: the checkpointer has already
+        written it through :meth:`snapshot_to`.
+        """
+        if self._pickle_stub:
+            state = dict(self.__dict__)
+            state.update(
+                _arena=None,
+                _rows={},
+                _free=[],
+                _next_row=0,
+                _owner=None,
+                _scratch=None,
+                _pickle_stub=False,
+            )
+            return state
+        state = super().__getstate__()
+        state["_pickle_stub"] = False
+        return state

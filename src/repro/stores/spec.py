@@ -1,6 +1,7 @@
 """Store specification and resolution: which backend a run's policies use.
 
-A :class:`StoreSpec` names a backend (``"dict"``, ``"dense"``, ``"sqlite"``)
+A :class:`StoreSpec` names a backend (``"dict"``, ``"dense"``, ``"mmap"``,
+``"sqlite"``)
 plus backend options and acts as the *store factory* policies use to build
 their per-role state (``policy._make_store(role, ...)``).  Resolution order
 for an unspecified store is: the ``REPRO_DEFAULT_STORE`` environment
@@ -10,9 +11,12 @@ touching any call site.
 
 Roles are short labels for a policy's state components (``"buffers"``,
 ``"vectors"``, ``"totals"``, ``"generated"``, ``"odd"``/``"even"``).  The
-dense backend applies only to fixed-dimension vector roles (the policy
-passes ``dimension=``); other roles fall back to the dict backend, so
-``store="dense"`` is always safe to request.
+dense and mmap backends apply only to fixed-dimension vector roles (the
+policy passes ``dimension=``); other roles fall back to the dict backend,
+so ``store="dense"`` / ``store="mmap"`` are always safe to request.  The
+mmap backend is the dense arena plus zero-copy file snapshots: engine
+checkpoints write the arena to a sidecar file and resume memory-maps it
+back copy-on-write (see :mod:`repro.stores.mmap_store`).
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from repro.exceptions import StoreConfigurationError
 from repro.stores.base import ProvenanceStore
 from repro.stores.dense import DenseNumpyStore
 from repro.stores.dict_store import DictStore
+from repro.stores.mmap_store import MmapDenseStore
 from repro.stores.sqlite_store import DEFAULT_HOT_CAPACITY, SqliteStore
 
 __all__ = [
@@ -37,7 +42,7 @@ __all__ = [
 #: Environment variable consulted when no store is specified explicitly.
 DEFAULT_STORE_ENV = "REPRO_DEFAULT_STORE"
 
-_BACKENDS: Tuple[str, ...] = ("dict", "dense", "sqlite")
+_BACKENDS: Tuple[str, ...] = ("dict", "dense", "mmap", "sqlite")
 
 #: Option keys each backend understands.  Validation is per backend so a
 #: spill option paired with an in-memory backend fails loudly instead of
@@ -46,6 +51,7 @@ _BACKENDS: Tuple[str, ...] = ("dict", "dense", "sqlite")
 _BACKEND_OPTIONS = {
     "dict": frozenset(),
     "dense": frozenset({"block_rows"}),
+    "mmap": frozenset({"block_rows"}),
     "sqlite": frozenset({"hot_capacity", "hot_bytes", "spill_batch", "directory"}),
 }
 
@@ -68,7 +74,8 @@ class StoreSpec:
       entries spilled per overflow, batched into one SQL write; default 1)
       and ``directory`` (where spill files are created; defaults to the
       system temp directory).
-    * ``dense`` — ``block_rows`` (rows per storage block, default 256).
+    * ``dense`` / ``mmap`` — ``block_rows`` (initial arena capacity and
+      growth floor in rows, default 256).
     * ``dict`` — no options.
     """
 
@@ -102,12 +109,13 @@ class StoreSpec:
                 spill_batch=int(self.options.get("spill_batch", 1)),
                 directory=self.options.get("directory"),
             )
-        if self.backend == "dense" and dimension is not None:
+        if self.backend in ("dense", "mmap") and dimension is not None:
+            store_class = MmapDenseStore if self.backend == "mmap" else DenseNumpyStore
             if "block_rows" in self.options:
-                return DenseNumpyStore(
+                return store_class(
                     dimension, block_rows=int(self.options["block_rows"])
                 )
-            return DenseNumpyStore(dimension)
+            return store_class(dimension)
         return DictStore()
 
 

@@ -158,14 +158,17 @@ def test_bit_identity_gate_rejects_wrong_kernels(monkeypatch):
     assert "cc:noprov" in kernels.backend_failures()
 
 
-def test_numba_backend_declines_propdense():
-    """The numba backend only serves noprov (the pointer-table kernel is
-    unsuited to nopython mode); requesting more must raise so the
-    dispatcher demotes to cc."""
+def test_numba_serves_propdense_when_installed():
+    """The arena layout fits nopython mode: with numba installed, the
+    proportional-dense kernel must resolve to the numba backend (the old
+    pointer-table demotion to cc is gone) and pass the bit-identity gate
+    with no failure logged."""
     if not numba_backend.available():
         pytest.skip("numba not installed")
-    with pytest.raises(KeyError):
-        numba_backend.build("proportional-dense")
+    fn = numba_backend.build("proportional-dense")
+    _reference.verify("proportional-dense", fn)
+    assert kernels.backend_of("proportional-dense") == "numba"
+    assert "numba:proportional-dense" not in kernels.backend_failures()
 
 
 # ----------------------------------------------------------------------
@@ -173,21 +176,7 @@ def test_numba_backend_declines_propdense():
 # ----------------------------------------------------------------------
 def test_reference_verify_accepts_references():
     _reference.verify("noprov", _reference.noprov_reference)
-
-    def adapted(src, dst, qty, addresses, totals, universe):
-        # Rebuild the vector views the address table points at.
-        import ctypes
-
-        vectors = [
-            np.ctypeslib.as_array(
-                ctypes.cast(int(address), ctypes.POINTER(ctypes.c_double)),
-                shape=(universe,),
-            )
-            for address in addresses
-        ]
-        _reference.propdense_reference(src, dst, qty, vectors, totals)
-
-    _reference.verify("proportional-dense", adapted)
+    _reference.verify("proportional-dense", _reference.propdense_reference)
 
 
 def test_resolved_backends_verified_on_this_host():

@@ -328,23 +328,38 @@ def test_dense_store_pack_adopt_round_trip():
     target.adopt_packed(keys, packed)
     assert set(target.keys()) == {"a", "c"}
     assert np.array_equal(target.get("a"), np.arange(4, dtype=np.float64) + ord("a"))
-    # Adopted state is a live view of the packed matrix (zero-copy)...
+    # Adoption installs the packed matrix *as the arena* — an O(1) pointer
+    # swap, so reads and writes are zero-copy views of the packed buffer.
+    assert target.arena is packed
     target.get("a")[0] = 123.0
     assert packed[keys.index("a")][0] == 123.0
-    # ...and keeps growing past the adopted rows like a local store: the
-    # appended block has the store's ordinary granularity, not another
-    # matrix-sized allocation.
+    # Growth past the adopted rows reallocates onto the heap (one memcpy);
+    # the packed buffer is left untouched from that point on.
     target.merge("d", np.ones(4))
+    assert target.arena is not packed
     assert np.array_equal(target.get("d"), np.ones(4))
     assert np.array_equal(target.get("c"), np.arange(4, dtype=np.float64) + ord("c"))
-    assert target._blocks[1].shape[0] == target._block_rows
-    # Adopted rows stay views of the packed matrix after growth.
-    assert target.get("a").base is not None
-    # Eviction recycles adopted rows through the free list like local ones.
+    assert packed[keys.index("a")][0] == 123.0  # detached, not mutated further
+    # Eviction recycles rows through the free list like local ones.
     target.evict("c")
     target.merge("e", np.full(4, 2.0))
     assert np.array_equal(target.get("e"), np.full(4, 2.0))
-    assert packed[keys.index("c")][0] == 2.0  # recycled in place
+    assert set(target.keys()) == {"a", "d", "e"}
+
+
+def test_dense_store_adopt_without_growth_stays_zero_copy():
+    """A worker that only reads/mutates adopted rows never copies them."""
+    packed = np.arange(8, dtype=np.float64).reshape(2, 4)
+    store = DenseNumpyStore(4)
+    store.adopt_packed(["x", "y"], packed, owner="lease-token")
+    assert store.arena is packed
+    store.merge("x", np.ones(4))  # existing row: no growth, in-place
+    assert store.arena is packed
+    assert np.array_equal(packed[0], np.arange(4, dtype=np.float64) + 1.0)
+    # Repacking for the next hop gathers straight from the adopted buffer.
+    out = np.empty((2, 4), dtype=np.float64)
+    assert store.pack_rows(out) == ["x", "y"]
+    assert np.array_equal(out, packed)
 
 
 def test_plan_segment_round_trip(network):

@@ -127,19 +127,37 @@ class TestDenseNumpyStore:
         for index in range(50):
             assert store.get(f"v{index}")[0] == float(index)
 
-    def test_views_survive_block_growth(self):
-        """Allocating new keys must never invalidate previously fetched views.
+    def test_ensure_rows_makes_views_growth_safe(self):
+        """The arena contract: reserve every row first, then fetch views.
 
-        Regression test: the policies fetch the source row, then allocating
-        the destination row may grow the storage; writes through the source
-        view must land in the store, not in an orphaned buffer.
+        Growth reallocates the contiguous arena, so a view fetched before a
+        later allocation is detached from the store.  Callers that hold
+        views across allocations must pre-reserve all rows via
+        ``ensure_rows`` — after which the held views stay live no matter how
+        many of the reserved keys are materialised.
         """
         store = DenseNumpyStore(2, block_rows=2)
+        keys = ["source"] + [f"v{index}" for index in range(20)]
+        store.ensure_rows(keys)  # all growth happens here
         held = store.get_or_create("source", None)
-        for index in range(20):  # forces several new blocks
-            store.get_or_create(f"v{index}", None)
-        held[:] = 7.0  # write through the pre-growth view
+        for key in keys[1:]:
+            store.get_or_create(key, None)
+        held[:] = 7.0  # write through the pre-fetch view
         assert np.array_equal(store.get("source"), np.full(2, 7.0))
+        # Every row is a view of one contiguous arena.
+        assert store.get("source").base is store.arena
+        assert store.get("v19").base is store.arena
+
+    def test_rows_are_arena_views(self):
+        store = DenseNumpyStore(3)
+        store.put("a", np.array([1.0, 2.0, 3.0]))
+        store.put("b", np.array([4.0, 5.0, 6.0]))
+        arena = store.arena
+        assert arena is not None and arena.shape[1] == 3
+        assert np.array_equal(arena[store.row_of("b")], [4.0, 5.0, 6.0])
+        # Mutations through the arena surface through get() and vice versa.
+        arena[store.row_of("a")][0] = 9.0
+        assert store.get("a")[0] == 9.0
 
     def test_evicted_rows_are_recycled_zeroed(self):
         store = DenseNumpyStore(2, block_rows=2)

@@ -2,22 +2,34 @@
 
 The acceptance bar of the store refactor, mirroring the batched==per-
 interaction identity tests of the Runner refactor: for EVERY registered
-policy, a run on ``DenseNumpyStore`` and on ``SqliteStore`` (with a tiny
-hot capacity, so entries spill and fault constantly) produces origin sets
-and buffer totals identical — not approximately, identically, float for
-float — to the run on ``DictStore``, both per-interaction and batched.
+policy, a run on ``DenseNumpyStore``, on ``MmapDenseStore`` and on
+``SqliteStore`` (with a tiny hot capacity, so entries spill and fault
+constantly) produces origin sets and buffer totals identical — not
+approximately, identically, float for float — to the run on
+``DictStore``, both per-interaction and batched.
+
+The mmap tier carries an extra contract on top of live-run parity: a
+checkpoint/resume round trip through the arena-snapshot sidecar must be
+bit-identical to the uninterrupted dict run, torn or truncated snapshot
+files must surface :class:`CheckpointCorruptedError` instead of silently
+corrupt provenance, and repeated save/resume cycles must leave no stray
+temp or stale sidecar files behind.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.core.checkpoint import load_engine, save_engine
 from repro.core.interaction import Interaction
 from repro.core.network import TemporalInteractionNetwork
 from repro.datasets.catalog import load_preset
+from repro.exceptions import CheckpointCorruptedError
 from repro.policies.registry import available_policies
 from repro.runtime import RunConfig, Runner
-from repro.stores import StoreSpec
+from repro.stores import MmapDenseStore, StoreSpec
 
 
 @pytest.fixture(scope="module")
@@ -54,7 +66,9 @@ def _run(network, policy_name, batch_size, store=None):
 
 
 @pytest.mark.parametrize("policy_name", available_policies())
-@pytest.mark.parametrize("store", ["dense", SPILL_HEAVY_SQLITE], ids=["dense", "sqlite"])
+@pytest.mark.parametrize(
+    "store", ["dense", "mmap", SPILL_HEAVY_SQLITE], ids=["dense", "mmap", "sqlite"]
+)
 def test_backend_identical_to_dict_store(preset_network, policy_name, store):
     reference = _run(preset_network, policy_name, 1)
     reference_snapshot = _snapshot_dict(reference)
@@ -82,8 +96,13 @@ def test_sqlite_entry_counts_match_dict_store(preset_network, policy_name):
 
 @pytest.mark.parametrize(
     "store",
-    [StoreSpec("dense", {"block_rows": 4}), "dense", SPILL_HEAVY_SQLITE],
-    ids=["dense-tiny-blocks", "dense", "sqlite"],
+    [
+        StoreSpec("dense", {"block_rows": 4}),
+        "dense",
+        StoreSpec("mmap", {"block_rows": 4}),
+        SPILL_HEAVY_SQLITE,
+    ],
+    ids=["dense-tiny-blocks", "dense", "mmap-tiny-blocks", "sqlite"],
 )
 @pytest.mark.parametrize("policy_name", ["proportional-dense", "proportional-grouped"])
 def test_dense_backend_identical_across_block_boundaries(store, policy_name):
@@ -117,7 +136,9 @@ def test_dense_backend_identical_across_block_boundaries(store, policy_name):
     assert dense.buffer_totals() == reference.buffer_totals()
 
 
-@pytest.mark.parametrize("store", ["dense", SPILL_HEAVY_SQLITE], ids=["dense", "sqlite"])
+@pytest.mark.parametrize(
+    "store", ["dense", "mmap", SPILL_HEAVY_SQLITE], ids=["dense", "mmap", "sqlite"]
+)
 def test_sharded_runs_identical_across_backends(preset_network, store):
     reference = Runner(
         RunConfig(dataset=preset_network, policy="fifo", shards=4)
@@ -127,3 +148,167 @@ def test_sharded_runs_identical_across_backends(preset_network, store):
     ).run()
     assert _snapshot_dict(sharded) == _snapshot_dict(reference)
     assert sharded.buffer_totals() == reference.buffer_totals()
+
+
+# ---------------------------------------------------------------------------
+# mmap snapshot tier
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy_name", ["fifo", "proportional-dense"])
+def test_mmap_shm_runs_identical_to_dict(preset_network, policy_name):
+    """The mmap tier rides the shared-memory fabric like its dense parent."""
+    reference = _run(preset_network, policy_name, 64)
+    shm = Runner(
+        RunConfig(
+            dataset=preset_network,
+            policy=policy_name,
+            policy_options=dict(STRUCTURAL_OPTIONS.get(policy_name, {})),
+            store="mmap",
+            shards=2,
+            shard_executor="processes",
+            shared_memory=True,
+        )
+    ).run()
+    assert _snapshot_dict(shm) == _snapshot_dict(reference)
+    assert shm.buffer_totals() == reference.buffer_totals()
+
+
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_mmap_checkpoint_resume_identical_to_dict(
+    preset_network, policy_name, tmp_path
+):
+    """Interrupt + arena-sidecar resume == uninterrupted DictStore run.
+
+    The checkpoint of an mmap-backed run carries the vectors in a
+    ``.arena`` sidecar, not in the pickle; resuming maps that sidecar
+    copy-on-write and must land on provenance bit-identical to a dict
+    run that was never interrupted.
+    """
+    reference = _run(preset_network, policy_name, 64)
+    checkpoint = tmp_path / "run.ckpt"
+    half = preset_network.num_interactions // 2
+    common = dict(
+        dataset=preset_network,
+        policy=policy_name,
+        policy_options=dict(STRUCTURAL_OPTIONS.get(policy_name, {})),
+        store="mmap",
+        batch_size=64,
+    )
+    Runner(RunConfig(limit=half, checkpoint_path=checkpoint, **common)).run()
+    resumed = Runner(RunConfig(resume_from=checkpoint, **common)).run()
+    assert _snapshot_dict(resumed) == _snapshot_dict(reference)
+    assert resumed.buffer_totals() == reference.buffer_totals()
+
+
+def _small_mmap_store():
+    import numpy as np
+
+    store = MmapDenseStore(3)
+    store.put("a", np.array([1.0, 0.5, 0.0]))
+    store.put("b", np.array([0.0, 2.0, 4.0]))
+    return store
+
+
+def test_torn_and_truncated_snapshots_raise(tmp_path):
+    import numpy as np
+
+    store = _small_mmap_store()
+    path = tmp_path / "snap.arena"
+    info = store.snapshot_to(path)
+    payload = path.read_bytes()
+
+    # A clean snapshot restores (sanity for the corruption cases below).
+    fresh = MmapDenseStore(3)
+    fresh.restore_from(path, expected_crc=info["crc"], verify=True)
+    assert np.array_equal(fresh.get("b"), [0.0, 2.0, 4.0])
+
+    # Bad magic: not an arena snapshot at all.
+    (tmp_path / "magic.arena").write_bytes(b"NOTMAGIC" + payload[8:])
+    with pytest.raises(CheckpointCorruptedError):
+        MmapDenseStore(3).restore_from(tmp_path / "magic.arena")
+
+    # Torn mid-header and torn mid-arena: both truncations are caught
+    # before any bytes are adopted.
+    for name, cut in [("header.arena", 20), ("arena.arena", len(payload) - 8)]:
+        (tmp_path / name).write_bytes(payload[:cut])
+        with pytest.raises(CheckpointCorruptedError):
+            MmapDenseStore(3).restore_from(tmp_path / name)
+
+    # Wrong generation: the checkpoint's recorded CRC must match the file.
+    with pytest.raises(CheckpointCorruptedError):
+        MmapDenseStore(3).restore_from(path, expected_crc=(info["crc"] ^ 1))
+
+    # Bit rot inside the arena region passes the size check but fails the
+    # deep verification pass.
+    flipped = bytearray(payload)
+    flipped[-1] ^= 0xFF
+    (tmp_path / "rot.arena").write_bytes(bytes(flipped))
+    with pytest.raises(CheckpointCorruptedError):
+        MmapDenseStore(3).restore_from(tmp_path / "rot.arena", verify=True)
+
+    # Dimension mismatch: a valid snapshot for a differently-shaped store.
+    with pytest.raises(CheckpointCorruptedError):
+        MmapDenseStore(4).restore_from(path)
+
+    # Missing file.
+    with pytest.raises(CheckpointCorruptedError):
+        MmapDenseStore(3).restore_from(tmp_path / "nope.arena")
+
+
+def test_corrupt_sidecar_fails_engine_load(preset_network, tmp_path):
+    """A checkpoint whose arena sidecar was damaged refuses to load."""
+    checkpoint = tmp_path / "run.ckpt"
+    Runner(
+        RunConfig(
+            dataset=preset_network,
+            policy="proportional-dense",
+            store="mmap",
+            limit=200,
+            checkpoint_path=checkpoint,
+        )
+    ).run()
+    sidecars = sorted(tmp_path.glob("run.ckpt.*.arena"))
+    assert sidecars, "mmap checkpoint must write an arena sidecar"
+    load_engine(checkpoint)  # intact pair loads fine
+    blob = sidecars[0].read_bytes()
+    sidecars[0].write_bytes(blob[: len(blob) - 16])
+    with pytest.raises(CheckpointCorruptedError):
+        load_engine(checkpoint)
+    sidecars[0].unlink()
+    with pytest.raises(CheckpointCorruptedError):
+        load_engine(checkpoint)
+
+
+def test_mmap_cycles_leak_no_temp_or_stale_files(preset_network, tmp_path):
+    """Save/resume cycles leave exactly one checkpoint + live sidecars.
+
+    Temp files from the atomic writers must be cleaned up, and sidecar
+    generations orphaned by newer saves must be pruned — otherwise a
+    long-running checkpointed stream grows one arena file per save.
+    """
+    checkpoint = tmp_path / "cycle.ckpt"
+    config = dict(
+        dataset=preset_network, policy="proportional-dense", store="mmap"
+    )
+    result = Runner(
+        RunConfig(limit=150, checkpoint_path=checkpoint, **config)
+    ).run()
+    source, destination = list(preset_network.vertices)[:2]
+    engine = load_engine(checkpoint)
+    # Several direct re-saves with evolving state: each save changes the
+    # arena CRC, so a prune bug would leave one stale sidecar per cycle.
+    for round_number in range(3):
+        engine.policy.process(
+            Interaction(source, destination, 1e9 + round_number, 1e6 + round_number)
+        )
+        save_engine(engine, checkpoint)
+        engine = load_engine(checkpoint)
+    entries = sorted(os.listdir(tmp_path))
+    assert not [name for name in entries if ".tmp" in name], entries
+    arena_files = [name for name in entries if name.endswith(".arena")]
+    state = load_engine(checkpoint)  # the final pair stays loadable
+    assert len(arena_files) <= 1, entries
+    assert state.buffer_total(destination) == (
+        result.buffer_totals().get(destination, 0.0) + 3e6 + 3
+    )
